@@ -1,0 +1,85 @@
+// Command pythia-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pythia-bench -exp all -scale default
+//	pythia-bench -exp fig9a,fig8b -scale quick -csv out/
+//	pythia-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"pythia/internal/harness"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		scaleFlag = flag.String("scale", "default", "simulation scale: quick|default|full")
+		csvDir    = flag.String("csv", "", "also write each result as CSV into this directory")
+		mdPath    = flag.String("md", "", "also append all results as a markdown report to this file")
+		list      = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.AllExperiments() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	sc, err := harness.ScaleByName(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var exps []harness.Experiment
+	if *expFlag == "all" {
+		exps = harness.Experiments()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, ok := harness.ExperimentByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	var md strings.Builder
+	for _, e := range exps {
+		start := time.Now()
+		table := e.Run(sc)
+		fmt.Println(table.Render())
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *mdPath != "" {
+			fmt.Fprintf(&md, "## %s\n\n```\n%s```\n\n", e.Title, table.Render())
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, e.ID+".csv")
+			if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(md.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

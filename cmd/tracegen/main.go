@@ -1,0 +1,89 @@
+// Command tracegen materializes synthetic workload traces to disk in the
+// binary trace format, for inspection or external tooling.
+//
+// Usage:
+//
+//	tracegen -workload 482.sphinx3-100B -n 1000000 -o sphinx3.pytr
+//	tracegen -suite Ligra -n 200000 -dir traces/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pythia/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "single trace name to generate")
+		suite    = flag.String("suite", "", "generate every trace of a suite")
+		n        = flag.Int("n", 500_000, "records per trace")
+		out      = flag.String("o", "", "output file (single workload)")
+		dir      = flag.String("dir", "traces", "output directory (suite mode)")
+	)
+	flag.Parse()
+
+	write := func(w trace.Workload, path string) error {
+		t := w.Generate(*n)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.Write(f, t); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d records, %d instructions\n", path, len(t.Records), t.Instructions())
+		return nil
+	}
+
+	switch {
+	case *workload != "":
+		w, ok := trace.ByName(*workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+		path := *out
+		if path == "" {
+			path = sanitize(w.Name) + ".pytr"
+		}
+		if err := write(w, path); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *suite != "":
+		ws := trace.BySuite(*suite)
+		if len(ws) == 0 {
+			fmt.Fprintf(os.Stderr, "unknown or empty suite %q\n", *suite)
+			os.Exit(2)
+		}
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, w := range ws {
+			if err := write(w, filepath.Join(*dir, sanitize(w.Name)+".pytr")); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "specify -workload or -suite")
+		os.Exit(2)
+	}
+}
+
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ':', ' ':
+			return '_'
+		}
+		return r
+	}, name)
+}

@@ -1,0 +1,27 @@
+// Designspace: run the paper's automated design-space exploration methods
+// (§4.3) at miniature scale — feature selection, action-list pruning, and
+// the reward/hyperparameter grid search — using the harness APIs.
+//
+//	go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+
+	"pythia/internal/harness"
+)
+
+func main() {
+	sc := harness.ScaleQuick
+	sc.WorkloadsPerSuite = 2
+
+	fmt.Println("1) Feature selection (§4.3.1): single features + selected pairs,")
+	fmt.Println("   sorted by speedup (bottom = worst, top = winner):")
+	fmt.Println(harness.Fig19FeatureSweep(sc).Render())
+
+	fmt.Println("2) Action-list pruning (§4.3.2): impact of dropping each action:")
+	fmt.Println(harness.ExtActionPruning(sc).Render())
+
+	fmt.Println("3) Hyperparameter grid search (§4.3.3): top configurations:")
+	fmt.Println(harness.ExtAutoTune(sc).Render())
+}

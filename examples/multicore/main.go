@@ -1,0 +1,45 @@
+// Multicore: run a four-core heterogeneous mix (paper Fig. 10 setting) and
+// show per-core IPC plus how Pythia's bandwidth awareness shows up in the
+// DRAM usage buckets.
+//
+//	go run ./examples/multicore
+package main
+
+import (
+	"fmt"
+
+	"pythia/internal/cache"
+	"pythia/internal/harness"
+	"pythia/internal/trace"
+)
+
+func main() {
+	names := []string{"429.mcf-100B", "410.bwaves-100B", "CC-100B", "482.sphinx3-100B"}
+	var ws []trace.Workload
+	for _, n := range names {
+		w, ok := trace.ByName(n)
+		if !ok {
+			panic("missing workload " + n)
+		}
+		ws = append(ws, w)
+	}
+	mix := trace.Mix{Name: "example-mix", Workloads: ws}
+	cfg := cache.DefaultConfig(4)
+	sc := harness.ScaleQuick
+
+	base := harness.RunCached(harness.RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: harness.Baseline()})
+	fmt.Println("four-core heterogeneous mix (2 DDR4-2400 channels shared):")
+	for i, w := range ws {
+		fmt.Printf("  core %d: %-18s baseline IPC %.3f\n", i, w.Name, base.IPC[i])
+	}
+
+	for _, pf := range []harness.PF{harness.BingoPF(), harness.BasicPythiaPF()} {
+		run := harness.RunCached(harness.RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: pf})
+		fmt.Printf("\nwith %s: speedup %.3f\n", pf.Name, harness.Speedup(run, base))
+		for i := range ws {
+			fmt.Printf("  core %d: IPC %.3f (%+.1f%%)\n", i, run.IPC[i], 100*(run.IPC[i]/base.IPC[i]-1))
+		}
+		fmt.Printf("  DRAM usage buckets (<25/25-50/50-75/>=75): %.0f%% %.0f%% %.0f%% %.0f%%\n",
+			100*run.Buckets[0], 100*run.Buckets[1], 100*run.Buckets[2], 100*run.Buckets[3])
+	}
+}

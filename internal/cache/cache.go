@@ -1,0 +1,204 @@
+// Package cache implements the on-chip memory hierarchy: set-associative
+// caches with LRU and SHiP replacement, MSHR-style outstanding-miss tracking
+// with miss merging, and the three-level L1D/L2/LLC hierarchy that drives
+// prefetchers and the DRAM model. It mirrors the simulated system of the
+// paper's Table 5.
+package cache
+
+import "fmt"
+
+// line is one cache line's metadata.
+type line struct {
+	tag      uint64
+	valid    bool
+	dirty    bool
+	prefetch bool // filled by a prefetch and not yet demanded
+	pc       uint64
+}
+
+// Replacement chooses victims and reacts to hits/fills. Implementations:
+// LRU and SHiP.
+type Replacement interface {
+	// Hit notes a demand hit on (set, way).
+	Hit(set, way int, pc uint64)
+	// Fill notes a fill into (set, way).
+	Fill(set, way int, pc uint64, prefetch bool)
+	// Victim picks the way to evict in set (invalid ways are handled by the
+	// cache before calling Victim).
+	Victim(set int) int
+	// Evict notes that (set, way) was evicted; reused reports whether the
+	// line saw a demand hit during residency (used by SHiP training).
+	Evict(set, way int, reused bool)
+}
+
+// Cache is a single set-associative cache level.
+type Cache struct {
+	name  string
+	sets  int
+	ways  int
+	lines []line
+	repl  Replacement
+
+	// Hits and Misses count demand lookups.
+	Hits, Misses int64
+}
+
+// NewCache builds a cache of sizeKB with the given associativity and
+// replacement policy. Sets must come out a power of two.
+func NewCache(name string, sizeKB, ways int, repl func(sets, ways int) Replacement) *Cache {
+	sets := sizeKB * 1024 / 64 / ways
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: %dKB/%d-way yields non-power-of-two sets %d", name, sizeKB, ways, sets))
+	}
+	return &Cache{
+		name:  name,
+		sets:  sets,
+		ways:  ways,
+		lines: make([]line, sets*ways),
+		repl:  repl(sets, ways),
+	}
+}
+
+// Name returns the cache's name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) setOf(lineAddr uint64) int { return int(lineAddr & uint64(c.sets-1)) }
+
+func (c *Cache) at(set, way int) *line { return &c.lines[set*c.ways+way] }
+
+// Lookup probes for lineAddr without updating replacement state.
+// It returns the way and whether it hit.
+func (c *Cache) Lookup(lineAddr uint64) (way int, hit bool) {
+	set := c.setOf(lineAddr)
+	tag := lineAddr >> 1 // full tag minus nothing meaningful; keep whole address
+	_ = tag
+	for w := 0; w < c.ways; w++ {
+		l := c.at(set, w)
+		if l.valid && l.tag == lineAddr {
+			return w, true
+		}
+	}
+	return -1, false
+}
+
+// Access performs a demand lookup, updating hit statistics and replacement
+// state. wasPrefetch reports whether the hit line had been brought in by a
+// prefetch and not demanded before (the "useful prefetch" signal); the flag
+// is cleared so each prefetched line counts once.
+func (c *Cache) Access(lineAddr, pc uint64, store bool) (hit, wasPrefetch bool) {
+	set := c.setOf(lineAddr)
+	for w := 0; w < c.ways; w++ {
+		l := c.at(set, w)
+		if l.valid && l.tag == lineAddr {
+			c.Hits++
+			c.repl.Hit(set, w, pc)
+			wasPrefetch = l.prefetch
+			l.prefetch = false
+			if store {
+				l.dirty = true
+			}
+			return true, wasPrefetch
+		}
+	}
+	c.Misses++
+	return false, false
+}
+
+// Evicted describes a line pushed out by a fill.
+type Evicted struct {
+	Line  uint64
+	Dirty bool
+	Valid bool
+}
+
+// Fill inserts lineAddr, evicting if needed. The returned Evicted is valid
+// only if a resident line was displaced.
+func (c *Cache) Fill(lineAddr, pc uint64, isPrefetch, dirty bool) Evicted {
+	set := c.setOf(lineAddr)
+	// Already present (e.g. a racing fill): refresh and return.
+	for w := 0; w < c.ways; w++ {
+		l := c.at(set, w)
+		if l.valid && l.tag == lineAddr {
+			if dirty {
+				l.dirty = true
+			}
+			return Evicted{}
+		}
+	}
+	way := -1
+	for w := 0; w < c.ways; w++ {
+		if !c.at(set, w).valid {
+			way = w
+			break
+		}
+	}
+	var out Evicted
+	if way < 0 {
+		way = c.repl.Victim(set)
+		v := c.at(set, way)
+		out = Evicted{Line: v.tag, Dirty: v.dirty, Valid: true}
+		c.repl.Evict(set, way, !v.prefetch) // untouched prefetch counts as dead on arrival
+	}
+	*c.at(set, way) = line{tag: lineAddr, valid: true, dirty: dirty, prefetch: isPrefetch, pc: pc}
+	c.repl.Fill(set, way, pc, isPrefetch)
+	return out
+}
+
+// Invalidate removes lineAddr if present and returns whether it was dirty.
+func (c *Cache) Invalidate(lineAddr uint64) (present, dirty bool) {
+	set := c.setOf(lineAddr)
+	for w := 0; w < c.ways; w++ {
+		l := c.at(set, w)
+		if l.valid && l.tag == lineAddr {
+			l.valid = false
+			return true, l.dirty
+		}
+	}
+	return false, false
+}
+
+// ResetStats clears hit/miss counters (contents are preserved).
+func (c *Cache) ResetStats() { c.Hits, c.Misses = 0, 0 }
+
+// lru is least-recently-used replacement via a monotonic use stamp.
+type lru struct {
+	ways  int
+	stamp []int64
+	clock int64
+}
+
+// NewLRU returns an LRU replacement policy.
+func NewLRU(sets, ways int) Replacement {
+	return &lru{ways: ways, stamp: make([]int64, sets*ways)}
+}
+
+func (p *lru) touch(set, way int) {
+	p.clock++
+	p.stamp[set*p.ways+way] = p.clock
+}
+
+// Hit implements Replacement.
+func (p *lru) Hit(set, way int, pc uint64) { p.touch(set, way) }
+
+// Fill implements Replacement.
+func (p *lru) Fill(set, way int, pc uint64, prefetch bool) { p.touch(set, way) }
+
+// Victim implements Replacement.
+func (p *lru) Victim(set int) int {
+	best, bestStamp := 0, int64(1<<62)
+	for w := 0; w < p.ways; w++ {
+		if s := p.stamp[set*p.ways+w]; s < bestStamp {
+			best, bestStamp = w, s
+		}
+	}
+	return best
+}
+
+// Evict implements Replacement.
+func (p *lru) Evict(set, way int, reused bool) {}

@@ -1,0 +1,180 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newLRUCache(sizeKB, ways int) *Cache {
+	return NewCache("test", sizeKB, ways, NewLRU)
+}
+
+func TestCacheGeometry(t *testing.T) {
+	c := newLRUCache(32, 8)
+	if c.Sets() != 64 || c.Ways() != 8 {
+		t.Errorf("32KB/8w: %d sets × %d ways", c.Sets(), c.Ways())
+	}
+	if c.Name() != "test" {
+		t.Errorf("Name() = %q", c.Name())
+	}
+}
+
+func TestCacheBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two sets should panic")
+		}
+	}()
+	NewCache("bad", 33, 8, NewLRU)
+}
+
+func TestFillThenHit(t *testing.T) {
+	c := newLRUCache(32, 8)
+	if _, hit := c.Lookup(100); hit {
+		t.Fatal("empty cache should miss")
+	}
+	c.Fill(100, 1, false, false)
+	if _, hit := c.Lookup(100); !hit {
+		t.Fatal("filled line should hit")
+	}
+	hit, wasPf := c.Access(100, 1, false)
+	if !hit || wasPf {
+		t.Errorf("Access = (%v,%v), want (true,false)", hit, wasPf)
+	}
+	if c.Hits != 1 || c.Misses != 0 {
+		t.Errorf("stats %d/%d", c.Hits, c.Misses)
+	}
+}
+
+func TestPrefetchBitOnce(t *testing.T) {
+	c := newLRUCache(32, 8)
+	c.Fill(200, 1, true, false)
+	_, wasPf := c.Access(200, 1, false)
+	if !wasPf {
+		t.Error("first demand to prefetched line should report wasPrefetch")
+	}
+	_, wasPf = c.Access(200, 1, false)
+	if wasPf {
+		t.Error("wasPrefetch must clear after the first demand")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := NewCache("tiny", 1, 2, NewLRU)            // 8 sets × 2 ways
+	set0 := func(i uint64) uint64 { return i * 8 } // keep everything in set 0
+	c.Fill(set0(1), 0, false, false)
+	c.Fill(set0(2), 0, false, false)
+	c.Access(set0(1), 0, false) // make line 1 recently used
+	ev := c.Fill(set0(3), 0, false, false)
+	if !ev.Valid || ev.Line != set0(2) {
+		t.Errorf("LRU should evict line %d, evicted %+v", set0(2), ev)
+	}
+	if _, hit := c.Lookup(set0(1)); !hit {
+		t.Error("recently used line was evicted")
+	}
+}
+
+func TestDirtyEvictionSignalled(t *testing.T) {
+	c := NewCache("tiny", 1, 1, NewLRU) // direct mapped, 16 sets
+	c.Fill(0, 0, false, true)           // dirty
+	ev := c.Fill(16, 0, false, false)   // same set (16 sets → line%16)
+	if !ev.Valid || !ev.Dirty || ev.Line != 0 {
+		t.Errorf("dirty eviction not signalled: %+v", ev)
+	}
+}
+
+func TestStoreMarksDirty(t *testing.T) {
+	c := NewCache("tiny", 1, 1, NewLRU)
+	c.Fill(0, 0, false, false)
+	c.Access(0, 0, true) // store
+	ev := c.Fill(16, 0, false, false)
+	if !ev.Dirty {
+		t.Error("store did not mark the line dirty")
+	}
+}
+
+func TestFillIdempotentWhenPresent(t *testing.T) {
+	c := newLRUCache(32, 8)
+	c.Fill(7, 0, false, false)
+	ev := c.Fill(7, 0, false, true)
+	if ev.Valid {
+		t.Error("refilling a resident line must not evict")
+	}
+	// The refill's dirty bit sticks.
+	evict := c.Fill(7+uint64(c.Sets()), 0, false, false)
+	_ = evict
+	c2 := NewCache("tiny", 1, 1, NewLRU)
+	c2.Fill(3, 0, false, false)
+	c2.Fill(3, 0, false, true)
+	ev = c2.Fill(3+16, 0, false, false)
+	if !ev.Dirty {
+		t.Error("refill dirty bit lost")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := newLRUCache(32, 8)
+	c.Fill(42, 0, false, true)
+	present, dirty := c.Invalidate(42)
+	if !present || !dirty {
+		t.Errorf("Invalidate = (%v,%v)", present, dirty)
+	}
+	if _, hit := c.Lookup(42); hit {
+		t.Error("line still present after invalidation")
+	}
+	if present, _ := c.Invalidate(42); present {
+		t.Error("double invalidation should report absent")
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	c := newLRUCache(32, 8)
+	c.Fill(9, 0, false, false)
+	c.Access(9, 0, false)
+	c.Access(10, 0, false)
+	c.ResetStats()
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Error("stats not reset")
+	}
+	if _, hit := c.Lookup(9); !hit {
+		t.Error("reset should preserve contents")
+	}
+}
+
+func TestCacheNeverExceedsCapacity(t *testing.T) {
+	c := NewCache("tiny", 1, 2, NewLRU)
+	f := func(lines []uint64) bool {
+		for _, l := range lines {
+			c.Fill(l%1024, 0, false, false)
+		}
+		// Count valid lines per set.
+		for set := 0; set < c.Sets(); set++ {
+			n := 0
+			for w := 0; w < c.Ways(); w++ {
+				if c.at(set, w).valid {
+					n++
+				}
+			}
+			if n > c.Ways() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookupAfterFillProperty(t *testing.T) {
+	c := newLRUCache(256, 16)
+	f := func(line uint64) bool {
+		line %= 1 << 30
+		c.Fill(line, 0, false, false)
+		_, hit := c.Lookup(line)
+		return hit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

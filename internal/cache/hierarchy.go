@@ -1,0 +1,455 @@
+package cache
+
+import (
+	"container/heap"
+	"fmt"
+
+	"pythia/internal/dram"
+	"pythia/internal/mem"
+	"pythia/internal/prefetch"
+	"pythia/internal/xlat"
+)
+
+// Config describes the hierarchy, defaulting to the paper's Table 5 system.
+type Config struct {
+	Cores int
+
+	L1SizeKB, L1Ways int
+	L2SizeKB, L2Ways int
+	// LLCSizeKBPerCore scales the shared LLC with core count (2MB/core).
+	LLCSizeKBPerCore int
+	LLCWays          int
+
+	L1Latency, L2Latency, LLCLatency int64
+
+	// MSHRs bounds outstanding demand misses per core at the L2/LLC
+	// boundary.
+	MSHRs int
+	// PrefetchBudget bounds outstanding prefetch misses per core (the
+	// prefetch queue + LLC MSHR share); prefetches beyond it are dropped,
+	// as in hardware.
+	PrefetchBudget int
+
+	// Translate enables virtual-to-physical translation per core: traces
+	// carry virtual addresses and the hierarchy operates on scattered
+	// physical frames (ablation; see internal/xlat).
+	Translate bool
+
+	// LLCPolicy selects the shared-LLC replacement policy: "ship"
+	// (default, Table 5), "drrip", or "lru".
+	LLCPolicy string
+
+	DRAM dram.Config
+}
+
+// DefaultConfig returns the Table 5 configuration for n cores with the
+// paper's per-core-count channel scaling (1C–2C: 1 channel, 4C–6C: 2,
+// 8C–12C: 4).
+func DefaultConfig(cores int) Config {
+	channels := 1
+	switch {
+	case cores >= 8:
+		channels = 4
+	case cores >= 4:
+		channels = 2
+	}
+	return Config{
+		Cores:            cores,
+		L1SizeKB:         32,
+		L1Ways:           8,
+		L2SizeKB:         256,
+		L2Ways:           8,
+		LLCSizeKBPerCore: 2048,
+		LLCWays:          16,
+		L1Latency:        4,
+		L2Latency:        14,
+		LLCLatency:       34,
+		MSHRs:            32,
+		PrefetchBudget:   64,
+		DRAM:             dram.DDR4_2400(channels),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("cache: cores must be positive, got %d", c.Cores)
+	}
+	if c.MSHRs <= 0 {
+		return fmt.Errorf("cache: MSHRs must be positive, got %d", c.MSHRs)
+	}
+	if c.PrefetchBudget <= 0 {
+		return fmt.Errorf("cache: prefetch budget must be positive, got %d", c.PrefetchBudget)
+	}
+	switch c.LLCPolicy {
+	case "", "ship", "drrip", "lru":
+	default:
+		return fmt.Errorf("cache: unknown LLC policy %q", c.LLCPolicy)
+	}
+	return c.DRAM.Validate()
+}
+
+// CoreStats accumulates per-core memory-system statistics used by the
+// harness to compute the paper's coverage/overprediction metrics
+// (Appendix A.6).
+type CoreStats struct {
+	// Demand traffic.
+	Accesses, Loads   int64
+	L1Misses          int64
+	L2Misses          int64
+	LLCLoadMisses     int64 // demand loads that missed the LLC (incl. merges into in-flight prefetches)
+	LLCDemandAccesses int64
+
+	// DRAMReads counts LLC-to-memory reads issued on behalf of this core
+	// (demand + prefetch): the paper's "LLC read miss".
+	DRAMReads int64
+
+	// Prefetcher activity.
+	PfIssued   int64 // candidates accepted for issue
+	PfDropped  int64 // dropped: already cached/outstanding or MSHRs full
+	PfToDRAM   int64 // prefetches that read main memory
+	PfFills    int64 // prefetch fills into L2/LLC
+	PfUseful   int64 // prefetched lines later demanded (incl. late)
+	PfLate     int64 // demand merged with an in-flight prefetch
+	Writebacks int64
+	PfLLCHits  int64
+}
+
+// Accuracy returns useful/issued in [0,1].
+func (s CoreStats) Accuracy() float64 {
+	if s.PfIssued == 0 {
+		return 0
+	}
+	return float64(s.PfUseful) / float64(s.PfIssued)
+}
+
+type missEntry struct {
+	line     uint64
+	complete int64
+	prefetch bool
+	pc       uint64
+	store    bool
+	demanded bool // a demand merged while in flight
+	heapIdx  int
+}
+
+type missHeap []*missEntry
+
+func (h missHeap) Len() int            { return len(h) }
+func (h missHeap) Less(i, j int) bool  { return h[i].complete < h[j].complete }
+func (h missHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].heapIdx = i; h[j].heapIdx = j }
+func (h *missHeap) Push(x interface{}) { e := x.(*missEntry); e.heapIdx = len(*h); *h = append(*h, e) }
+func (h *missHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type corePipes struct {
+	l1, l2      *Cache
+	l2pf        prefetch.Prefetcher
+	l1pf        prefetch.Prefetcher
+	mmu         *xlat.MMU
+	outstanding map[uint64]*missEntry
+	pending     missHeap
+	demandOut   int // outstanding demand misses
+	pfOut       int // outstanding prefetch misses
+	stats       CoreStats
+}
+
+// Hierarchy is the full memory system below the cores: per-core L1D and L2,
+// a shared LLC, prefetchers at the L2 (and optionally L1), and DRAM.
+type Hierarchy struct {
+	cfg   Config
+	cores []corePipes
+	llc   *Cache
+	dram  *dram.Controller
+}
+
+// NewHierarchy builds the memory system. Prefetchers are attached with
+// AttachPrefetcher afterwards; all cores start with no prefetching.
+func NewHierarchy(cfg Config) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	llcRepl := NewSHiP
+	switch cfg.LLCPolicy {
+	case "drrip":
+		llcRepl = NewDRRIP
+	case "lru":
+		llcRepl = NewLRU
+	}
+	h := &Hierarchy{
+		cfg:   cfg,
+		cores: make([]corePipes, cfg.Cores),
+		llc:   NewCache("LLC", cfg.LLCSizeKBPerCore*cfg.Cores, cfg.LLCWays, llcRepl),
+		dram:  dram.NewController(cfg.DRAM),
+	}
+	for i := range h.cores {
+		h.cores[i] = corePipes{
+			l1:          NewCache(fmt.Sprintf("L1D%d", i), cfg.L1SizeKB, cfg.L1Ways, NewLRU),
+			l2:          NewCache(fmt.Sprintf("L2_%d", i), cfg.L2SizeKB, cfg.L2Ways, NewLRU),
+			l2pf:        prefetch.None{},
+			outstanding: make(map[uint64]*missEntry),
+		}
+		if cfg.Translate {
+			h.cores[i].mmu = xlat.NewMMU(uint64(i) + 1)
+		}
+	}
+	return h, nil
+}
+
+// AttachPrefetcher sets the L2 prefetcher of a core.
+func (h *Hierarchy) AttachPrefetcher(core int, p prefetch.Prefetcher) {
+	h.cores[core].l2pf = p
+}
+
+// AttachL1Prefetcher sets an optional L1 prefetcher (multi-level schemes of
+// Fig. 8d). Its candidates fill the L1 as well as lower levels.
+func (h *Hierarchy) AttachL1Prefetcher(core int, p prefetch.Prefetcher) {
+	h.cores[core].l1pf = p
+}
+
+// BandwidthUtil implements prefetch.System using the DRAM bus monitor.
+func (h *Hierarchy) BandwidthUtil() float64 { return h.dram.Util() }
+
+// DRAM returns the memory controller (for bandwidth buckets and stats).
+func (h *Hierarchy) DRAM() *dram.Controller { return h.dram }
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// CoreStats returns a copy of a core's statistics.
+func (h *Hierarchy) CoreStats(core int) CoreStats { return h.cores[core].stats }
+
+// ResetStats clears all statistics at the warmup/measurement boundary.
+// Cache and predictor state is preserved.
+func (h *Hierarchy) ResetStats() {
+	for i := range h.cores {
+		h.cores[i].stats = CoreStats{}
+		h.cores[i].l1.ResetStats()
+		h.cores[i].l2.ResetStats()
+	}
+	h.llc.ResetStats()
+	h.dram.ResetStats()
+}
+
+// drain retires all in-flight misses that completed by cycle: prefetch
+// entries fill L2+LLC and notify the prefetcher; demand entries fill the
+// whole path.
+func (h *Hierarchy) drain(core int, cycle int64) {
+	cp := &h.cores[core]
+	for len(cp.pending) > 0 && cp.pending[0].complete <= cycle {
+		e := heap.Pop(&cp.pending).(*missEntry)
+		h.remove(core, e)
+		h.finishMiss(core, e)
+	}
+}
+
+// remove drops an entry from the outstanding bookkeeping.
+func (h *Hierarchy) remove(core int, e *missEntry) {
+	cp := &h.cores[core]
+	delete(cp.outstanding, e.line)
+	if e.prefetch {
+		cp.pfOut--
+	} else {
+		cp.demandOut--
+	}
+}
+
+func (h *Hierarchy) finishMiss(core int, e *missEntry) {
+	cp := &h.cores[core]
+	pfBit := e.prefetch && !e.demanded
+	if ev := h.llc.Fill(e.line, e.pc, pfBit, false); ev.Valid && ev.Dirty {
+		cp.stats.Writebacks++
+		h.dram.Write(ev.Line, e.complete)
+	}
+	h.fillL2(core, e.line, e.pc, pfBit, e.store)
+	if !e.prefetch {
+		cp.l1.Fill(e.line, e.pc, false, e.store)
+	}
+	if e.prefetch {
+		cp.stats.PfFills++
+		cp.l2pf.Fill(e.line)
+		if cp.l1pf != nil {
+			cp.l1pf.Fill(e.line)
+		}
+	}
+}
+
+// fillL2 inserts into L2, writing back dirty victims into the LLC.
+func (h *Hierarchy) fillL2(core int, lineAddr, pc uint64, pfBit, dirty bool) {
+	cp := &h.cores[core]
+	if ev := cp.l2.Fill(lineAddr, pc, pfBit, dirty); ev.Valid && ev.Dirty {
+		// Dirty L2 victim: update the LLC copy (or allocate).
+		h.llc.Fill(ev.Line, pc, false, true)
+	}
+}
+
+// Access performs a demand access for a core and returns the completion
+// cycle of the data (loads); stores return promptly but still generate
+// traffic.
+func (h *Hierarchy) Access(core int, pc, addr uint64, store bool, cycle int64) int64 {
+	cp := &h.cores[core]
+	h.drain(core, cycle)
+	if cp.mmu != nil {
+		addr = cp.mmu.Translate(addr)
+	}
+	lineAddr := mem.LineAddr(addr)
+	cp.stats.Accesses++
+	if !store {
+		cp.stats.Loads++
+	}
+
+	// Optional L1 prefetcher trains on every L1 access.
+	l1Hit, l1WasPf := cp.l1.Access(lineAddr, pc, store)
+	if cp.l1pf != nil {
+		for _, cand := range cp.l1pf.Train(prefetch.Access{
+			PC: pc, Line: lineAddr, Cycle: cycle, Hit: l1Hit, Store: store,
+		}) {
+			h.issuePrefetch(core, pc, cand, cycle, true)
+		}
+	}
+	if l1Hit {
+		_ = l1WasPf
+		return cycle + h.cfg.L1Latency
+	}
+	cp.stats.L1Misses++
+	arr := cycle + h.cfg.L1Latency
+
+	// The L2 prefetcher observes every L1 miss (paper methodology §5.2).
+	_, l2Probe := cp.l2.Lookup(lineAddr)
+	_, inFlight := cp.outstanding[lineAddr]
+	cands := cp.l2pf.Train(prefetch.Access{
+		PC: pc, Line: lineAddr, Cycle: cycle, Hit: l2Probe || inFlight, Store: store,
+	})
+
+	done := h.demandLookup(core, pc, lineAddr, store, arr)
+
+	for _, cand := range cands {
+		h.issuePrefetch(core, pc, cand, cycle, false)
+	}
+	return done
+}
+
+// demandLookup resolves a demand L1 miss through L2, LLC and DRAM.
+func (h *Hierarchy) demandLookup(core int, pc, lineAddr uint64, store bool, arr int64) int64 {
+	cp := &h.cores[core]
+
+	// Merge with an in-flight miss.
+	if e, ok := cp.outstanding[lineAddr]; ok {
+		if e.prefetch && !e.demanded {
+			cp.stats.PfLate++
+			cp.stats.PfUseful++
+		}
+		e.demanded = true
+		if store {
+			e.store = true
+		}
+		if !store {
+			cp.stats.LLCLoadMisses++ // data still comes from DRAM
+		}
+		if e.complete > arr {
+			return e.complete
+		}
+		return arr
+	}
+
+	if hit, wasPf := cp.l2.Access(lineAddr, pc, store); hit {
+		if wasPf {
+			cp.stats.PfUseful++
+		}
+		cp.l1.Fill(lineAddr, pc, false, store)
+		return arr + h.cfg.L2Latency
+	}
+	cp.stats.L2Misses++
+	arrLLC := arr + h.cfg.L2Latency
+	cp.stats.LLCDemandAccesses++
+
+	if hit, wasPf := h.llc.Access(lineAddr, pc, store); hit {
+		if wasPf {
+			cp.stats.PfUseful++
+		}
+		h.fillL2(core, lineAddr, pc, false, false)
+		cp.l1.Fill(lineAddr, pc, false, store)
+		return arrLLC + h.cfg.LLCLatency
+	}
+	if !store {
+		cp.stats.LLCLoadMisses++
+	}
+
+	// Miss to DRAM: take a demand MSHR, stalling until one frees if needed.
+	issueAt := arrLLC + h.cfg.LLCLatency
+	for cp.demandOut >= h.cfg.MSHRs {
+		e := heap.Pop(&cp.pending).(*missEntry)
+		h.remove(core, e)
+		h.finishMiss(core, e)
+		if e.complete > issueAt {
+			issueAt = e.complete
+		}
+	}
+	cp.stats.DRAMReads++
+	done := h.dram.Read(lineAddr, issueAt)
+	e := &missEntry{line: lineAddr, complete: done, pc: pc, store: store}
+	cp.outstanding[lineAddr] = e
+	cp.demandOut++
+	heap.Push(&cp.pending, e)
+	return done
+}
+
+// issuePrefetch injects one prefetch candidate. fillL1 marks multi-level
+// (L1) prefetches that should also fill the L1 on completion; for
+// simplicity both kinds fill L2+LLC and L1 fills are approximated by L2
+// fills, which the 4-cycle L1 latency makes near-equivalent.
+func (h *Hierarchy) issuePrefetch(core int, pc, lineAddr uint64, cycle int64, fillL1 bool) {
+	cp := &h.cores[core]
+	if _, ok := cp.outstanding[lineAddr]; ok {
+		cp.stats.PfDropped++
+		return
+	}
+	if _, hit := cp.l2.Lookup(lineAddr); hit {
+		cp.stats.PfDropped++
+		return
+	}
+	cp.stats.PfIssued++
+
+	if hit, _ := h.llc.Access(lineAddr, pc, false); hit {
+		// Promote from LLC into L2; this is a cheap, always-timely fill.
+		cp.stats.PfLLCHits++
+		cp.stats.PfFills++
+		h.fillL2(core, lineAddr, pc, true, false)
+		cp.l2pf.Fill(lineAddr)
+		if cp.l1pf != nil {
+			cp.l1pf.Fill(lineAddr)
+		}
+		return
+	}
+
+	// Prefetches do not stall for resources: drop when the budget is full
+	// (hardware behavior).
+	if cp.pfOut >= h.cfg.PrefetchBudget {
+		cp.stats.PfIssued--
+		cp.stats.PfDropped++
+		return
+	}
+	cp.stats.PfToDRAM++
+	cp.stats.DRAMReads++
+	issueAt := cycle + h.cfg.L2Latency + h.cfg.LLCLatency
+	done := h.dram.Read(lineAddr, issueAt)
+	e := &missEntry{line: lineAddr, complete: done, prefetch: true, pc: pc}
+	cp.outstanding[lineAddr] = e
+	cp.pfOut++
+	heap.Push(&cp.pending, e)
+	_ = fillL1
+}
+
+// Flush drains every outstanding miss (used at end of simulation so fills
+// and prefetcher notifications are complete).
+func (h *Hierarchy) Flush() {
+	for i := range h.cores {
+		h.drain(i, 1<<62)
+	}
+}

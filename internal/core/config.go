@@ -1,0 +1,179 @@
+package core
+
+import "fmt"
+
+// Rewards holds the seven discrete reward levels of §3.1. The High/Low
+// variants of Inaccurate and NoPrefetch encode memory-bandwidth awareness:
+// Pythia picks between them using the DRAM bus monitor.
+type Rewards struct {
+	// AT: accurate and timely — demanded after the prefetch fill.
+	AT float64
+	// AL: accurate but late — demanded before the prefetch fill.
+	AL float64
+	// CL: loss of coverage — the chosen offset left the physical page.
+	CL float64
+	// INHigh / INLow: inaccurate under high / low bandwidth usage.
+	INHigh, INLow float64
+	// NPHigh / NPLow: no-prefetch under high / low bandwidth usage.
+	NPHigh, NPLow float64
+}
+
+// Config is Pythia's "configuration registers": everything the paper says
+// is customizable in silicon — the feature vector, the action list, the
+// reward level values and the hyperparameters — plus the structural sizes
+// fixed at design time.
+type Config struct {
+	// Name labels the configuration in reports.
+	Name string
+
+	// Features is the state vector (one QVStore vault each).
+	Features []Feature
+	// Actions is the prefetch-offset list; offset 0 means no prefetch.
+	Actions []int
+
+	// Rewards are the reward level values.
+	Rewards Rewards
+
+	// Alpha, Gamma, Epsilon are the SARSA learning rate, discount factor
+	// and exploration rate.
+	Alpha, Gamma, Epsilon float64
+
+	// EQSize is the evaluation queue depth.
+	EQSize int
+	// PlanesPerVault is the tile-coding plane count.
+	PlanesPerVault int
+	// FeatureDim is the rows per plane.
+	FeatureDim int
+
+	// HighBWThreshold is the DRAM bus utilization above which the High
+	// reward variants apply.
+	HighBWThreshold float64
+
+	// TrackerPages sizes the per-page delta tracker.
+	TrackerPages int
+
+	// FixedPoint makes the QVStore behave like the 16-bit fixed-point
+	// hardware tables (Q8.8 quantization of every stored partial Q-value);
+	// off by default — the float model is the reference, the fixed-point
+	// mode validates that hardware precision suffices (Table 4 entry width).
+	FixedPoint bool
+
+	// DynDegree enables confidence-based dynamic prefetch degree, as in
+	// the SAFARI artifact implementation: when the chosen action's Q-value
+	// is high relative to the theoretical maximum R_AT/(1−γ), Pythia issues
+	// up to MaxDegree prefetches at consecutive multiples of the offset.
+	DynDegree bool
+	// MaxDegree caps the dynamic degree (>=1).
+	MaxDegree int
+
+	// Seed fixes the ε-greedy RNG and tile shifting constants.
+	Seed int64
+}
+
+// BasicConfig returns the basic Pythia configuration of Table 2, derived in
+// the paper by automated design-space exploration.
+func BasicConfig() Config {
+	return Config{
+		Name:     "pythia",
+		Features: []Feature{FeaturePCDelta, FeatureLast4Deltas},
+		Actions:  []int{-6, -3, -1, 0, 1, 3, 4, 5, 10, 11, 12, 16, 22, 23, 30, 32},
+		Rewards: Rewards{
+			AT: 20, AL: 12, CL: -12,
+			INHigh: -14, INLow: -8,
+			NPHigh: -2, NPLow: -4,
+		},
+		// The paper derives alpha=0.0065 and epsilon=0.002 for
+		// 500M-instruction simulations; at this library's scaled-down
+		// horizons (millions of instructions) the same policy needs a
+		// proportionally larger step size and exploration rate to converge.
+		// Table 2 reports the paper values; runs use these.
+		Alpha:           0.10,
+		Gamma:           0.556,
+		Epsilon:         0.01,
+		EQSize:          256,
+		PlanesPerVault:  3,
+		FeatureDim:      128,
+		HighBWThreshold: 0.75,
+		TrackerPages:    1024,
+		DynDegree:       true,
+		MaxDegree:       6,
+		Seed:            1,
+	}
+}
+
+// StrictConfig returns the Ligra-tuned "strict" customization of §6.6.1:
+// inaccurate prefetches are punished harder and not prefetching is neutral,
+// trading coverage for accuracy on bandwidth-hungry graph workloads.
+func StrictConfig() Config {
+	c := BasicConfig()
+	c.Name = "pythia-strict"
+	c.Rewards.INHigh = -22
+	c.Rewards.INLow = -20
+	c.Rewards.NPHigh = 0
+	c.Rewards.NPLow = 0
+	return c
+}
+
+// BandwidthObliviousConfig returns the ablation of §6.3.3: the High/Low
+// reward variants are collapsed (R_IN = −8, R_NP = −4), removing the
+// system-awareness signal while keeping everything else identical.
+func BandwidthObliviousConfig() Config {
+	c := BasicConfig()
+	c.Name = "pythia-bwobl"
+	c.Rewards.INHigh = -8
+	c.Rewards.INLow = -8
+	c.Rewards.NPHigh = -4
+	c.Rewards.NPLow = -4
+	return c
+}
+
+// WithFeatures returns a copy of the config using a different state vector
+// (the paper's online feature customization, §6.6.2).
+func (c Config) WithFeatures(name string, fs ...Feature) Config {
+	c.Name = name
+	c.Features = fs
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if len(c.Features) == 0 {
+		return fmt.Errorf("core: config needs at least one feature")
+	}
+	if len(c.Actions) == 0 {
+		return fmt.Errorf("core: config needs at least one action")
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return fmt.Errorf("core: alpha %v out of (0,1]", c.Alpha)
+	}
+	if c.Gamma < 0 || c.Gamma >= 1 {
+		return fmt.Errorf("core: gamma %v out of [0,1)", c.Gamma)
+	}
+	if c.Epsilon < 0 || c.Epsilon > 1 {
+		return fmt.Errorf("core: epsilon %v out of [0,1]", c.Epsilon)
+	}
+	if c.EQSize <= 0 {
+		return fmt.Errorf("core: EQ size must be positive")
+	}
+	if c.PlanesPerVault <= 0 {
+		return fmt.Errorf("core: planes per vault must be positive")
+	}
+	if c.FeatureDim <= 0 || c.FeatureDim&(c.FeatureDim-1) != 0 {
+		return fmt.Errorf("core: feature dimension must be a power of two, got %d", c.FeatureDim)
+	}
+	if c.TrackerPages <= 0 || c.TrackerPages&(c.TrackerPages-1) != 0 {
+		return fmt.Errorf("core: tracker pages must be a power of two, got %d", c.TrackerPages)
+	}
+	if c.DynDegree && c.MaxDegree < 1 {
+		return fmt.Errorf("core: MaxDegree must be >= 1 with DynDegree, got %d", c.MaxDegree)
+	}
+	for _, a := range c.Actions {
+		if a <= -64 || a >= 64 {
+			return fmt.Errorf("core: action offset %d outside [-63,63]", a)
+		}
+	}
+	return nil
+}
+
+// InitQ returns the optimistic initial Q-value 1/(1−γ) (Algorithm 1).
+func (c Config) InitQ() float64 { return 1 / (1 - c.Gamma) }

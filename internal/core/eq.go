@@ -1,0 +1,137 @@
+package core
+
+// EQ is Pythia's evaluation queue (§4.2.3): a FIFO of recently taken
+// actions awaiting reward assignment. Entries receive rewards in one of
+// three ways — immediately on insertion (no-prefetch and out-of-page
+// actions), during residency (a demand matches the prefetched line), or at
+// eviction (inaccurate). Evicted entries drive the SARSA update.
+
+type eqEntry struct {
+	sig       StateSig
+	action    int
+	line      uint64 // prefetched line (0 and tracked=false for no-prefetch)
+	tracked   bool   // line is meaningful and searchable
+	filled    bool   // prefetch fill observed (timeliness bit)
+	hasReward bool
+	reward    float64
+	valid     bool
+}
+
+// EQ is the evaluation queue.
+type EQ struct {
+	ring []eqEntry
+	head int // oldest entry
+	size int
+	// byLine indexes tracked entries for O(1) demand/fill search.
+	byLine map[uint64]int
+}
+
+// NewEQ builds an evaluation queue of the given capacity.
+func NewEQ(capacity int) *EQ {
+	if capacity <= 0 {
+		panic("core: EQ capacity must be positive")
+	}
+	return &EQ{ring: make([]eqEntry, capacity), byLine: make(map[uint64]int, capacity)}
+}
+
+// Len returns the number of resident entries.
+func (q *EQ) Len() int { return q.size }
+
+// Cap returns the queue capacity.
+func (q *EQ) Cap() int { return len(q.ring) }
+
+// lookup returns the slot index of a tracked line, or -1.
+func (q *EQ) lookup(line uint64) int {
+	if i, ok := q.byLine[line]; ok && q.ring[i].valid && q.ring[i].tracked && q.ring[i].line == line {
+		return i
+	}
+	return -1
+}
+
+// OnDemand checks whether a demand to line matches an in-flight action and,
+// if so, assigns the accurate-timely or accurate-late reward based on the
+// filled bit (Algorithm 1 lines 6-11). It reports what it found.
+func (q *EQ) OnDemand(line uint64, rAT, rAL float64) (matched, wasFilled bool) {
+	i := q.lookup(line)
+	if i < 0 {
+		return false, false
+	}
+	e := &q.ring[i]
+	if e.hasReward {
+		return false, false
+	}
+	if e.filled {
+		e.reward = rAT
+	} else {
+		e.reward = rAL
+	}
+	e.hasReward = true
+	return true, e.filled
+}
+
+// OnFill sets the filled bit of the matching entry (Algorithm 1 line 31).
+func (q *EQ) OnFill(line uint64) bool {
+	i := q.lookup(line)
+	if i < 0 {
+		return false
+	}
+	q.ring[i].filled = true
+	return true
+}
+
+// Evicted is an entry popped by an insertion, carrying everything the SARSA
+// update needs.
+type Evicted struct {
+	Sig       StateSig
+	Action    int
+	Reward    float64
+	HadReward bool // reward was assigned before eviction
+	Valid     bool
+}
+
+// Insert pushes a new action into the queue. line/tracked describe the
+// prefetched address; reward/hasReward carry an immediate reward
+// (no-prefetch, out-of-page). When the queue is full the oldest entry is
+// evicted and returned.
+func (q *EQ) Insert(sig StateSig, action int, line uint64, tracked bool, reward float64, hasReward bool) Evicted {
+	var out Evicted
+	slot := (q.head + q.size) % len(q.ring)
+	if q.size == len(q.ring) {
+		// Evict the oldest.
+		old := &q.ring[q.head]
+		out = Evicted{Sig: old.sig, Action: old.action, Reward: old.reward, HadReward: old.hasReward, Valid: true}
+		if old.tracked {
+			if idx, ok := q.byLine[old.line]; ok && idx == q.head {
+				delete(q.byLine, old.line)
+			}
+		}
+		slot = q.head
+		q.head = (q.head + 1) % len(q.ring)
+		q.size--
+	}
+	q.ring[slot] = eqEntry{
+		sig:       sig,
+		action:    action,
+		line:      line,
+		tracked:   tracked,
+		reward:    reward,
+		hasReward: hasReward,
+		valid:     true,
+	}
+	if tracked {
+		q.byLine[line] = slot
+	}
+	q.size++
+	return out
+}
+
+// Head returns the oldest resident entry's state-action pair: after an
+// eviction this is (S_{t+1}, A_{t+1}) for the SARSA update (Algorithm 1
+// line 28).
+func (q *EQ) Head() (sig StateSig, action int, ok bool) {
+	if q.size == 0 {
+		return nil, 0, false
+	}
+	e := &q.ring[q.head]
+	return e.sig, e.action, true
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sig(vals ...uint64) StateSig { return StateSig(vals) }
+
+func TestEQInsertEvictFIFO(t *testing.T) {
+	q := NewEQ(3)
+	for i := uint64(1); i <= 3; i++ {
+		ev := q.Insert(sig(i), int(i), 100+i, true, 0, false)
+		if ev.Valid {
+			t.Fatalf("unexpected eviction at insert %d", i)
+		}
+	}
+	if q.Len() != 3 || q.Cap() != 3 {
+		t.Fatalf("Len/Cap = %d/%d", q.Len(), q.Cap())
+	}
+	ev := q.Insert(sig(4), 4, 104, true, 0, false)
+	if !ev.Valid || ev.Sig[0] != 1 || ev.Action != 1 {
+		t.Errorf("eviction should return the oldest entry, got %+v", ev)
+	}
+	// Head after eviction is the second-oldest (S_{t+1}, Algorithm 1 l.28).
+	hs, ha, ok := q.Head()
+	if !ok || hs[0] != 2 || ha != 2 {
+		t.Errorf("Head = (%v,%d,%v), want entry 2", hs, ha, ok)
+	}
+}
+
+func TestEQDemandRewards(t *testing.T) {
+	q := NewEQ(8)
+	q.Insert(sig(1), 1, 500, true, 0, false)
+	// Unfilled: accurate but late.
+	matched, filled := q.OnDemand(500, 20, 12)
+	if !matched || filled {
+		t.Errorf("OnDemand = (%v,%v), want (true,false)", matched, filled)
+	}
+	// Second demand must not double-reward.
+	if m, _ := q.OnDemand(500, 20, 12); m {
+		t.Error("double reward on second demand")
+	}
+	// Filled path: accurate and timely.
+	q.Insert(sig(2), 2, 600, true, 0, false)
+	if !q.OnFill(600) {
+		t.Fatal("OnFill missed the entry")
+	}
+	matched, filled = q.OnDemand(600, 20, 12)
+	if !matched || !filled {
+		t.Errorf("OnDemand after fill = (%v,%v), want (true,true)", matched, filled)
+	}
+}
+
+func TestEQUntrackedEntriesInvisible(t *testing.T) {
+	q := NewEQ(4)
+	q.Insert(sig(1), 0, 0, false, -4, true) // no-prefetch entry
+	if m, _ := q.OnDemand(0, 20, 12); m {
+		t.Error("untracked entry matched a demand")
+	}
+	if q.OnFill(0) {
+		t.Error("untracked entry matched a fill")
+	}
+}
+
+func TestEQEvictionCarriesImmediateReward(t *testing.T) {
+	q := NewEQ(1)
+	q.Insert(sig(1), 3, 0, false, -12, true) // out-of-page, R_CL
+	ev := q.Insert(sig(2), 4, 700, true, 0, false)
+	if !ev.Valid || !ev.HadReward || ev.Reward != -12 {
+		t.Errorf("evicted entry lost its reward: %+v", ev)
+	}
+	// The unrewarded prefetch entry evicts without a reward (caller assigns
+	// R_IN).
+	ev = q.Insert(sig(3), 5, 800, true, 0, false)
+	if !ev.Valid || ev.HadReward {
+		t.Errorf("in-flight entry should evict unrewarded: %+v", ev)
+	}
+}
+
+func TestEQRewardDuringResidencySurvivesToEviction(t *testing.T) {
+	q := NewEQ(2)
+	q.Insert(sig(1), 1, 900, true, 0, false)
+	q.OnDemand(900, 20, 12)
+	q.Insert(sig(2), 2, 901, true, 0, false)
+	ev := q.Insert(sig(3), 3, 902, true, 0, false)
+	if !ev.Valid || !ev.HadReward || ev.Reward != 12 {
+		t.Errorf("resident reward lost at eviction: %+v", ev)
+	}
+}
+
+func TestEQLineReusePointsToNewest(t *testing.T) {
+	q := NewEQ(8)
+	q.Insert(sig(1), 1, 42, true, 0, false)
+	q.OnDemand(42, 20, 12) // reward the first
+	q.Insert(sig(2), 2, 42, true, 0, false)
+	// The new entry for the same line must be rewardable.
+	if m, _ := q.OnDemand(42, 20, 12); !m {
+		t.Error("newest entry for a reused line not found")
+	}
+}
+
+func TestEQEmptyHead(t *testing.T) {
+	q := NewEQ(4)
+	if _, _, ok := q.Head(); ok {
+		t.Error("empty queue should have no head")
+	}
+}
+
+func TestEQZeroCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	NewEQ(0)
+}
+
+func TestEQNeverExceedsCapacityProperty(t *testing.T) {
+	q := NewEQ(16)
+	f := func(lines []uint64) bool {
+		for i, l := range lines {
+			q.Insert(sig(uint64(i)), i%16, l, l%3 != 0, 0, l%3 == 0)
+			if q.Len() > q.Cap() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"testing"
+
+	"pythia/internal/mem"
+	"pythia/internal/prefetch"
+)
+
+type fixedBW float64
+
+func (f fixedBW) BandwidthUtil() float64 { return float64(f) }
+
+// runStream feeds a pure +1 line stream (fresh pages) to a Pythia agent,
+// filling every prefetch immediately.
+func runStream(p *Pythia, n int) {
+	line := uint64(1 << 22)
+	for i := 0; i < n; i++ {
+		for _, c := range p.Train(prefetch.Access{PC: 0x400, Line: line}) {
+			p.Fill(c)
+		}
+		line++
+	}
+}
+
+// runRandom feeds pattern-free accesses.
+func runRandom(p *Pythia, n int) {
+	x := uint64(17)
+	for i := 0; i < n; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		for _, c := range p.Train(prefetch.Access{PC: 0x500, Line: x >> 30}) {
+			p.Fill(c)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := BasicConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("basic config invalid: %v", err)
+	}
+	mutate := []func(*Config){
+		func(c *Config) { c.Features = nil },
+		func(c *Config) { c.Actions = nil },
+		func(c *Config) { c.Alpha = 0 },
+		func(c *Config) { c.Alpha = 2 },
+		func(c *Config) { c.Gamma = 1 },
+		func(c *Config) { c.Epsilon = -0.1 },
+		func(c *Config) { c.EQSize = 0 },
+		func(c *Config) { c.PlanesPerVault = 0 },
+		func(c *Config) { c.FeatureDim = 100 },
+		func(c *Config) { c.TrackerPages = 3 },
+		func(c *Config) { c.Actions = []int{70} },
+		func(c *Config) { c.MaxDegree = 0 },
+	}
+	for i, m := range mutate {
+		c := BasicConfig()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d passed validation", i)
+		}
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	c := BasicConfig()
+	c.Actions = nil
+	if _, err := New(c, nil); err == nil {
+		t.Error("New accepted an invalid config")
+	}
+}
+
+func TestInitQ(t *testing.T) {
+	c := BasicConfig()
+	want := 1 / (1 - c.Gamma)
+	if got := c.InitQ(); got != want {
+		t.Errorf("InitQ = %v, want %v", got, want)
+	}
+}
+
+func TestPythiaLearnsStream(t *testing.T) {
+	p := MustNew(BasicConfig(), fixedBW(0.1))
+	runStream(p, 20000)
+	st := p.Stats()
+	if st.RewardAT+st.RewardAL == 0 {
+		t.Fatal("no accurate rewards on a pure stream")
+	}
+	// The learned policy must favor positive offsets.
+	actions := p.Config().Actions
+	var pos, neg int64
+	for i, c := range st.ActionCounts {
+		if actions[i] > 0 {
+			pos += c
+		}
+		if actions[i] < 0 {
+			neg += c
+		}
+	}
+	if pos <= neg*2 {
+		t.Errorf("stream policy not positive-biased: pos=%d neg=%d", pos, neg)
+	}
+	acc := float64(st.RewardAT+st.RewardAL) / float64(st.PrefetchTaken)
+	if acc < 0.5 {
+		t.Errorf("stream accuracy %.2f too low", acc)
+	}
+}
+
+func TestPythiaLearnsNoPrefetchOnRandom(t *testing.T) {
+	p := MustNew(BasicConfig(), fixedBW(0.1))
+	runRandom(p, 20000)
+	st := p.Stats()
+	// On pattern-free traffic the agent should strongly prefer no-prefetch
+	// (R_NP beats expected R_IN).
+	if st.NoPrefetch < st.Demands/4 {
+		t.Errorf("no-prefetch chosen only %d/%d times on random traffic",
+			st.NoPrefetch, st.Demands)
+	}
+}
+
+func TestPythiaBandwidthChangesRewardVariant(t *testing.T) {
+	low := MustNew(BasicConfig(), fixedBW(0.05))
+	high := MustNew(BasicConfig(), fixedBW(0.95))
+	runRandom(low, 3000)
+	runRandom(high, 3000)
+	if s := low.Stats(); s.RewardINHigh+s.RewardNPHigh != 0 {
+		t.Errorf("low-bandwidth run used high-BW rewards: %+v", s)
+	}
+	if s := high.Stats(); s.RewardINLow+s.RewardNPLow != 0 {
+		t.Errorf("high-bandwidth run used low-BW rewards: %+v", s)
+	}
+}
+
+func TestPythiaOutOfPageGetsCL(t *testing.T) {
+	c := BasicConfig()
+	c.Actions = []int{32} // only a far offset: page-end triggers must go CL
+	c.Epsilon = 0
+	p := MustNew(c, nil)
+	// Access near page end repeatedly.
+	for i := 0; i < 100; i++ {
+		page := uint64(1000 + i)
+		p.Train(prefetch.Access{PC: 1, Line: page*mem.LinesPerPage + mem.LinesPerPage - 1})
+	}
+	if st := p.Stats(); st.RewardCL != 100 {
+		t.Errorf("CL rewards = %d, want 100", st.RewardCL)
+	}
+}
+
+func TestPythiaPrefetchWithinPage(t *testing.T) {
+	p := MustNew(BasicConfig(), nil)
+	line := uint64(1 << 30)
+	for i := 0; i < 5000; i++ {
+		for _, c := range p.Train(prefetch.Access{PC: 2, Line: line}) {
+			if !mem.SamePage(c, line) {
+				t.Fatalf("prefetch %d crossed the page of %d", c, line)
+			}
+		}
+		line++
+	}
+}
+
+func TestPythiaDeterministic(t *testing.T) {
+	run := func() Stats {
+		p := MustNew(BasicConfig(), fixedBW(0.2))
+		runStream(p, 5000)
+		return p.Stats()
+	}
+	a, b := run(), run()
+	if a.PrefetchTaken != b.PrefetchTaken || a.RewardAT != b.RewardAT || a.Explored != b.Explored {
+		t.Errorf("agent not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestPythiaEpsilonExploration(t *testing.T) {
+	c := BasicConfig()
+	c.Epsilon = 0.5
+	p := MustNew(c, nil)
+	runStream(p, 4000)
+	st := p.Stats()
+	frac := float64(st.Explored) / float64(st.Demands)
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("exploration fraction %.2f, want ~0.5", frac)
+	}
+}
+
+func TestPythiaDynDegree(t *testing.T) {
+	on := BasicConfig()
+	off := BasicConfig()
+	off.DynDegree = false
+	pOn := MustNew(on, fixedBW(0.1))
+	pOff := MustNew(off, fixedBW(0.1))
+	countOn, countOff := 0, 0
+	line := uint64(1 << 26)
+	for i := 0; i < 20000; i++ {
+		countOn += len(pOn.Train(prefetch.Access{PC: 3, Line: line}))
+		countOff += len(pOff.Train(prefetch.Access{PC: 3, Line: line}))
+		line++
+	}
+	if countOn <= countOff {
+		t.Errorf("dynamic degree should issue more on a confident stream: on=%d off=%d", countOn, countOff)
+	}
+	if pOff.Stats().PrefetchTaken > 0 && countOff > int(pOff.Stats().PrefetchTaken) {
+		t.Errorf("degree-1 agent issued %d candidates for %d actions", countOff, pOff.Stats().PrefetchTaken)
+	}
+}
+
+func TestQWatchRecords(t *testing.T) {
+	p := MustNew(BasicConfig(), nil)
+	feat := FeaturePCDelta.Value(&State{PC: 0x400, Delta: 1})
+	w := p.WatchFeature(0, feat, 1)
+	runStream(p, 5000)
+	if len(w.Series) == 0 {
+		t.Fatal("watch recorded nothing")
+	}
+	row := w.Series[len(w.Series)-1]
+	if len(row) != len(p.Config().Actions) {
+		t.Errorf("series row has %d actions", len(row))
+	}
+}
+
+func TestCPHWIsMyopic(t *testing.T) {
+	p := NewCPHW(nil)
+	if p.Config().Gamma != 0 {
+		t.Errorf("CP-HW gamma = %v, want 0 (contextual bandit)", p.Config().Gamma)
+	}
+	if len(p.Config().Features) != 1 {
+		t.Errorf("CP-HW should use a single context feature")
+	}
+	if len(p.Config().Actions) != 127 {
+		t.Errorf("CP-HW should carry the unpruned [-63,63] action space, got %d", len(p.Config().Actions))
+	}
+	r := p.Config().Rewards
+	if r.INHigh != r.INLow || r.NPHigh != r.NPLow {
+		t.Error("CP-HW must be bandwidth-oblivious")
+	}
+	runStream(p, 5000)
+	if p.Stats().RewardAT+p.Stats().RewardAL == 0 {
+		t.Error("CP-HW failed to learn a stream at all")
+	}
+}
+
+func TestStrictConfigRewards(t *testing.T) {
+	s := StrictConfig()
+	b := BasicConfig()
+	if s.Rewards.INHigh >= b.Rewards.INHigh || s.Rewards.INLow >= b.Rewards.INLow {
+		t.Error("strict config must punish inaccuracy harder")
+	}
+	if s.Rewards.NPHigh < b.Rewards.NPHigh || s.Rewards.NPLow < b.Rewards.NPLow {
+		t.Error("strict config must make no-prefetch more attractive")
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandwidthObliviousCollapsesVariants(t *testing.T) {
+	c := BandwidthObliviousConfig()
+	if c.Rewards.INHigh != c.Rewards.INLow || c.Rewards.NPHigh != c.Rewards.NPLow {
+		t.Error("oblivious config must collapse the bandwidth variants")
+	}
+}
+
+func TestWithFeatures(t *testing.T) {
+	c := BasicConfig().WithFeatures("x", FeaturePCDelta)
+	if c.Name != "x" || len(c.Features) != 1 {
+		t.Errorf("WithFeatures produced %+v", c)
+	}
+	// Original must be unchanged (value semantics).
+	if len(BasicConfig().Features) != 2 {
+		t.Error("BasicConfig mutated")
+	}
+}
+
+func TestPythiaNameAndAccessors(t *testing.T) {
+	p := MustNew(BasicConfig(), nil)
+	if p.Name() != "pythia" {
+		t.Errorf("Name() = %q", p.Name())
+	}
+	if p.QVStore() == nil {
+		t.Error("QVStore() nil")
+	}
+	st := p.Stats()
+	st.ActionCounts[0] = 999999
+	if p.Stats().ActionCounts[0] == 999999 {
+		t.Error("Stats() must return a copy")
+	}
+}
+
+func TestStrictLearnsMoreNoPrefetchThanBasic(t *testing.T) {
+	basic := MustNew(BasicConfig(), fixedBW(0.9))
+	strict := MustNew(StrictConfig(), fixedBW(0.9))
+	runRandom(basic, 15000)
+	runRandom(strict, 15000)
+	if strict.Stats().NoPrefetch <= basic.Stats().NoPrefetch {
+		t.Errorf("strict NP=%d should exceed basic NP=%d on random traffic under high bandwidth",
+			strict.Stats().NoPrefetch, basic.Stats().NoPrefetch)
+	}
+}
+
+// prefetchAccess builds a training access (helper shared by quantization
+// tests).
+func prefetchAccess(pc, line uint64) prefetch.Access {
+	return prefetch.Access{PC: pc, Line: line}
+}
+
+func TestDecisionAccounting(t *testing.T) {
+	p := MustNew(BasicConfig(), fixedBW(0.2))
+	runStream(p, 8000)
+	runRandom(p, 8000)
+	st := p.Stats()
+	// Every demand selects exactly one action.
+	var total int64
+	for _, c := range st.ActionCounts {
+		total += c
+	}
+	if total != st.Demands {
+		t.Errorf("action selections %d != demands %d", total, st.Demands)
+	}
+	// Every demand is classified as prefetch, no-prefetch, or out-of-page.
+	if st.PrefetchTaken+st.NoPrefetch+st.OutOfPage != st.Demands {
+		t.Errorf("decision classes %d+%d+%d != demands %d",
+			st.PrefetchTaken, st.NoPrefetch, st.OutOfPage, st.Demands)
+	}
+	// Immediate rewards match their decision classes.
+	if st.RewardCL != st.OutOfPage {
+		t.Errorf("CL rewards %d != out-of-page %d", st.RewardCL, st.OutOfPage)
+	}
+	if st.RewardNPHigh+st.RewardNPLow != st.NoPrefetch {
+		t.Errorf("NP rewards != no-prefetch decisions")
+	}
+	// AT+AL can never exceed prefetches taken.
+	if st.RewardAT+st.RewardAL > st.PrefetchTaken {
+		t.Errorf("accurate rewards %d exceed prefetches %d",
+			st.RewardAT+st.RewardAL, st.PrefetchTaken)
+	}
+	// Q-updates lag demands by at most the EQ depth.
+	if st.QUpdates > st.Demands || st.Demands-st.QUpdates > int64(p.Config().EQSize)+1 {
+		t.Errorf("updates %d inconsistent with demands %d and EQ %d",
+			st.QUpdates, st.Demands, p.Config().EQSize)
+	}
+}
+
+func TestTimelinessClassification(t *testing.T) {
+	// Without fills, accurate prefetches must all be classified late (AL);
+	// with immediate fills, timely (AT).
+	noFill := MustNew(BasicConfig(), nil)
+	line := uint64(1 << 23)
+	for i := 0; i < 8000; i++ {
+		noFill.Train(prefetch.Access{PC: 9, Line: line}) // never call Fill
+		line++
+	}
+	if st := noFill.Stats(); st.RewardAT != 0 {
+		t.Errorf("AT=%d without any fills", st.RewardAT)
+	}
+	withFill := MustNew(BasicConfig(), nil)
+	runStream(withFill, 8000)
+	st := withFill.Stats()
+	if st.RewardAT == 0 || st.RewardAT < st.RewardAL {
+		t.Errorf("immediate fills should make AT dominate: AT=%d AL=%d", st.RewardAT, st.RewardAL)
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+// QVStore is the hierarchical, table-based Q-value store of §4.2.1. It is
+// organized as one vault per program feature; each vault holds several
+// planes (tile-coding tiles). A plane is a small 2-D table indexed by a
+// hashed feature value and the action index, storing a partial Q-value.
+//
+//	Q(φ, A)  = Σ_planes plane[idx_p(φ)][A]      (within a vault)
+//	Q(S, A)  = max_vaults Q(φ_i, A)             (Eqn. 3)
+//
+// The per-plane shifting constants of the paper's tile coding are derived
+// deterministically from the store's seed.
+
+// qvMix is a 64-bit finalizer (splitmix64-style) used to hash feature
+// values into plane indices.
+func qvMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+type plane struct {
+	shift uint64 // per-plane shifting constant (tile offset)
+	table []float64
+}
+
+type vault struct {
+	feature Feature
+	planes  []plane
+}
+
+// QVStore records Q-values for every observed state-action pair.
+type QVStore struct {
+	vaults     []vault
+	featureDim int
+	numActions int
+	numPlanes  int
+	initQ      float64
+	quantStep  float64 // 0 = full precision
+}
+
+// NewQVStore builds a store for the given features with featureDim entries
+// per plane (128 in the basic config), numPlanes planes per vault, and
+// initQ as the optimistic initial state-action Q-value (1/(1-γ),
+// Algorithm 1 line 2). seed fixes the per-plane shifting constants.
+func NewQVStore(features []Feature, featureDim, numActions, numPlanes int, initQ float64, seed uint64) *QVStore {
+	if featureDim <= 0 || featureDim&(featureDim-1) != 0 {
+		panic("core: QVStore feature dimension must be a power of two")
+	}
+	if numActions <= 0 || numPlanes <= 0 || len(features) == 0 {
+		panic("core: QVStore needs features, actions and planes")
+	}
+	s := &QVStore{
+		featureDim: featureDim,
+		numActions: numActions,
+		numPlanes:  numPlanes,
+		initQ:      initQ,
+	}
+	perPlane := initQ / float64(numPlanes)
+	for vi, f := range features {
+		v := vault{feature: f}
+		for p := 0; p < numPlanes; p++ {
+			pl := plane{
+				shift: qvMix(seed + uint64(vi)*1000003 + uint64(p)*7919),
+				table: make([]float64, featureDim*numActions),
+			}
+			for i := range pl.table {
+				pl.table[i] = perPlane
+			}
+			v.planes = append(v.planes, pl)
+		}
+		s.vaults = append(s.vaults, v)
+	}
+	return s
+}
+
+// Features returns the features the store's vaults correspond to.
+func (s *QVStore) Features() []Feature {
+	out := make([]Feature, len(s.vaults))
+	for i, v := range s.vaults {
+		out[i] = v.feature
+	}
+	return out
+}
+
+// index computes the plane-local row for a feature value.
+func (s *QVStore) index(pl *plane, featVal uint64) int {
+	return int(qvMix(featVal+pl.shift) & uint64(s.featureDim-1))
+}
+
+// StateSig precomputes the per-vault feature values of a state: this is
+// what EQ entries carry so Q-value updates after eviction see the original
+// state.
+type StateSig []uint64
+
+// Signature extracts the state signature (one feature value per vault).
+func (s *QVStore) Signature(st *State) StateSig {
+	sig := make(StateSig, len(s.vaults))
+	for i, v := range s.vaults {
+		sig[i] = v.feature.Value(st)
+	}
+	return sig
+}
+
+// VaultQ returns Q(φ_i, A) for vault i.
+func (s *QVStore) VaultQ(i int, featVal uint64, action int) float64 {
+	v := &s.vaults[i]
+	var q float64
+	for p := range v.planes {
+		pl := &v.planes[p]
+		q += pl.table[s.index(pl, featVal)*s.numActions+action]
+	}
+	return q
+}
+
+// Q returns the state-action value: the maximum constituent feature-action
+// Q-value (Eqn. 3).
+func (s *QVStore) Q(sig StateSig, action int) float64 {
+	best := s.VaultQ(0, sig[0], action)
+	for i := 1; i < len(s.vaults); i++ {
+		if q := s.VaultQ(i, sig[i], action); q > best {
+			best = q
+		}
+	}
+	return best
+}
+
+// ArgmaxQ returns the action with the highest Q-value and that value,
+// mirroring the pipelined QVStore search of §4.2.2 (which iterates actions,
+// tracking the running maximum).
+func (s *QVStore) ArgmaxQ(sig StateSig) (action int, q float64) {
+	action, q = 0, s.Q(sig, 0)
+	for a := 1; a < s.numActions; a++ {
+		if qa := s.Q(sig, a); qa > q {
+			action, q = a, qa
+		}
+	}
+	return action, q
+}
+
+// Update applies the SARSA temporal-difference step to Q(S1, A1):
+//
+//	Q(S1,A1) += α [R + γ Q(S2,A2) − Q(S1,A1)]
+//
+// The correction is distributed equally across each vault's planes so the
+// per-vault sum moves by the full α-scaled TD error.
+func (s *QVStore) Update(sig1 StateSig, a1 int, reward float64, sig2 StateSig, a2 int, alpha, gamma float64) {
+	target := reward + gamma*s.Q(sig2, a2)
+	for i := range s.vaults {
+		v := &s.vaults[i]
+		qOld := s.VaultQ(i, sig1[i], a1)
+		adj := alpha * (target - qOld) / float64(s.numPlanes)
+		for p := range v.planes {
+			pl := &v.planes[p]
+			idx := s.index(pl, sig1[i])*s.numActions + a1
+			pl.table[idx] = s.quantize(pl.table[idx] + adj)
+		}
+	}
+}
+
+// SetQuantization makes the store behave like the paper's 16-bit
+// fixed-point hardware: every stored partial Q-value is rounded to a
+// multiple of step after each update. step <= 0 restores full precision.
+func (s *QVStore) SetQuantization(step float64) { s.quantStep = step }
+
+func (s *QVStore) quantize(x float64) float64 {
+	if s.quantStep <= 0 {
+		return x
+	}
+	n := x / s.quantStep
+	if n >= 0 {
+		return float64(int64(n+0.5)) * s.quantStep
+	}
+	return float64(int64(n-0.5)) * s.quantStep
+}
+
+// StorageBits returns the total Q-value storage in bits assuming the
+// paper's 16-bit fixed-point entries (Table 4).
+func (s *QVStore) StorageBits() int {
+	return len(s.vaults) * s.numPlanes * s.featureDim * s.numActions * 16
+}

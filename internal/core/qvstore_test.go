@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testStore() *QVStore {
+	return NewQVStore([]Feature{FeaturePCDelta, FeatureLast4Deltas}, 128, 16, 3, 2.25, 1)
+}
+
+func sigFor(st *State) (qv *QVStore, sig StateSig) {
+	qv = testStore()
+	return qv, qv.Signature(st)
+}
+
+func TestQVStoreInit(t *testing.T) {
+	qv, sig := sigFor(&State{PC: 1, Delta: 2})
+	for a := 0; a < 16; a++ {
+		if q := qv.Q(sig, a); math.Abs(q-2.25) > 1e-9 {
+			t.Errorf("initial Q(action %d) = %v, want 2.25", a, q)
+		}
+	}
+}
+
+func TestQVStoreUpdateMovesTowardTarget(t *testing.T) {
+	qv, sig := sigFor(&State{PC: 1, Delta: 2})
+	before := qv.Q(sig, 3)
+	// Reward much higher than current Q: Q must increase.
+	qv.Update(sig, 3, 20, sig, 3, 0.1, 0.5)
+	after := qv.Q(sig, 3)
+	if after <= before {
+		t.Errorf("Q did not increase: %v -> %v", before, after)
+	}
+	// Negative reward: Q must decrease.
+	qv.Update(sig, 3, -20, sig, 3, 0.1, 0.5)
+	if qv.Q(sig, 3) >= after {
+		t.Error("Q did not decrease after negative reward")
+	}
+}
+
+func TestQVStoreConvergesToFixedPoint(t *testing.T) {
+	qv, sig := sigFor(&State{PC: 7, Delta: 1})
+	// Repeated SARSA with constant reward r and self-successor converges to
+	// r/(1-gamma).
+	const r, gamma = 10.0, 0.5
+	for i := 0; i < 3000; i++ {
+		qv.Update(sig, 0, r, sig, 0, 0.05, gamma)
+	}
+	want := r / (1 - gamma)
+	if got := qv.Q(sig, 0); math.Abs(got-want) > 0.5 {
+		t.Errorf("fixed point %v, want %v", got, want)
+	}
+}
+
+func TestQVStoreArgmax(t *testing.T) {
+	qv, sig := sigFor(&State{PC: 9, Delta: 4})
+	qv.Update(sig, 5, 50, sig, 5, 0.5, 0)
+	a, q := qv.ArgmaxQ(sig)
+	if a != 5 {
+		t.Errorf("argmax = %d, want 5", a)
+	}
+	if q <= 2.25 {
+		t.Errorf("argmax Q = %v, should exceed init", q)
+	}
+}
+
+func TestQVStoreMaxComposition(t *testing.T) {
+	// Eqn 3: Q(S,A) = max over vaults. Boost one vault only; the state Q
+	// must follow the stronger vault.
+	qv := testStore()
+	st := State{PC: 11, Delta: 3}
+	st.LastDeltas = [4]int{3, 3, 3, 3}
+	sig := qv.Signature(&st)
+	// Artificially boost vault 1 by training a state that shares feature 1
+	// value but differs in feature 0.
+	st2 := State{PC: 9999, Delta: 3}
+	st2.LastDeltas = [4]int{3, 3, 3, 3}
+	sig2 := qv.Signature(&st2)
+	if sig2[1] != sig[1] {
+		t.Fatal("test setup: vault-1 features should match")
+	}
+	for i := 0; i < 200; i++ {
+		qv.Update(sig2, 7, 20, sig2, 7, 0.1, 0.5)
+	}
+	// Vault 1's boost must propagate through max for the first state too.
+	if q := qv.Q(sig, 7); q <= 2.25 {
+		t.Errorf("max composition failed: Q = %v", q)
+	}
+	if v0 := qv.VaultQ(0, sig[0], 7); v0 > qv.VaultQ(1, sig[1], 7) {
+		t.Error("vault 0 should be weaker (only vault 1 generalizes)")
+	}
+}
+
+func TestQVStorePlaneShiftsDiffer(t *testing.T) {
+	qv := testStore()
+	v := &qv.vaults[0]
+	if len(v.planes) != 3 {
+		t.Fatalf("planes = %d", len(v.planes))
+	}
+	if v.planes[0].shift == v.planes[1].shift || v.planes[1].shift == v.planes[2].shift {
+		t.Error("plane shifting constants should differ")
+	}
+}
+
+func TestQVStoreStorageBits(t *testing.T) {
+	qv := testStore()
+	// 2 vaults × 3 planes × 128 rows × 16 actions × 16 bits = 196608 bits = 24KB.
+	if got := qv.StorageBits(); got != 2*3*128*16*16 {
+		t.Errorf("StorageBits = %d", got)
+	}
+	if kb := float64(qv.StorageBits()) / 8 / 1024; kb != 24 {
+		t.Errorf("QVStore = %v KB, want 24 (Table 4)", kb)
+	}
+}
+
+func TestQVStoreSeparatesStates(t *testing.T) {
+	qv := testStore()
+	sA := State{PC: 0x100, Delta: 1}
+	sB := State{PC: 0x104, Delta: 2}
+	sigA, sigB := qv.Signature(&sA), qv.Signature(&sB)
+	for i := 0; i < 100; i++ {
+		qv.Update(sigA, 2, 20, sigA, 2, 0.2, 0.5)
+		qv.Update(sigB, 2, -14, sigB, 2, 0.2, 0.5)
+	}
+	if qv.Q(sigA, 2) <= qv.Q(sigB, 2) {
+		t.Errorf("states not separated: A=%v B=%v", qv.Q(sigA, 2), qv.Q(sigB, 2))
+	}
+}
+
+func TestQVStoreFiniteProperty(t *testing.T) {
+	qv := testStore()
+	f := func(pc uint64, delta int8, action uint8, reward int8) bool {
+		st := State{PC: pc, Delta: int(delta)}
+		sig := qv.Signature(&st)
+		a := int(action) % 16
+		qv.Update(sig, a, float64(reward), sig, a, 0.1, 0.556)
+		q := qv.Q(sig, a)
+		return !math.IsNaN(q) && !math.IsInf(q, 0) && q >= -200 && q <= 200
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQVStoreBadConfigPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewQVStore(nil, 128, 16, 3, 1, 1) },
+		func() { NewQVStore([]Feature{FeaturePCDelta}, 100, 16, 3, 1, 1) },
+		func() { NewQVStore([]Feature{FeaturePCDelta}, 128, 0, 3, 1, 1) },
+		func() { NewQVStore([]Feature{FeaturePCDelta}, 128, 16, 0, 1, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQVStoreQuantization(t *testing.T) {
+	qv, sig := sigFor(&State{PC: 21, Delta: 8})
+	qv.SetQuantization(1.0 / 256)
+	for i := 0; i < 500; i++ {
+		qv.Update(sig, 1, 10, sig, 1, 0.05, 0.5)
+	}
+	got := qv.Q(sig, 1)
+	// Still converges near the fixed point, within quantization error.
+	if math.Abs(got-20) > 1.0 {
+		t.Errorf("quantized fixed point %v, want ~20", got)
+	}
+	// Every vault partial is a multiple of the step (within float error).
+	v := qv.VaultQ(0, sig[0], 1)
+	step := 1.0 / 256
+	frac := v/step - math.Round(v/step)
+	if math.Abs(frac) > 1e-6 {
+		t.Errorf("vault Q %v not on the quantization grid", v)
+	}
+}
+
+func TestFixedPointAgentStillLearns(t *testing.T) {
+	c := BasicConfig()
+	c.FixedPoint = true
+	p := MustNew(c, nil)
+	line := uint64(1 << 27)
+	for i := 0; i < 10000; i++ {
+		for _, cand := range p.Train(prefetchAccess(0x400, line)) {
+			p.Fill(cand)
+		}
+		line++
+	}
+	st := p.Stats()
+	if st.RewardAT+st.RewardAL == 0 {
+		t.Error("fixed-point agent failed to learn a stream")
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Policy snapshots serialize a trained QVStore so an agent can be
+// warm-started — the software analogue of retaining the silicon's learned
+// tables across a context switch or powering up with a profiled policy.
+//
+// Format:
+//
+//	magic    [6]byte "PYQV01"
+//	vaults   uvarint
+//	planes   uvarint
+//	dim      uvarint
+//	actions  uvarint
+//	entries  float64 (little-endian bits), vault-major then plane, row, action
+
+var snapshotMagic = [6]byte{'P', 'Y', 'Q', 'V', '0', '1'}
+
+// ErrSnapshotMismatch is returned when restoring a snapshot whose geometry
+// does not match the store.
+var ErrSnapshotMismatch = errors.New("core: snapshot geometry mismatch")
+
+// Snapshot writes the store's Q-values to w.
+func (s *QVStore) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for _, v := range []uint64{
+		uint64(len(s.vaults)), uint64(s.numPlanes),
+		uint64(s.featureDim), uint64(s.numActions),
+	} {
+		n := binary.PutUvarint(buf[:], v)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	var le [8]byte
+	for vi := range s.vaults {
+		for p := range s.vaults[vi].planes {
+			for _, q := range s.vaults[vi].planes[p].table {
+				binary.LittleEndian.PutUint64(le[:], math.Float64bits(q))
+				if _, err := bw.Write(le[:]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore loads Q-values from a snapshot written by Snapshot into a store
+// with identical geometry.
+func (s *QVStore) Restore(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var got [6]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return fmt.Errorf("core: snapshot header: %w", err)
+	}
+	if got != snapshotMagic {
+		return fmt.Errorf("core: bad snapshot magic %q", got[:])
+	}
+	want := []uint64{
+		uint64(len(s.vaults)), uint64(s.numPlanes),
+		uint64(s.featureDim), uint64(s.numActions),
+	}
+	for i, w := range want {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("core: snapshot geometry: %w", err)
+		}
+		if v != w {
+			return fmt.Errorf("%w: field %d is %d, store has %d", ErrSnapshotMismatch, i, v, w)
+		}
+	}
+	var le [8]byte
+	for vi := range s.vaults {
+		for p := range s.vaults[vi].planes {
+			table := s.vaults[vi].planes[p].table
+			for i := range table {
+				if _, err := io.ReadFull(br, le[:]); err != nil {
+					return fmt.Errorf("core: snapshot entries: %w", err)
+				}
+				table[i] = math.Float64frombits(binary.LittleEndian.Uint64(le[:]))
+			}
+		}
+	}
+	return nil
+}
+
+// SnapshotPolicy serializes the agent's learned Q-values.
+func (p *Pythia) SnapshotPolicy(w io.Writer) error { return p.qv.Snapshot(w) }
+
+// RestorePolicy warm-starts the agent from a snapshot taken from an agent
+// with an identical configuration.
+func (p *Pythia) RestorePolicy(r io.Reader) error { return p.qv.Restore(r) }

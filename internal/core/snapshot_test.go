@@ -1,0 +1,91 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := MustNew(BasicConfig(), nil)
+	runStream(src, 10000)
+	var buf bytes.Buffer
+	if err := src.SnapshotPolicy(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := MustNew(BasicConfig(), nil)
+	if err := dst.RestorePolicy(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Identical Q-values for an arbitrary state.
+	st := State{PC: 0x400, Delta: 1}
+	sSig := src.QVStore().Signature(&st)
+	dSig := dst.QVStore().Signature(&st)
+	for a := 0; a < len(src.Config().Actions); a++ {
+		if src.QVStore().Q(sSig, a) != dst.QVStore().Q(dSig, a) {
+			t.Fatalf("Q mismatch at action %d", a)
+		}
+	}
+}
+
+func TestWarmStartedAgentSkipsLearningTransient(t *testing.T) {
+	trained := MustNew(BasicConfig(), nil)
+	runStream(trained, 20000)
+	var buf bytes.Buffer
+	if err := trained.SnapshotPolicy(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := MustNew(BasicConfig(), nil)
+	if err := warm.RestorePolicy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cold := MustNew(BasicConfig(), nil)
+
+	// On a short burst of the same pattern, the warm agent should take
+	// far more accurate actions than the cold one.
+	runStream(warm, 2000)
+	runStream(cold, 2000)
+	wa := warm.Stats()
+	ca := cold.Stats()
+	warmAcc := float64(wa.RewardAT + wa.RewardAL)
+	coldAcc := float64(ca.RewardAT + ca.RewardAL)
+	if warmAcc <= coldAcc {
+		t.Errorf("warm start gave %v accurate rewards vs cold %v", warmAcc, coldAcc)
+	}
+}
+
+func TestRestoreGeometryMismatch(t *testing.T) {
+	src := MustNew(BasicConfig(), nil)
+	var buf bytes.Buffer
+	if err := src.SnapshotPolicy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c := BasicConfig()
+	c.PlanesPerVault = 2
+	dst := MustNew(c, nil)
+	if err := dst.RestorePolicy(&buf); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Errorf("want ErrSnapshotMismatch, got %v", err)
+	}
+}
+
+func TestRestoreBadInput(t *testing.T) {
+	p := MustNew(BasicConfig(), nil)
+	if err := p.RestorePolicy(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage input should fail")
+	}
+	if err := p.RestorePolicy(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	// Truncated entries.
+	var buf bytes.Buffer
+	if err := p.SnapshotPolicy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	half := buf.Bytes()[:buf.Len()/2]
+	if err := p.RestorePolicy(bytes.NewReader(half)); err == nil {
+		t.Error("truncated snapshot should fail")
+	}
+}

@@ -1,0 +1,257 @@
+// Package cpu implements the trace-driven core timing model and the
+// multi-core simulation driver, mirroring the paper's methodology (§5):
+// 4-wide out-of-order cores with a 256-entry ROB and 72-entry load queue,
+// per-workload warmup then measurement, and trace replay for cores that
+// finish early in multi-programmed runs.
+package cpu
+
+import (
+	"fmt"
+
+	"pythia/internal/cache"
+	"pythia/internal/trace"
+)
+
+// CoreConfig sets the core timing parameters (Table 5 defaults).
+type CoreConfig struct {
+	// Width is the issue/retire width in instructions per cycle.
+	Width int
+	// ROB is the reorder-buffer size in instructions.
+	ROB int
+	// LQ is the load-queue size: the bound on in-flight loads.
+	LQ int
+}
+
+// DefaultCoreConfig returns the paper's Skylake-like core.
+func DefaultCoreConfig() CoreConfig { return CoreConfig{Width: 4, ROB: 256, LQ: 72} }
+
+type inflightLoad struct {
+	idx      int64 // instruction index at issue
+	complete int64
+}
+
+// Core executes one trace stream against the shared hierarchy.
+type Core struct {
+	id     int
+	cfg    CoreConfig
+	reader trace.Reader
+	hier   *cache.Hierarchy
+
+	cycle    int64
+	instret  int64
+	issueRem int            // leftover issue slots in the current cycle
+	inflight []inflightLoad // FIFO of outstanding loads
+	replays  int
+
+	// measurement window
+	measuring    bool
+	startCycle   int64
+	startInstret int64
+	doneInstret  int64 // target measured instructions
+	finalCycle   int64
+	finished     bool
+	statsSnap    cache.CoreStats
+
+	// addrOffset separates per-core address spaces in multi-programmed runs.
+	addrOffset uint64
+}
+
+// Cycle returns the core's local clock.
+func (c *Core) Cycle() int64 { return c.cycle }
+
+// Finished reports whether the core has retired its measured instructions.
+func (c *Core) Finished() bool { return c.finished }
+
+// IPC returns measured instructions per cycle; valid once finished.
+func (c *Core) IPC() float64 {
+	cycles := c.finalCycle - c.startCycle
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(c.doneInstret) / float64(cycles)
+}
+
+// MeasuredInstructions returns the instruction count of the measurement
+// window.
+func (c *Core) MeasuredInstructions() int64 { return c.doneInstret }
+
+// MeasuredCycles returns the cycle count of the measurement window; for
+// still-running cores it reflects progress so far.
+func (c *Core) MeasuredCycles() int64 {
+	if c.finished {
+		return c.finalCycle - c.startCycle
+	}
+	return c.cycle - c.startCycle
+}
+
+// Replays returns how many times the core wrapped its trace.
+func (c *Core) Replays() int { return c.replays }
+
+// step consumes one trace record, advancing the core's local clock.
+func (c *Core) step() {
+	rec, ok := c.reader.Next()
+	if !ok {
+		c.reader.Reset()
+		c.replays++
+		rec, ok = c.reader.Next()
+		if !ok {
+			// Empty trace: spin the clock forward so the driver terminates.
+			c.cycle += 1000
+			return
+		}
+	}
+
+	// Issue the non-memory instructions plus the memory op at Width/cycle.
+	n := int(rec.NonMem) + 1
+	c.instret += int64(n)
+	for n > 0 {
+		if c.issueRem == 0 {
+			c.cycle++
+			c.issueRem = c.cfg.Width
+		}
+		take := n
+		if take > c.issueRem {
+			take = c.issueRem
+		}
+		c.issueRem -= take
+		n -= take
+	}
+
+	// Retire completed loads.
+	for len(c.inflight) > 0 && c.inflight[0].complete <= c.cycle {
+		c.inflight = c.inflight[1:]
+	}
+	// ROB limit: the core cannot run more than ROB instructions past the
+	// oldest incomplete load.
+	for len(c.inflight) > 0 && c.instret-c.inflight[0].idx >= int64(c.cfg.ROB) {
+		c.waitOldest()
+	}
+	// LQ limit.
+	for len(c.inflight) >= c.cfg.LQ {
+		c.waitOldest()
+	}
+
+	done := c.hier.Access(c.id, rec.PC, rec.Addr+c.addrOffset, rec.Store, c.cycle)
+	if !rec.Store && done > c.cycle {
+		c.inflight = append(c.inflight, inflightLoad{idx: c.instret, complete: done})
+	}
+}
+
+// waitOldest advances the clock to the oldest in-flight load's completion.
+func (c *Core) waitOldest() {
+	if len(c.inflight) == 0 {
+		return
+	}
+	if c.inflight[0].complete > c.cycle {
+		c.cycle = c.inflight[0].complete
+		c.issueRem = c.cfg.Width
+	}
+	c.inflight = c.inflight[1:]
+}
+
+// System drives one or more cores against a shared hierarchy.
+type System struct {
+	Cores []*Core
+	Hier  *cache.Hierarchy
+	cfg   SystemConfig
+}
+
+// SystemConfig controls a simulation run.
+type SystemConfig struct {
+	Core CoreConfig
+	// WarmupInstructions per core before measurement starts.
+	WarmupInstructions int64
+	// SimInstructions measured per core.
+	SimInstructions int64
+}
+
+// DefaultSystemConfig returns the simulation lengths used by the harness:
+// scaled-down versions of the paper's 100M warmup / 500M measure.
+func DefaultSystemConfig() SystemConfig {
+	return SystemConfig{
+		Core:               DefaultCoreConfig(),
+		WarmupInstructions: 2_000_000,
+		SimInstructions:    10_000_000,
+	}
+}
+
+// NewSystem builds cores over readers (one per core) and the hierarchy.
+func NewSystem(cfg SystemConfig, hier *cache.Hierarchy, readers []trace.Reader) (*System, error) {
+	if len(readers) != hier.Config().Cores {
+		return nil, fmt.Errorf("cpu: %d readers for %d cores", len(readers), hier.Config().Cores)
+	}
+	if cfg.Core.Width <= 0 || cfg.Core.ROB <= 0 || cfg.Core.LQ <= 0 {
+		return nil, fmt.Errorf("cpu: invalid core config %+v", cfg.Core)
+	}
+	s := &System{Hier: hier, cfg: cfg}
+	for i, r := range readers {
+		s.Cores = append(s.Cores, &Core{
+			id:         i,
+			cfg:        cfg.Core,
+			reader:     r,
+			hier:       hier,
+			addrOffset: uint64(i) << 56,
+		})
+	}
+	return s, nil
+}
+
+// Run executes warmup then measurement. Warmup trains caches and
+// prefetchers without counting statistics; measurement runs until every
+// core retires SimInstructions, replaying traces as needed.
+func (s *System) Run() {
+	// Warmup: run each core in lockstep until it retires the warmup count.
+	for {
+		c := s.nextCore(func(c *Core) bool { return c.instret < s.cfg.WarmupInstructions })
+		if c == nil {
+			break
+		}
+		c.step()
+	}
+
+	// Measurement boundary.
+	s.Hier.ResetStats()
+	for _, c := range s.Cores {
+		c.measuring = true
+		c.startCycle = c.cycle
+		c.startInstret = c.instret
+	}
+
+	// Measurement: every core keeps executing (replaying its trace) until
+	// all cores have retired SimInstructions, so shared-resource contention
+	// persists for stragglers, as in the paper. Each core's statistics are
+	// snapshotted at the instant it crosses the finish line.
+	unfinished := len(s.Cores)
+	for unfinished > 0 {
+		c := s.nextCore(func(*Core) bool { return true })
+		c.step()
+		if !c.finished && c.instret-c.startInstret >= s.cfg.SimInstructions {
+			c.finished = true
+			c.finalCycle = c.cycle
+			c.doneInstret = c.instret - c.startInstret
+			c.statsSnap = s.Hier.CoreStats(c.id)
+			unfinished--
+		}
+	}
+	s.Hier.Flush()
+}
+
+// Stats returns a core's memory statistics captured when it finished its
+// measurement window.
+func (c *Core) Stats() cache.CoreStats { return c.statsSnap }
+
+// nextCore returns the eligible core with the smallest local clock, or nil
+// when none is eligible. Advancing the globally-oldest core keeps shared
+// resources (LLC, DRAM) ordered across cores.
+func (s *System) nextCore(eligible func(*Core) bool) *Core {
+	var best *Core
+	for _, c := range s.Cores {
+		if !eligible(c) {
+			continue
+		}
+		if best == nil || c.cycle < best.cycle {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,330 @@
+// Package dram models a DDR4-style main memory: channels × ranks × banks
+// with per-bank row-buffer state, tRCD/tRP/tCAS timing, and a shared data
+// bus per channel whose occupancy creates bandwidth contention. All timing
+// is expressed in core clock cycles.
+//
+// The controller also exposes a sliding-window bandwidth monitor, which is
+// the system-level feedback Pythia's reward scheme consumes (§3.1) and the
+// source of the runtime bandwidth-usage buckets of Fig. 14.
+package dram
+
+import "fmt"
+
+// Config describes the memory system. The zero value is not usable; use
+// DDR4_2400 or derive from it.
+type Config struct {
+	// Channels is the number of independent DRAM channels.
+	Channels int
+	// RanksPerChannel and BanksPerRank set the bank-level parallelism.
+	RanksPerChannel int
+	BanksPerRank    int
+	// MTPS is the data-bus rate in million transfers per second, the knob
+	// swept in Fig. 8(b).
+	MTPS int
+	// BusBytes is the data bus width in bytes per transfer.
+	BusBytes int
+	// RowBytes is the row-buffer size per bank.
+	RowBytes int
+	// CoreMHz is the core clock used to convert nanoseconds to cycles.
+	CoreMHz int
+	// TRCDns, TRPns, TCASns are the DRAM timings in nanoseconds.
+	TRCDns, TRPns, TCASns float64
+	// TREFIns is the all-bank refresh interval; 0 disables refresh
+	// modelling. TRFCns is the refresh cycle time (bank-blocking).
+	TREFIns, TRFCns float64
+}
+
+// DDR4_2400 returns the paper's baseline single-channel DDR4-2400
+// configuration (Table 5) for a 4 GHz core.
+func DDR4_2400(channels int) Config {
+	return Config{
+		Channels:        channels,
+		RanksPerChannel: 1,
+		BanksPerRank:    8,
+		MTPS:            2400,
+		BusBytes:        8,
+		RowBytes:        2048,
+		CoreMHz:         4000,
+		TRCDns:          15,
+		TRPns:           15,
+		TCASns:          12.5,
+	}
+}
+
+// WithMTPS returns a copy of c with the transfer rate replaced.
+func (c Config) WithMTPS(mtps int) Config {
+	c.MTPS = mtps
+	return c
+}
+
+// WithRefresh returns a copy of c with DDR4-typical refresh timings
+// enabled (tREFI 7.8us, tRFC 350ns).
+func (c Config) WithRefresh() Config {
+	c.TREFIns = 7800
+	c.TRFCns = 350
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels <= 0:
+		return fmt.Errorf("dram: channels must be positive, got %d", c.Channels)
+	case c.RanksPerChannel <= 0 || c.BanksPerRank <= 0:
+		return fmt.Errorf("dram: ranks/banks must be positive")
+	case c.MTPS <= 0:
+		return fmt.Errorf("dram: MTPS must be positive, got %d", c.MTPS)
+	case c.BusBytes <= 0 || c.RowBytes <= 0:
+		return fmt.Errorf("dram: bus/row bytes must be positive")
+	case c.CoreMHz <= 0:
+		return fmt.Errorf("dram: core clock must be positive")
+	}
+	return nil
+}
+
+func (c Config) cycles(ns float64) int64 {
+	return int64(ns * float64(c.CoreMHz) / 1000)
+}
+
+// lineTransferCycles returns the core cycles the data bus is busy moving one
+// 64B cache line.
+func (c Config) lineTransferCycles() int64 {
+	beats := float64(64) / float64(c.BusBytes)
+	cyclesPerBeat := float64(c.CoreMHz) / float64(c.MTPS)
+	n := int64(beats*cyclesPerBeat + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+type bank struct {
+	ready   int64
+	openRow uint64
+	hasRow  bool
+}
+
+// Stats accumulates controller activity.
+type Stats struct {
+	Reads         int64
+	Writes        int64
+	RowHits       int64
+	RowMisses     int64
+	BusBusy       int64 // total data-bus busy cycles across channels
+	RefreshStalls int64 // accesses delayed by an in-progress refresh
+	FirstCycle    int64
+	LastCycle     int64
+}
+
+// BucketCount is the number of bandwidth-usage quartile buckets tracked for
+// Fig. 14 (<25%, 25–50%, 50–75%, >=75% of peak).
+const BucketCount = 4
+
+// epochLen is the bandwidth-monitor window in core cycles.
+const epochLen = 8192
+
+// Controller is the DRAM controller. It is not safe for concurrent use; the
+// simulator is single-threaded per run.
+type Controller struct {
+	cfg       Config
+	banks     []bank  // [channel][rank][bank] flattened
+	busReady  []int64 // per channel
+	xferCyc   int64
+	tRCD, tRP int64
+	tCAS      int64
+
+	stats Stats
+
+	tREFI, tRFC int64
+
+	// bandwidth monitor state
+	epochStart int64
+	epochBusy  int64
+	prevUtil   float64
+	buckets    [BucketCount]int64 // epochs spent per utilization quartile
+	epochs     int64
+}
+
+// NewController builds a controller; it panics on an invalid config since
+// configs are produced by code, not user input.
+func NewController(cfg Config) *Controller {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.Channels * cfg.RanksPerChannel * cfg.BanksPerRank
+	return &Controller{
+		cfg:      cfg,
+		banks:    make([]bank, n),
+		busReady: make([]int64, cfg.Channels),
+		xferCyc:  cfg.lineTransferCycles(),
+		tRCD:     cfg.cycles(cfg.TRCDns),
+		tRP:      cfg.cycles(cfg.TRPns),
+		tCAS:     cfg.cycles(cfg.TCASns),
+		tREFI:    cfg.cycles(cfg.TREFIns),
+		tRFC:     cfg.cycles(cfg.TRFCns),
+	}
+}
+
+// afterRefresh pushes a service start time out of any refresh window.
+// Refresh is modelled as periodic all-bank blocking: every tREFI cycles the
+// device is unavailable for tRFC cycles.
+func (c *Controller) afterRefresh(start int64) int64 {
+	if c.tREFI <= 0 || c.tRFC <= 0 {
+		return start
+	}
+	phase := start % c.tREFI
+	if phase < c.tRFC {
+		c.stats.RefreshStalls++
+		return start - phase + c.tRFC
+	}
+	return start
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// mapAddr picks the channel, flattened bank index and row for a line address.
+// Lines interleave across channels, then banks, so streams spread naturally.
+func (c *Controller) mapAddr(line uint64) (channel int, bankIdx int, row uint64) {
+	channel = int(line % uint64(c.cfg.Channels))
+	banksPerChannel := c.cfg.RanksPerChannel * c.cfg.BanksPerRank
+	l := line / uint64(c.cfg.Channels)
+	linesPerRow := uint64(c.cfg.RowBytes / 64)
+	if linesPerRow == 0 {
+		linesPerRow = 1
+	}
+	rowGlobal := l / linesPerRow
+	// Hash the row number into the bank index so distinct address spaces
+	// (per-core offsets at high bits) and strided streams both spread
+	// across banks instead of aliasing.
+	x := rowGlobal ^ rowGlobal>>33
+	f := x * 0x9E3779B97F4A7C15
+	b := int((f >> 24) % uint64(banksPerChannel))
+	bankIdx = channel*banksPerChannel + b
+	row = rowGlobal / uint64(banksPerChannel)
+	return
+}
+
+// Read schedules a 64B line read arriving at the controller at cycle `at`
+// and returns the cycle the line's data is fully delivered.
+func (c *Controller) Read(line uint64, at int64) int64 {
+	return c.access(line, at, false)
+}
+
+// Write schedules a 64B writeback. Writes occupy bank and bus resources but
+// the caller does not wait on them; the returned cycle is when the write
+// finishes draining.
+func (c *Controller) Write(line uint64, at int64) int64 {
+	return c.access(line, at, true)
+}
+
+func (c *Controller) access(line uint64, at int64, write bool) int64 {
+	ch, bi, row := c.mapAddr(line)
+	b := &c.banks[bi]
+
+	start := at
+	if b.ready > start {
+		start = b.ready
+	}
+	start = c.afterRefresh(start)
+	// Column reads to an open row pipeline at the column-to-column cadence
+	// (~ the transfer time); only the first access after an activation pays
+	// the full tRP+tRCD latency. The returned latency is what the requester
+	// sees; bank occupancy is the pipelined cadence.
+	var lat, hold int64
+	if b.hasRow && b.openRow == row {
+		lat = c.tCAS
+		hold = c.xferCyc
+		c.stats.RowHits++
+	} else {
+		lat = c.tRP + c.tRCD + c.tCAS
+		hold = c.tRP + c.tRCD + c.xferCyc
+		c.stats.RowMisses++
+	}
+	b.openRow = row
+	b.hasRow = true
+
+	dataReady := start + lat
+	busStart := dataReady
+	if c.busReady[ch] > busStart {
+		busStart = c.busReady[ch]
+	}
+	complete := busStart + c.xferCyc
+	c.busReady[ch] = complete
+	b.ready = start + hold
+
+	if write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	c.stats.BusBusy += c.xferCyc
+	if c.stats.FirstCycle == 0 || at < c.stats.FirstCycle {
+		c.stats.FirstCycle = at
+	}
+	if complete > c.stats.LastCycle {
+		c.stats.LastCycle = complete
+	}
+	c.noteBusy(busStart, c.xferCyc)
+	return complete
+}
+
+// noteBusy attributes bus occupancy to the bandwidth monitor's epochs.
+func (c *Controller) noteBusy(at, cycles int64) {
+	for at >= c.epochStart+epochLen {
+		c.rollEpoch()
+	}
+	c.epochBusy += cycles
+}
+
+func (c *Controller) rollEpoch() {
+	peak := int64(c.cfg.Channels) * epochLen
+	util := float64(c.epochBusy) / float64(peak)
+	if util > 1 {
+		util = 1
+	}
+	c.prevUtil = util
+	bucket := int(util * BucketCount)
+	if bucket >= BucketCount {
+		bucket = BucketCount - 1
+	}
+	c.buckets[bucket]++
+	c.epochs++
+	c.epochBusy = 0
+	c.epochStart += epochLen
+}
+
+// Util returns the data-bus utilization (0..1) measured over the most recent
+// completed monitor window. This is the system-level feedback Pythia reads.
+func (c *Controller) Util() float64 { return c.prevUtil }
+
+// Buckets returns the fraction of monitor epochs spent in each utilization
+// quartile (<25%, 25–50%, 50–75%, >=75% of peak), as plotted in Fig. 14.
+func (c *Controller) Buckets() [BucketCount]float64 {
+	var out [BucketCount]float64
+	if c.epochs == 0 {
+		out[0] = 1
+		return out
+	}
+	for i, n := range c.buckets {
+		out[i] = float64(n) / float64(c.epochs)
+	}
+	return out
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// ResetStats clears accumulated statistics (bank/bus state is preserved);
+// used at the warmup/measurement boundary.
+func (c *Controller) ResetStats() {
+	c.stats = Stats{}
+	c.buckets = [BucketCount]int64{}
+	c.epochs = 0
+}
+
+// PeakBytesPerCycle returns the aggregate peak bandwidth in bytes per core
+// cycle, useful for reporting.
+func (c *Controller) PeakBytesPerCycle() float64 {
+	return float64(c.cfg.Channels) * 64 / float64(c.xferCyc)
+}

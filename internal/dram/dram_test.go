@@ -1,0 +1,245 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := DDR4_2400(1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{},
+		func() Config { c := DDR4_2400(1); c.Channels = 0; return c }(),
+		func() Config { c := DDR4_2400(1); c.MTPS = -1; return c }(),
+		func() Config { c := DDR4_2400(1); c.BusBytes = 0; return c }(),
+		func() Config { c := DDR4_2400(1); c.CoreMHz = 0; return c }(),
+		func() Config { c := DDR4_2400(1); c.BanksPerRank = 0; return c }(),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d passed validation", i)
+		}
+	}
+}
+
+func TestWithMTPS(t *testing.T) {
+	c := DDR4_2400(2).WithMTPS(600)
+	if c.MTPS != 600 || c.Channels != 2 {
+		t.Errorf("WithMTPS produced %+v", c)
+	}
+}
+
+func TestTransferCyclesScaleWithMTPS(t *testing.T) {
+	slow := DDR4_2400(1).WithMTPS(150)
+	fast := DDR4_2400(1).WithMTPS(9600)
+	if slow.lineTransferCycles() <= fast.lineTransferCycles() {
+		t.Errorf("150 MTPS transfer (%d cyc) should exceed 9600 MTPS (%d cyc)",
+			slow.lineTransferCycles(), fast.lineTransferCycles())
+	}
+	// 2400 MTPS, 8B bus, 4GHz core: 8 beats at 1.667 cyc = ~13 cycles.
+	if got := DDR4_2400(1).lineTransferCycles(); got < 12 || got > 15 {
+		t.Errorf("DDR4-2400 line transfer = %d cycles, want ~13", got)
+	}
+}
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	c := NewController(DDR4_2400(1))
+	line := uint64(1000)
+	first := c.Read(line, 0)            // row miss (activation)
+	second := c.Read(line+1, first)     // same row: hit
+	third := c.Read(line+1<<20, second) // far away: likely different row
+	missLat := first - 0
+	hitLat := second - first
+	if hitLat >= missLat {
+		t.Errorf("row hit latency %d should beat miss latency %d", hitLat, missLat)
+	}
+	st := c.Stats()
+	if st.RowHits < 1 || st.RowMisses < 2 {
+		t.Errorf("row stats wrong: %+v", st)
+	}
+	_ = third
+}
+
+func TestCompletionAfterArrival(t *testing.T) {
+	c := NewController(DDR4_2400(1))
+	f := func(line uint64, at int64) bool {
+		if at < 0 {
+			at = -at
+		}
+		at %= 1 << 40
+		return c.Read(line, at) > at
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBusContention(t *testing.T) {
+	c := NewController(DDR4_2400(1))
+	// Saturate: issue many same-cycle reads to distinct rows/banks; the bus
+	// serializes the transfers.
+	var last int64
+	for i := 0; i < 64; i++ {
+		done := c.Read(uint64(i)*32, 0) // one row apart -> spread over banks
+		if done > last {
+			last = done
+		}
+	}
+	xfer := c.Config().lineTransferCycles()
+	if last < 64*xfer {
+		t.Errorf("64 concurrent reads completed in %d cycles; bus alone needs %d", last, 64*xfer)
+	}
+}
+
+func TestMoreChannelsMoreThroughput(t *testing.T) {
+	run := func(channels int) int64 {
+		c := NewController(DDR4_2400(channels))
+		var last int64
+		for i := 0; i < 128; i++ {
+			if done := c.Read(uint64(i)*32, 0); done > last {
+				last = done
+			}
+		}
+		return last
+	}
+	if run(4) >= run(1) {
+		t.Error("four channels should finish a burst faster than one")
+	}
+}
+
+func TestBandwidthMonitor(t *testing.T) {
+	c := NewController(DDR4_2400(1))
+	// Fill several epochs with back-to-back independent traffic (arrivals
+	// at the bus cadence, not dependent on completions).
+	xfer := c.Config().lineTransferCycles()
+	var cycle int64
+	for i := 0; i < 4000; i++ {
+		cycle = int64(i) * xfer
+		c.Read(uint64(i)*32, cycle)
+	}
+	// Force epoch rollover by touching a far-future cycle.
+	c.Read(1<<30, cycle+10*epochLen)
+	if c.Util() < 0 || c.Util() > 1 {
+		t.Errorf("Util() = %v out of range", c.Util())
+	}
+	b := c.Buckets()
+	var sum float64
+	for _, f := range b {
+		sum += f
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("bucket fractions sum to %v", sum)
+	}
+	// Saturated phase must have registered high-usage epochs.
+	if b[2]+b[3] == 0 {
+		t.Error("back-to-back traffic never reached >50% usage buckets")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := NewController(DDR4_2400(1))
+	c.Read(0, 0)
+	c.Write(1, 100)
+	c.ResetStats()
+	st := c.Stats()
+	if st.Reads != 0 || st.Writes != 0 || st.BusBusy != 0 {
+		t.Errorf("stats not cleared: %+v", st)
+	}
+}
+
+func TestReadWriteCounting(t *testing.T) {
+	c := NewController(DDR4_2400(1))
+	for i := 0; i < 5; i++ {
+		c.Read(uint64(i), int64(i)*1000)
+	}
+	for i := 0; i < 3; i++ {
+		c.Write(uint64(i), 99999)
+	}
+	st := c.Stats()
+	if st.Reads != 5 || st.Writes != 3 {
+		t.Errorf("counts %d/%d, want 5/3", st.Reads, st.Writes)
+	}
+}
+
+func TestMapAddrSpreadsBanks(t *testing.T) {
+	c := NewController(DDR4_2400(1))
+	banks := map[int]bool{}
+	// Widely separated streams (distinct cores' address spaces) must not
+	// alias onto a single bank.
+	for core := 0; core < 8; core++ {
+		line := uint64(core) << 50
+		_, b, _ := c.mapAddr(line)
+		banks[b] = true
+	}
+	if len(banks) < 3 {
+		t.Errorf("8 address spaces map to only %d banks", len(banks))
+	}
+}
+
+func TestPeakBytesPerCycle(t *testing.T) {
+	one := NewController(DDR4_2400(1)).PeakBytesPerCycle()
+	four := NewController(DDR4_2400(4)).PeakBytesPerCycle()
+	if four <= one {
+		t.Errorf("4-channel peak %v should exceed 1-channel %v", four, one)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewController should panic on invalid config")
+		}
+	}()
+	NewController(Config{})
+}
+
+func TestRefreshDisabledByDefault(t *testing.T) {
+	c := NewController(DDR4_2400(1))
+	for i := 0; i < 1000; i++ {
+		c.Read(uint64(i)*32, int64(i)*20)
+	}
+	if c.Stats().RefreshStalls != 0 {
+		t.Error("refresh stalls recorded with refresh disabled")
+	}
+}
+
+func TestRefreshBlocksAccesses(t *testing.T) {
+	c := NewController(DDR4_2400(1).WithRefresh())
+	// Sweep arrivals across several tREFI windows; some must land inside a
+	// refresh and be delayed.
+	stalled := false
+	for i := 0; i < 20000; i++ {
+		at := int64(i) * 17
+		done := c.Read(uint64(i)*32, at)
+		if done <= at {
+			t.Fatalf("completion %d not after arrival %d", done, at)
+		}
+		if c.Stats().RefreshStalls > 0 {
+			stalled = true
+		}
+	}
+	if !stalled {
+		t.Error("no access was ever delayed by refresh")
+	}
+}
+
+func TestRefreshReducesThroughputSlightly(t *testing.T) {
+	run := func(cfg Config) int64 {
+		c := NewController(cfg)
+		var last int64
+		for i := 0; i < 5000; i++ {
+			if done := c.Read(uint64(i)*32, int64(i)*14); done > last {
+				last = done
+			}
+		}
+		return last
+	}
+	base := run(DDR4_2400(1))
+	refr := run(DDR4_2400(1).WithRefresh())
+	if refr < base {
+		t.Errorf("refresh should not speed things up: %d vs %d", refr, base)
+	}
+}

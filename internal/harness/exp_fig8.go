@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"fmt"
+
+	"pythia/internal/cache"
+	"pythia/internal/stats"
+)
+
+// Fig8aCores reproduces Fig. 8(a): geomean speedup while scaling the core
+// count (channel counts scale with cores per Table 5).
+func Fig8aCores(sc Scale) *stats.Table {
+	pfs := StandardPFs()
+	t := &stats.Table{
+		Title:  "Fig. 8a: speedup vs core count",
+		Header: append([]string{"cores"}, pfNames(pfs)...),
+	}
+	for _, cores := range []int{1, 2, 4, 8} {
+		cfg := cache.DefaultConfig(cores)
+		mixes := mixesFor(cores, sc)
+		cells := []string{fmt.Sprint(cores)}
+		for _, pf := range pfs {
+			cells = append(cells, fmt.Sprintf("%.3f", stats.Geomean(mixSpeedups(mixes, cfg, sc, pf))))
+		}
+		t.AddRow(cells...)
+	}
+	t.Notes = append(t.Notes, "paper: Pythia's margin over prior prefetchers grows with core count")
+	return t
+}
+
+// BandwidthPoints is the Fig. 8(b) MTPS sweep.
+var BandwidthPoints = []int{150, 300, 600, 1200, 2400, 4800, 9600}
+
+// Fig8bBandwidth reproduces Fig. 8(b): single-core speedup while scaling
+// DRAM bandwidth from 150 to 9600 MTPS.
+func Fig8bBandwidth(sc Scale) *stats.Table {
+	pfs := []PF{SPPPF(), BingoPF(), MLOPPF(), PPFPF(), BasicPythiaPF()}
+	t := &stats.Table{
+		Title:  "Fig. 8b: speedup vs DRAM bandwidth (MTPS, single-core)",
+		Header: append([]string{"MTPS"}, pfNames(pfs)...),
+	}
+	for _, mtps := range BandwidthPoints {
+		cfg := cache.DefaultConfig(1)
+		cfg.DRAM = cfg.DRAM.WithMTPS(mtps)
+		cells := []string{fmt.Sprint(mtps)}
+		for _, pf := range pfs {
+			var all []float64
+			for _, suite := range suitesList() {
+				all = append(all, suiteSpeedups(suite, cfg, sc, pf)...)
+			}
+			cells = append(cells, fmt.Sprintf("%.3f", stats.Geomean(all)))
+		}
+		t.AddRow(cells...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: at 150 MTPS Pythia outperforms MLOP/Bingo by 16.9%/20.2%; MLOP underperforms the baseline by 16%")
+	return t
+}
+
+// Fig8cLLCSize reproduces Fig. 8(c): single-core speedup while scaling the
+// LLC from 256KB to 4MB.
+func Fig8cLLCSize(sc Scale) *stats.Table {
+	pfs := []PF{SPPPF(), BingoPF(), MLOPPF(), BasicPythiaPF()}
+	t := &stats.Table{
+		Title:  "Fig. 8c: speedup vs LLC size (single-core)",
+		Header: append([]string{"LLC KB"}, pfNames(pfs)...),
+	}
+	for _, kb := range []int{256, 512, 1024, 2048, 4096} {
+		cfg := cache.DefaultConfig(1)
+		cfg.LLCSizeKBPerCore = kb
+		cells := []string{fmt.Sprint(kb)}
+		for _, pf := range pfs {
+			var all []float64
+			for _, suite := range suitesList() {
+				all = append(all, suiteSpeedups(suite, cfg, sc, pf)...)
+			}
+			cells = append(cells, fmt.Sprintf("%.3f", stats.Geomean(all)))
+		}
+		t.AddRow(cells...)
+	}
+	t.Notes = append(t.Notes, "paper: Pythia outperforms all competitors at every LLC size")
+	return t
+}
+
+// Fig8dMultiLevel reproduces Fig. 8(d): multi-level prefetching schemes
+// (stride@L1+streamer@L2, IPCP, stride@L1+Pythia@L2) under the MTPS sweep.
+func Fig8dMultiLevel(sc Scale) *stats.Table {
+	pfs := []PF{StrideStreamerPF(), IPCPPF(), StridePythiaPF()}
+	t := &stats.Table{
+		Title:  "Fig. 8d: multi-level prefetching vs DRAM bandwidth (single-core)",
+		Header: append([]string{"MTPS"}, pfNames(pfs)...),
+	}
+	for _, mtps := range []int{150, 600, 2400, 9600} {
+		cfg := cache.DefaultConfig(1)
+		cfg.DRAM = cfg.DRAM.WithMTPS(mtps)
+		cells := []string{fmt.Sprint(mtps)}
+		for _, pf := range pfs {
+			var all []float64
+			for _, suite := range suitesList() {
+				all = append(all, suiteSpeedups(suite, cfg, sc, pf)...)
+			}
+			cells = append(cells, fmt.Sprintf("%.3f", stats.Geomean(all)))
+		}
+		t.AddRow(cells...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: Stride+Pythia outperforms Stride+Streamer and IPCP at every bandwidth point")
+	return t
+}
+
+// suitesList is a tiny indirection so experiment files avoid repeating the
+// trace import for one call.
+func suitesList() []string {
+	return []string{"SPEC06", "SPEC17", "PARSEC", "Ligra", "Cloudsuite"}
+}

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"fmt"
+
+	"pythia/internal/cache"
+	"pythia/internal/core"
+	"pythia/internal/stats"
+	"pythia/internal/trace"
+)
+
+// Fig10aFourCore reproduces Fig. 10(a): per-suite geomean speedup in the
+// four-core system over homogeneous and heterogeneous mixes.
+func Fig10aFourCore(sc Scale) *stats.Table {
+	cfg := cache.DefaultConfig(4)
+	pfs := StandardPFs()
+	mixes := mixesFor(4, sc)
+	t := &stats.Table{
+		Title:  "Fig. 10a: per-suite speedup (four-core)",
+		Header: append([]string{"suite"}, pfNames(pfs)...),
+	}
+	groups := map[string][]trace.Mix{}
+	var order []string
+	for _, m := range mixes {
+		s := suiteOfMix(m)
+		if _, ok := groups[s]; !ok {
+			order = append(order, s)
+		}
+		groups[s] = append(groups[s], m)
+	}
+	all := map[string][]float64{}
+	for _, suite := range order {
+		cells := []string{suite}
+		for _, pf := range pfs {
+			sp := mixSpeedups(groups[suite], cfg, sc, pf)
+			all[pf.Name] = append(all[pf.Name], sp...)
+			cells = append(cells, fmt.Sprintf("%.3f", stats.Geomean(sp)))
+		}
+		t.AddRow(cells...)
+	}
+	cells := []string{"GEOMEAN"}
+	for _, pf := range pfs {
+		cells = append(cells, fmt.Sprintf("%.3f", stats.Geomean(all[pf.Name])))
+	}
+	t.AddRow(cells...)
+	t.Notes = append(t.Notes, "paper: Pythia outperforms MLOP/Bingo/SPP by 5.8/8.2/6.5% at 4C")
+	return t
+}
+
+// Fig10bCombinations reproduces Fig. 10(b): prefetcher stacks at four
+// cores, where combining overpredictors hurts.
+func Fig10bCombinations(sc Scale) *stats.Table {
+	cfg := cache.DefaultConfig(4)
+	mixes := mixesFor(4, sc)
+	t := &stats.Table{
+		Title:  "Fig. 10b: prefetcher combinations (four-core)",
+		Header: []string{"configuration", "geomean speedup"},
+	}
+	for _, pf := range combinationStacks() {
+		t.AddRow(pf.Name, fmt.Sprintf("%.3f", stats.Geomean(mixSpeedups(mixes, cfg, sc, pf))))
+	}
+	t.Notes = append(t.Notes, "paper: stacking prefetchers beyond St+S lowers 4C performance; Pythia wins by 4.9%")
+	return t
+}
+
+// Fig11BandwidthOblivious reproduces Fig. 11: the bandwidth-oblivious
+// ablation of Pythia relative to basic Pythia under the MTPS sweep.
+func Fig11BandwidthOblivious(sc Scale) *stats.Table {
+	t := &stats.Table{
+		Title:  "Fig. 11: bandwidth-oblivious Pythia vs basic Pythia",
+		Header: []string{"MTPS", "basic", "bw-oblivious", "delta"},
+	}
+	for _, mtps := range BandwidthPoints {
+		cfg := cache.DefaultConfig(1)
+		cfg.DRAM = cfg.DRAM.WithMTPS(mtps)
+		var basic, obl []float64
+		for _, suite := range suitesList() {
+			basic = append(basic, suiteSpeedups(suite, cfg, sc, BasicPythiaPF())...)
+			obl = append(obl, suiteSpeedups(suite, cfg, sc, PythiaPF(core.BandwidthObliviousConfig()))...)
+		}
+		b, o := stats.Geomean(basic), stats.Geomean(obl)
+		t.AddRow(fmt.Sprint(mtps), fmt.Sprintf("%.3f", b), fmt.Sprintf("%.3f", o), pct(o/b-1))
+	}
+	t.Notes = append(t.Notes,
+		"paper: the oblivious variant loses up to 4.6% at 150 MTPS and converges to basic at high bandwidth")
+	return t
+}
+
+// Fig12Unseen reproduces Fig. 12: performance on the CVP-2 "unseen" trace
+// categories in single-core and four-core systems.
+func Fig12Unseen(sc Scale) *stats.Table {
+	pfs := StandardPFs()
+	t := &stats.Table{
+		Title:  "Fig. 12: performance on unseen CVP-2 traces",
+		Header: append([]string{"system", "category"}, pfNames(pfs)...),
+	}
+	categories := map[string][]trace.Workload{}
+	var order []string
+	for _, w := range trace.BySuite(trace.SuiteCVP2) {
+		if _, ok := categories[w.Base]; !ok {
+			order = append(order, w.Base)
+		}
+		categories[w.Base] = append(categories[w.Base], w)
+	}
+	for _, cores := range []int{1, 4} {
+		cfg := cache.DefaultConfig(cores)
+		sys := fmt.Sprintf("%dC", cores)
+		all := map[string][]float64{}
+		for _, cat := range order {
+			cells := []string{sys, cat}
+			for _, pf := range pfs {
+				var sp []float64
+				for _, w := range categories[cat] {
+					mix := single(w)
+					if cores > 1 {
+						mix = trace.HomogeneousMix(w, cores)
+					}
+					sp = append(sp, SpeedupOn(mix, cfg, sc, pf))
+				}
+				all[pf.Name] = append(all[pf.Name], sp...)
+				cells = append(cells, fmt.Sprintf("%.3f", stats.Geomean(sp)))
+			}
+			t.AddRow(cells...)
+		}
+		cells := []string{sys, "GEOMEAN"}
+		for _, pf := range pfs {
+			cells = append(cells, fmt.Sprintf("%.3f", stats.Geomean(all[pf.Name])))
+		}
+		t.AddRow(cells...)
+	}
+	t.Notes = append(t.Notes, "paper: Pythia wins on traces never used for tuning (crypto/INT/FP/server)")
+	return t
+}

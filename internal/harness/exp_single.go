@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"fmt"
+
+	"pythia/internal/cache"
+	"pythia/internal/stats"
+	"pythia/internal/trace"
+)
+
+// fig1Workloads are the six example workloads of Fig. 1 (our trace-segment
+// names differ from the paper's DPC2 segment suffixes).
+func fig1Workloads() []string {
+	return []string{
+		"482.sphinx3-100B", "canneal-100B", "facesim-100B",
+		"459.GemsFDTD-100B", "CC-100B", "PageRankDelta-100B",
+	}
+}
+
+// Fig1Motivation reproduces Fig. 1: coverage, overprediction and IPC
+// improvement of SPP, Bingo and Pythia on six example workloads.
+func Fig1Motivation(sc Scale) *stats.Table {
+	cfg := cache.DefaultConfig(1)
+	pfs := []PF{SPPPF(), BingoPF(), BasicPythiaPF()}
+	t := &stats.Table{
+		Title:  "Fig. 1: motivation workloads (single-core)",
+		Header: []string{"workload", "prefetcher", "coverage", "overpred", "speedup"},
+	}
+	for _, name := range fig1Workloads() {
+		w, ok := trace.ByName(name)
+		if !ok {
+			t.Notes = append(t.Notes, "missing workload "+name)
+			continue
+		}
+		for _, pf := range pfs {
+			cov, over := coverageOverpred(w, cfg, sc, pf)
+			sp := SpeedupOn(single(w), cfg, sc, pf)
+			t.AddRow(name, pf.Name, pct(cov), pct(over), fmt.Sprintf("%.3f", sp))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: Bingo > SPP on sphinx3/canneal/facesim; SPP > Bingo on GemsFDTD;",
+		"Bingo loses on Ligra-CC despite coverage; Pythia competitive everywhere")
+	return t
+}
+
+// Fig7Coverage reproduces Fig. 7: per-suite prefetch coverage and
+// overprediction at the LLC-memory boundary, single-core.
+func Fig7Coverage(sc Scale) *stats.Table {
+	cfg := cache.DefaultConfig(1)
+	pfs := StandardPFs()
+	t := &stats.Table{
+		Title:  "Fig. 7: coverage and overprediction per suite (single-core)",
+		Header: []string{"suite", "prefetcher", "coverage", "overpred"},
+	}
+	type agg struct{ cov, over []float64 }
+	total := map[string]*agg{}
+	for _, suite := range trace.Suites() {
+		for _, pf := range pfs {
+			var covs, overs []float64
+			for _, w := range suiteWorkloads(suite, sc) {
+				cov, over := coverageOverpred(w, cfg, sc, pf)
+				covs = append(covs, cov)
+				overs = append(overs, over)
+			}
+			if total[pf.Name] == nil {
+				total[pf.Name] = &agg{}
+			}
+			total[pf.Name].cov = append(total[pf.Name].cov, covs...)
+			total[pf.Name].over = append(total[pf.Name].over, overs...)
+			t.AddRow(suite, pf.Name, pct(stats.Mean(covs)), pct(stats.Mean(overs)))
+		}
+	}
+	for _, pf := range pfs {
+		a := total[pf.Name]
+		t.AddRow("AVG", pf.Name, pct(stats.Mean(a.cov)), pct(stats.Mean(a.over)))
+	}
+	t.Notes = append(t.Notes, "paper: Pythia 71% coverage / 27% overpredictions; MLOP 64%/110%")
+	return t
+}
+
+// Fig9aSingleCore reproduces Fig. 9(a): per-suite geomean speedup over the
+// no-prefetching baseline in the single-core system.
+func Fig9aSingleCore(sc Scale) *stats.Table {
+	cfg := cache.DefaultConfig(1)
+	pfs := StandardPFs()
+	t := &stats.Table{
+		Title:  "Fig. 9a: per-suite speedup (single-core)",
+		Header: append([]string{"suite"}, pfNames(pfs)...),
+	}
+	all := map[string][]float64{}
+	for _, suite := range trace.Suites() {
+		cells := []string{suite}
+		for _, pf := range pfs {
+			sp := suiteSpeedups(suite, cfg, sc, pf)
+			all[pf.Name] = append(all[pf.Name], sp...)
+			cells = append(cells, fmt.Sprintf("%.3f", stats.Geomean(sp)))
+		}
+		t.AddRow(cells...)
+	}
+	cells := []string{"GEOMEAN"}
+	for _, pf := range pfs {
+		cells = append(cells, fmt.Sprintf("%.3f", stats.Geomean(all[pf.Name])))
+	}
+	t.AddRow(cells...)
+	t.Notes = append(t.Notes, "paper: Pythia 1.224 geomean; outperforms MLOP/Bingo/SPP by 3.4/3.8/4.3%")
+	return t
+}
+
+// combinationStacks returns the Fig. 9b hybrid ladder.
+func combinationStacks() []PF {
+	st := StridePF()
+	s := SPPPF()
+	b := BingoPF()
+	d := DSPatchPF()
+	m := MLOPPF()
+	return []PF{
+		st,
+		HybridPF("St+S", st, s),
+		HybridPF("St+S+B", st, s, b),
+		HybridPF("St+S+B+D", st, s, b, d),
+		HybridPF("St+S+B+D+M", st, s, b, d, m),
+		BasicPythiaPF(),
+	}
+}
+
+// Fig9bCombinations reproduces Fig. 9(b): Pythia vs stacked combinations of
+// prior prefetchers, single-core.
+func Fig9bCombinations(sc Scale) *stats.Table {
+	cfg := cache.DefaultConfig(1)
+	t := &stats.Table{
+		Title:  "Fig. 9b: prefetcher combinations (single-core)",
+		Header: []string{"configuration", "geomean speedup"},
+	}
+	for _, pf := range combinationStacks() {
+		var all []float64
+		for _, suite := range trace.Suites() {
+			all = append(all, suiteSpeedups(suite, cfg, sc, pf)...)
+		}
+		t.AddRow(pf.Name, fmt.Sprintf("%.3f", stats.Geomean(all)))
+	}
+	t.Notes = append(t.Notes, "paper: Pythia outperforms the full St+S+B+D+M stack by 1.4% at 1C")
+	return t
+}
+
+func pfNames(pfs []PF) []string {
+	out := make([]string, len(pfs))
+	for i, p := range pfs {
+		out[i] = p.Name
+	}
+	return out
+}

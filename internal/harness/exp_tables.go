@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pythia/internal/core"
+	"pythia/internal/hw"
+	"pythia/internal/stats"
+)
+
+// Table2BasicConfig reports the basic Pythia configuration (paper Table 2).
+// The paper's 500M-instruction hyperparameters are shown alongside the
+// horizon-scaled values this library's runs use (see DESIGN.md).
+func Table2BasicConfig(Scale) *stats.Table {
+	cfg := core.BasicConfig()
+	t := &stats.Table{
+		Title:  "Table 2: basic Pythia configuration",
+		Header: []string{"parameter", "value"},
+	}
+	var feats []string
+	for _, f := range cfg.Features {
+		feats = append(feats, f.String())
+	}
+	t.AddRow("Features", strings.Join(feats, ", "))
+	t.AddRow("Prefetch action list", fmt.Sprint(cfg.Actions))
+	t.AddRow("R_AT / R_AL / R_CL", fmt.Sprintf("%g / %g / %g", cfg.Rewards.AT, cfg.Rewards.AL, cfg.Rewards.CL))
+	t.AddRow("R_IN (high/low BW)", fmt.Sprintf("%g / %g", cfg.Rewards.INHigh, cfg.Rewards.INLow))
+	t.AddRow("R_NP (high/low BW)", fmt.Sprintf("%g / %g", cfg.Rewards.NPHigh, cfg.Rewards.NPLow))
+	t.AddRow("alpha (paper @500M instr)", "0.0065")
+	t.AddRow("alpha (this library, scaled horizon)", fmt.Sprint(cfg.Alpha))
+	t.AddRow("gamma", fmt.Sprint(cfg.Gamma))
+	t.AddRow("epsilon (paper @500M instr)", "0.002")
+	t.AddRow("epsilon (this library, scaled horizon)", fmt.Sprint(cfg.Epsilon))
+	t.AddRow("EQ size", fmt.Sprint(cfg.EQSize))
+	t.AddRow("Planes per vault", fmt.Sprint(cfg.PlanesPerVault))
+	t.AddRow("Plane feature dimension", fmt.Sprint(cfg.FeatureDim))
+	return t
+}
+
+// Table4Storage reports Pythia's metadata storage (paper Table 4: 25.5 KB).
+func Table4Storage(Scale) *stats.Table {
+	cfg := core.BasicConfig()
+	items := hw.PythiaStorage(cfg)
+	t := &stats.Table{
+		Title:  "Table 4: Pythia storage overhead",
+		Header: []string{"structure", "description", "size (KB)"},
+	}
+	for _, s := range items {
+		t.AddRow(s.Name, s.Description, fmt.Sprintf("%.1f", s.KB()))
+	}
+	t.AddRow("Total", "", fmt.Sprintf("%.1f", hw.TotalKB(items)))
+	t.Notes = append(t.Notes, "paper: QVStore 24 KB, EQ 1.5 KB, total 25.5 KB")
+	return t
+}
+
+// Table7PrefetcherConfigs reports the evaluated prefetchers and their
+// storage budgets (paper Table 7).
+func Table7PrefetcherConfigs(Scale) *stats.Table {
+	t := &stats.Table{
+		Title:  "Table 7: evaluated prefetcher configurations",
+		Header: []string{"prefetcher", "configuration", "storage (KB)"},
+	}
+	budgets := hw.BaselineStorageKB()
+	rows := []struct{ name, desc string }{
+		{"SPP", "256-entry ST, 512-entry PT, path-confidence lookahead"},
+		{"Bingo", "2KB region, 128-entry AT, 4K-entry PHT"},
+		{"MLOP", "128-entry AMT, 500-access update, degree 8"},
+		{"DSPatch", "dual CovP/AccP patterns, bandwidth-modulated"},
+		{"SPP+PPF", "SPP + 4-table perceptron filter"},
+		{"Pythia", "2 features, 2 vaults, 3 planes, 16 actions"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.name, r.desc, fmt.Sprintf("%.1f", budgets[r.name]))
+	}
+	return t
+}
+
+// Table8AreaPower reports Pythia's area/power and its overhead over
+// reference processors (paper Table 8), from the calibrated analytical
+// model in internal/hw.
+func Table8AreaPower(Scale) *stats.Table {
+	kb := hw.TotalKB(hw.PythiaStorage(core.BasicConfig()))
+	t := &stats.Table{
+		Title:  "Table 8: area and power overhead of Pythia",
+		Header: []string{"reference processor", "area overhead", "power overhead"},
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("Pythia per core: %.2f mm², %.2f mW (model calibrated to the paper's 14nm synthesis)",
+			hw.AreaMM2(kb), hw.PowerMW(kb)),
+		"paper: 1.03%/0.37%, 1.24%/0.60%, 1.33%/0.75%")
+	procs := hw.ReferenceProcessors()
+	sort.Slice(procs, func(i, j int) bool { return procs[i].Cores < procs[j].Cores })
+	for _, p := range procs {
+		a, pw := hw.Overhead(kb, p)
+		t.AddRow(p.Name, pct(a), pct(pw))
+	}
+	return t
+}

@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"fmt"
+
+	"pythia/internal/cache"
+	"pythia/internal/stats"
+	"pythia/internal/trace"
+)
+
+// Experiment is one reproducible table/figure from the paper.
+type Experiment struct {
+	// ID is the paper's label ("fig9a", "table4", ...).
+	ID string
+	// Title describes what the experiment shows.
+	Title string
+	// Run executes the experiment at a scale and renders the result.
+	Run func(sc Scale) *stats.Table
+}
+
+// Experiments returns every experiment in the paper's presentation order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table2", "Basic Pythia configuration (Table 2)", Table2BasicConfig},
+		{"table4", "Pythia storage overhead (Table 4)", Table4Storage},
+		{"table7", "Evaluated prefetcher configurations (Table 7)", Table7PrefetcherConfigs},
+		{"table8", "Area and power overhead (Table 8)", Table8AreaPower},
+		{"fig1", "Motivation: coverage/overprediction/performance on six workloads (Fig. 1)", Fig1Motivation},
+		{"fig7", "Coverage and overprediction per suite, single-core (Fig. 7)", Fig7Coverage},
+		{"fig8a", "Speedup vs core count (Fig. 8a)", Fig8aCores},
+		{"fig8b", "Speedup vs DRAM bandwidth (Fig. 8b)", Fig8bBandwidth},
+		{"fig8c", "Speedup vs LLC size (Fig. 8c)", Fig8cLLCSize},
+		{"fig8d", "Multi-level prefetching vs DRAM bandwidth (Fig. 8d)", Fig8dMultiLevel},
+		{"fig9a", "Per-suite speedup, single-core (Fig. 9a)", Fig9aSingleCore},
+		{"fig9b", "Prefetcher combinations, single-core (Fig. 9b)", Fig9bCombinations},
+		{"fig10a", "Per-suite speedup, four-core (Fig. 10a)", Fig10aFourCore},
+		{"fig10b", "Prefetcher combinations, four-core (Fig. 10b)", Fig10bCombinations},
+		{"fig11", "Bandwidth-oblivious Pythia vs basic (Fig. 11)", Fig11BandwidthOblivious},
+		{"fig12", "Performance on unseen CVP-2 traces (Fig. 12)", Fig12Unseen},
+		{"fig13", "Q-value learning curves, GemsFDTD case study (Fig. 13)", Fig13QValueCurves},
+		{"fig14", "Bandwidth-usage buckets and performance on Ligra-CC (Fig. 14)", Fig14BandwidthBuckets},
+		{"fig15", "Basic vs strict Pythia on Ligra (Fig. 15)", Fig15StrictPythia},
+		{"fig16", "Basic vs feature-optimized Pythia on SPEC06 (Fig. 16)", Fig16FeatureOpt},
+		{"fig17", "Single-core performance line graph (Fig. 17)", Fig17LineGraph1C},
+		{"fig18", "Four-core performance line graph (Fig. 18)", Fig18LineGraph4C},
+		{"fig19", "Feature-combination design space (Fig. 19)", Fig19FeatureSweep},
+		{"fig20", "Hyperparameter sensitivity (Fig. 20)", Fig20Hyperparams},
+		{"fig21", "Pythia vs context prefetcher CP-HW (Fig. 21)", Fig21ContextPrefetcher},
+		{"fig22", "Pythia vs POWER7 adaptive prefetcher (Fig. 22)", Fig22Power7},
+		{"fig23", "Sensitivity to warmup length (Fig. 23)", Fig23Warmup},
+	}
+}
+
+// ExperimentByID finds an experiment, including the extended studies.
+func ExperimentByID(id string) (Experiment, bool) {
+	for _, e := range AllExperiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// pct formats a fraction as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// suiteSpeedups runs pf over a suite's workloads (1-core) and returns
+// per-workload speedups.
+func suiteSpeedups(suite string, cfg cache.Config, sc Scale, pf PF) []float64 {
+	var out []float64
+	for _, w := range suiteWorkloads(suite, sc) {
+		out = append(out, SpeedupOn(single(w), cfg, sc, pf))
+	}
+	return out
+}
+
+// coverageOverpred returns the artifact-formula coverage and overprediction
+// of a prefetcher on one 1-core workload.
+func coverageOverpred(w trace.Workload, cfg cache.Config, sc Scale, pf PF) (cov, over float64) {
+	mix := single(w)
+	base := RunCached(RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: Baseline()})
+	run := RunCached(RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: pf})
+	cov = stats.Coverage(base.SumLLCLoadMisses(), run.SumLLCLoadMisses())
+	over = stats.Overprediction(base.SumDRAMReads(), run.SumDRAMReads())
+	return
+}
+
+// mixesFor builds the standard multi-core mix list at a scale.
+func mixesFor(cores int, sc Scale) []trace.Mix {
+	var mixes []trace.Mix
+	var pool []trace.Workload
+	for _, s := range trace.Suites() {
+		ws := suiteWorkloads(s, sc)
+		pool = append(pool, ws...)
+		for _, w := range ws {
+			mixes = append(mixes, trace.HomogeneousMix(w, cores))
+		}
+	}
+	mixes = append(mixes, trace.HeterogeneousMixes(pool, cores, sc.HeteroMixes, 42)...)
+	return mixes
+}
+
+// mixSpeedups runs pf over a mix list.
+func mixSpeedups(mixes []trace.Mix, cfg cache.Config, sc Scale, pf PF) []float64 {
+	var out []float64
+	for _, m := range mixes {
+		out = append(out, SpeedupOn(m, cfg, sc, pf))
+	}
+	return out
+}
+
+// suiteOfMix groups a mix under its suite or "Mix".
+func suiteOfMix(m trace.Mix) string { return m.Suite() }

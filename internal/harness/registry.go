@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"pythia/internal/core"
+)
+
+// PFByName resolves a prefetcher configuration by name for the CLIs.
+func PFByName(name string) (PF, error) {
+	all := map[string]func() PF{
+		"nopref":          Baseline,
+		"stride":          StridePF,
+		"spp":             SPPPF,
+		"bingo":           BingoPF,
+		"mlop":            MLOPPF,
+		"dspatch":         DSPatchPF,
+		"ppf":             PPFPF,
+		"pythia":          BasicPythiaPF,
+		"pythia-strict":   func() PF { return PythiaPF(core.StrictConfig()) },
+		"pythia-bwobl":    func() PF { return PythiaPF(core.BandwidthObliviousConfig()) },
+		"cphw":            CPHWPF,
+		"power7":          Power7PF,
+		"ipcp":            IPCPPF,
+		"stride+streamer": StrideStreamerPF,
+		"stride+pythia":   StridePythiaPF,
+	}
+	if f, ok := all[name]; ok {
+		return f(), nil
+	}
+	names := make([]string, 0, len(all))
+	for n := range all {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return PF{}, fmt.Errorf("unknown prefetcher %q (available: %v)", name, names)
+}
+
+// ScaleByName resolves a scale preset.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "quick":
+		return ScaleQuick, nil
+	case "default", "":
+		return ScaleDefault, nil
+	case "full":
+		return ScaleFull, nil
+	default:
+		return Scale{}, fmt.Errorf("unknown scale %q (quick|default|full)", name)
+	}
+}

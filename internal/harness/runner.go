@@ -1,0 +1,313 @@
+// Package harness runs the paper's experiments: it wires workloads,
+// prefetchers and system configurations into simulations, caches baseline
+// runs, and exposes one function per table/figure of the evaluation (see
+// the experiment index in DESIGN.md).
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"pythia/internal/cache"
+	"pythia/internal/core"
+	"pythia/internal/cpu"
+	"pythia/internal/dram"
+	"pythia/internal/prefetch"
+	"pythia/internal/stats"
+	"pythia/internal/trace"
+)
+
+// Scale controls simulation lengths so the full suite finishes in minutes
+// instead of the paper's cluster-days; EXPERIMENTS.md records results at
+// the default scale.
+type Scale struct {
+	// Warmup / Sim are per-core instruction counts.
+	Warmup, Sim int64
+	// TraceLen is records generated per trace (replayed as needed).
+	TraceLen int
+	// WorkloadsPerSuite caps per-suite workload counts in sweep-heavy
+	// figures (0 = all).
+	WorkloadsPerSuite int
+	// HeteroMixes is the number of random heterogeneous multi-core mixes.
+	HeteroMixes int
+}
+
+// ScaleQuick is used by unit benchmarks and smoke tests.
+var ScaleQuick = Scale{Warmup: 300_000, Sim: 1_000_000, TraceLen: 120_000, WorkloadsPerSuite: 2, HeteroMixes: 2}
+
+// ScaleDefault is the standard evaluation scale.
+var ScaleDefault = Scale{Warmup: 1_000_000, Sim: 4_000_000, TraceLen: 400_000, WorkloadsPerSuite: 4, HeteroMixes: 4}
+
+// ScaleFull runs every registered trace.
+var ScaleFull = Scale{Warmup: 2_000_000, Sim: 10_000_000, TraceLen: 1_000_000, WorkloadsPerSuite: 0, HeteroMixes: 8}
+
+// PF names a prefetcher configuration and knows how to instantiate it per
+// core. L1 is optional (multi-level schemes).
+type PF struct {
+	Name string
+	L2   func(sys prefetch.System) prefetch.Prefetcher
+	L1   func(sys prefetch.System) prefetch.Prefetcher
+}
+
+// Baseline is the no-prefetching configuration.
+func Baseline() PF {
+	return PF{Name: "nopref", L2: func(prefetch.System) prefetch.Prefetcher { return prefetch.None{} }}
+}
+
+// SPPPF returns the SPP baseline.
+func SPPPF() PF {
+	return PF{Name: "SPP", L2: func(prefetch.System) prefetch.Prefetcher { return prefetch.NewSPP(prefetch.DefaultSPPConfig()) }}
+}
+
+// BingoPF returns the Bingo baseline.
+func BingoPF() PF {
+	return PF{Name: "Bingo", L2: func(prefetch.System) prefetch.Prefetcher { return prefetch.NewBingo(prefetch.DefaultBingoConfig()) }}
+}
+
+// MLOPPF returns the MLOP baseline.
+func MLOPPF() PF {
+	return PF{Name: "MLOP", L2: func(prefetch.System) prefetch.Prefetcher { return prefetch.NewMLOP(prefetch.DefaultMLOPConfig()) }}
+}
+
+// DSPatchPF returns the DSPatch baseline.
+func DSPatchPF() PF {
+	return PF{Name: "DSPatch", L2: func(sys prefetch.System) prefetch.Prefetcher {
+		return prefetch.NewDSPatch(prefetch.DefaultDSPatchConfig(), sys)
+	}}
+}
+
+// PPFPF returns SPP+PPF.
+func PPFPF() PF {
+	return PF{Name: "SPP+PPF", L2: func(prefetch.System) prefetch.Prefetcher { return prefetch.NewPPF(prefetch.DefaultPPFConfig()) }}
+}
+
+// StridePF returns the PC-stride baseline.
+func StridePF() PF {
+	return PF{Name: "Stride", L2: func(prefetch.System) prefetch.Prefetcher { return prefetch.NewStride(256, 2) }}
+}
+
+// PythiaPF returns Pythia with the given configuration.
+func PythiaPF(cfg core.Config) PF {
+	return PF{Name: cfg.Name, L2: func(sys prefetch.System) prefetch.Prefetcher { return core.MustNew(cfg, sys) }}
+}
+
+// BasicPythiaPF returns the Table 2 configuration.
+func BasicPythiaPF() PF { return PythiaPF(core.BasicConfig()) }
+
+// CPHWPF returns the contextual-bandit comparison point.
+func CPHWPF() PF {
+	return PF{Name: "CP-HW", L2: func(sys prefetch.System) prefetch.Prefetcher { return core.NewCPHW(sys) }}
+}
+
+// Power7PF returns the POWER7-style adaptive prefetcher.
+func Power7PF() PF {
+	return PF{Name: "POWER7", L2: func(prefetch.System) prefetch.Prefetcher { return prefetch.NewPower7(prefetch.DefaultPower7Config()) }}
+}
+
+// IPCPPF returns IPCP as a multi-level (L1-trained) scheme.
+func IPCPPF() PF {
+	return PF{Name: "IPCP", L1: func(prefetch.System) prefetch.Prefetcher { return prefetch.NewIPCP(prefetch.DefaultIPCPConfig()) },
+		L2: func(prefetch.System) prefetch.Prefetcher { return prefetch.None{} }}
+}
+
+// StrideStreamerPF returns the commercial-style multi-level scheme of
+// Fig. 8d: stride at L1 plus streamer at L2.
+func StrideStreamerPF() PF {
+	return PF{
+		Name: "Stride+Streamer",
+		L1:   func(prefetch.System) prefetch.Prefetcher { return prefetch.NewStride(256, 2) },
+		L2:   func(prefetch.System) prefetch.Prefetcher { return prefetch.NewStreamer(64, 8) },
+	}
+}
+
+// StridePythiaPF returns stride at L1 plus Pythia at L2 (Fig. 8d).
+func StridePythiaPF() PF {
+	return PF{
+		Name: "Stride+Pythia",
+		L1:   func(prefetch.System) prefetch.Prefetcher { return prefetch.NewStride(256, 2) },
+		L2:   func(sys prefetch.System) prefetch.Prefetcher { return core.MustNew(core.BasicConfig(), sys) },
+	}
+}
+
+// HybridPF stacks several PF factories at the L2 (Fig. 9b/10b combos).
+func HybridPF(name string, parts ...PF) PF {
+	return PF{Name: name, L2: func(sys prefetch.System) prefetch.Prefetcher {
+		ps := make([]prefetch.Prefetcher, 0, len(parts))
+		for _, p := range parts {
+			ps = append(ps, p.L2(sys))
+		}
+		return prefetch.NewMulti(name, ps...)
+	}}
+}
+
+// StandardPFs returns the paper's headline comparison set.
+func StandardPFs() []PF {
+	return []PF{SPPPF(), BingoPF(), MLOPPF(), BasicPythiaPF()}
+}
+
+// RunSpec fully describes one simulation.
+type RunSpec struct {
+	Mix      trace.Mix
+	CacheCfg cache.Config
+	Scale    Scale
+	PF       PF
+	// Hook runs after prefetchers are attached, before simulation; used by
+	// the Fig. 13 case study to install Q-value watches.
+	Hook func(h *cache.Hierarchy, pfs []prefetch.Prefetcher)
+}
+
+// RunResult summarizes one simulation.
+type RunResult struct {
+	Name    string
+	IPC     []float64
+	Stats   []cache.CoreStats
+	Buckets [dram.BucketCount]float64
+	DRAM    dram.Stats
+	PFs     []prefetch.Prefetcher
+}
+
+// SumLLCLoadMisses totals demand-load LLC misses across cores.
+func (r RunResult) SumLLCLoadMisses() int64 {
+	var n int64
+	for _, s := range r.Stats {
+		n += s.LLCLoadMisses
+	}
+	return n
+}
+
+// SumDRAMReads totals LLC read misses (demand + prefetch) across cores.
+func (r RunResult) SumDRAMReads() int64 {
+	var n int64
+	for _, s := range r.Stats {
+		n += s.DRAMReads
+	}
+	return n
+}
+
+var traceCache sync.Map // key string -> *trace.Trace
+
+// tracesFor materializes (with caching) the traces of a mix.
+func tracesFor(mix trace.Mix, length int) []*trace.Trace {
+	out := make([]*trace.Trace, len(mix.Workloads))
+	for i, w := range mix.Workloads {
+		key := fmt.Sprintf("%s|%d", w.Name, length)
+		if v, ok := traceCache.Load(key); ok {
+			out[i] = v.(*trace.Trace)
+			continue
+		}
+		t := w.Generate(length)
+		traceCache.Store(key, t)
+		out[i] = t
+	}
+	return out
+}
+
+// Run executes one simulation.
+func Run(spec RunSpec) RunResult {
+	cores := len(spec.Mix.Workloads)
+	cfg := spec.CacheCfg
+	cfg.Cores = cores
+	hier, err := cache.NewHierarchy(cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	traces := tracesFor(spec.Mix, spec.Scale.TraceLen)
+	readers := make([]trace.Reader, cores)
+	for i, t := range traces {
+		readers[i] = trace.NewSliceReader(t.Records)
+	}
+
+	var pfs []prefetch.Prefetcher
+	for i := 0; i < cores; i++ {
+		if spec.PF.L2 != nil {
+			p := spec.PF.L2(hier)
+			hier.AttachPrefetcher(i, p)
+			pfs = append(pfs, p)
+		}
+		if spec.PF.L1 != nil {
+			hier.AttachL1Prefetcher(i, spec.PF.L1(hier))
+		}
+	}
+	if spec.Hook != nil {
+		spec.Hook(hier, pfs)
+	}
+
+	sysCfg := cpu.SystemConfig{
+		Core:               cpu.DefaultCoreConfig(),
+		WarmupInstructions: spec.Scale.Warmup,
+		SimInstructions:    spec.Scale.Sim,
+	}
+	sys, err := cpu.NewSystem(sysCfg, hier, readers)
+	if err != nil {
+		panic(err)
+	}
+	sys.Run()
+
+	res := RunResult{Name: spec.Mix.Name, PFs: pfs}
+	for _, c := range sys.Cores {
+		res.IPC = append(res.IPC, c.IPC())
+		res.Stats = append(res.Stats, c.Stats())
+	}
+	res.Buckets = hier.DRAM().Buckets()
+	res.DRAM = hier.DRAM().Stats()
+	return res
+}
+
+var baselineCache sync.Map // key string -> RunResult
+
+// cacheKey captures everything that affects a run's outcome.
+func cacheKey(spec RunSpec) string {
+	d := spec.CacheCfg.DRAM
+	return fmt.Sprintf("%s|%s|c%d|llc%d|mshr%d|ch%d|mtps%d|w%d|s%d|t%d",
+		spec.Mix.Name, spec.PF.Name, len(spec.Mix.Workloads),
+		spec.CacheCfg.LLCSizeKBPerCore, spec.CacheCfg.MSHRs,
+		d.Channels, d.MTPS, spec.Scale.Warmup, spec.Scale.Sim, spec.Scale.TraceLen)
+}
+
+// RunCached executes a simulation, memoizing results (baselines recur in
+// every figure).
+func RunCached(spec RunSpec) RunResult {
+	key := cacheKey(spec)
+	if v, ok := baselineCache.Load(key); ok {
+		return v.(RunResult)
+	}
+	r := Run(spec)
+	baselineCache.Store(key, r)
+	return r
+}
+
+// Speedup returns the geomean over cores of per-core IPC ratios between a
+// prefetched run and its baseline.
+func Speedup(pf, base RunResult) float64 {
+	ratios := make([]float64, 0, len(pf.IPC))
+	for i := range pf.IPC {
+		if base.IPC[i] > 0 {
+			ratios = append(ratios, pf.IPC[i]/base.IPC[i])
+		}
+	}
+	return stats.Geomean(ratios)
+}
+
+// SpeedupOn runs prefetcher pf and the no-prefetch baseline on a mix and
+// returns the speedup (both runs cached).
+func SpeedupOn(mix trace.Mix, cfg cache.Config, sc Scale, pf PF) float64 {
+	base := RunCached(RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: Baseline()})
+	run := RunCached(RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: pf})
+	return Speedup(run, base)
+}
+
+// suiteWorkloads returns the workloads of a suite honoring the scale's
+// per-suite cap.
+func suiteWorkloads(suite string, sc Scale) []trace.Workload {
+	ws := trace.Representative(suite)
+	if sc.WorkloadsPerSuite > 0 && len(ws) > sc.WorkloadsPerSuite {
+		ws = ws[:sc.WorkloadsPerSuite]
+	}
+	return ws
+}
+
+// single wraps a workload as a 1-core mix.
+func single(w trace.Workload) trace.Mix {
+	return trace.Mix{Name: w.Name, Workloads: []trace.Workload{w}}
+}

@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"testing"
+
+	"pythia/internal/cache"
+	"pythia/internal/core"
+	"pythia/internal/stats"
+	"pythia/internal/trace"
+)
+
+// Shape tests assert the paper's qualitative findings end to end. All
+// simulations are seeded and deterministic, so these are stable; they are
+// skipped under -short because each runs full (quick-scale) simulations.
+
+func shapeScale() Scale { return ScaleQuick }
+
+func speedups(t *testing.T, names []string, cfg cache.Config, pf PF) []float64 {
+	t.Helper()
+	var out []float64
+	for _, n := range names {
+		w, ok := trace.ByName(n)
+		if !ok {
+			t.Fatalf("missing workload %s", n)
+		}
+		out = append(out, SpeedupOn(single(w), cfg, shapeScale(), pf))
+	}
+	return out
+}
+
+var shapeSet = []string{
+	"459.GemsFDTD-100B", "410.bwaves-100B", "482.sphinx3-100B",
+	"429.mcf-100B", "CC-100B", "cassandra-100B", "facesim-100B",
+}
+
+func TestShapePrefetchingHelpsOverall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := cache.DefaultConfig(1)
+	for _, pf := range []PF{SPPPF(), BingoPF(), BasicPythiaPF()} {
+		g := stats.Geomean(speedups(t, shapeSet, cfg, pf))
+		if g <= 1.0 {
+			t.Errorf("%s geomean %.3f: prefetching should help on the representative set", pf.Name, g)
+		}
+	}
+}
+
+func TestShapePythiaWinsGemsFDTD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// Fig. 1: the delta-chain workload favors delta learners; Pythia must
+	// beat Bingo there (its PC+Delta feature finds the +23/+11 offsets).
+	cfg := cache.DefaultConfig(1)
+	names := []string{"459.GemsFDTD-100B"}
+	py := speedups(t, names, cfg, BasicPythiaPF())[0]
+	bingo := speedups(t, names, cfg, BingoPF())[0]
+	if py <= bingo {
+		t.Errorf("Pythia %.3f should beat Bingo %.3f on GemsFDTD", py, bingo)
+	}
+}
+
+func TestShapeBingoWinsSphinx(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// Fig. 1: the spatial-footprint workload favors Bingo over SPP.
+	cfg := cache.DefaultConfig(1)
+	names := []string{"482.sphinx3-100B"}
+	bingo := speedups(t, names, cfg, BingoPF())[0]
+	spp := speedups(t, names, cfg, SPPPF())[0]
+	if bingo <= 1.0 || spp <= 1.0 {
+		t.Errorf("both should gain on sphinx3: bingo %.3f spp %.3f", bingo, spp)
+	}
+}
+
+func TestShapeBandwidthCollapse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// Fig. 8b: every prefetcher performs worse (relative to baseline) at
+	// 150 MTPS than at 2400 MTPS, and Pythia degrades least.
+	lowCfg := cache.DefaultConfig(1)
+	lowCfg.DRAM = lowCfg.DRAM.WithMTPS(150)
+	highCfg := cache.DefaultConfig(1)
+
+	type res struct {
+		name      string
+		low, high float64
+	}
+	var all []res
+	for _, pf := range []PF{SPPPF(), BingoPF(), MLOPPF(), BasicPythiaPF()} {
+		all = append(all, res{
+			pf.Name,
+			stats.Geomean(speedups(t, shapeSet, lowCfg, pf)),
+			stats.Geomean(speedups(t, shapeSet, highCfg, pf)),
+		})
+	}
+	var pythiaLow float64
+	for _, r := range all {
+		if r.low >= r.high {
+			t.Errorf("%s: low-bandwidth %.3f should trail normal %.3f", r.name, r.low, r.high)
+		}
+		if r.name == "pythia" {
+			pythiaLow = r.low
+		}
+	}
+	for _, r := range all {
+		if r.name != "pythia" && pythiaLow < r.low {
+			t.Errorf("Pythia (%.3f) should lead %s (%.3f) at 150 MTPS", pythiaLow, r.name, r.low)
+		}
+	}
+}
+
+func TestShapeStrictWinsOnGraphWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// Fig. 15: strict rewards should not lose on the bandwidth-hungry graph
+	// suite average.
+	cfg := cache.DefaultConfig(1)
+	graphs := []string{"CC-100B", "PageRank-100B", "BellmanFord-100B", "BFSCC-100B"}
+	basic := stats.Geomean(speedups(t, graphs, cfg, BasicPythiaPF()))
+	strict := stats.Geomean(speedups(t, graphs, cfg, PythiaPF(core.StrictConfig())))
+	if strict < basic*0.99 {
+		t.Errorf("strict %.3f materially below basic %.3f on Ligra set", strict, basic)
+	}
+}
+
+func TestShapeBandwidthAwarenessMatters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// Fig. 11: the bandwidth-oblivious ablation must not beat basic Pythia
+	// under constrained bandwidth.
+	cfg := cache.DefaultConfig(1)
+	cfg.DRAM = cfg.DRAM.WithMTPS(300)
+	basic := stats.Geomean(speedups(t, shapeSet, cfg, BasicPythiaPF()))
+	obl := stats.Geomean(speedups(t, shapeSet, cfg, PythiaPF(core.BandwidthObliviousConfig())))
+	if obl > basic*1.02 {
+		t.Errorf("oblivious %.3f should not beat basic %.3f at 300 MTPS", obl, basic)
+	}
+}
+
+func TestShapeCaseStudyLearnsPlus23(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// §6.5: after running GemsFDTD, the Q-value of +23 for context
+	// (PC=0x436a81, delta=0) must dominate small offsets.
+	w, _ := trace.ByName("459.GemsFDTD-100B")
+	r := Run(RunSpec{Mix: single(w), CacheCfg: cache.DefaultConfig(1), Scale: shapeScale(), PF: BasicPythiaPF()})
+	p := r.PFs[0].(*core.Pythia)
+	featVal := core.FeaturePCDelta.Value(&core.State{PC: 0x436a81, Delta: 0})
+	qv := p.QVStore()
+	actions := p.Config().Actions
+	qOf := func(off int) float64 {
+		for i, a := range actions {
+			if a == off {
+				return qv.VaultQ(0, featVal, i)
+			}
+		}
+		t.Fatalf("offset %d not in action list", off)
+		return 0
+	}
+	q23 := qOf(23)
+	for _, off := range []int{-6, -1, 1, 5} {
+		if q23 <= qOf(off) {
+			t.Errorf("Q(+23)=%.2f should dominate Q(%+d)=%.2f for the case-study context", q23, off, qOf(off))
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package hw
+
+import (
+	"math"
+	"testing"
+
+	"pythia/internal/core"
+)
+
+func TestPythiaStorageMatchesTable4(t *testing.T) {
+	items := PythiaStorage(core.BasicConfig())
+	if len(items) != 2 {
+		t.Fatalf("expected QVStore+EQ, got %d items", len(items))
+	}
+	byName := map[string]Storage{}
+	for _, s := range items {
+		byName[s.Name] = s
+	}
+	if kb := byName["QVStore"].KB(); kb != 24 {
+		t.Errorf("QVStore = %v KB, want 24", kb)
+	}
+	if kb := byName["EQ"].KB(); kb != 1.5 {
+		t.Errorf("EQ = %v KB, want 1.5", kb)
+	}
+	if total := TotalKB(items); total != 25.5 {
+		t.Errorf("total = %v KB, want 25.5 (Table 4)", total)
+	}
+}
+
+func TestAreaPowerCalibration(t *testing.T) {
+	// The model must reproduce the paper's synthesis numbers at the
+	// calibration point.
+	if a := AreaMM2(paperStorageKB); math.Abs(a-paperAreaMM2) > 0.01 {
+		t.Errorf("area at calibration point = %v, want %v", a, paperAreaMM2)
+	}
+	if p := PowerMW(paperStorageKB); math.Abs(p-paperPowerMW) > 0.5 {
+		t.Errorf("power at calibration point = %v, want %v", p, paperPowerMW)
+	}
+	// Monotonic in storage.
+	if AreaMM2(50) <= AreaMM2(10) || PowerMW(50) <= PowerMW(10) {
+		t.Error("area/power must grow with storage")
+	}
+}
+
+func TestOverheadMatchesTable8(t *testing.T) {
+	kb := TotalKB(PythiaStorage(core.BasicConfig()))
+	procs := ReferenceProcessors()
+	if len(procs) != 3 {
+		t.Fatalf("expected 3 reference processors")
+	}
+	// 4-core desktop part: paper reports 1.03% area, 0.37% power.
+	a, p := Overhead(kb, procs[0])
+	if a < 0.005 || a > 0.02 {
+		t.Errorf("4-core area overhead %.4f, want ~0.0103", a)
+	}
+	if p < 0.002 || p > 0.008 {
+		t.Errorf("4-core power overhead %.4f, want ~0.0037", p)
+	}
+	// Overheads must grow with core count faster than die area in these
+	// parts (paper: 1.03% -> 1.33%).
+	a28, _ := Overhead(kb, procs[2])
+	if a28 <= a {
+		t.Errorf("28-core overhead %.4f should exceed 4-core %.4f", a28, a)
+	}
+}
+
+func TestBaselineStorageBudgets(t *testing.T) {
+	b := BaselineStorageKB()
+	if b["Pythia"] != 25.5 {
+		t.Errorf("Pythia budget %v", b["Pythia"])
+	}
+	if b["Bingo"] <= b["SPP"] {
+		t.Error("Bingo should be larger than SPP (Table 7)")
+	}
+	// Pythia is less than half the combined budget of the five baselines
+	// (§6.3.1).
+	combined := b["SPP"] + b["Bingo"] + b["MLOP"] + b["DSPatch"]
+	if b["Pythia"] >= combined/2 {
+		t.Errorf("Pythia %v KB not under half of combined %v KB", b["Pythia"], combined)
+	}
+}

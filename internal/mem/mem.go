@@ -1,0 +1,91 @@
+// Package mem defines the address arithmetic and request types shared by the
+// cache hierarchy, the DRAM model, and the prefetchers.
+//
+// All byte addresses are uint64. A "line address" is a byte address shifted
+// right by LineShift; a "page number" is a byte address shifted right by
+// PageShift. The helpers here keep those conversions in one place so that the
+// rest of the codebase never hand-rolls shift constants.
+package mem
+
+const (
+	// LineSize is the cache line size in bytes.
+	LineSize = 64
+	// LineShift is log2(LineSize).
+	LineShift = 6
+	// PageSize is the physical page size in bytes.
+	PageSize = 4096
+	// PageShift is log2(PageSize).
+	PageShift = 12
+	// LinesPerPage is the number of cache lines in a page.
+	LinesPerPage = PageSize / LineSize
+	// OffsetBits is log2(LinesPerPage): bits of the in-page line offset.
+	OffsetBits = 6
+)
+
+// AccessType distinguishes the kinds of memory requests flowing through the
+// hierarchy.
+type AccessType uint8
+
+const (
+	// Load is a demand read.
+	Load AccessType = iota
+	// Store is a demand write.
+	Store
+	// Prefetch is a speculative read injected by a prefetcher.
+	Prefetch
+)
+
+// String implements fmt.Stringer.
+func (t AccessType) String() string {
+	switch t {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Prefetch:
+		return "prefetch"
+	default:
+		return "unknown"
+	}
+}
+
+// LineAddr returns the cache line address of a byte address.
+func LineAddr(addr uint64) uint64 { return addr >> LineShift }
+
+// LineToByte returns the first byte address of a line address.
+func LineToByte(line uint64) uint64 { return line << LineShift }
+
+// PageOf returns the page number of a byte address.
+func PageOf(addr uint64) uint64 { return addr >> PageShift }
+
+// PageOfLine returns the page number of a line address.
+func PageOfLine(line uint64) uint64 { return line >> (PageShift - LineShift) }
+
+// LineOffset returns the in-page line offset [0, LinesPerPage) of a byte
+// address.
+func LineOffset(addr uint64) int { return int((addr >> LineShift) & (LinesPerPage - 1)) }
+
+// LineOffsetOfLine returns the in-page line offset of a line address.
+func LineOffsetOfLine(line uint64) int { return int(line & (LinesPerPage - 1)) }
+
+// SamePage reports whether two line addresses fall in the same page.
+func SamePage(lineA, lineB uint64) bool { return PageOfLine(lineA) == PageOfLine(lineB) }
+
+// Request is a memory request as seen by the cache hierarchy.
+type Request struct {
+	// PC is the program counter of the instruction that issued the request.
+	// Prefetch requests carry the PC of the triggering demand.
+	PC uint64
+	// Addr is the byte address.
+	Addr uint64
+	// Type is the request kind.
+	Type AccessType
+	// Core is the issuing core's index.
+	Core int
+}
+
+// Line returns the request's cache line address.
+func (r Request) Line() uint64 { return LineAddr(r.Addr) }
+
+// IsDemand reports whether the request is a demand (non-prefetch) access.
+func (r Request) IsDemand() bool { return r.Type != Prefetch }

@@ -1,0 +1,139 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstants(t *testing.T) {
+	if 1<<LineShift != LineSize {
+		t.Errorf("LineShift %d inconsistent with LineSize %d", LineShift, LineSize)
+	}
+	if 1<<PageShift != PageSize {
+		t.Errorf("PageShift %d inconsistent with PageSize %d", PageShift, PageSize)
+	}
+	if LinesPerPage != PageSize/LineSize {
+		t.Errorf("LinesPerPage = %d, want %d", LinesPerPage, PageSize/LineSize)
+	}
+	if 1<<OffsetBits != LinesPerPage {
+		t.Errorf("OffsetBits %d inconsistent with LinesPerPage %d", OffsetBits, LinesPerPage)
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		line uint64
+	}{
+		{0, 0},
+		{63, 0},
+		{64, 1},
+		{127, 1},
+		{4096, 64},
+		{1 << 40, 1 << 34},
+	}
+	for _, c := range cases {
+		if got := LineAddr(c.addr); got != c.line {
+			t.Errorf("LineAddr(%#x) = %d, want %d", c.addr, got, c.line)
+		}
+	}
+}
+
+func TestLineToByteRoundTrip(t *testing.T) {
+	f := func(line uint64) bool {
+		line &= (1 << 58) - 1 // keep the shift in range
+		return LineAddr(LineToByte(line)) == line
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineAddrIdempotentOverLine(t *testing.T) {
+	f := func(addr uint64) bool {
+		// Every byte of a line maps to the same line address.
+		base := LineToByte(LineAddr(addr))
+		for _, off := range []uint64{0, 1, LineSize - 1} {
+			if LineAddr(base+off) != LineAddr(addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	if PageOf(4095) != 0 || PageOf(4096) != 1 {
+		t.Errorf("PageOf boundary wrong: %d %d", PageOf(4095), PageOf(4096))
+	}
+	f := func(addr uint64) bool {
+		return PageOf(addr) == PageOfLine(LineAddr(addr))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineOffset(t *testing.T) {
+	if LineOffset(0) != 0 {
+		t.Errorf("LineOffset(0) = %d", LineOffset(0))
+	}
+	if LineOffset(4096-64) != LinesPerPage-1 {
+		t.Errorf("last line of page offset = %d, want %d", LineOffset(4096-64), LinesPerPage-1)
+	}
+	f := func(addr uint64) bool {
+		off := LineOffset(addr)
+		return off >= 0 && off < LinesPerPage && off == LineOffsetOfLine(LineAddr(addr))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamePage(t *testing.T) {
+	if !SamePage(0, uint64(LinesPerPage-1)) {
+		t.Error("lines 0 and 63 should share a page")
+	}
+	if SamePage(0, uint64(LinesPerPage)) {
+		t.Error("lines 0 and 64 should not share a page")
+	}
+	f := func(line uint64) bool {
+		return SamePage(line, line)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessTypeString(t *testing.T) {
+	cases := map[AccessType]string{
+		Load:           "load",
+		Store:          "store",
+		Prefetch:       "prefetch",
+		AccessType(99): "unknown",
+	}
+	for ty, want := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ty, got, want)
+		}
+	}
+}
+
+func TestRequest(t *testing.T) {
+	r := Request{PC: 0x400000, Addr: 4096 + 65, Type: Load, Core: 2}
+	if r.Line() != 65 {
+		t.Errorf("Line() = %d, want 65", r.Line())
+	}
+	if !r.IsDemand() {
+		t.Error("load should be a demand")
+	}
+	if (Request{Type: Prefetch}).IsDemand() {
+		t.Error("prefetch should not be a demand")
+	}
+	if !(Request{Type: Store}).IsDemand() {
+		t.Error("store should be a demand")
+	}
+}

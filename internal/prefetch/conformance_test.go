@@ -1,0 +1,115 @@
+package prefetch
+
+import (
+	"math/rand"
+	"testing"
+
+	"pythia/internal/mem"
+)
+
+// allPrefetchers instantiates every baseline for conformance checks.
+func allPrefetchers() map[string]Prefetcher {
+	return map[string]Prefetcher{
+		"none":     None{},
+		"nextline": NewNextLine(2),
+		"stride":   NewStride(256, 2),
+		"streamer": NewStreamer(64, 4),
+		"spp":      NewSPP(DefaultSPPConfig()),
+		"ppf":      NewPPF(DefaultPPFConfig()),
+		"bingo":    NewBingo(DefaultBingoConfig()),
+		"mlop":     NewMLOP(DefaultMLOPConfig()),
+		"dspatch":  NewDSPatch(DefaultDSPatchConfig(), fixedBW(0.3)),
+		"ipcp":     NewIPCP(DefaultIPCPConfig()),
+		"power7":   NewPower7(DefaultPower7Config()),
+		"fdp":      NewFDP(DefaultFDPConfig(), NewNextLine(2), fixedBW(0.3)),
+		"multi":    NewMulti("m", NewNextLine(1), NewStride(256, 2)),
+	}
+}
+
+// TestConformanceRandomTraffic drives every prefetcher with adversarial
+// random traffic: no panics, and every candidate stays within the
+// triggering access's physical page (the post-L1 prefetcher contract every
+// design in the paper obeys).
+func TestConformanceRandomTraffic(t *testing.T) {
+	for name, p := range allPrefetchers() {
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 20000; i++ {
+			line := rng.Uint64() >> 20
+			pc := uint64(0x400000 + rng.Intn(64)*4)
+			for _, c := range p.Train(Access{PC: pc, Line: line, Cycle: int64(i), Store: i%7 == 0}) {
+				if !mem.SamePage(c, line) {
+					t.Fatalf("%s: candidate %d outside page of %d", name, c, line)
+				}
+				if c == line {
+					t.Fatalf("%s: prefetched the demanded line itself", name)
+				}
+			}
+			if i%97 == 0 {
+				p.Fill(line + 1) // fills must never panic, matched or not
+			}
+		}
+	}
+}
+
+// TestConformanceNames checks every prefetcher exposes a non-empty,
+// distinct name.
+func TestConformanceNames(t *testing.T) {
+	seen := map[string]string{}
+	for key, p := range allPrefetchers() {
+		n := p.Name()
+		if n == "" {
+			t.Errorf("%s has an empty name", key)
+		}
+		if other, dup := seen[n]; dup {
+			t.Errorf("name %q shared by %s and %s", n, key, other)
+		}
+		seen[n] = key
+	}
+}
+
+// TestConformancePageBoundaryEdges hits the exact first/last line of pages
+// with every prefetcher — the off-by-one zone for page clamps.
+func TestConformancePageBoundaryEdges(t *testing.T) {
+	for name, p := range allPrefetchers() {
+		for page := uint64(100); page < 130; page++ {
+			for _, off := range []uint64{0, mem.LinesPerPage - 1} {
+				line := page*mem.LinesPerPage + off
+				for _, c := range p.Train(Access{PC: 0x500, Line: line}) {
+					if !mem.SamePage(c, line) {
+						t.Fatalf("%s leaked across page at offset %d", name, off)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConformanceDeterminism re-runs an identical stream on fresh instances
+// and requires identical candidate sequences (the whole simulator depends
+// on this for reproducibility).
+func TestConformanceDeterminism(t *testing.T) {
+	build := func() map[string]Prefetcher { return allPrefetchers() }
+	drive := func(p Prefetcher) []uint64 {
+		rng := rand.New(rand.NewSource(7))
+		var out []uint64
+		for i := 0; i < 5000; i++ {
+			line := uint64(1<<22) + uint64(rng.Intn(1<<14))
+			out = append(out, p.Train(Access{PC: 0x600, Line: line, Cycle: int64(i)})...)
+		}
+		return out
+	}
+	a, b := build(), build()
+	for name := range a {
+		ca, cb := drive(a[name]), drive(b[name])
+		if len(ca) != len(cb) {
+			t.Errorf("%s nondeterministic: %d vs %d candidates", name, len(ca), len(cb))
+			continue
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Errorf("%s nondeterministic at candidate %d", name, i)
+				break
+			}
+		}
+	}
+}

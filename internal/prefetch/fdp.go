@@ -1,0 +1,132 @@
+package prefetch
+
+// FDP implements Feedback-Directed Prefetching [Srinath et al., HPCA 2007]
+// as a wrapper: a separate control loop measures the wrapped prefetcher's
+// accuracy and the system's bandwidth pressure, and throttles its degree by
+// probabilistically dropping candidates. The paper's introduction calls
+// this style out as "system awareness as an afterthought" — a bolt-on
+// controller over a system-unaware algorithm — in contrast to Pythia's
+// inherent reward-level feedback; this implementation exists to make that
+// comparison concrete.
+
+// FDPConfig tunes the throttling controller.
+type FDPConfig struct {
+	// Interval is the number of observed demands between control updates.
+	Interval int
+	// Window is the usefulness-tracking window size.
+	Window int
+	// Levels is the throttle ladder: the fraction of candidates allowed
+	// through at each aggressiveness level.
+	Levels []float64
+	// HighAcc / LowAcc are the accuracy thresholds that move the ladder.
+	HighAcc, LowAcc float64
+	// HighBW is the bus utilization above which one extra level of
+	// throttling is applied.
+	HighBW float64
+}
+
+// DefaultFDPConfig returns a configuration following the published
+// five-level aggressiveness ladder.
+func DefaultFDPConfig() FDPConfig {
+	return FDPConfig{
+		Interval: 2048,
+		Window:   1024,
+		Levels:   []float64{0.2, 0.4, 0.6, 0.8, 1.0},
+		HighAcc:  0.60,
+		LowAcc:   0.30,
+		HighBW:   0.6,
+	}
+}
+
+// FDP is the feedback-directed throttling wrapper.
+type FDP struct {
+	cfg    FDPConfig
+	inner  Prefetcher
+	sys    System
+	window *recentSet
+	level  int
+	seen   int
+	useful int
+	issued int
+	// lcg drives deterministic probabilistic dropping.
+	lcg uint64
+}
+
+// NewFDP wraps inner with a feedback-directed throttle.
+func NewFDP(cfg FDPConfig, inner Prefetcher, sys System) *FDP {
+	if len(cfg.Levels) == 0 {
+		cfg = DefaultFDPConfig()
+	}
+	if sys == nil {
+		sys = NilSystem()
+	}
+	f := &FDP{
+		cfg:   cfg,
+		inner: inner,
+		sys:   sys,
+		level: len(cfg.Levels) - 1, // start fully aggressive, as published
+		lcg:   88172645463325252,
+	}
+	f.window = newRecentSet(cfg.Window, nil)
+	return f
+}
+
+// Name implements Prefetcher.
+func (f *FDP) Name() string { return "fdp+" + f.inner.Name() }
+
+// Level returns the current aggressiveness level (for tests).
+func (f *FDP) Level() int { return f.level }
+
+func (f *FDP) rand() float64 {
+	f.lcg ^= f.lcg << 13
+	f.lcg ^= f.lcg >> 7
+	f.lcg ^= f.lcg << 17
+	return float64(f.lcg>>11) / float64(1<<53)
+}
+
+// Train implements Prefetcher: delegates to the wrapped prefetcher, then
+// throttles its output according to the control state.
+func (f *FDP) Train(a Access) []uint64 {
+	if f.window.demand(a.Line) {
+		f.useful++
+	}
+	f.seen++
+	if f.seen >= f.cfg.Interval {
+		f.adapt()
+	}
+
+	cands := f.inner.Train(a)
+	if len(cands) == 0 {
+		return nil
+	}
+	allow := f.cfg.Levels[f.level]
+	if f.sys.BandwidthUtil() >= f.cfg.HighBW && f.level > 0 {
+		allow = f.cfg.Levels[f.level-1]
+	}
+	out := cands[:0]
+	for _, c := range cands {
+		if allow >= 1 || f.rand() < allow {
+			out = append(out, c)
+			f.window.add(c)
+			f.issued++
+		}
+	}
+	return out
+}
+
+// adapt moves the aggressiveness ladder from measured accuracy.
+func (f *FDP) adapt() {
+	if f.issued > 32 {
+		acc := float64(f.useful) / float64(f.issued)
+		switch {
+		case acc >= f.cfg.HighAcc && f.level < len(f.cfg.Levels)-1:
+			f.level++
+		case acc <= f.cfg.LowAcc && f.level > 0:
+			f.level--
+		}
+	}
+	f.seen, f.useful, f.issued = 0, 0, 0
+}
+
+// Fill implements Prefetcher.
+func (f *FDP) Fill(line uint64) { f.inner.Fill(line) }

@@ -1,0 +1,68 @@
+package prefetch
+
+import "testing"
+
+func TestFDPThrottlesUselessPrefetcher(t *testing.T) {
+	cfg := DefaultFDPConfig()
+	cfg.Interval = 256
+	// Wrap an always-wrong prefetcher: candidates are never demanded.
+	f := NewFDP(cfg, NewNextLine(4), fixedBW(0.1))
+	start := f.Level()
+	x := uint64(3)
+	for i := 0; i < 8000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		f.Train(Access{PC: 1, Line: x >> 30})
+	}
+	if f.Level() >= start {
+		t.Errorf("level %d did not drop from %d on useless prefetches", f.Level(), start)
+	}
+}
+
+func TestFDPKeepsAccuratePrefetcherAggressive(t *testing.T) {
+	cfg := DefaultFDPConfig()
+	cfg.Interval = 256
+	f := NewFDP(cfg, NewNextLine(1), fixedBW(0.1))
+	line := uint64(1 << 20)
+	for i := 0; i < 8000; i++ {
+		f.Train(Access{PC: 1, Line: line})
+		line++ // next access demands the previous candidate: accuracy ~1
+	}
+	if f.Level() != len(cfg.Levels)-1 {
+		t.Errorf("accurate stream throttled to level %d", f.Level())
+	}
+}
+
+func TestFDPBandwidthAddsThrottle(t *testing.T) {
+	cfg := DefaultFDPConfig()
+	cfg.Levels = []float64{0.0, 1.0} // level 0 drops everything
+	low := NewFDP(cfg, NewNextLine(4), fixedBW(0.1))
+	high := NewFDP(cfg, NewNextLine(4), fixedBW(0.95))
+	line := uint64(1 << 21)
+	nLow, nHigh := 0, 0
+	for i := 0; i < 1000; i++ {
+		nLow += len(low.Train(Access{PC: 1, Line: line}))
+		nHigh += len(high.Train(Access{PC: 1, Line: line}))
+		line++
+	}
+	if nHigh >= nLow {
+		t.Errorf("high bandwidth should throttle harder: low=%d high=%d", nLow, nHigh)
+	}
+}
+
+func TestFDPDelegatesFill(t *testing.T) {
+	inner := &trackFill{}
+	f := NewFDP(DefaultFDPConfig(), inner, nil)
+	f.Fill(42)
+	if inner.got != 42 {
+		t.Errorf("Fill not delegated: %d", inner.got)
+	}
+	if f.Name() != "fdp+track" {
+		t.Errorf("Name() = %q", f.Name())
+	}
+}
+
+type trackFill struct{ got uint64 }
+
+func (t *trackFill) Name() string          { return "track" }
+func (t *trackFill) Train(Access) []uint64 { return nil }
+func (t *trackFill) Fill(line uint64)      { t.got = line }

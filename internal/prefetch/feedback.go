@@ -1,0 +1,62 @@
+package prefetch
+
+// recentSet is a fixed-capacity FIFO set of line addresses used by
+// prefetchers that learn from their own usefulness (PPF, DSPatch, POWER7):
+// issued prefetches enter the set; a later demand to a member counts as a
+// useful prefetch; entries evicted un-demanded count as useless.
+type recentSet struct {
+	ring    []uint64
+	present map[uint64]int // line -> count in ring
+	pos     int
+	// onEvict is called with the evicted line and whether it was demanded.
+	onEvict func(line uint64, demanded bool)
+	flags   []bool // demanded flag per slot
+}
+
+func newRecentSet(capacity int, onEvict func(line uint64, demanded bool)) *recentSet {
+	return &recentSet{
+		ring:    make([]uint64, capacity),
+		flags:   make([]bool, capacity),
+		present: make(map[uint64]int, capacity),
+		onEvict: onEvict,
+	}
+}
+
+// add inserts a prefetched line, evicting the oldest.
+func (r *recentSet) add(line uint64) {
+	old := r.ring[r.pos]
+	if n, ok := r.present[old]; ok {
+		if n <= 1 {
+			delete(r.present, old)
+		} else {
+			r.present[old] = n - 1
+		}
+		if r.onEvict != nil {
+			r.onEvict(old, r.flags[r.pos])
+		}
+	}
+	r.ring[r.pos] = line
+	r.flags[r.pos] = false
+	r.present[line]++
+	r.pos = (r.pos + 1) % len(r.ring)
+}
+
+// demand marks a demand to line; reports whether it was a tracked prefetch.
+func (r *recentSet) demand(line uint64) bool {
+	if _, ok := r.present[line]; !ok {
+		return false
+	}
+	for i := range r.ring {
+		if r.ring[i] == line && !r.flags[i] {
+			r.flags[i] = true
+			return true
+		}
+	}
+	return false
+}
+
+// contains reports membership without marking.
+func (r *recentSet) contains(line uint64) bool {
+	_, ok := r.present[line]
+	return ok
+}

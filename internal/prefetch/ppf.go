@@ -1,0 +1,123 @@
+package prefetch
+
+// PPF implements Perceptron-based Prefetch Filtering [Bhatia et al., ISCA
+// 2019] on top of SPP: the underlying SPP runs with a lowered confidence
+// threshold (more aggressive candidates) and a perceptron decides per
+// candidate whether to issue it. The perceptron's weight tables are indexed
+// by simple features of the triggering access and candidate; it trains
+// online from prefetch outcomes tracked in a recent-prefetch window (the
+// hardware uses its prefetch table + reject table for the same purpose).
+
+const (
+	ppfWeightMax   = 31
+	ppfWeightMin   = -32
+	ppfTableSize   = 1024
+	ppfNumFeatures = 4
+)
+
+// PPFConfig tunes the filter.
+type PPFConfig struct {
+	// Threshold is the perceptron sum needed to issue a prefetch.
+	Threshold int
+	// Window is the outcome-tracking window size.
+	Window int
+	// SPP configures the underlying prefetcher; Threshold there is
+	// typically lowered (candidates are filtered anyway).
+	SPP SPPConfig
+}
+
+// DefaultPPFConfig returns the published configuration adapted to this
+// implementation.
+func DefaultPPFConfig() PPFConfig {
+	spp := DefaultSPPConfig()
+	spp.Threshold = 0.10
+	return PPFConfig{Threshold: -2, Window: 1024, SPP: spp}
+}
+
+type ppfPending struct {
+	features [ppfNumFeatures]int
+}
+
+// PPF is the filtered SPP prefetcher.
+type PPF struct {
+	cfg      PPFConfig
+	spp      *SPP
+	weights  [ppfNumFeatures][ppfTableSize]int8
+	inFlight map[uint64]ppfPending
+	window   *recentSet
+}
+
+// NewPPF builds a PPF instance.
+func NewPPF(cfg PPFConfig) *PPF {
+	p := &PPF{cfg: cfg, spp: NewSPP(cfg.SPP), inFlight: make(map[uint64]ppfPending)}
+	p.window = newRecentSet(cfg.Window, p.onOutcome)
+	return p
+}
+
+// Name implements Prefetcher.
+func (p *PPF) Name() string { return "spp_ppf" }
+
+func (p *PPF) features(a Access, cand uint64) [ppfNumFeatures]int {
+	delta := int(int64(cand) - int64(a.Line))
+	return [ppfNumFeatures]int{
+		int(a.PC>>2) & (ppfTableSize - 1),
+		int(a.PC>>2^uint64(delta+64)) & (ppfTableSize - 1),
+		int(cand) & (ppfTableSize - 1),
+		(delta + 512) & (ppfTableSize - 1),
+	}
+}
+
+func (p *PPF) sum(f [ppfNumFeatures]int) int {
+	s := 0
+	for i, idx := range f {
+		s += int(p.weights[i][idx])
+	}
+	return s
+}
+
+func (p *PPF) adjust(f [ppfNumFeatures]int, up bool) {
+	for i, idx := range f {
+		w := p.weights[i][idx]
+		if up && w < ppfWeightMax {
+			p.weights[i][idx] = w + 1
+		}
+		if !up && w > ppfWeightMin {
+			p.weights[i][idx] = w - 1
+		}
+	}
+}
+
+// onOutcome trains the perceptron when a tracked prefetch ages out.
+func (p *PPF) onOutcome(line uint64, demanded bool) {
+	pend, ok := p.inFlight[line]
+	if !ok {
+		return
+	}
+	delete(p.inFlight, line)
+	p.adjust(pend.features, demanded)
+}
+
+// Train implements Prefetcher.
+func (p *PPF) Train(a Access) []uint64 {
+	// Positive feedback: a demand to a recently prefetched line.
+	if p.window.demand(a.Line) {
+		if pend, ok := p.inFlight[a.Line]; ok {
+			p.adjust(pend.features, true)
+			delete(p.inFlight, a.Line)
+		}
+	}
+	cands := p.spp.Train(a)
+	out := cands[:0]
+	for _, c := range cands {
+		f := p.features(a, c)
+		if p.sum(f) >= p.cfg.Threshold {
+			out = append(out, c)
+			p.inFlight[c] = ppfPending{features: f}
+			p.window.add(c)
+		}
+	}
+	return out
+}
+
+// Fill implements Prefetcher.
+func (p *PPF) Fill(uint64) {}

@@ -1,0 +1,223 @@
+package prefetch
+
+import (
+	"testing"
+
+	"pythia/internal/mem"
+)
+
+// regionSeq visits `rounds` fresh 2KB regions, touching the given offsets
+// (relative to the region base) in order, with the trigger PC.
+func regionSeq(p Prefetcher, pc uint64, rounds int, offs []int) map[uint64]bool {
+	issued := map[uint64]bool{}
+	for r := 0; r < rounds; r++ {
+		base := uint64(5000+r) * bingoRegionLines
+		for _, o := range offs {
+			for _, c := range p.Train(Access{PC: pc, Line: base + uint64(o)}) {
+				issued[c] = true
+			}
+		}
+	}
+	return issued
+}
+
+func TestBingoLearnsFootprint(t *testing.T) {
+	b := NewBingo(DefaultBingoConfig())
+	offs := []int{0, 3, 7, 11}
+	issued := regionSeq(b, 0x77, 300, offs) // enough regions to cycle the AT and commit footprints
+	if len(issued) == 0 {
+		t.Fatal("Bingo never fired on a recurring footprint")
+	}
+	// Issued candidates must be footprint offsets of later regions.
+	for c := range issued {
+		off := int(c % bingoRegionLines)
+		ok := false
+		for _, o := range offs {
+			if off == o {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("Bingo prefetched non-footprint offset %d", off)
+		}
+	}
+}
+
+func TestBingoPrefetchesWholeFootprintOnTrigger(t *testing.T) {
+	b := NewBingo(DefaultBingoConfig())
+	offs := []int{0, 5, 9}
+	// Train on enough regions to cycle the accumulation table.
+	regionSeq(b, 0x88, 300, offs)
+	// A fresh region's trigger should predict the remaining offsets at once.
+	base := uint64(999999) * bingoRegionLines
+	cands := b.Train(Access{PC: 0x88, Line: base})
+	if len(cands) < len(offs)-1 {
+		t.Errorf("trigger predicted %d lines, want >= %d", len(cands), len(offs)-1)
+	}
+}
+
+func TestBingoColdMissNoPrediction(t *testing.T) {
+	b := NewBingo(DefaultBingoConfig())
+	if cands := b.Train(Access{PC: 1, Line: 123456}); len(cands) != 0 {
+		t.Errorf("cold trigger predicted %v", cands)
+	}
+}
+
+func TestBingoUnionAccumulates(t *testing.T) {
+	b := NewBingo(DefaultBingoConfig())
+	// Alternate two footprint variants under one PC+offset event: the PHT
+	// entry should converge to (a superset of) their union, so triggers
+	// overpredict on the sparse variant — Bingo's coverage-first behavior.
+	for r := 0; r < 300; r++ {
+		base := uint64(7000+r) * bingoRegionLines
+		offs := []int{0, 2, 4}
+		if r%2 == 1 {
+			offs = []int{0, 2, 4, 8, 12}
+		}
+		for _, o := range offs {
+			b.Train(Access{PC: 0x99, Line: base + uint64(o)})
+		}
+	}
+	base := uint64(888888) * bingoRegionLines
+	cands := b.Train(Access{PC: 0x99, Line: base})
+	if len(cands) < 4 {
+		t.Errorf("union footprint predicted only %d lines", len(cands))
+	}
+}
+
+func TestMLOPElectsStreamOffsets(t *testing.T) {
+	m := NewMLOP(DefaultMLOPConfig())
+	line := uint64(1 << 20)
+	for i := 0; i < 3000; i++ {
+		m.Train(Access{PC: 1, Line: line})
+		line++
+		if mem.LineOffsetOfLine(line) == 0 {
+			line += 0 // page crossings happen naturally
+		}
+	}
+	offs := m.Offsets()
+	if len(offs) == 0 {
+		t.Fatal("MLOP elected no offsets on a pure stream")
+	}
+	for _, d := range offs {
+		if d <= 0 {
+			t.Errorf("stream elected non-positive offset %d", d)
+		}
+	}
+}
+
+func TestMLOPRejectsRandom(t *testing.T) {
+	m := NewMLOP(DefaultMLOPConfig())
+	x := uint64(99)
+	for i := 0; i < 3000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		m.Train(Access{PC: 1, Line: x >> 30})
+	}
+	if offs := m.Offsets(); len(offs) != 0 {
+		t.Errorf("MLOP elected %v on random traffic", offs)
+	}
+}
+
+func TestMLOPEmitsElectedOffsets(t *testing.T) {
+	m := NewMLOP(DefaultMLOPConfig())
+	line := uint64(1 << 21)
+	var lastCands []uint64
+	for i := 0; i < 2000; i++ {
+		if c := m.Train(Access{PC: 1, Line: line}); len(c) > 0 {
+			lastCands = c
+		}
+		line++
+	}
+	if len(lastCands) == 0 {
+		t.Fatal("MLOP never emitted prefetches on a stream")
+	}
+}
+
+func TestDSPatchBandwidthModulation(t *testing.T) {
+	lowSys := fixedBW(0.1)
+	highSys := fixedBW(0.9)
+	train := func(sys System) int {
+		d := NewDSPatch(DefaultDSPatchConfig(), sys)
+		issued := 0
+		// Footprints vary: CovP (union) grows beyond AccP (intersection).
+		for r := 0; r < 300; r++ {
+			base := uint64(3000+r) * dspatchRegionLines
+			offs := []int{0, 1, 2}
+			if r%2 == 0 {
+				offs = []int{0, 1, 2, 5, 9, 13}
+			}
+			for _, o := range offs {
+				issued += len(d.Train(Access{PC: 0x55, Line: base + uint64(o)}))
+			}
+		}
+		return issued
+	}
+	low, high := train(lowSys), train(highSys)
+	if low <= high {
+		t.Errorf("DSPatch should prefetch more under low bandwidth: low=%d high=%d", low, high)
+	}
+}
+
+type fixedBW float64
+
+func (f fixedBW) BandwidthUtil() float64 { return float64(f) }
+
+func TestIPCPConstantStride(t *testing.T) {
+	p := NewIPCP(DefaultIPCPConfig())
+	base := uint64(1 << 22)
+	var issued []uint64
+	for i := uint64(0); i < 12; i++ {
+		issued = append(issued, p.Train(Access{PC: 0x10, Line: base + i*2})...)
+	}
+	if len(issued) == 0 {
+		t.Fatal("IPCP CS class never fired")
+	}
+	for _, c := range issued {
+		if (c-base)%2 != 0 {
+			t.Errorf("CS prefetch %d off the stride grid", c)
+		}
+	}
+}
+
+func TestIPCPGlobalStream(t *testing.T) {
+	p := NewIPCP(DefaultIPCPConfig())
+	base := uint64(1 << 23)
+	var issued int
+	// Sequential lines from alternating PCs: no per-IP stride, but a global
+	// stream.
+	for i := uint64(0); i < 40; i++ {
+		pc := uint64(0x100 + (i%2)*8)
+		issued += len(p.Train(Access{PC: pc, Line: base + i}))
+	}
+	if issued == 0 {
+		t.Error("IPCP GS class never fired on a global stream")
+	}
+}
+
+func TestPower7AdaptsDepthDown(t *testing.T) {
+	cfg := DefaultPower7Config()
+	cfg.Interval = 200
+	p := NewPower7(cfg)
+	start := p.Depth()
+	// Random traffic: prefetches are useless, depth must not grow.
+	x := uint64(5)
+	for i := 0; i < 4000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		p.Train(Access{PC: 1, Line: x >> 30})
+	}
+	if p.Depth() > start {
+		t.Errorf("depth grew from %d to %d on useless traffic", start, p.Depth())
+	}
+}
+
+func TestPower7StreamsStillPrefetch(t *testing.T) {
+	p := NewPower7(DefaultPower7Config())
+	base := uint64(1 << 24)
+	issued := 0
+	for i := uint64(0); i < 200; i++ {
+		issued += len(p.Train(Access{PC: 1, Line: base + i}))
+	}
+	if issued == 0 {
+		t.Error("POWER7 never prefetched a stream")
+	}
+}

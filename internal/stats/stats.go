@@ -1,0 +1,163 @@
+// Package stats provides the metric computations the paper's evaluation
+// uses — speedup, prefetch coverage and overprediction (Appendix A.6) — and
+// small aggregation helpers (geometric mean, CSV rendering).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Geomean returns the geometric mean of xs; zero/negative entries are
+// clamped to a small positive value to keep the aggregate defined.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			x = 1e-9
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	idx := p / 100 * float64(len(ys)-1)
+	lo := int(idx)
+	hi := lo + 1
+	if hi >= len(ys) {
+		return ys[len(ys)-1]
+	}
+	frac := idx - float64(lo)
+	return ys[lo]*(1-frac) + ys[hi]*frac
+}
+
+// Coverage computes prefetch coverage per the artifact's formula:
+// (LLC_load_miss_nopref − LLC_load_miss_X) / LLC_load_miss_nopref.
+func Coverage(baseLoadMiss, withLoadMiss int64) float64 {
+	if baseLoadMiss <= 0 {
+		return 0
+	}
+	return float64(baseLoadMiss-withLoadMiss) / float64(baseLoadMiss)
+}
+
+// Overprediction computes the artifact's overprediction metric:
+// (LLC_read_miss_X − LLC_read_miss_nopref) / LLC_read_miss_nopref, where
+// read misses count demand and prefetch reads to main memory.
+func Overprediction(baseReadMiss, withReadMiss int64) float64 {
+	if baseReadMiss <= 0 {
+		return 0
+	}
+	return float64(withReadMiss-baseReadMiss) / float64(baseReadMiss)
+}
+
+// Table is a simple named grid used by every experiment to report results
+// in the paper's row/series structure.
+type Table struct {
+	// Title identifies the experiment ("Fig. 9a ...").
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes holds free-form commentary appended after the grid.
+	Notes []string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row where float cells are formatted with %.3f.
+func (t *Table) AddRowf(label string, vals ...float64) {
+	cells := []string{label}
+	for _, v := range vals {
+		cells = append(cells, fmt.Sprintf("%.3f", v))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", w, c)
+			} else {
+				fmt.Fprintf(&b, "  %*s", w, c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (the artifact's rollup
+// format).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	write := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	write(t.Header)
+	for _, r := range t.Rows {
+		write(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("Geomean(2,8) = %v", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("Geomean(nil) = %v", g)
+	}
+	if g := Geomean([]float64{1, 1, 1}); math.Abs(g-1) > 1e-12 {
+		t.Errorf("Geomean(1,1,1) = %v", g)
+	}
+	// Non-positive entries are clamped rather than producing NaN.
+	if g := Geomean([]float64{0, 4}); math.IsNaN(g) || math.IsInf(g, 0) {
+		t.Errorf("Geomean with zero = %v", g)
+	}
+}
+
+func TestGeomeanBetweenMinMax(t *testing.T) {
+	f := func(xs []float64) bool {
+		var clean []float64
+		for _, x := range xs {
+			if x > 0.01 && x < 100 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		g := Geomean(clean)
+		min, max := clean[0], clean[0]
+		for _, x := range clean {
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		return g >= min-1e-9 && g <= max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v", m)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := map[float64]float64{0: 1, 50: 3, 100: 5, 25: 2}
+	for p, want := range cases {
+		if got := Percentile(xs, p); got != want {
+			t.Errorf("p%.0f = %v, want %v", p, got, want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+	// Interpolation between points.
+	if got := Percentile([]float64{0, 10}, 50); got != 5 {
+		t.Errorf("interpolated median = %v", got)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	if c := Coverage(100, 30); c != 0.7 {
+		t.Errorf("Coverage = %v", c)
+	}
+	if c := Coverage(0, 30); c != 0 {
+		t.Errorf("Coverage with zero base = %v", c)
+	}
+	if c := Coverage(100, 120); c != -0.2 {
+		t.Errorf("negative coverage = %v", c)
+	}
+}
+
+func TestOverprediction(t *testing.T) {
+	if o := Overprediction(100, 150); o != 0.5 {
+		t.Errorf("Overprediction = %v", o)
+	}
+	if o := Overprediction(0, 150); o != 0 {
+		t.Errorf("Overprediction with zero base = %v", o)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "T", Header: []string{"a", "bb"}}
+	tb.AddRow("x", "1")
+	tb.AddRowf("y", 2.5)
+	tb.Notes = append(tb.Notes, "hello")
+	out := tb.Render()
+	for _, want := range []string{"== T ==", "a", "bb", "x", "2.500", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRow("v,1", `he said "hi"`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"v,1"`) {
+		t.Errorf("comma not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, `"he said ""hi"""`) {
+		t.Errorf("quotes not escaped: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("header wrong: %s", csv)
+	}
+}

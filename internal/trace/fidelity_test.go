@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"testing"
+
+	"pythia/internal/mem"
+)
+
+// Fidelity tests pin the paper-documented character of key workloads: the
+// experiments depend on these traces exercising the pattern classes the
+// figures attribute to them.
+
+// deltaHistogram returns per-page in-page delta counts over a trace.
+func deltaHistogram(tr *Trace) map[int]int {
+	last := map[uint64]int{}
+	hist := map[int]int{}
+	hotBase := uint64(31) << 33 // the cache-resident hot region (slot 30)
+	for _, r := range tr.Records {
+		if r.Addr >= hotBase && r.Addr < hotBase+(1<<33) {
+			continue // hot accesses are cache hits, invisible to prefetchers
+		}
+		page := mem.PageOf(r.Addr)
+		off := mem.LineOffset(r.Addr)
+		if prev, ok := last[page]; ok && off != prev {
+			hist[off-prev]++
+		}
+		last[page] = off
+	}
+	return hist
+}
+
+func TestGemsFDTDHasCaseStudyDeltas(t *testing.T) {
+	w, ok := ByName("459.GemsFDTD-100B")
+	if !ok {
+		t.Fatal("missing workload")
+	}
+	hist := deltaHistogram(w.Generate(60_000))
+	// §6.5: the +23 and +11 deltas dominate GemsFDTD's in-page behavior.
+	if hist[23] < 500 || hist[11] < 500 {
+		t.Errorf("case-study deltas underrepresented: +23=%d +11=%d", hist[23], hist[11])
+	}
+}
+
+func TestLibquantumIsStreamDominated(t *testing.T) {
+	w, ok := ByName("462.libquantum-100B")
+	if !ok {
+		t.Fatal("missing workload")
+	}
+	hist := deltaHistogram(w.Generate(60_000))
+	total, plus1ish := 0, 0
+	for d, n := range hist {
+		total += n
+		if d >= 1 && d <= 4 {
+			plus1ish += n
+		}
+	}
+	if total == 0 || float64(plus1ish)/float64(total) < 0.5 {
+		t.Errorf("libquantum not stream-dominated: %d/%d small positive deltas", plus1ish, total)
+	}
+}
+
+func TestMcfIsIrregular(t *testing.T) {
+	w, ok := ByName("429.mcf-100B")
+	if !ok {
+		t.Fatal("missing workload")
+	}
+	tr := w.Generate(60_000)
+	// The pointer-chase component: consecutive non-hot accesses rarely
+	// repeat pages; measure distinct pages touched relative to accesses.
+	pages := map[uint64]bool{}
+	n := 0
+	for _, r := range tr.Records {
+		if r.Addr>>33 == 0 {
+			continue
+		}
+		pages[mem.PageOf(r.Addr)] = true
+		n++
+	}
+	if n == 0 || float64(len(pages))/float64(n) < 0.05 {
+		t.Errorf("mcf touches too few distinct pages: %d pages over %d accesses", len(pages), n)
+	}
+}
+
+func TestSphinxFootprintsRecur(t *testing.T) {
+	w, ok := ByName("482.sphinx3-100B")
+	if !ok {
+		t.Fatal("missing workload")
+	}
+	tr := w.Generate(60_000)
+	// Accesses from the region actor (PC base 0x40d000) must form recurring
+	// within-page offset sets: the SMS/Bingo-learnable structure.
+	perPage := map[uint64]map[int]bool{}
+	for _, r := range tr.Records {
+		if r.PC >= 0x40d000 && r.PC < 0x40d100 {
+			p := mem.PageOf(r.Addr)
+			if perPage[p] == nil {
+				perPage[p] = map[int]bool{}
+			}
+			perPage[p][mem.LineOffset(r.Addr)] = true
+		}
+	}
+	multi := 0
+	for _, offs := range perPage {
+		if len(offs) >= 3 {
+			multi++
+		}
+	}
+	if multi < 50 {
+		t.Errorf("only %d pages with >=3-line footprints from the sphinx region PC", multi)
+	}
+}
+
+func TestLigraBandwidthCharacter(t *testing.T) {
+	// Ligra traces must be markedly denser (more accesses per instruction)
+	// than SPEC06, the property behind Figs. 1/14.
+	density := func(name string) float64 {
+		w, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		tr := w.Generate(20_000)
+		return float64(len(tr.Records)) / float64(tr.Instructions())
+	}
+	if density("CC-100B") <= density("445.gobmk") {
+		t.Error("Ligra-CC should be denser than gobmk")
+	}
+}
+
+func TestCloudsuiteHasTemporalReuse(t *testing.T) {
+	w, ok := ByName("cassandra-100B")
+	if !ok {
+		t.Fatal("missing workload")
+	}
+	tr := w.Generate(60_000)
+	seen := map[uint64]int{}
+	for _, r := range tr.Records {
+		seen[mem.LineAddr(r.Addr)]++
+	}
+	reused := 0
+	for _, n := range seen {
+		if n >= 3 {
+			reused++
+		}
+	}
+	if reused < 100 {
+		t.Errorf("cloudsuite shows little temporal reuse: %d lines reused >=3 times", reused)
+	}
+}

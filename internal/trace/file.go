@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+)
+
+// FileReader streams records from a trace file written by Write, decoding
+// incrementally and supporting Reset for multi-core replay. It keeps the
+// whole decoded trace in memory after the first pass (traces are compact);
+// the streaming interface exists so very long traces start executing
+// immediately.
+type FileReader struct {
+	path string
+	tr   *Trace
+	pos  int
+}
+
+// OpenFile opens and fully decodes a trace file.
+func OpenFile(path string) (*FileReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: open %s: %w", path, err)
+	}
+	defer f.Close()
+	tr, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("trace: decode %s: %w", path, err)
+	}
+	return &FileReader{path: path, tr: tr}, nil
+}
+
+// Trace returns the decoded trace (name, suite, records).
+func (r *FileReader) Trace() *Trace { return r.tr }
+
+// Next implements Reader.
+func (r *FileReader) Next() (Record, bool) {
+	if r.pos >= len(r.tr.Records) {
+		return Record{}, false
+	}
+	rec := r.tr.Records[r.pos]
+	r.pos++
+	return rec, true
+}
+
+// Reset implements Reader.
+func (r *FileReader) Reset() { r.pos = 0 }
+
+// SaveFile writes a trace to path in the binary format.
+func SaveFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := Write(f, t); err != nil {
+		return fmt.Errorf("trace: encode %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.pytr")
+	w, ok := ByName("459.GemsFDTD-100B")
+	if !ok {
+		t.Fatal("missing workload")
+	}
+	orig := w.Generate(5000)
+	if err := SaveFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trace().Name != orig.Name || len(r.Trace().Records) != len(orig.Records) {
+		t.Fatalf("decoded identity mismatch: %s/%d", r.Trace().Name, len(r.Trace().Records))
+	}
+	// Reader semantics: full pass, then Reset.
+	n := 0
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		if rec != orig.Records[n] {
+			t.Fatalf("record %d mismatch", n)
+		}
+		n++
+	}
+	if n != len(orig.Records) {
+		t.Fatalf("read %d records", n)
+	}
+	r.Reset()
+	if rec, ok := r.Next(); !ok || rec != orig.Records[0] {
+		t.Error("Reset did not restart the stream")
+	}
+}
+
+func TestOpenFileErrors(t *testing.T) {
+	if _, err := OpenFile("/nonexistent/path.pytr"); err == nil {
+		t.Error("missing file should fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.pytr")
+	if err := SaveFile(bad, &Trace{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the magic.
+	if err := corruptFirstByte(bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(bad); err == nil {
+		t.Error("corrupt file should fail to decode")
+	}
+}
+
+// corruptFirstByte flips the first byte of a file.
+func corruptFirstByte(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	b[0] ^= 0xFF
+	return os.WriteFile(path, b, 0o644)
+}

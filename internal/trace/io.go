@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format:
+//
+//	magic   [5]byte  "PYTR1"
+//	name    uvarint length + bytes
+//	suite   uvarint length + bytes
+//	count   uvarint
+//	records: per record
+//	    pcDelta   varint  (PC - prevPC)
+//	    addrDelta varint  (Addr - prevAddr)
+//	    nonmem    uvarint
+//	    flags     byte    (bit0 = store)
+//
+// Delta encoding keeps traces compact since both PCs and addresses are
+// strongly local.
+
+var magic = [5]byte{'P', 'Y', 'T', 'R', '1'}
+
+// ErrBadFormat is returned when decoding input that is not a valid trace.
+var ErrBadFormat = errors.New("trace: bad format")
+
+// Write encodes t to w in the binary trace format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	writeString := func(s string) error {
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(buf[:], uint64(len(s)))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := writeString(t.Name); err != nil {
+		return err
+	}
+	if err := writeString(t.Suite); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(t.Records)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	var prevPC, prevAddr uint64
+	for _, r := range t.Records {
+		n = binary.PutVarint(buf[:], int64(r.PC-prevPC))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		n = binary.PutVarint(buf[:], int64(r.Addr-prevAddr))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		n = binary.PutUvarint(buf[:], uint64(r.NonMem))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		var flags byte
+		if r.Store {
+			flags |= 1
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		prevPC, prevAddr = r.PC, r.Addr
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace from r.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var got [5]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, got[:])
+	}
+	readString := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("%w: string length %d", ErrBadFormat, n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	t := &Trace{}
+	var err error
+	if t.Name, err = readString(); err != nil {
+		return nil, fmt.Errorf("%w: name: %v", ErrBadFormat, err)
+	}
+	if t.Suite, err = readString(); err != nil {
+		return nil, fmt.Errorf("%w: suite: %v", ErrBadFormat, err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: count: %v", ErrBadFormat, err)
+	}
+	if count > 1<<32 {
+		return nil, fmt.Errorf("%w: record count %d", ErrBadFormat, count)
+	}
+	t.Records = make([]Record, 0, count)
+	var prevPC, prevAddr uint64
+	for i := uint64(0); i < count; i++ {
+		pcD, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrBadFormat, i, err)
+		}
+		addrD, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrBadFormat, i, err)
+		}
+		nonmem, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrBadFormat, i, err)
+		}
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrBadFormat, i, err)
+		}
+		prevPC += uint64(pcD)
+		prevAddr += uint64(addrD)
+		t.Records = append(t.Records, Record{
+			PC:     prevPC,
+			Addr:   prevAddr,
+			NonMem: uint16(nonmem),
+			Store:  flags&1 != 0,
+		})
+	}
+	return t, nil
+}

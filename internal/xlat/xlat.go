@@ -1,0 +1,163 @@
+// Package xlat provides a virtual-to-physical address translation substrate:
+// a deterministic page allocator (first-touch pseudo-random frame
+// assignment, as an OS would produce after some uptime) and a small TLB
+// model. Post-L1 prefetchers operate on physical addresses and must not
+// cross physical page boundaries — the property Pythia's R_CL reward and
+// every baseline's page clamp rely on. Translation makes virtually
+// contiguous streams physically discontiguous, which is why those clamps
+// matter; the hierarchy can run with translation enabled as an ablation
+// (DESIGN.md).
+package xlat
+
+import (
+	"pythia/internal/mem"
+)
+
+// Translator maps virtual pages to physical frames on first touch, using a
+// deterministic hash sequence so simulations remain reproducible.
+type Translator struct {
+	seed  uint64
+	table map[uint64]uint64 // vpage -> pframe
+	next  uint64            // allocation counter
+	// frames tracks allocated frames to keep the mapping injective.
+	frames map[uint64]bool
+}
+
+// NewTranslator builds a translator; seed controls frame scatter.
+func NewTranslator(seed uint64) *Translator {
+	return &Translator{
+		seed:   seed,
+		table:  make(map[uint64]uint64),
+		frames: make(map[uint64]bool),
+	}
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Frame returns the physical frame of a virtual page, allocating on first
+// touch. Allocation scatters frames pseudo-randomly within a large physical
+// range while staying injective.
+func (t *Translator) Frame(vpage uint64) uint64 {
+	if f, ok := t.table[vpage]; ok {
+		return f
+	}
+	for {
+		cand := mix(t.seed^t.next*0x9E3779B97F4A7C15) & ((1 << 36) - 1)
+		t.next++
+		if !t.frames[cand] {
+			t.frames[cand] = true
+			t.table[vpage] = cand
+			return cand
+		}
+	}
+}
+
+// Translate converts a virtual byte address to a physical byte address.
+func (t *Translator) Translate(vaddr uint64) uint64 {
+	return t.Frame(mem.PageOf(vaddr))<<mem.PageShift | vaddr&(mem.PageSize-1)
+}
+
+// Pages returns the number of distinct pages touched.
+func (t *Translator) Pages() int { return len(t.table) }
+
+// TLB is a small set-associative translation lookaside buffer used to
+// account translation hit rates (the simulator charges no extra latency;
+// the structure exists for statistics and future extensions).
+type TLB struct {
+	sets, ways int
+	entries    []tlbEntry
+	clock      int64
+
+	Hits, Misses int64
+}
+
+type tlbEntry struct {
+	vpage uint64
+	frame uint64
+	used  int64
+	valid bool
+}
+
+// NewTLB builds a TLB with the given geometry (sets must be a power of
+// two).
+func NewTLB(sets, ways int) *TLB {
+	if sets <= 0 || sets&(sets-1) != 0 || ways <= 0 {
+		panic("xlat: TLB geometry must be positive with power-of-two sets")
+	}
+	return &TLB{sets: sets, ways: ways, entries: make([]tlbEntry, sets*ways)}
+}
+
+// Lookup probes the TLB; on a miss the caller should Fill after walking.
+func (t *TLB) Lookup(vpage uint64) (frame uint64, hit bool) {
+	set := int(vpage) & (t.sets - 1)
+	t.clock++
+	for w := 0; w < t.ways; w++ {
+		e := &t.entries[set*t.ways+w]
+		if e.valid && e.vpage == vpage {
+			e.used = t.clock
+			t.Hits++
+			return e.frame, true
+		}
+	}
+	t.Misses++
+	return 0, false
+}
+
+// Fill inserts a translation, evicting the LRU way.
+func (t *TLB) Fill(vpage, frame uint64) {
+	set := int(vpage) & (t.sets - 1)
+	victim, oldest := 0, int64(1<<62)
+	for w := 0; w < t.ways; w++ {
+		e := &t.entries[set*t.ways+w]
+		if !e.valid {
+			victim = w
+			break
+		}
+		if e.used < oldest {
+			victim, oldest = w, e.used
+		}
+	}
+	t.clock++
+	t.entries[set*t.ways+victim] = tlbEntry{vpage: vpage, frame: frame, used: t.clock, valid: true}
+}
+
+// HitRate returns the TLB hit fraction.
+func (t *TLB) HitRate() float64 {
+	total := t.Hits + t.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.Hits) / float64(total)
+}
+
+// MMU couples a translator with a TLB for convenient per-core use.
+type MMU struct {
+	xl  *Translator
+	tlb *TLB
+}
+
+// NewMMU builds an MMU with a 64-set 4-way TLB.
+func NewMMU(seed uint64) *MMU {
+	return &MMU{xl: NewTranslator(seed), tlb: NewTLB(64, 4)}
+}
+
+// Translate maps a virtual byte address through the TLB and page table.
+func (m *MMU) Translate(vaddr uint64) uint64 {
+	vpage := mem.PageOf(vaddr)
+	frame, hit := m.tlb.Lookup(vpage)
+	if !hit {
+		frame = m.xl.Frame(vpage)
+		m.tlb.Fill(vpage, frame)
+	}
+	return frame<<mem.PageShift | vaddr&(mem.PageSize-1)
+}
+
+// TLBHitRate exposes the TLB hit fraction.
+func (m *MMU) TLBHitRate() float64 { return m.tlb.HitRate() }

@@ -1,0 +1,133 @@
+package xlat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pythia/internal/mem"
+)
+
+func TestTranslatorStableMapping(t *testing.T) {
+	tr := NewTranslator(1)
+	a := tr.Translate(0x1234)
+	b := tr.Translate(0x1234)
+	if a != b {
+		t.Errorf("translation not stable: %#x vs %#x", a, b)
+	}
+}
+
+func TestTranslatorPreservesPageOffset(t *testing.T) {
+	tr := NewTranslator(1)
+	f := func(vaddr uint64) bool {
+		p := tr.Translate(vaddr)
+		return p&(mem.PageSize-1) == vaddr&(mem.PageSize-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranslatorInjective(t *testing.T) {
+	tr := NewTranslator(7)
+	seen := map[uint64]uint64{}
+	for v := uint64(0); v < 5000; v++ {
+		f := tr.Frame(v)
+		if prev, ok := seen[f]; ok {
+			t.Fatalf("frame %#x assigned to pages %d and %d", f, prev, v)
+		}
+		seen[f] = v
+	}
+	if tr.Pages() != 5000 {
+		t.Errorf("Pages() = %d", tr.Pages())
+	}
+}
+
+func TestTranslatorScattersContiguousPages(t *testing.T) {
+	tr := NewTranslator(3)
+	adjacent := 0
+	prev := tr.Frame(0)
+	for v := uint64(1); v < 1000; v++ {
+		f := tr.Frame(v)
+		if f == prev+1 {
+			adjacent++
+		}
+		prev = f
+	}
+	if adjacent > 50 {
+		t.Errorf("%d/999 virtually-adjacent pages stayed physically adjacent", adjacent)
+	}
+}
+
+func TestTranslatorSeedsDiffer(t *testing.T) {
+	a, b := NewTranslator(1), NewTranslator(2)
+	same := 0
+	for v := uint64(0); v < 100; v++ {
+		if a.Frame(v) == b.Frame(v) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("%d/100 identical frames across seeds", same)
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	tlb := NewTLB(16, 2)
+	if _, hit := tlb.Lookup(5); hit {
+		t.Fatal("cold TLB hit")
+	}
+	tlb.Fill(5, 99)
+	frame, hit := tlb.Lookup(5)
+	if !hit || frame != 99 {
+		t.Errorf("Lookup = (%d,%v)", frame, hit)
+	}
+	if tlb.Hits != 1 || tlb.Misses != 1 {
+		t.Errorf("counters %d/%d", tlb.Hits, tlb.Misses)
+	}
+	if hr := tlb.HitRate(); hr != 0.5 {
+		t.Errorf("HitRate = %v", hr)
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tlb := NewTLB(1, 2)
+	tlb.Fill(1, 10)
+	tlb.Fill(2, 20)
+	tlb.Lookup(1) // 1 is recent
+	tlb.Fill(3, 30)
+	if _, hit := tlb.Lookup(2); hit {
+		t.Error("LRU victim survived")
+	}
+	if _, hit := tlb.Lookup(1); !hit {
+		t.Error("recently used entry evicted")
+	}
+}
+
+func TestTLBBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	NewTLB(3, 2)
+}
+
+func TestMMUEndToEnd(t *testing.T) {
+	m := NewMMU(11)
+	// Repeated accesses to a small footprint should produce a high TLB hit
+	// rate and stable translations.
+	var first []uint64
+	for round := 0; round < 3; round++ {
+		for page := uint64(0); page < 16; page++ {
+			p := m.Translate(page*mem.PageSize + 64)
+			if round == 0 {
+				first = append(first, p)
+			} else if p != first[page] {
+				t.Fatalf("translation drifted for page %d", page)
+			}
+		}
+	}
+	if m.TLBHitRate() < 0.5 {
+		t.Errorf("TLB hit rate %.2f too low for a 16-page footprint", m.TLBHitRate())
+	}
+}
