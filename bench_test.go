@@ -1,6 +1,7 @@
 // Package pythia_test holds the top-level benchmark harness: one
 // testing.B benchmark per table and figure of the paper (printing the
-// regenerated rows on first run), micro-benchmarks of the hot paths, and
+// regenerated rows on first run), micro-benchmarks of the hot paths (see
+// PERF.md for what each one measures and the recorded trajectory), and
 // ablation benches for the design choices called out in DESIGN.md.
 //
 // Run everything with:
@@ -8,8 +9,8 @@
 //	go test -bench=. -benchmem
 //
 // Figure benches execute at ScaleQuick so the full suite finishes in
-// minutes; use cmd/pythia-bench -scale default for the EXPERIMENTS.md
-// numbers.
+// minutes; use cmd/pythia-bench -scale default (optionally -parallel N
+// and -json BENCH_<pr>.json) for the EXPERIMENTS.md numbers.
 package pythia_test
 
 import (
@@ -111,6 +112,22 @@ func BenchmarkQVStoreSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkQVStoreSearchResolved measures the search alone, with the
+// signature's row offsets resolved once up front — the exact shape of the
+// agent's hot path, where one resolve serves the lookup, the search and
+// the eventual SARSA update.
+func BenchmarkQVStoreSearchResolved(b *testing.B) {
+	cfg := core.BasicConfig()
+	qv := core.NewQVStore(cfg.Features, cfg.FeatureDim, len(cfg.Actions), cfg.PlanesPerVault, cfg.InitQ(), 1)
+	st := core.State{PC: 0x400, Delta: 3}
+	rs := qv.NewResolvedSig()
+	qv.ResolveState(&st, &rs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qv.ArgmaxQResolved(&rs)
+	}
+}
+
 func BenchmarkQVStoreUpdate(b *testing.B) {
 	cfg := core.BasicConfig()
 	qv := core.NewQVStore(cfg.Features, cfg.FeatureDim, len(cfg.Actions), cfg.PlanesPerVault, cfg.InitQ(), 1)
@@ -119,6 +136,46 @@ func BenchmarkQVStoreUpdate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		qv.Update(sig, i%16, 12, sig, (i+1)%16, cfg.Alpha, cfg.Gamma)
+	}
+}
+
+// TestPythiaTrainAllocationFree asserts the training hot path stays
+// allocation-free in steady state (the EQ and the agent's reused buffers
+// absorb everything); the ISSUE budget is <= 2 allocs/op.
+func TestPythiaTrainAllocationFree(t *testing.T) {
+	p := core.MustNew(core.BasicConfig(), prefetch.NilSystem())
+	acc := streamAccesses(4096)
+	// Warm up: fill the EQ and grow every reusable buffer to steady state.
+	for i := 0; i < 8192; i++ {
+		for _, c := range p.Train(acc[i%len(acc)]) {
+			p.Fill(c)
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(2000, func() {
+		for _, c := range p.Train(acc[i%len(acc)]) {
+			p.Fill(c)
+		}
+		i++
+	})
+	if avg > 2 {
+		t.Errorf("Pythia.Train allocates %.2f times/op, want <= 2", avg)
+	}
+}
+
+// TestQVStoreSearchAllocationFree pins the resolve+search path at zero
+// allocations.
+func TestQVStoreSearchAllocationFree(t *testing.T) {
+	cfg := core.BasicConfig()
+	qv := core.NewQVStore(cfg.Features, cfg.FeatureDim, len(cfg.Actions), cfg.PlanesPerVault, cfg.InitQ(), 1)
+	st := core.State{PC: 0x400, Delta: 3}
+	rs := qv.NewResolvedSig()
+	avg := testing.AllocsPerRun(1000, func() {
+		qv.ResolveState(&st, &rs)
+		qv.ArgmaxQResolved(&rs)
+	})
+	if avg != 0 {
+		t.Errorf("resolve+search allocates %.2f times/op, want 0", avg)
 	}
 }
 

@@ -1,0 +1,29 @@
+#!/bin/sh
+# ci.sh — the repo's verification gate: vet, build, full tests, and a
+# short QVStore benchmark smoke so hot-path perf regressions fail loudly
+# (the benchmark run also executes the allocation-budget tests).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== bench smoke (QVStore hot path) =="
+go test -run='AllocationFree' -bench='QVStore' -benchtime=100x -benchmem .
+
+echo "CI OK"

@@ -4,19 +4,44 @@
 //
 //	pythia-bench -exp all -scale default
 //	pythia-bench -exp fig9a,fig8b -scale quick -csv out/
+//	pythia-bench -exp fig1 -parallel 8 -json BENCH_2.json
 //	pythia-bench -list
+//
+// Simulations fan out over -parallel workers (default: all CPUs); worker
+// count changes wall time only, never a table's contents. -json records
+// per-experiment wall times in the BENCH_*.json format described in
+// PERF.md, tracking the perf trajectory PR over PR.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"pythia/internal/harness"
 )
+
+// benchReport is the -json payload; PERF.md documents the format.
+type benchReport struct {
+	Scale       string            `json:"scale"`
+	Workers     int               `json:"workers"`
+	GOOS        string            `json:"goos"`
+	GOARCH      string            `json:"goarch"`
+	CPUs        int               `json:"cpus"`
+	Experiments []benchExperiment `json:"experiments"`
+	TotalSecs   float64           `json:"total_seconds"`
+}
+
+type benchExperiment struct {
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	Seconds float64 `json:"seconds"`
+}
 
 func main() {
 	var (
@@ -24,6 +49,8 @@ func main() {
 		scaleFlag = flag.String("scale", "default", "simulation scale: quick|default|full")
 		csvDir    = flag.String("csv", "", "also write each result as CSV into this directory")
 		mdPath    = flag.String("md", "", "also append all results as a markdown report to this file")
+		jsonPath  = flag.String("json", "", "write per-experiment wall times as a BENCH_*.json report")
+		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = all CPUs, 1 = sequential)")
 		list      = flag.Bool("list", false, "list available experiments and exit")
 	)
 	flag.Parse()
@@ -34,6 +61,8 @@ func main() {
 		}
 		return
 	}
+
+	harness.SetWorkers(*parallel)
 
 	sc, err := harness.ScaleByName(*scaleFlag)
 	if err != nil {
@@ -55,12 +84,22 @@ func main() {
 		}
 	}
 
+	report := benchReport{
+		Scale:   *scaleFlag,
+		Workers: harness.Workers(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+	}
 	var md strings.Builder
+	wall := time.Now()
 	for _, e := range exps {
 		start := time.Now()
 		table := e.Run(sc)
+		secs := time.Since(start).Seconds()
 		fmt.Println(table.Render())
 		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		report.Experiments = append(report.Experiments, benchExperiment{ID: e.ID, Title: e.Title, Seconds: secs})
 		if *mdPath != "" {
 			fmt.Fprintf(&md, "## %s\n\n```\n%s```\n\n", e.Title, table.Render())
 		}
@@ -76,10 +115,24 @@ func main() {
 			}
 		}
 	}
+	report.TotalSecs = time.Since(wall).Seconds()
 	if *mdPath != "" {
 		if err := os.WriteFile(*mdPath, []byte(md.String()), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote %s: %d experiments, %.1fs total, %d workers]\n",
+			*jsonPath, len(report.Experiments), report.TotalSecs, report.Workers)
 	}
 }

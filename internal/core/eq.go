@@ -5,9 +5,16 @@ package core
 // three ways — immediately on insertion (no-prefetch and out-of-page
 // actions), during residency (a demand matches the prefetched line), or at
 // eviction (inaccurate). Evicted entries drive the SARSA update.
+//
+// Entries own their signature storage: inserts COPY the caller's signature
+// into per-slot buffers (allocated once, reused forever), so the agent can
+// reuse a single ResolvedSig across demands and the queue stays
+// allocation-free in steady state. Entries inserted with InsertResolved
+// also carry the state's resolved row offsets, so the SARSA update at
+// eviction never re-hashes.
 
 type eqEntry struct {
-	sig       StateSig
+	rs        ResolvedSig
 	action    int
 	line      uint64 // prefetched line (0 and tracked=false for no-prefetch)
 	tracked   bool   // line is meaningful and searchable
@@ -24,6 +31,10 @@ type EQ struct {
 	size int
 	// byLine indexes tracked entries for O(1) demand/fill search.
 	byLine map[uint64]int
+	// evictRS is the scratch an eviction copies the outgoing entry's
+	// signature into before the slot is overwritten; Evicted aliases it and
+	// stays usable until the next Insert.
+	evictRS ResolvedSig
 }
 
 // NewEQ builds an evaluation queue of the given capacity.
@@ -80,26 +91,46 @@ func (q *EQ) OnFill(line uint64) bool {
 }
 
 // Evicted is an entry popped by an insertion, carrying everything the SARSA
-// update needs.
+// update needs. Sig (and the resolved signature behind it) aliases the
+// queue's eviction scratch: it is valid until the next Insert.
 type Evicted struct {
 	Sig       StateSig
 	Action    int
 	Reward    float64
 	HadReward bool // reward was assigned before eviction
 	Valid     bool
+	// rs is the evicted entry's resolved signature (offset-bearing only for
+	// InsertResolved entries).
+	rs *ResolvedSig
 }
 
 // Insert pushes a new action into the queue. line/tracked describe the
 // prefetched address; reward/hasReward carry an immediate reward
 // (no-prefetch, out-of-page). When the queue is full the oldest entry is
-// evicted and returned.
+// evicted and returned. The signature is copied; sig is not retained.
 func (q *EQ) Insert(sig StateSig, action int, line uint64, tracked bool, reward float64, hasReward bool) Evicted {
+	return q.insert(sig, nil, action, line, tracked, reward, hasReward)
+}
+
+// InsertResolved is Insert for a resolved signature: the entry additionally
+// keeps the precomputed row offsets so the eviction-time SARSA update is
+// hash-free. r is copied, not retained.
+func (q *EQ) InsertResolved(r *ResolvedSig, action int, line uint64, tracked bool, reward float64, hasReward bool) Evicted {
+	return q.insert(r.vals, r.offs, action, line, tracked, reward, hasReward)
+}
+
+func (q *EQ) insert(vals []uint64, offs []int32, action int, line uint64, tracked bool, reward float64, hasReward bool) Evicted {
 	var out Evicted
 	slot := (q.head + q.size) % len(q.ring)
 	if q.size == len(q.ring) {
-		// Evict the oldest.
+		// Evict the oldest, copying it out before the slot is reused.
 		old := &q.ring[q.head]
-		out = Evicted{Sig: old.sig, Action: old.action, Reward: old.reward, HadReward: old.hasReward, Valid: true}
+		q.evictRS.copyFrom(old.rs.vals, old.rs.offs)
+		out = Evicted{
+			Sig: StateSig(q.evictRS.vals), Action: old.action,
+			Reward: old.reward, HadReward: old.hasReward, Valid: true,
+			rs: &q.evictRS,
+		}
 		if old.tracked {
 			if idx, ok := q.byLine[old.line]; ok && idx == q.head {
 				delete(q.byLine, old.line)
@@ -109,15 +140,15 @@ func (q *EQ) Insert(sig StateSig, action int, line uint64, tracked bool, reward 
 		q.head = (q.head + 1) % len(q.ring)
 		q.size--
 	}
-	q.ring[slot] = eqEntry{
-		sig:       sig,
-		action:    action,
-		line:      line,
-		tracked:   tracked,
-		reward:    reward,
-		hasReward: hasReward,
-		valid:     true,
-	}
+	e := &q.ring[slot]
+	e.rs.copyFrom(vals, offs)
+	e.action = action
+	e.line = line
+	e.tracked = tracked
+	e.filled = false
+	e.reward = reward
+	e.hasReward = hasReward
+	e.valid = true
 	if tracked {
 		q.byLine[line] = slot
 	}
@@ -127,11 +158,22 @@ func (q *EQ) Insert(sig StateSig, action int, line uint64, tracked bool, reward 
 
 // Head returns the oldest resident entry's state-action pair: after an
 // eviction this is (S_{t+1}, A_{t+1}) for the SARSA update (Algorithm 1
-// line 28).
+// line 28). The signature aliases the entry; it is valid until the entry is
+// evicted.
 func (q *EQ) Head() (sig StateSig, action int, ok bool) {
 	if q.size == 0 {
 		return nil, 0, false
 	}
 	e := &q.ring[q.head]
-	return e.sig, e.action, true
+	return StateSig(e.rs.vals), e.action, true
+}
+
+// HeadResolved is Head returning the entry's resolved signature. Offsets
+// are present only for entries inserted via InsertResolved.
+func (q *EQ) HeadResolved() (rs *ResolvedSig, action int, ok bool) {
+	if q.size == 0 {
+		return nil, 0, false
+	}
+	e := &q.ring[q.head]
+	return &e.rs, e.action, true
 }

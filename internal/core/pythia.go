@@ -38,6 +38,12 @@ type Pythia struct {
 	rng     *rand.Rand
 	stats   Stats
 
+	// sigRS and outBuf are reused across Train calls so the hot path is
+	// allocation-free: the EQ copies signatures on insert, and callers
+	// consume the returned candidate slice before the next Train.
+	sigRS  ResolvedSig
+	outBuf []uint64
+
 	// qTrace optionally records per-update Q-values of a watched feature
 	// value (Fig. 13).
 	watch *QWatch
@@ -65,6 +71,8 @@ func New(cfg Config, sys prefetch.System) (*Pythia, error) {
 		// Q-value width.
 		p.qv.SetQuantization(1.0 / 256)
 	}
+	p.sigRS = p.qv.NewResolvedSig()
+	p.outBuf = make([]uint64, 0, cfg.MaxDegree+1)
 	p.stats.ActionCounts = make([]int64, len(cfg.Actions))
 	return p, nil
 }
@@ -116,25 +124,27 @@ func (p *Pythia) Train(a prefetch.Access) []uint64 {
 		}
 	}
 
-	// (2) Extract the state vector.
+	// (2) Extract the state vector and resolve its QVStore row offsets
+	// once; every lookup, search and update below reuses them.
 	st := p.tracker.Observe(a.PC, a.Line)
-	sig := p.qv.Signature(&st)
+	sig := &p.sigRS
+	p.qv.ResolveState(&st, sig)
 
 	// (3) ε-greedy action selection.
 	var action int
 	var q float64
 	if p.rng.Float64() <= p.cfg.Epsilon {
 		action = p.rng.Intn(len(p.cfg.Actions))
-		q = p.qv.Q(sig, action)
+		q = p.qv.QResolved(sig, action)
 		p.stats.Explored++
 	} else {
-		action, q = p.qv.ArgmaxQ(sig)
+		action, q = p.qv.ArgmaxQResolved(sig)
 	}
 	p.stats.ActionCounts[action]++
 	offset := p.cfg.Actions[action]
 
 	// (4) Generate the prefetch and (5) create the EQ entry.
-	var out []uint64
+	out := p.outBuf[:0]
 	var evicted Evicted
 	switch {
 	case offset == 0:
@@ -146,29 +156,31 @@ func (p *Pythia) Train(a prefetch.Access) []uint64 {
 		} else {
 			p.stats.RewardNPLow++
 		}
-		evicted = p.eq.Insert(sig, action, 0, false, rw, true)
+		evicted = p.eq.InsertResolved(sig, action, 0, false, rw, true)
 	default:
 		cand := uint64(int64(a.Line) + int64(offset))
 		if !mem.SamePage(a.Line, cand) {
 			p.stats.OutOfPage++
 			p.stats.RewardCL++
-			evicted = p.eq.Insert(sig, action, 0, false, r.CL, true)
+			evicted = p.eq.InsertResolved(sig, action, 0, false, r.CL, true)
 		} else {
 			p.stats.PrefetchTaken++
 			out = append(out, cand)
 			// Confidence-based dynamic degree: high Q-values issue extra
 			// prefetches at consecutive multiples of the offset; only the
 			// first address is tracked in the EQ, so learning is unchanged.
-			for _, extra := range p.dynDegree(q, offset) {
+			deg := p.dynDegree(q, offset)
+			for extra := 2; extra <= deg; extra++ {
 				next := uint64(int64(a.Line) + int64(offset)*int64(extra))
 				if !mem.SamePage(a.Line, next) {
 					break
 				}
 				out = append(out, next)
 			}
-			evicted = p.eq.Insert(sig, action, cand, true, 0, false)
+			evicted = p.eq.InsertResolved(sig, action, cand, true, 0, false)
 		}
 	}
+	p.outBuf = out
 
 	// (6) SARSA update with the evicted entry.
 	if evicted.Valid {
@@ -182,8 +194,8 @@ func (p *Pythia) Train(a prefetch.Access) []uint64 {
 				p.stats.RewardINLow++
 			}
 		}
-		if sig2, a2, ok := p.eq.Head(); ok {
-			p.qv.Update(evicted.Sig, evicted.Action, reward, sig2, a2, p.cfg.Alpha, p.cfg.Gamma)
+		if sig2, a2, ok := p.eq.HeadResolved(); ok {
+			p.qv.UpdateResolved(evicted.rs, evicted.Action, reward, sig2, a2, p.cfg.Alpha, p.cfg.Gamma)
 			p.stats.QUpdates++
 			if p.watch != nil {
 				p.watch.observe(p.qv, evicted.Sig)
@@ -193,40 +205,36 @@ func (p *Pythia) Train(a prefetch.Access) []uint64 {
 	return out
 }
 
-// dynDegree returns the extra offset multiples [2..deg] for a chosen
-// action's Q-value: Q at or above ~60% of the theoretical maximum
-// R_AT/(1−γ) earns the full configured degree, lower confidence less.
-// Degree applies only to near-stride offsets (multiples of a far offset
-// are not part of the learned pattern, e.g. GemsFDTD's one-shot +23), and
-// collapses to 1 under high bandwidth pressure — the coverage-vs-accuracy
-// trade the paper's §6.3.3 describes.
-func (p *Pythia) dynDegree(q float64, offset int) []int {
+// dynDegree returns the prefetch degree for a chosen action's Q-value (1 =
+// no extra prefetches; the caller issues offset multiples [2..deg]): Q at
+// or above ~60% of the theoretical maximum R_AT/(1−γ) earns the full
+// configured degree, lower confidence less. Degree applies only to
+// near-stride offsets (multiples of a far offset are not part of the
+// learned pattern, e.g. GemsFDTD's one-shot +23), and collapses to 1 under
+// high bandwidth pressure — the coverage-vs-accuracy trade the paper's
+// §6.3.3 describes.
+func (p *Pythia) dynDegree(q float64, offset int) int {
 	if !p.cfg.DynDegree || p.cfg.MaxDegree <= 1 {
-		return nil
+		return 1
 	}
 	if offset > 8 || offset < -8 {
-		return nil
+		return 1
 	}
 	if p.highBW() {
-		return nil
+		return 1
 	}
 	qMax := p.cfg.Rewards.AT / (1 - p.cfg.Gamma)
 	if qMax <= 0 || q <= 0 {
-		return nil
+		return 1
 	}
 	frac := q / qMax
-	deg := 1
 	switch {
 	case frac >= 0.60:
-		deg = p.cfg.MaxDegree
+		return p.cfg.MaxDegree
 	case frac >= 0.33:
-		deg = (p.cfg.MaxDegree + 1) / 2
+		return (p.cfg.MaxDegree + 1) / 2
 	}
-	var extras []int
-	for k := 2; k <= deg; k++ {
-		extras = append(extras, k)
-	}
-	return extras
+	return 1
 }
 
 // Fill implements prefetch.Prefetcher: marks the matching EQ entry filled

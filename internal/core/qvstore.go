@@ -10,6 +10,14 @@ package core
 //
 // The per-plane shifting constants of the paper's tile coding are derived
 // deterministically from the store's seed.
+//
+// The store mirrors the paper's pipelined QVStore search (§4.2.2) in
+// software: the plane row index depends only on the feature value, never on
+// the action, so a state's (vault, plane) row base offsets are resolved
+// ONCE per state into a ResolvedSig, and Q / ArgmaxQ / Update then scan
+// contiguous action rows off the precomputed offsets. Each vault's planes
+// live in one flat plane-major table for cache locality. PERF.md describes
+// the design and its measured effect.
 
 // qvMix is a 64-bit finalizer (splitmix64-style) used to hash feature
 // values into plane indices.
@@ -22,17 +30,20 @@ func qvMix(x uint64) uint64 {
 	return x
 }
 
-type plane struct {
-	shift uint64 // per-plane shifting constant (tile offset)
-	table []float64
-}
-
+// vault holds one feature's planes flattened into a single plane-major
+// table: plane p's row r occupies data[p*planeSize + r*numActions : ... +
+// numActions].
 type vault struct {
 	feature Feature
-	planes  []plane
+	shifts  []uint64 // per-plane shifting constants (tile offsets)
+	data    []float64
 }
 
 // QVStore records Q-values for every observed state-action pair.
+//
+// A QVStore belongs to one agent: the resolve/scan scratch buffers make it
+// NOT safe for concurrent use (the harness runs one agent per simulated
+// core, each with its own store).
 type QVStore struct {
 	vaults     []vault
 	featureDim int
@@ -40,6 +51,13 @@ type QVStore struct {
 	numPlanes  int
 	initQ      float64
 	quantStep  float64 // 0 = full precision
+	mask       uint64  // featureDim - 1
+	planeSize  int     // featureDim * numActions
+
+	// Scratch buffers reused by the search and by the StateSig-based
+	// convenience API, so the hot path allocates nothing.
+	vbuf, maxbuf []float64
+	rs1, rs2     ResolvedSig
 }
 
 // NewQVStore builds a store for the given features with featureDim entries
@@ -58,22 +76,28 @@ func NewQVStore(features []Feature, featureDim, numActions, numPlanes int, initQ
 		numActions: numActions,
 		numPlanes:  numPlanes,
 		initQ:      initQ,
+		mask:       uint64(featureDim - 1),
+		planeSize:  featureDim * numActions,
+		vbuf:       make([]float64, numActions),
+		maxbuf:     make([]float64, numActions),
 	}
 	perPlane := initQ / float64(numPlanes)
 	for vi, f := range features {
-		v := vault{feature: f}
+		v := vault{
+			feature: f,
+			shifts:  make([]uint64, numPlanes),
+			data:    make([]float64, numPlanes*s.planeSize),
+		}
 		for p := 0; p < numPlanes; p++ {
-			pl := plane{
-				shift: qvMix(seed + uint64(vi)*1000003 + uint64(p)*7919),
-				table: make([]float64, featureDim*numActions),
-			}
-			for i := range pl.table {
-				pl.table[i] = perPlane
-			}
-			v.planes = append(v.planes, pl)
+			v.shifts[p] = qvMix(seed + uint64(vi)*1000003 + uint64(p)*7919)
+		}
+		for i := range v.data {
+			v.data[i] = perPlane
 		}
 		s.vaults = append(s.vaults, v)
 	}
+	s.rs1 = s.NewResolvedSig()
+	s.rs2 = s.NewResolvedSig()
 	return s
 }
 
@@ -86,9 +110,11 @@ func (s *QVStore) Features() []Feature {
 	return out
 }
 
-// index computes the plane-local row for a feature value.
-func (s *QVStore) index(pl *plane, featVal uint64) int {
-	return int(qvMix(featVal+pl.shift) & uint64(s.featureDim-1))
+// rowBase computes the flat-table base offset of the action row that a
+// feature value hashes to in plane p of a vault.
+func (s *QVStore) rowBase(shift uint64, p int, featVal uint64) int32 {
+	idx := int(qvMix(featVal+shift) & s.mask)
+	return int32(p*s.planeSize + idx*s.numActions)
 }
 
 // StateSig precomputes the per-vault feature values of a state: this is
@@ -97,6 +123,7 @@ func (s *QVStore) index(pl *plane, featVal uint64) int {
 type StateSig []uint64
 
 // Signature extracts the state signature (one feature value per vault).
+// It allocates; the agent's hot path uses ResolveState instead.
 func (s *QVStore) Signature(st *State) StateSig {
 	sig := make(StateSig, len(s.vaults))
 	for i, v := range s.vaults {
@@ -105,60 +132,177 @@ func (s *QVStore) Signature(st *State) StateSig {
 	return sig
 }
 
+// ResolvedSig is a state signature with every (vault, plane) pair's row
+// base offset resolved: offs[v*numPlanes+p] indexes vault v's flat table.
+// Resolving costs one hash per (vault, plane); afterwards every Q lookup,
+// search and update is hash-free and scans contiguous rows.
+type ResolvedSig struct {
+	vals []uint64
+	offs []int32
+}
+
+// Vals returns the raw per-vault feature values.
+func (r *ResolvedSig) Vals() StateSig { return StateSig(r.vals) }
+
+// copyFrom replaces r's contents, reusing its buffers.
+func (r *ResolvedSig) copyFrom(vals []uint64, offs []int32) {
+	r.vals = append(r.vals[:0], vals...)
+	r.offs = append(r.offs[:0], offs...)
+}
+
+// NewResolvedSig allocates a ResolvedSig sized for the store, for reuse via
+// ResolveState / ResolveSig.
+func (s *QVStore) NewResolvedSig() ResolvedSig {
+	return ResolvedSig{
+		vals: make([]uint64, len(s.vaults)),
+		offs: make([]int32, len(s.vaults)*s.numPlanes),
+	}
+}
+
+// ResolveState extracts the state's feature values and resolves all row
+// base offsets into r without allocating.
+func (s *QVStore) ResolveState(st *State, r *ResolvedSig) {
+	r.vals = r.vals[:0]
+	r.offs = r.offs[:0]
+	for vi := range s.vaults {
+		v := &s.vaults[vi]
+		fv := v.feature.Value(st)
+		r.vals = append(r.vals, fv)
+		for p, shift := range v.shifts {
+			r.offs = append(r.offs, s.rowBase(shift, p, fv))
+		}
+	}
+}
+
+// ResolveSig resolves an already-extracted raw signature into r.
+func (s *QVStore) ResolveSig(sig StateSig, r *ResolvedSig) {
+	r.vals = append(r.vals[:0], sig...)
+	r.offs = r.offs[:0]
+	for vi := range s.vaults {
+		v := &s.vaults[vi]
+		for p, shift := range v.shifts {
+			r.offs = append(r.offs, s.rowBase(shift, p, sig[vi]))
+		}
+	}
+}
+
 // VaultQ returns Q(φ_i, A) for vault i.
 func (s *QVStore) VaultQ(i int, featVal uint64, action int) float64 {
 	v := &s.vaults[i]
 	var q float64
-	for p := range v.planes {
-		pl := &v.planes[p]
-		q += pl.table[s.index(pl, featVal)*s.numActions+action]
+	for p, shift := range v.shifts {
+		q += v.data[int(s.rowBase(shift, p, featVal))+action]
 	}
 	return q
 }
 
-// Q returns the state-action value: the maximum constituent feature-action
-// Q-value (Eqn. 3).
-func (s *QVStore) Q(sig StateSig, action int) float64 {
-	best := s.VaultQ(0, sig[0], action)
-	for i := 1; i < len(s.vaults); i++ {
-		if q := s.VaultQ(i, sig[i], action); q > best {
+// QResolved returns the state-action value — the maximum constituent
+// feature-action Q-value (Eqn. 3) — using precomputed row offsets.
+func (s *QVStore) QResolved(r *ResolvedSig, action int) float64 {
+	var best float64
+	for vi := range s.vaults {
+		data := s.vaults[vi].data
+		base := vi * s.numPlanes
+		var q float64
+		for p := 0; p < s.numPlanes; p++ {
+			q += data[int(r.offs[base+p])+action]
+		}
+		if vi == 0 || q > best {
 			best = q
 		}
 	}
 	return best
 }
 
-// ArgmaxQ returns the action with the highest Q-value and that value,
-// mirroring the pipelined QVStore search of §4.2.2 (which iterates actions,
-// tracking the running maximum).
-func (s *QVStore) ArgmaxQ(sig StateSig) (action int, q float64) {
-	action, q = 0, s.Q(sig, 0)
-	for a := 1; a < s.numActions; a++ {
-		if qa := s.Q(sig, a); qa > q {
-			action, q = a, qa
+// ArgmaxQResolved returns the action with the highest Q-value and that
+// value, mirroring the pipelined QVStore search of §4.2.2: every plane row
+// a state resolves to is a contiguous run of numActions partial Q-values,
+// summed per vault and max-combined across vaults with no hashing.
+func (s *QVStore) ArgmaxQResolved(r *ResolvedSig) (action int, q float64) {
+	nA := s.numActions
+	vb, mx := s.vbuf, s.maxbuf
+	for vi := range s.vaults {
+		data := s.vaults[vi].data
+		base := vi * s.numPlanes
+		// Vault 0 accumulates straight into the max buffer; later vaults
+		// use the scratch and max-merge. The first plane initializes the
+		// accumulator (x == 0+x bitwise for every table value; the store
+		// never holds -0, see the resolved equivalence test).
+		buf := vb
+		if vi == 0 {
+			buf = mx
+		}
+		off := int(r.offs[base])
+		copy(buf, data[off:off+nA])
+		for p := 1; p < s.numPlanes; p++ {
+			off = int(r.offs[base+p])
+			row := data[off : off+nA]
+			acc := buf[:len(row)] // equal-length reslice elides bounds checks
+			for a, pq := range row {
+				acc[a] += pq
+			}
+		}
+		if vi > 0 {
+			mxa := mx[:len(buf)]
+			for a, vq := range buf {
+				if vq > mxa[a] {
+					mxa[a] = vq
+				}
+			}
+		}
+	}
+	action, q = 0, mx[0]
+	for a := 1; a < nA; a++ {
+		if mx[a] > q {
+			action, q = a, mx[a]
 		}
 	}
 	return action, q
 }
 
-// Update applies the SARSA temporal-difference step to Q(S1, A1):
+// UpdateResolved applies the SARSA temporal-difference step to Q(S1, A1):
 //
 //	Q(S1,A1) += α [R + γ Q(S2,A2) − Q(S1,A1)]
 //
 // The correction is distributed equally across each vault's planes so the
-// per-vault sum moves by the full α-scaled TD error.
-func (s *QVStore) Update(sig1 StateSig, a1 int, reward float64, sig2 StateSig, a2 int, alpha, gamma float64) {
-	target := reward + gamma*s.Q(sig2, a2)
-	for i := range s.vaults {
-		v := &s.vaults[i]
-		qOld := s.VaultQ(i, sig1[i], a1)
+// per-vault sum moves by the full α-scaled TD error. Both signatures must
+// carry resolved offsets.
+func (s *QVStore) UpdateResolved(r1 *ResolvedSig, a1 int, reward float64, r2 *ResolvedSig, a2 int, alpha, gamma float64) {
+	target := reward + gamma*s.QResolved(r2, a2)
+	for vi := range s.vaults {
+		data := s.vaults[vi].data
+		base := vi * s.numPlanes
+		var qOld float64
+		for p := 0; p < s.numPlanes; p++ {
+			qOld += data[int(r1.offs[base+p])+a1]
+		}
 		adj := alpha * (target - qOld) / float64(s.numPlanes)
-		for p := range v.planes {
-			pl := &v.planes[p]
-			idx := s.index(pl, sig1[i])*s.numActions + a1
-			pl.table[idx] = s.quantize(pl.table[idx] + adj)
+		for p := 0; p < s.numPlanes; p++ {
+			idx := int(r1.offs[base+p]) + a1
+			data[idx] = s.quantize(data[idx] + adj)
 		}
 	}
+}
+
+// Q returns the state-action value for a raw signature (Eqn. 3). It
+// resolves into internal scratch; ResolveSig + QResolved avoids the
+// per-call hashing when the same state is queried repeatedly.
+func (s *QVStore) Q(sig StateSig, action int) float64 {
+	s.ResolveSig(sig, &s.rs1)
+	return s.QResolved(&s.rs1, action)
+}
+
+// ArgmaxQ returns the best action and its Q-value for a raw signature.
+func (s *QVStore) ArgmaxQ(sig StateSig) (action int, q float64) {
+	s.ResolveSig(sig, &s.rs1)
+	return s.ArgmaxQResolved(&s.rs1)
+}
+
+// Update applies the SARSA step for raw signatures.
+func (s *QVStore) Update(sig1 StateSig, a1 int, reward float64, sig2 StateSig, a2 int, alpha, gamma float64) {
+	s.ResolveSig(sig1, &s.rs1)
+	s.ResolveSig(sig2, &s.rs2)
+	s.UpdateResolved(&s.rs1, a1, reward, &s.rs2, a2, alpha, gamma)
 }
 
 // SetQuantization makes the store behave like the paper's 16-bit

@@ -96,10 +96,10 @@ func TestQVStoreMaxComposition(t *testing.T) {
 func TestQVStorePlaneShiftsDiffer(t *testing.T) {
 	qv := testStore()
 	v := &qv.vaults[0]
-	if len(v.planes) != 3 {
-		t.Fatalf("planes = %d", len(v.planes))
+	if len(v.shifts) != 3 {
+		t.Fatalf("planes = %d", len(v.shifts))
 	}
-	if v.planes[0].shift == v.planes[1].shift || v.planes[1].shift == v.planes[2].shift {
+	if v.shifts[0] == v.shifts[1] || v.shifts[1] == v.shifts[2] {
 		t.Error("plane shifting constants should differ")
 	}
 }

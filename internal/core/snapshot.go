@@ -46,12 +46,12 @@ func (s *QVStore) Snapshot(w io.Writer) error {
 	}
 	var le [8]byte
 	for vi := range s.vaults {
-		for p := range s.vaults[vi].planes {
-			for _, q := range s.vaults[vi].planes[p].table {
-				binary.LittleEndian.PutUint64(le[:], math.Float64bits(q))
-				if _, err := bw.Write(le[:]); err != nil {
-					return err
-				}
+		// The flat vault table is already in the format's plane, row,
+		// action order.
+		for _, q := range s.vaults[vi].data {
+			binary.LittleEndian.PutUint64(le[:], math.Float64bits(q))
+			if _, err := bw.Write(le[:]); err != nil {
+				return err
 			}
 		}
 	}
@@ -84,14 +84,12 @@ func (s *QVStore) Restore(r io.Reader) error {
 	}
 	var le [8]byte
 	for vi := range s.vaults {
-		for p := range s.vaults[vi].planes {
-			table := s.vaults[vi].planes[p].table
-			for i := range table {
-				if _, err := io.ReadFull(br, le[:]); err != nil {
-					return fmt.Errorf("core: snapshot entries: %w", err)
-				}
-				table[i] = math.Float64frombits(binary.LittleEndian.Uint64(le[:]))
+		table := s.vaults[vi].data
+		for i := range table {
+			if _, err := io.ReadFull(br, le[:]); err != nil {
+				return fmt.Errorf("core: snapshot entries: %w", err)
 			}
+			table[i] = math.Float64frombits(binary.LittleEndian.Uint64(le[:]))
 		}
 	}
 	return nil

@@ -7,6 +7,28 @@ import (
 	"pythia/internal/stats"
 )
 
+// sweepCells fills the (sweep point × prefetcher) grid of a Fig. 8-style
+// sweep in parallel: every cell is the geomean speedup of a prefetcher
+// across all suites at one system configuration. Cells are independent
+// simulations, so the whole grid fans out at once; the grid is assembled by
+// index, keeping tables identical at any worker count.
+func sweepCells(points int, pfs []PF, sc Scale, cfgFor func(point int) cache.Config) [][]float64 {
+	cells := make([][]float64, points)
+	for i := range cells {
+		cells[i] = make([]float64, len(pfs))
+	}
+	RunAll(points*len(pfs), func(k int) {
+		i, j := k/len(pfs), k%len(pfs)
+		cfg := cfgFor(i)
+		var all []float64
+		for _, suite := range suitesList() {
+			all = append(all, suiteSpeedups(suite, cfg, sc, pfs[j])...)
+		}
+		cells[i][j] = stats.Geomean(all)
+	})
+	return cells
+}
+
 // Fig8aCores reproduces Fig. 8(a): geomean speedup while scaling the core
 // count (channel counts scale with cores per Table 5).
 func Fig8aCores(sc Scale) *stats.Table {
@@ -15,14 +37,23 @@ func Fig8aCores(sc Scale) *stats.Table {
 		Title:  "Fig. 8a: speedup vs core count",
 		Header: append([]string{"cores"}, pfNames(pfs)...),
 	}
-	for _, cores := range []int{1, 2, 4, 8} {
-		cfg := cache.DefaultConfig(cores)
-		mixes := mixesFor(cores, sc)
-		cells := []string{fmt.Sprint(cores)}
-		for _, pf := range pfs {
-			cells = append(cells, fmt.Sprintf("%.3f", stats.Geomean(mixSpeedups(mixes, cfg, sc, pf))))
+	coreCounts := []int{1, 2, 4, 8}
+	cells := make([][]float64, len(coreCounts))
+	for i := range cells {
+		cells[i] = make([]float64, len(pfs))
+	}
+	RunAll(len(coreCounts)*len(pfs), func(k int) {
+		i, j := k/len(pfs), k%len(pfs)
+		cfg := cache.DefaultConfig(coreCounts[i])
+		mixes := mixesFor(coreCounts[i], sc)
+		cells[i][j] = stats.Geomean(mixSpeedups(mixes, cfg, sc, pfs[j]))
+	})
+	for i, cores := range coreCounts {
+		cellsRow := []string{fmt.Sprint(cores)}
+		for j := range pfs {
+			cellsRow = append(cellsRow, fmt.Sprintf("%.3f", cells[i][j]))
 		}
-		t.AddRow(cells...)
+		t.AddRow(cellsRow...)
 	}
 	t.Notes = append(t.Notes, "paper: Pythia's margin over prior prefetchers grows with core count")
 	return t
@@ -39,18 +70,17 @@ func Fig8bBandwidth(sc Scale) *stats.Table {
 		Title:  "Fig. 8b: speedup vs DRAM bandwidth (MTPS, single-core)",
 		Header: append([]string{"MTPS"}, pfNames(pfs)...),
 	}
-	for _, mtps := range BandwidthPoints {
+	cells := sweepCells(len(BandwidthPoints), pfs, sc, func(i int) cache.Config {
 		cfg := cache.DefaultConfig(1)
-		cfg.DRAM = cfg.DRAM.WithMTPS(mtps)
-		cells := []string{fmt.Sprint(mtps)}
-		for _, pf := range pfs {
-			var all []float64
-			for _, suite := range suitesList() {
-				all = append(all, suiteSpeedups(suite, cfg, sc, pf)...)
-			}
-			cells = append(cells, fmt.Sprintf("%.3f", stats.Geomean(all)))
+		cfg.DRAM = cfg.DRAM.WithMTPS(BandwidthPoints[i])
+		return cfg
+	})
+	for i, mtps := range BandwidthPoints {
+		row := []string{fmt.Sprint(mtps)}
+		for j := range pfs {
+			row = append(row, fmt.Sprintf("%.3f", cells[i][j]))
 		}
-		t.AddRow(cells...)
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"paper: at 150 MTPS Pythia outperforms MLOP/Bingo by 16.9%/20.2%; MLOP underperforms the baseline by 16%")
@@ -65,18 +95,18 @@ func Fig8cLLCSize(sc Scale) *stats.Table {
 		Title:  "Fig. 8c: speedup vs LLC size (single-core)",
 		Header: append([]string{"LLC KB"}, pfNames(pfs)...),
 	}
-	for _, kb := range []int{256, 512, 1024, 2048, 4096} {
+	sizes := []int{256, 512, 1024, 2048, 4096}
+	cells := sweepCells(len(sizes), pfs, sc, func(i int) cache.Config {
 		cfg := cache.DefaultConfig(1)
-		cfg.LLCSizeKBPerCore = kb
-		cells := []string{fmt.Sprint(kb)}
-		for _, pf := range pfs {
-			var all []float64
-			for _, suite := range suitesList() {
-				all = append(all, suiteSpeedups(suite, cfg, sc, pf)...)
-			}
-			cells = append(cells, fmt.Sprintf("%.3f", stats.Geomean(all)))
+		cfg.LLCSizeKBPerCore = sizes[i]
+		return cfg
+	})
+	for i, kb := range sizes {
+		row := []string{fmt.Sprint(kb)}
+		for j := range pfs {
+			row = append(row, fmt.Sprintf("%.3f", cells[i][j]))
 		}
-		t.AddRow(cells...)
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes, "paper: Pythia outperforms all competitors at every LLC size")
 	return t
@@ -90,18 +120,18 @@ func Fig8dMultiLevel(sc Scale) *stats.Table {
 		Title:  "Fig. 8d: multi-level prefetching vs DRAM bandwidth (single-core)",
 		Header: append([]string{"MTPS"}, pfNames(pfs)...),
 	}
-	for _, mtps := range []int{150, 600, 2400, 9600} {
+	points := []int{150, 600, 2400, 9600}
+	cells := sweepCells(len(points), pfs, sc, func(i int) cache.Config {
 		cfg := cache.DefaultConfig(1)
-		cfg.DRAM = cfg.DRAM.WithMTPS(mtps)
-		cells := []string{fmt.Sprint(mtps)}
-		for _, pf := range pfs {
-			var all []float64
-			for _, suite := range suitesList() {
-				all = append(all, suiteSpeedups(suite, cfg, sc, pf)...)
-			}
-			cells = append(cells, fmt.Sprintf("%.3f", stats.Geomean(all)))
+		cfg.DRAM = cfg.DRAM.WithMTPS(points[i])
+		return cfg
+	})
+	for i, mtps := range points {
+		row := []string{fmt.Sprint(mtps)}
+		for j := range pfs {
+			row = append(row, fmt.Sprintf("%.3f", cells[i][j]))
 		}
-		t.AddRow(cells...)
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"paper: Stride+Pythia outperforms Stride+Streamer and IPCP at every bandwidth point")

@@ -70,15 +70,15 @@ func Fig11BandwidthOblivious(sc Scale) *stats.Table {
 		Title:  "Fig. 11: bandwidth-oblivious Pythia vs basic Pythia",
 		Header: []string{"MTPS", "basic", "bw-oblivious", "delta"},
 	}
-	for _, mtps := range BandwidthPoints {
+	// Both variants of every bandwidth point simulate concurrently.
+	variants := []PF{BasicPythiaPF(), PythiaPF(core.BandwidthObliviousConfig())}
+	cells := sweepCells(len(BandwidthPoints), variants, sc, func(i int) cache.Config {
 		cfg := cache.DefaultConfig(1)
-		cfg.DRAM = cfg.DRAM.WithMTPS(mtps)
-		var basic, obl []float64
-		for _, suite := range suitesList() {
-			basic = append(basic, suiteSpeedups(suite, cfg, sc, BasicPythiaPF())...)
-			obl = append(obl, suiteSpeedups(suite, cfg, sc, PythiaPF(core.BandwidthObliviousConfig()))...)
-		}
-		b, o := stats.Geomean(basic), stats.Geomean(obl)
+		cfg.DRAM = cfg.DRAM.WithMTPS(BandwidthPoints[i])
+		return cfg
+	})
+	for i, mtps := range BandwidthPoints {
+		b, o := cells[i][0], cells[i][1]
 		t.AddRow(fmt.Sprint(mtps), fmt.Sprintf("%.3f", b), fmt.Sprintf("%.3f", o), pct(o/b-1))
 	}
 	t.Notes = append(t.Notes,
@@ -103,19 +103,42 @@ func Fig12Unseen(sc Scale) *stats.Table {
 		categories[w.Base] = append(categories[w.Base], w)
 	}
 	for _, cores := range []int{1, 4} {
+		cores := cores
 		cfg := cache.DefaultConfig(cores)
 		sys := fmt.Sprintf("%dC", cores)
+		// Every (category, prefetcher, workload) simulation of this system
+		// fans out at once; aggregation walks the job list in order.
+		type job struct {
+			cat         string
+			pfIdx, wIdx int
+		}
+		var jobs []job
+		for _, cat := range order {
+			for pi := range pfs {
+				for wi := range categories[cat] {
+					jobs = append(jobs, job{cat, pi, wi})
+				}
+			}
+		}
+		sps := make([]float64, len(jobs))
+		RunAll(len(jobs), func(k int) {
+			j := jobs[k]
+			w := categories[j.cat][j.wIdx]
+			mix := single(w)
+			if cores > 1 {
+				mix = trace.HomogeneousMix(w, cores)
+			}
+			sps[k] = SpeedupOn(mix, cfg, sc, pfs[j.pfIdx])
+		})
 		all := map[string][]float64{}
+		k := 0
 		for _, cat := range order {
 			cells := []string{sys, cat}
 			for _, pf := range pfs {
 				var sp []float64
-				for _, w := range categories[cat] {
-					mix := single(w)
-					if cores > 1 {
-						mix = trace.HomogeneousMix(w, cores)
-					}
-					sp = append(sp, SpeedupOn(mix, cfg, sc, pf))
+				for range categories[cat] {
+					sp = append(sp, sps[k])
+					k++
 				}
 				all[pf.Name] = append(all[pf.Name], sp...)
 				cells = append(cells, fmt.Sprintf("%.3f", stats.Geomean(sp)))

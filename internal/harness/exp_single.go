@@ -18,7 +18,9 @@ func fig1Workloads() []string {
 }
 
 // Fig1Motivation reproduces Fig. 1: coverage, overprediction and IPC
-// improvement of SPP, Bingo and Pythia on six example workloads.
+// improvement of SPP, Bingo and Pythia on six example workloads. All
+// (workload, prefetcher) cells simulate in parallel; rows are assembled in
+// presentation order afterwards.
 func Fig1Motivation(sc Scale) *stats.Table {
 	cfg := cache.DefaultConfig(1)
 	pfs := []PF{SPPPF(), BingoPF(), BasicPythiaPF()}
@@ -26,6 +28,11 @@ func Fig1Motivation(sc Scale) *stats.Table {
 		Title:  "Fig. 1: motivation workloads (single-core)",
 		Header: []string{"workload", "prefetcher", "coverage", "overpred", "speedup"},
 	}
+	type job struct {
+		w  trace.Workload
+		pf PF
+	}
+	var jobs []job
 	for _, name := range fig1Workloads() {
 		w, ok := trace.ByName(name)
 		if !ok {
@@ -33,10 +40,19 @@ func Fig1Motivation(sc Scale) *stats.Table {
 			continue
 		}
 		for _, pf := range pfs {
-			cov, over := coverageOverpred(w, cfg, sc, pf)
-			sp := SpeedupOn(single(w), cfg, sc, pf)
-			t.AddRow(name, pf.Name, pct(cov), pct(over), fmt.Sprintf("%.3f", sp))
+			jobs = append(jobs, job{w, pf})
 		}
+	}
+	type cell struct{ cov, over, sp float64 }
+	cells := make([]cell, len(jobs))
+	RunAll(len(jobs), func(i int) {
+		j := jobs[i]
+		cov, over := coverageOverpred(j.w, cfg, sc, j.pf)
+		cells[i] = cell{cov, over, SpeedupOn(single(j.w), cfg, sc, j.pf)}
+	})
+	for i, j := range jobs {
+		c := cells[i]
+		t.AddRow(j.w.Name, j.pf.Name, pct(c.cov), pct(c.over), fmt.Sprintf("%.3f", c.sp))
 	}
 	t.Notes = append(t.Notes,
 		"paper shape: Bingo > SPP on sphinx3/canneal/facesim; SPP > Bingo on GemsFDTD;",
@@ -53,23 +69,41 @@ func Fig7Coverage(sc Scale) *stats.Table {
 		Title:  "Fig. 7: coverage and overprediction per suite (single-core)",
 		Header: []string{"suite", "prefetcher", "coverage", "overpred"},
 	}
-	type agg struct{ cov, over []float64 }
-	total := map[string]*agg{}
+	// Simulate every (suite, prefetcher, workload) cell in parallel, then
+	// aggregate in presentation order.
+	type job struct {
+		suite string
+		pf    PF
+		w     trace.Workload
+	}
+	var jobs []job
 	for _, suite := range trace.Suites() {
 		for _, pf := range pfs {
-			var covs, overs []float64
 			for _, w := range suiteWorkloads(suite, sc) {
-				cov, over := coverageOverpred(w, cfg, sc, pf)
-				covs = append(covs, cov)
-				overs = append(overs, over)
+				jobs = append(jobs, job{suite, pf, w})
 			}
-			if total[pf.Name] == nil {
-				total[pf.Name] = &agg{}
-			}
-			total[pf.Name].cov = append(total[pf.Name].cov, covs...)
-			total[pf.Name].over = append(total[pf.Name].over, overs...)
-			t.AddRow(suite, pf.Name, pct(stats.Mean(covs)), pct(stats.Mean(overs)))
 		}
+	}
+	covs := make([]float64, len(jobs))
+	overs := make([]float64, len(jobs))
+	RunAll(len(jobs), func(i int) {
+		covs[i], overs[i] = coverageOverpred(jobs[i].w, cfg, sc, jobs[i].pf)
+	})
+	type agg struct{ cov, over []float64 }
+	total := map[string]*agg{}
+	for i := 0; i < len(jobs); {
+		suite, pf := jobs[i].suite, jobs[i].pf
+		var scov, sover []float64
+		for ; i < len(jobs) && jobs[i].suite == suite && jobs[i].pf.Name == pf.Name; i++ {
+			scov = append(scov, covs[i])
+			sover = append(sover, overs[i])
+		}
+		if total[pf.Name] == nil {
+			total[pf.Name] = &agg{}
+		}
+		total[pf.Name].cov = append(total[pf.Name].cov, scov...)
+		total[pf.Name].over = append(total[pf.Name].over, sover...)
+		t.AddRow(suite, pf.Name, pct(stats.Mean(scov)), pct(stats.Mean(sover)))
 	}
 	for _, pf := range pfs {
 		a := total[pf.Name]

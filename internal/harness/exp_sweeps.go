@@ -38,12 +38,14 @@ func Fig17LineGraph1C(sc Scale) *stats.Table {
 		name string
 		sp   float64
 	}
-	var list []wl
+	var all []trace.Workload
 	for _, suite := range trace.Suites() {
-		for _, w := range suiteWorkloads(suite, sc) {
-			list = append(list, wl{w.Name, SpeedupOn(single(w), cfg, sc, BasicPythiaPF())})
-		}
+		all = append(all, suiteWorkloads(suite, sc)...)
 	}
+	list := make([]wl, len(all))
+	RunAll(len(all), func(i int) {
+		list[i] = wl{all[i].Name, SpeedupOn(single(all[i]), cfg, sc, BasicPythiaPF())}
+	})
 	sort.Slice(list, func(i, j int) bool { return list[i].sp < list[j].sp })
 	if len(list) > 0 {
 		t.Notes = append(t.Notes,
@@ -102,19 +104,22 @@ func Fig19FeatureSweep(sc Scale) *stats.Table {
 		name            string
 		sp, cov, overpr float64
 	}
-	var rows []row
 	ws := suiteWorkloads(trace.SuiteSPEC06, sc)
-	for _, cand := range configs {
-		var sps, covs, overs []float64
-		for _, w := range ws {
+	// The design-space sweep is embarrassingly parallel: every candidate
+	// config evaluates independently (and within one, every workload).
+	rows := make([]row, len(configs))
+	RunAll(len(configs), func(ci int) {
+		cand := configs[ci]
+		sps := make([]float64, len(ws))
+		covs := make([]float64, len(ws))
+		overs := make([]float64, len(ws))
+		RunAll(len(ws), func(wi int) {
 			pf := PythiaPF(cand)
-			sps = append(sps, SpeedupOn(single(w), cfg, sc, pf))
-			cov, over := coverageOverpred(w, cfg, sc, pf)
-			covs = append(covs, cov)
-			overs = append(overs, over)
-		}
-		rows = append(rows, row{featureNames(cand), stats.Geomean(sps), stats.Mean(covs), stats.Mean(overs)})
-	}
+			sps[wi] = SpeedupOn(single(ws[wi]), cfg, sc, pf)
+			covs[wi], overs[wi] = coverageOverpred(ws[wi], cfg, sc, pf)
+		})
+		rows[ci] = row{featureNames(cand), stats.Geomean(sps), stats.Mean(covs), stats.Mean(overs)}
+	})
 	sort.Slice(rows, func(i, j int) bool { return rows[i].sp < rows[j].sp })
 	for _, r := range rows {
 		t.AddRow(r.name, fmt.Sprintf("%.3f", r.sp), pct(r.cov), pct(r.overpr))
@@ -133,23 +138,35 @@ func Fig20Hyperparams(sc Scale) *stats.Table {
 	}
 	ws := suiteWorkloads(trace.SuiteSPEC06, sc)
 	run := func(c core.Config) float64 {
-		var sp []float64
-		for _, w := range ws {
-			sp = append(sp, SpeedupOn(single(w), cfg, sc, PythiaPF(c)))
-		}
+		sp := make([]float64, len(ws))
+		RunAll(len(ws), func(i int) {
+			sp[i] = SpeedupOn(single(ws[i]), cfg, sc, PythiaPF(c))
+		})
 		return stats.Geomean(sp)
 	}
-	for _, eps := range []float64{1e-6, 1e-4, 1e-3, 1e-2, 1e-1, 0.5, 1.0} {
+	// Both log sweeps fan out across their sample points.
+	epss := []float64{1e-6, 1e-4, 1e-3, 1e-2, 1e-1, 0.5, 1.0}
+	alphas := []float64{1e-5, 1e-3, 0.0065, 0.05, 0.1, 0.3, 1.0}
+	epsSp := make([]float64, len(epss))
+	alphaSp := make([]float64, len(alphas))
+	RunAll(len(epss)+len(alphas), func(i int) {
 		c := core.BasicConfig()
-		c.Name = fmt.Sprintf("pythia-eps%g", eps)
-		c.Epsilon = eps
-		t.AddRow("epsilon", fmt.Sprintf("%g", eps), fmt.Sprintf("%.3f", run(c)))
+		if i < len(epss) {
+			c.Name = fmt.Sprintf("pythia-eps%g", epss[i])
+			c.Epsilon = epss[i]
+			epsSp[i] = run(c)
+		} else {
+			j := i - len(epss)
+			c.Name = fmt.Sprintf("pythia-alpha%g", alphas[j])
+			c.Alpha = alphas[j]
+			alphaSp[j] = run(c)
+		}
+	})
+	for i, eps := range epss {
+		t.AddRow("epsilon", fmt.Sprintf("%g", eps), fmt.Sprintf("%.3f", epsSp[i]))
 	}
-	for _, alpha := range []float64{1e-5, 1e-3, 0.0065, 0.05, 0.1, 0.3, 1.0} {
-		c := core.BasicConfig()
-		c.Name = fmt.Sprintf("pythia-alpha%g", alpha)
-		c.Alpha = alpha
-		t.AddRow("alpha", fmt.Sprintf("%g", alpha), fmt.Sprintf("%.3f", run(c)))
+	for i, alpha := range alphas {
+		t.AddRow("alpha", fmt.Sprintf("%g", alpha), fmt.Sprintf("%.3f", alphaSp[i]))
 	}
 	t.Notes = append(t.Notes,
 		"paper: performance collapses as epsilon->1; alpha has an interior optimum",

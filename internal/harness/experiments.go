@@ -64,13 +64,14 @@ func ExperimentByID(id string) (Experiment, bool) {
 // pct formats a fraction as a percentage.
 func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
 
-// suiteSpeedups runs pf over a suite's workloads (1-core) and returns
-// per-workload speedups.
+// suiteSpeedups runs pf over a suite's workloads (1-core) in parallel and
+// returns per-workload speedups in workload order.
 func suiteSpeedups(suite string, cfg cache.Config, sc Scale, pf PF) []float64 {
-	var out []float64
-	for _, w := range suiteWorkloads(suite, sc) {
-		out = append(out, SpeedupOn(single(w), cfg, sc, pf))
-	}
+	ws := suiteWorkloads(suite, sc)
+	out := make([]float64, len(ws))
+	RunAll(len(ws), func(i int) {
+		out[i] = SpeedupOn(single(ws[i]), cfg, sc, pf)
+	})
 	return out
 }
 
@@ -100,12 +101,12 @@ func mixesFor(cores int, sc Scale) []trace.Mix {
 	return mixes
 }
 
-// mixSpeedups runs pf over a mix list.
+// mixSpeedups runs pf over a mix list in parallel, preserving mix order.
 func mixSpeedups(mixes []trace.Mix, cfg cache.Config, sc Scale, pf PF) []float64 {
-	var out []float64
-	for _, m := range mixes {
-		out = append(out, SpeedupOn(m, cfg, sc, pf))
-	}
+	out := make([]float64, len(mixes))
+	RunAll(len(mixes), func(i int) {
+		out[i] = SpeedupOn(mixes[i], cfg, sc, pf)
+	})
 	return out
 }
 

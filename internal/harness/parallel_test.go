@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pythia/internal/cache"
+)
+
+func TestRunAllCoversEveryIndex(t *testing.T) {
+	defer SetWorkers(0)
+	for _, workers := range []int{1, 4} {
+		SetWorkers(workers)
+		hits := make([]int32, 100)
+		RunAll(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestRunAllNests(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	var n atomic.Int32
+	RunAll(5, func(int) {
+		RunAll(7, func(int) { n.Add(1) })
+	})
+	if n.Load() != 35 {
+		t.Errorf("nested RunAll ran %d leaf calls, want 35", n.Load())
+	}
+}
+
+func TestFlightGroupDeduplicates(t *testing.T) {
+	// The regression this guards: two concurrent RunCached callers both
+	// missing the cache used to run the identical simulation twice.
+	var g flightGroup
+	var calls atomic.Int32
+	release := make(chan struct{})
+	const waiters = 8
+	var wg, arrived sync.WaitGroup
+	results := make([]any, waiters)
+	for i := 0; i < waiters; i++ {
+		i := i
+		wg.Add(1)
+		arrived.Add(1)
+		go func() {
+			defer wg.Done()
+			arrived.Done()
+			results[i] = g.do("key", func() any {
+				calls.Add(1)
+				<-release // hold every other caller in the flight
+				return 42
+			})
+		}()
+	}
+	// Release only after every goroutine is at (or microseconds from) its
+	// do() call, so all of them join the in-flight leader.
+	arrived.Wait()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Errorf("fn ran %d times for one key, want 1", got)
+	}
+	for i, r := range results {
+		if r != 42 {
+			t.Errorf("caller %d got %v", i, r)
+		}
+	}
+	// The key is released afterwards: a later call runs again.
+	g.do("key", func() any { calls.Add(1); return 0 })
+	if calls.Load() != 2 {
+		t.Error("flight key not released after completion")
+	}
+}
+
+func TestRunCachedConcurrentCallersAgree(t *testing.T) {
+	ResetCaches()
+	defer ResetCaches()
+	spec := RunSpec{Mix: tinyMix(t), CacheCfg: cache.DefaultConfig(1), Scale: tinyScale, PF: BasicPythiaPF()}
+	const callers = 4
+	out := make([]RunResult, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = RunCached(spec)
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if out[i].IPC[0] != out[0].IPC[0] {
+			t.Fatalf("caller %d IPC %v != caller 0 IPC %v", i, out[i].IPC[0], out[0].IPC[0])
+		}
+	}
+}
+
+// TestExperimentDeterministicAcrossWorkerCounts is the parallel harness's
+// core guarantee: the same experiment renders byte-identical tables at 1
+// worker and at N workers (fresh caches each time, so every simulation
+// actually re-runs).
+func TestExperimentDeterministicAcrossWorkerCounts(t *testing.T) {
+	defer SetWorkers(0)
+	render := func(workers int) string {
+		SetWorkers(workers)
+		ResetCaches()
+		defer ResetCaches()
+		return Fig1Motivation(tinyScale).Render()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Errorf("Fig. 1 table differs between 1 and 8 workers:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
+func TestSetWorkersBounds(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Errorf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	SetWorkers(0)
+	if Workers() < 1 {
+		t.Errorf("default worker count %d", Workers())
+	}
+}

@@ -2,11 +2,18 @@
 // prefetchers and system configurations into simulations, caches baseline
 // runs, and exposes one function per table/figure of the evaluation (see
 // the experiment index in DESIGN.md).
+//
+// Experiments fan their independent simulations out over a worker pool
+// (SetWorkers / RunAll); every simulation is deterministic and results are
+// written into index-addressed slots, so a rendered table is byte-identical
+// at any worker count. PERF.md describes the parallel architecture.
 package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"pythia/internal/cache"
 	"pythia/internal/core"
@@ -16,6 +23,142 @@ import (
 	"pythia/internal/stats"
 	"pythia/internal/trace"
 )
+
+// --- Worker pool ---
+
+// simSlots caps the number of simulations executing at once; RunAll fan-out
+// may nest (an experiment over a sweep whose cells run suites of
+// workloads), so the cap is enforced where the work happens, in Run.
+var simSlots = newDynSema(runtime.GOMAXPROCS(0))
+
+// SetWorkers bounds harness parallelism to n concurrent simulations
+// (n <= 1 forces sequential execution; n == 0 restores the default,
+// GOMAXPROCS). Worker count never affects experiment output, only wall
+// time.
+func SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	simSlots.setLimit(n)
+	genSlots.setLimit(n)
+}
+
+// Workers reports the current parallelism bound.
+func Workers() int { return simSlots.limit() }
+
+// RunAll invokes fn(0..n-1), fanning out over the worker pool. Every fn
+// must write its result to its own index-addressed slot; RunAll returns
+// when all calls complete. Calls may nest — the global simulation cap keeps
+// total CPU bounded.
+func RunAll(n int, fn func(i int)) {
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// dynSema is a counting semaphore with an adjustable limit.
+type dynSema struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	cap   int
+	inUse int
+}
+
+func newDynSema(limit int) *dynSema {
+	s := &dynSema{cap: limit}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *dynSema) acquire() {
+	s.mu.Lock()
+	for s.inUse >= s.cap {
+		s.cond.Wait()
+	}
+	s.inUse++
+	s.mu.Unlock()
+}
+
+func (s *dynSema) release() {
+	s.mu.Lock()
+	s.inUse--
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+func (s *dynSema) setLimit(n int) {
+	s.mu.Lock()
+	s.cap = n
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+func (s *dynSema) limit() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cap
+}
+
+// flightGroup deduplicates concurrent calls for the same key (a minimal
+// singleflight): the first caller runs fn, everyone else blocks and shares
+// the result.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+}
+
+func (g *flightGroup) do(key string, fn func() any) any {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val
+	}
+	c := new(flightCall)
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		c.wg.Done()
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+	}()
+	c.val = fn()
+	return c.val
+}
 
 // Scale controls simulation lengths so the full suite finishes in minutes
 // instead of the paper's cluster-days; EXPERIMENTS.md records results at
@@ -184,26 +327,49 @@ func (r RunResult) SumDRAMReads() int64 {
 	return n
 }
 
-var traceCache sync.Map // key string -> *trace.Trace
+var (
+	traceCache  sync.Map // key string -> *trace.Trace
+	traceFlight flightGroup
+	// genSlots bounds concurrent trace generation separately from
+	// simSlots: generation happens inside Run (which already holds a sim
+	// slot), so reusing simSlots would self-deadlock at low worker counts.
+	// Transient cold-start CPU use is thus bounded by 2× the worker limit.
+	genSlots = newDynSema(runtime.GOMAXPROCS(0))
+)
 
-// tracesFor materializes (with caching) the traces of a mix.
+// tracesFor materializes the traces of a mix: cached, generated in
+// parallel, and deduplicated so concurrent runs of the same workload (e.g.
+// a homogeneous mix, or a baseline and a prefetched run racing) generate
+// each trace exactly once.
 func tracesFor(mix trace.Mix, length int) []*trace.Trace {
 	out := make([]*trace.Trace, len(mix.Workloads))
-	for i, w := range mix.Workloads {
+	RunAll(len(mix.Workloads), func(i int) {
+		w := mix.Workloads[i]
 		key := fmt.Sprintf("%s|%d", w.Name, length)
 		if v, ok := traceCache.Load(key); ok {
 			out[i] = v.(*trace.Trace)
-			continue
+			return
 		}
-		t := w.Generate(length)
-		traceCache.Store(key, t)
-		out[i] = t
-	}
+		out[i] = traceFlight.do(key, func() any {
+			if v, ok := traceCache.Load(key); ok {
+				return v
+			}
+			genSlots.acquire()
+			t := w.Generate(length)
+			genSlots.release()
+			traceCache.Store(key, t)
+			return t
+		}).(*trace.Trace)
+	})
 	return out
 }
 
-// Run executes one simulation.
+// Run executes one simulation. Concurrent callers are throttled to the
+// worker limit; each simulation owns all its mutable state, so any number
+// may run side by side with deterministic results.
 func Run(spec RunSpec) RunResult {
+	simSlots.acquire()
+	defer simSlots.release()
 	cores := len(spec.Mix.Workloads)
 	cfg := spec.CacheCfg
 	cfg.Cores = cores
@@ -254,7 +420,18 @@ func Run(spec RunSpec) RunResult {
 	return res
 }
 
-var baselineCache sync.Map // key string -> RunResult
+var (
+	baselineCache sync.Map // key string -> RunResult
+	runFlight     flightGroup
+)
+
+// ResetCaches drops all memoized simulation results and materialized
+// traces. Tests use it to force fresh runs; long-lived tools can use it to
+// bound memory between sweeps.
+func ResetCaches() {
+	baselineCache.Range(func(k, _ any) bool { baselineCache.Delete(k); return true })
+	traceCache.Range(func(k, _ any) bool { traceCache.Delete(k); return true })
+}
 
 // cacheKey captures everything that affects a run's outcome.
 func cacheKey(spec RunSpec) string {
@@ -266,15 +443,22 @@ func cacheKey(spec RunSpec) string {
 }
 
 // RunCached executes a simulation, memoizing results (baselines recur in
-// every figure).
+// every figure). Concurrent callers with the same key are deduplicated
+// through a singleflight: exactly one runs the simulation, the rest share
+// its result.
 func RunCached(spec RunSpec) RunResult {
 	key := cacheKey(spec)
 	if v, ok := baselineCache.Load(key); ok {
 		return v.(RunResult)
 	}
-	r := Run(spec)
-	baselineCache.Store(key, r)
-	return r
+	return runFlight.do(key, func() any {
+		if v, ok := baselineCache.Load(key); ok {
+			return v
+		}
+		r := Run(spec)
+		baselineCache.Store(key, r)
+		return r
+	}).(RunResult)
 }
 
 // Speedup returns the geomean over cores of per-core IPC ratios between a
