@@ -25,6 +25,7 @@ import (
 	"pythia/internal/harness"
 	"pythia/internal/prefetch"
 	"pythia/internal/stats"
+	"pythia/internal/stream"
 	"pythia/internal/trace"
 )
 
@@ -238,6 +239,111 @@ func BenchmarkTraceGen(b *testing.B) {
 			b.Fatal("empty trace")
 		}
 	}
+}
+
+// --- Trace-delivery benches (streaming vs materialized, PERF.md) ---
+
+// benchDrainReader measures record-delivery throughput of an opened
+// reader, reporting records per wall second.
+func benchDrainReader(b *testing.B, open func() trace.Reader, n int) {
+	b.Helper()
+	b.ResetTimer()
+	var recs int64
+	for i := 0; i < b.N; i++ {
+		r := open()
+		count := 0
+		for {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+			count++
+		}
+		if c, ok := r.(interface{ Close() error }); ok {
+			c.Close()
+		}
+		if count != n {
+			b.Fatalf("drained %d records, want %d", count, n)
+		}
+		recs += int64(count)
+	}
+	b.ReportMetric(float64(recs)/b.Elapsed().Seconds(), "recs/s")
+}
+
+const benchTraceLen = 400_000
+
+// BenchmarkTraceDeliveryMaterialized is the seed architecture: generate
+// the whole []Record up front (outside the timed loop, matching the
+// harness trace cache), then replay it from memory.
+func BenchmarkTraceDeliveryMaterialized(b *testing.B) {
+	w, _ := trace.ByName("459.GemsFDTD-100B")
+	tr := w.Generate(benchTraceLen)
+	benchDrainReader(b, func() trace.Reader { return trace.NewSliceReader(tr.Records) }, benchTraceLen)
+}
+
+// BenchmarkTraceDeliveryGenStream streams the generator through the chunk
+// pipeline: generation cost is on the producer goroutine, overlapping the
+// consumer.
+func BenchmarkTraceDeliveryGenStream(b *testing.B) {
+	w, _ := trace.ByName("459.GemsFDTD-100B")
+	src := &stream.GenSource{W: w, N: benchTraceLen}
+	benchDrainReader(b, func() trace.Reader {
+		r, err := src.Open()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}, benchTraceLen)
+}
+
+// BenchmarkTraceDeliveryFileStream streams a cached on-disk trace through
+// the chunk pipeline — the harness's ScaleLong path.
+func BenchmarkTraceDeliveryFileStream(b *testing.B) {
+	w, _ := trace.ByName("459.GemsFDTD-100B")
+	cache := stream.NewCache(b.TempDir())
+	src, err := cache.Source(w, benchTraceLen, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDrainReader(b, func() trace.Reader {
+		r, err := src.Open()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}, benchTraceLen)
+}
+
+// BenchmarkSimulatorEndToEndStreaming is BenchmarkSimulatorEndToEnd with
+// streamed trace delivery, so the pipeline's overhead (or overlap win)
+// shows up against the materialized number below.
+func BenchmarkSimulatorEndToEndStreaming(b *testing.B) {
+	w, _ := trace.ByName("459.GemsFDTD-100B")
+	src := &stream.GenSource{W: w, N: 100_000}
+	b.ResetTimer()
+	var instr int64
+	for i := 0; i < b.N; i++ {
+		h, err := cache.NewHierarchy(cache.DefaultConfig(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.AttachPrefetcher(0, core.MustNew(core.BasicConfig(), h))
+		r, err := src.Open()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, err := cpu.NewSystem(cpu.SystemConfig{
+			Core:               cpu.DefaultCoreConfig(),
+			WarmupInstructions: 100_000,
+			SimInstructions:    500_000,
+		}, h, []trace.Reader{r})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.Run()
+		sys.Close()
+		instr += sys.Cores[0].MeasuredInstructions()
+	}
+	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "instr/s")
 }
 
 // BenchmarkSimulatorEndToEnd reports whole-simulator throughput in

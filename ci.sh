@@ -23,6 +23,12 @@ go build ./...
 echo "== go test =="
 go test ./...
 
+echo "== go test -race (worker pool + stream pipeline + trace io) =="
+# The repo's concurrency lives in the harness worker pool/singleflights
+# and the stream chunk pipeline / trace-cache population; run those
+# packages under the race detector.
+go test -race ./internal/harness/... ./internal/stream/... ./internal/trace/...
+
 echo "== bench smoke (QVStore hot path) =="
 go test -run='AllocationFree' -bench='QVStore' -benchtime=100x -benchmem .
 

@@ -24,6 +24,8 @@ import (
 	"time"
 
 	"pythia/internal/harness"
+	"pythia/internal/stream"
+	"pythia/internal/trace"
 )
 
 // benchReport is the -json payload; PERF.md documents the format.
@@ -33,6 +35,7 @@ type benchReport struct {
 	GOOS        string            `json:"goos"`
 	GOARCH      string            `json:"goarch"`
 	CPUs        int               `json:"cpus"`
+	Stream      *streamBench      `json:"stream,omitempty"`
 	Experiments []benchExperiment `json:"experiments"`
 	TotalSecs   float64           `json:"total_seconds"`
 }
@@ -43,14 +46,84 @@ type benchExperiment struct {
 	Seconds float64 `json:"seconds"`
 }
 
+// streamBench compares trace-delivery throughput (million records per
+// second) across the three delivery paths, mirroring the
+// BenchmarkTraceDelivery* benches in bench_test.go.
+type streamBench struct {
+	Records           int     `json:"records"`
+	MaterializedMrecS float64 `json:"materialized_mrecs_s"`
+	GenStreamMrecS    float64 `json:"genstream_mrecs_s"`
+	FileStreamMrecS   float64 `json:"filestream_mrecs_s"`
+}
+
+// runStreamBench measures delivery throughput over a few passes each.
+func runStreamBench(records int) (*streamBench, error) {
+	w, ok := trace.ByName("459.GemsFDTD-100B")
+	if !ok {
+		return nil, fmt.Errorf("stream bench workload missing")
+	}
+	drain := func(r trace.Reader) int {
+		n := 0
+		for {
+			if _, ok := r.Next(); !ok {
+				return n
+			}
+			n++
+		}
+	}
+	const passes = 3
+	rate := func(open func() (trace.Reader, error)) (float64, error) {
+		start := time.Now()
+		total := 0
+		for i := 0; i < passes; i++ {
+			r, err := open()
+			if err != nil {
+				return 0, err
+			}
+			total += drain(r)
+			if c, ok := r.(interface{ Close() error }); ok {
+				c.Close()
+			}
+		}
+		return float64(total) / time.Since(start).Seconds() / 1e6, nil
+	}
+
+	sb := &streamBench{Records: records}
+	tr := w.Generate(records)
+	var err error
+	if sb.MaterializedMrecS, err = rate(func() (trace.Reader, error) {
+		return trace.NewSliceReader(tr.Records), nil
+	}); err != nil {
+		return nil, err
+	}
+	gen := &stream.GenSource{W: w, N: records}
+	if sb.GenStreamMrecS, err = rate(func() (trace.Reader, error) { return gen.Open() }); err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "pythia-streambench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	file, err := stream.NewCache(dir).Source(w, records, 0)
+	if err != nil {
+		return nil, err
+	}
+	if sb.FileStreamMrecS, err = rate(func() (trace.Reader, error) { return file.Open() }); err != nil {
+		return nil, err
+	}
+	return sb, nil
+}
+
 func main() {
 	var (
 		expFlag   = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
-		scaleFlag = flag.String("scale", "default", "simulation scale: quick|default|full")
+		scaleFlag = flag.String("scale", "default", "simulation scale: quick|default|full|long")
 		csvDir    = flag.String("csv", "", "also write each result as CSV into this directory")
 		mdPath    = flag.String("md", "", "also append all results as a markdown report to this file")
 		jsonPath  = flag.String("json", "", "write per-experiment wall times as a BENCH_*.json report")
 		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = all CPUs, 1 = sequential)")
+		strBench  = flag.Bool("streambench", false, "also measure trace-delivery throughput (materialized vs streamed) into the -json report")
 		list      = flag.Bool("list", false, "list available experiments and exit")
 	)
 	flag.Parse()
@@ -90,6 +163,16 @@ func main() {
 		GOOS:    runtime.GOOS,
 		GOARCH:  runtime.GOARCH,
 		CPUs:    runtime.NumCPU(),
+	}
+	if *strBench {
+		sb, err := runStreamBench(sc.TraceLen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		report.Stream = sb
+		fmt.Printf("[trace delivery, %d records: materialized %.1f Mrec/s, gen-stream %.1f Mrec/s, file-stream %.1f Mrec/s]\n\n",
+			sb.Records, sb.MaterializedMrecS, sb.GenStreamMrecS, sb.FileStreamMrecS)
 	}
 	var md strings.Builder
 	wall := time.Now()

@@ -28,7 +28,7 @@ func main() {
 		cores     = flag.Int("cores", 1, "number of cores (homogeneous mix)")
 		mtps      = flag.Int("mtps", 0, "override DRAM MTPS (0 = Table 5 default)")
 		llcKB     = flag.Int("llc", 0, "override LLC KB per core (0 = 2048)")
-		scaleName = flag.String("scale", "default", "simulation scale: quick|default|full")
+		scaleName = flag.String("scale", "default", "simulation scale: quick|default|full|long")
 		listWL    = flag.Bool("workloads", false, "list available workloads and exit")
 	)
 	flag.Parse()

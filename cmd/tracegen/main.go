@@ -1,5 +1,8 @@
 // Command tracegen materializes synthetic workload traces to disk in the
-// binary trace format, for inspection or external tooling.
+// binary trace format, for inspection or external tooling. Records stream
+// from the generator straight into the incremental encoder
+// (internal/stream.Materialize), so arbitrarily long traces are written in
+// bounded memory; a failed write removes the partial output file.
 //
 // Usage:
 //
@@ -14,6 +17,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"pythia/internal/stream"
 	"pythia/internal/trace"
 )
 
@@ -28,16 +32,11 @@ func main() {
 	flag.Parse()
 
 	write := func(w trace.Workload, path string) error {
-		t := w.Generate(*n)
-		f, err := os.Create(path)
+		recs, instrs, err := stream.Materialize(path, w, *n)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := trace.Write(f, t); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s: %d records, %d instructions\n", path, len(t.Records), t.Instructions())
+		fmt.Printf("wrote %s: %d records, %d instructions\n", path, recs, instrs)
 		return nil
 	}
 

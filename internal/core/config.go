@@ -101,6 +101,20 @@ func BasicConfig() Config {
 	}
 }
 
+// PaperHorizonConfig returns BasicConfig with the paper's actual Table 2
+// learning hyperparameters, α=0.0065 and ε=0.002. These are derived for
+// 500M-instruction simulations and need the long horizons the streaming
+// trace pipeline delivers (harness.ScaleLong); at the scaled-down default
+// horizons they would leave SARSA under-converged, which is why BasicConfig
+// inflates them (DESIGN.md "Horizon scaling").
+func PaperHorizonConfig() Config {
+	c := BasicConfig()
+	c.Name = "pythia-paper"
+	c.Alpha = 0.0065
+	c.Epsilon = 0.002
+	return c
+}
+
 // StrictConfig returns the Ligra-tuned "strict" customization of §6.6.1:
 // inaccurate prefetches are punished harder and not prefetching is neutral,
 // trading coverage for accuracy on bandwidth-hungry graph workloads.

@@ -7,6 +7,7 @@ package cpu
 
 import (
 	"fmt"
+	"io"
 
 	"pythia/internal/cache"
 	"pythia/internal/trace"
@@ -239,6 +240,23 @@ func (s *System) Run() {
 // Stats returns a core's memory statistics captured when it finished its
 // measurement window.
 func (c *Core) Stats() cache.CoreStats { return c.statsSnap }
+
+// Close releases per-core trace readers that own external resources:
+// streaming readers (internal/stream) hold a producer goroutine and
+// possibly an open file until closed. Readers that are plain in-memory
+// iterators are unaffected. Close is safe to call after Run and more than
+// once; the first reader error is returned.
+func (s *System) Close() error {
+	var first error
+	for _, c := range s.Cores {
+		if cl, ok := c.reader.(io.Closer); ok {
+			if err := cl.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
 
 // nextCore returns the eligible core with the smallest local clock, or nil
 // when none is eligible. Advancing the globally-oldest core keeps shared

@@ -21,6 +21,7 @@ func ExtendedExperiments() []Experiment {
 		{"ext-fdp", "Inherent vs bolt-on bandwidth awareness: Pythia vs FDP-throttled SPP", ExtFDPComparison},
 		{"ext-xlat", "Virtual-to-physical translation ablation", ExtTranslation},
 		{"ext-fixedpoint", "16-bit fixed-point QVStore ablation", ExtFixedPoint},
+		{"ext-longhorizon", "Long-horizon study: paper Table 2 hyperparameters over streamed traces", ExtLongHorizon},
 		{"scorecard", "Reproduction scorecard: the paper's qualitative claims", RunScorecard},
 	}
 }

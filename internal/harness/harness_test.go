@@ -55,7 +55,7 @@ func TestSpeedupOnPythiaBeatsBaselineOnGems(t *testing.T) {
 }
 
 func TestPFByName(t *testing.T) {
-	for _, name := range []string{"nopref", "spp", "bingo", "mlop", "pythia", "pythia-strict", "cphw", "power7", "stride+pythia"} {
+	for _, name := range []string{"nopref", "spp", "bingo", "mlop", "pythia", "pythia-paper", "pythia-strict", "cphw", "power7", "stride+pythia"} {
 		pf, err := PFByName(name)
 		if err != nil {
 			t.Errorf("PFByName(%q): %v", name, err)
@@ -71,7 +71,7 @@ func TestPFByName(t *testing.T) {
 }
 
 func TestScaleByName(t *testing.T) {
-	for _, name := range []string{"quick", "default", "full", ""} {
+	for _, name := range []string{"quick", "default", "full", "long", ""} {
 		if _, err := ScaleByName(name); err != nil {
 			t.Errorf("ScaleByName(%q): %v", name, err)
 		}
@@ -187,8 +187,8 @@ func TestCombinationStacks(t *testing.T) {
 
 func TestExtendedExperimentsRegistered(t *testing.T) {
 	ext := ExtendedExperiments()
-	if len(ext) != 6 {
-		t.Errorf("extended experiments = %d, want 6", len(ext))
+	if len(ext) != 7 {
+		t.Errorf("extended experiments = %d, want 7", len(ext))
 	}
 	if _, ok := ExperimentByID("ext-fdp"); !ok {
 		t.Error("ext-fdp not resolvable")

@@ -18,6 +18,7 @@ func PFByName(name string) (PF, error) {
 		"dspatch":         DSPatchPF,
 		"ppf":             PPFPF,
 		"pythia":          BasicPythiaPF,
+		"pythia-paper":    func() PF { return PythiaPF(core.PaperHorizonConfig()) },
 		"pythia-strict":   func() PF { return PythiaPF(core.StrictConfig()) },
 		"pythia-bwobl":    func() PF { return PythiaPF(core.BandwidthObliviousConfig()) },
 		"cphw":            CPHWPF,
@@ -46,7 +47,9 @@ func ScaleByName(name string) (Scale, error) {
 		return ScaleDefault, nil
 	case "full":
 		return ScaleFull, nil
+	case "long":
+		return ScaleLong, nil
 	default:
-		return Scale{}, fmt.Errorf("unknown scale %q (quick|default|full)", name)
+		return Scale{}, fmt.Errorf("unknown scale %q (quick|default|full|long)", name)
 	}
 }

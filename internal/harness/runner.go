@@ -21,6 +21,7 @@ import (
 	"pythia/internal/dram"
 	"pythia/internal/prefetch"
 	"pythia/internal/stats"
+	"pythia/internal/stream"
 	"pythia/internal/trace"
 )
 
@@ -173,6 +174,12 @@ type Scale struct {
 	WorkloadsPerSuite int
 	// HeteroMixes is the number of random heterogeneous multi-core mixes.
 	HeteroMixes int
+	// StreamChunk switches trace delivery to the bounded-memory streaming
+	// pipeline (internal/stream) with this many records per chunk; 0 keeps
+	// the in-memory materialized path. Streaming delivers exactly the same
+	// record sequence, so results are identical either way — only peak
+	// memory and the horizon ceiling change.
+	StreamChunk int
 }
 
 // ScaleQuick is used by unit benchmarks and smoke tests.
@@ -183,6 +190,14 @@ var ScaleDefault = Scale{Warmup: 1_000_000, Sim: 4_000_000, TraceLen: 400_000, W
 
 // ScaleFull runs every registered trace.
 var ScaleFull = Scale{Warmup: 2_000_000, Sim: 10_000_000, TraceLen: 1_000_000, WorkloadsPerSuite: 0, HeteroMixes: 8}
+
+// ScaleLong is the paper-horizon scale the materialized architecture could
+// not reach: ≥50M measured instructions per core over 8M-record traces,
+// streamed through the chunk pipeline (a few MB resident per core instead
+// of ~200 MB per trace). Designed for the long-horizon study, where the
+// paper's Table 2 hyperparameters apply unmodified (see DESIGN.md
+// "Horizon scaling").
+var ScaleLong = Scale{Warmup: 10_000_000, Sim: 50_000_000, TraceLen: 8_000_000, WorkloadsPerSuite: 1, HeteroMixes: 1, StreamChunk: 1 << 15}
 
 // PF names a prefetcher configuration and knows how to instantiate it per
 // core. L1 is optional (multi-level schemes).
@@ -337,6 +352,58 @@ var (
 	genSlots = newDynSema(runtime.GOMAXPROCS(0))
 )
 
+// --- Streaming trace delivery ---
+
+var (
+	streamCacheMu  sync.Mutex
+	streamCacheVal *stream.Cache
+)
+
+// streamCache returns the process-wide on-disk trace cache for streaming
+// runs, creating it at stream.DefaultDir on first use.
+func streamCache() *stream.Cache {
+	streamCacheMu.Lock()
+	defer streamCacheMu.Unlock()
+	if streamCacheVal == nil {
+		streamCacheVal = stream.NewCache(stream.DefaultDir())
+	}
+	return streamCacheVal
+}
+
+// SetTraceCacheDir points streaming runs at a different on-disk trace
+// cache directory (tests use a temp dir; clusters can share a populated
+// one). An empty dir restores the default. It affects subsequent runs
+// only.
+func SetTraceCacheDir(dir string) {
+	if dir == "" {
+		dir = stream.DefaultDir()
+	}
+	streamCacheMu.Lock()
+	defer streamCacheMu.Unlock()
+	streamCacheVal = stream.NewCache(dir)
+}
+
+// streamSources resolves each workload of a mix to a bounded-memory
+// stream source. The disk cache shares one generation pass across every
+// core, worker and experiment that wants the same trace; if the cache is
+// unusable (unwritable directory), delivery falls back to per-reader
+// generator replay, which costs CPU on replay but never materializes the
+// trace either.
+func streamSources(mix trace.Mix, sc Scale) []stream.Source {
+	out := make([]stream.Source, len(mix.Workloads))
+	RunAll(len(mix.Workloads), func(i int) {
+		w := mix.Workloads[i]
+		genSlots.acquire()
+		src, err := streamCache().Source(w, sc.TraceLen, sc.StreamChunk)
+		genSlots.release()
+		if err != nil {
+			src = &stream.GenSource{W: w, N: sc.TraceLen, Chunk: sc.StreamChunk}
+		}
+		out[i] = src
+	})
+	return out
+}
+
 // tracesFor materializes the traces of a mix: cached, generated in
 // parallel, and deduplicated so concurrent runs of the same workload (e.g.
 // a homogeneous mix, or a baseline and a prefetched run racing) generate
@@ -378,10 +445,25 @@ func Run(spec RunSpec) RunResult {
 		panic(err)
 	}
 
-	traces := tracesFor(spec.Mix, spec.Scale.TraceLen)
 	readers := make([]trace.Reader, cores)
-	for i, t := range traces {
-		readers[i] = trace.NewSliceReader(t.Records)
+	if spec.Scale.StreamChunk > 0 {
+		// Streaming delivery: records flow through the bounded chunk
+		// pipeline instead of a materialized []Record, so the horizon is
+		// limited by disk, not memory. The record sequence is identical to
+		// the materialized path (stream package equivalence tests), so a
+		// spec yields the same result either way.
+		for i, src := range streamSources(spec.Mix, spec.Scale) {
+			r, err := src.Open()
+			if err != nil {
+				panic(fmt.Sprintf("harness: open stream %s: %v", src.Name(), err))
+			}
+			readers[i] = r
+		}
+	} else {
+		traces := tracesFor(spec.Mix, spec.Scale.TraceLen)
+		for i, t := range traces {
+			readers[i] = trace.NewSliceReader(t.Records)
+		}
 	}
 
 	var pfs []prefetch.Prefetcher
@@ -408,6 +490,9 @@ func Run(spec RunSpec) RunResult {
 	if err != nil {
 		panic(err)
 	}
+	// Streaming readers own producer goroutines and file handles; release
+	// them once the simulation is done (a no-op for slice readers).
+	defer sys.Close()
 	sys.Run()
 
 	res := RunResult{Name: spec.Mix.Name, PFs: pfs}
@@ -433,7 +518,10 @@ func ResetCaches() {
 	traceCache.Range(func(k, _ any) bool { traceCache.Delete(k); return true })
 }
 
-// cacheKey captures everything that affects a run's outcome.
+// cacheKey captures everything that affects a run's outcome. StreamChunk
+// is deliberately absent: streaming and materialized delivery produce the
+// same records and therefore the same result, so runs differing only in
+// delivery mode share a memoization slot.
 func cacheKey(spec RunSpec) string {
 	d := spec.CacheCfg.DRAM
 	return fmt.Sprintf("%s|%s|c%d|llc%d|mshr%d|ch%d|mtps%d|w%d|s%d|t%d",

@@ -1,0 +1,217 @@
+package stream
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"pythia/internal/trace"
+)
+
+// Cache is a content-addressed on-disk trace cache: files are keyed by
+// Workload.Key (name, seed, length, generator version), so every process
+// and every PR that shares a cache directory reuses the same generation
+// pass, and any change to generator output lands on fresh file names.
+//
+// Population is deduplicated through a singleflight: when N workers race
+// to simulate the same workload, exactly one generates and encodes the
+// trace while the rest wait, then everyone streams from disk. Writers go
+// through a unique temp file plus atomic rename, so concurrent processes
+// are safe too (both write, either rename wins, contents are identical).
+type Cache struct {
+	dir string
+
+	mu     sync.Mutex
+	flight map[string]*populateCall
+}
+
+type populateCall struct {
+	wg  sync.WaitGroup
+	err error
+}
+
+// NewCache returns a cache rooted at dir (created on first population).
+func NewCache(dir string) *Cache {
+	return &Cache{dir: dir, flight: make(map[string]*populateCall)}
+}
+
+// DefaultDir returns the cache directory used when none is configured: the
+// PYTHIA_TRACE_CACHE environment variable, or pythia-trace-cache under the
+// OS temp directory.
+func DefaultDir() string {
+	if dir := os.Getenv("PYTHIA_TRACE_CACHE"); dir != "" {
+		return dir
+	}
+	return filepath.Join(os.TempDir(), "pythia-trace-cache")
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// path maps a workload identity to its cache file.
+func (c *Cache) path(w trace.Workload, n int) string {
+	sum := sha256.Sum256([]byte(w.Key(n)))
+	return filepath.Join(c.dir, fmt.Sprintf("%s-%s.pytr", sanitize(w.Name), hex.EncodeToString(sum[:8])))
+}
+
+// Source ensures the workload's trace is on disk (generating it exactly
+// once across concurrent callers) and returns a streaming FileSource over
+// it. chunk is the pipeline chunk size in records (0 = DefaultChunk).
+// File-backed (fixed) workloads are served straight from their resident
+// records instead: they are already materialized, and their identity key
+// carries no content hash, so persisting them could go stale.
+func (c *Cache) Source(w trace.Workload, n, chunk int) (Source, error) {
+	if ft := w.FixedTrace(); ft != nil {
+		return &SliceSource{T: ft}, nil
+	}
+	path, err := c.Ensure(w, n)
+	if err != nil {
+		return nil, err
+	}
+	return &FileSource{Path: path, Chunk: chunk}, nil
+}
+
+// Ensure populates the cache entry for (w, n) if needed and returns its
+// path. Concurrent calls for the same entry share one generation pass.
+// Fixed workloads are rejected: their cache key has no content identity
+// (see Source).
+func (c *Cache) Ensure(w trace.Workload, n int) (string, error) {
+	if w.FixedTrace() != nil {
+		return "", fmt.Errorf("stream: fixed workload %s is not disk-cacheable", w.Name)
+	}
+	path := c.path(w, n)
+	if c.valid(path, w, n) {
+		return path, nil
+	}
+
+	c.mu.Lock()
+	if call, ok := c.flight[path]; ok {
+		c.mu.Unlock()
+		call.wg.Wait()
+		return path, call.err
+	}
+	call := new(populateCall)
+	call.wg.Add(1)
+	c.flight[path] = call
+	c.mu.Unlock()
+
+	defer func() {
+		call.wg.Done()
+		c.mu.Lock()
+		delete(c.flight, path)
+		c.mu.Unlock()
+	}()
+
+	// Re-check under the flight: another process (or an earlier flight that
+	// completed between our check and lock) may have populated it.
+	if c.valid(path, w, n) {
+		return path, nil
+	}
+	call.err = c.populate(path, w, n)
+	return path, call.err
+}
+
+// valid reports whether path holds a decodable trace matching the
+// workload identity. Only the header is read; the body is trusted because
+// files land via atomic rename of fully-written, synced temp files.
+func (c *Cache) valid(path string, w trace.Workload, n int) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	d, err := trace.NewDecoder(f)
+	if err != nil {
+		return false
+	}
+	return d.Name() == w.Name && d.Count() == int64(w.NumRecords(n))
+}
+
+// populate generates the trace into a unique temp file and atomically
+// renames it into place.
+func (c *Cache) populate(path string, w trace.Workload, n int) error {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return fmt.Errorf("stream: cache dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("stream: cache temp: %w", err)
+	}
+	if _, _, err := encodeWorkload(tmp, w, n); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("stream: cache populate %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("stream: cache sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("stream: cache close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("stream: cache rename: %w", err)
+	}
+	return nil
+}
+
+// encodeWorkload streams n records of w into wr through the incremental
+// encoder, returning the record and instruction counts.
+func encodeWorkload(wr *os.File, w trace.Workload, n int) (records int, instructions int64, err error) {
+	count := w.NumRecords(n)
+	e, err := trace.NewEncoder(wr, w.Name, w.Suite, count)
+	if err != nil {
+		return 0, 0, err
+	}
+	it := w.Iter(n)
+	for {
+		rec, ok := it.Next()
+		if !ok {
+			break
+		}
+		if err := e.WriteRecord(rec); err != nil {
+			return records, instructions, err
+		}
+		records++
+		instructions += rec.Instructions()
+	}
+	return records, instructions, e.Close()
+}
+
+// Materialize streams n records of w to path in the binary trace format,
+// generating incrementally so the trace is never resident in memory. On
+// any write error the partial output file is removed. It returns the
+// record and instruction counts written.
+func Materialize(path string, w trace.Workload, n int) (records int, instructions int64, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	records, instructions, err = encodeWorkload(f, w, n)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return 0, 0, err
+	}
+	return records, instructions, nil
+}
+
+// sanitize makes a workload name filesystem-safe.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ':', ' ':
+			return '_'
+		}
+		return r
+	}, name)
+}

@@ -1,0 +1,178 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+
+	"pythia/internal/trace"
+)
+
+// chunkedReader is the pipelined core of the package: a producer goroutine
+// pulls records from a one-pass iterator and hands them to the consumer in
+// chunks through a bounded ring, recycling chunk buffers through a free
+// list so steady-state streaming allocates nothing.
+//
+// Memory bound: at most depth+2 chunk buffers ever exist per reader — one
+// in the producer's hands, up to depth queued, one being drained by the
+// consumer — regardless of trace length.
+type chunkedReader struct {
+	// open starts a fresh pass over the records; the returned closer (may
+	// be nil) releases pass-scoped resources (an open file) when the
+	// producer exits.
+	open  func() (trace.Iter, io.Closer, error)
+	chunk int
+	depth int
+
+	free chan []trace.Record // recycled chunk buffers; nil entry = allocate
+	p    *pipe               // current producer generation, nil after EOF+Close
+
+	cur    []trace.Record // chunk being drained
+	pos    int
+	closed bool
+}
+
+// pipe is one producer generation; Reset tears the old one down and starts
+// a new one.
+type pipe struct {
+	ch   chan []trace.Record
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newChunkedReader(open func() (trace.Iter, io.Closer, error), chunk, depth int) (*chunkedReader, error) {
+	c := &chunkedReader{open: open, chunk: chunkOr(chunk), depth: depthOr(depth)}
+	c.free = make(chan []trace.Record, c.depth+2)
+	for i := 0; i < cap(c.free); i++ {
+		c.free <- nil
+	}
+	if err := c.start(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// start opens a fresh pass and launches its producer.
+func (c *chunkedReader) start() error {
+	it, cl, err := c.open()
+	if err != nil {
+		return err
+	}
+	p := &pipe{
+		ch:   make(chan []trace.Record, c.depth),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	c.p = p
+	go c.produce(p, it, cl)
+	return nil
+}
+
+// produce fills chunks from it and sends them until EOF or stop. Every
+// buffer it takes from the free list goes back — either via the channel to
+// the consumer or directly on the stop path — so the buffer population
+// stays constant across any number of resets.
+func (c *chunkedReader) produce(p *pipe, it trace.Iter, cl io.Closer) {
+	defer close(p.done)
+	defer close(p.ch)
+	if cl != nil {
+		defer cl.Close()
+	}
+	for {
+		var buf []trace.Record
+		select {
+		case buf = <-c.free:
+		case <-p.stop:
+			return
+		}
+		if buf == nil {
+			buf = make([]trace.Record, 0, c.chunk)
+		}
+		buf = buf[:0]
+		for len(buf) < c.chunk {
+			rec, ok := it.Next()
+			if !ok {
+				break
+			}
+			buf = append(buf, rec)
+		}
+		if len(buf) == 0 {
+			c.free <- buf
+			return
+		}
+		select {
+		case p.ch <- buf:
+		case <-p.stop:
+			c.free <- buf
+			return
+		}
+	}
+}
+
+// Next implements trace.Reader.
+func (c *chunkedReader) Next() (trace.Record, bool) {
+	if c.pos < len(c.cur) {
+		r := c.cur[c.pos]
+		c.pos++
+		return r, true
+	}
+	if c.p == nil {
+		return trace.Record{}, false
+	}
+	if c.cur != nil {
+		c.free <- c.cur
+		c.cur, c.pos = nil, 0
+	}
+	buf, ok := <-c.p.ch
+	if !ok {
+		return trace.Record{}, false
+	}
+	c.cur, c.pos = buf, 1
+	return buf[0], true
+}
+
+// Reset implements trace.Reader: it stops the current pass and starts a
+// fresh one from the first record. The multi-core driver calls this to
+// replay traces for cores that finish early. Reset on a closed reader is a
+// no-op; a failure to reopen the underlying pass (e.g. a cache file
+// deleted mid-simulation) panics, as the simulation cannot continue
+// meaningfully.
+func (c *chunkedReader) Reset() {
+	if c.closed {
+		return
+	}
+	c.stopPipe()
+	if err := c.start(); err != nil {
+		panic(fmt.Sprintf("stream: reset: %v", err))
+	}
+}
+
+// Close implements io.Closer; it terminates the producer and releases its
+// resources. Idempotent.
+func (c *chunkedReader) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.stopPipe()
+	return nil
+}
+
+// stopPipe tears down the current producer generation, reclaiming every
+// chunk buffer back into the free list.
+func (c *chunkedReader) stopPipe() {
+	if c.p == nil {
+		return
+	}
+	close(c.p.stop)
+	// The producer may be blocked sending; drain until it closes the
+	// channel, recycling in-flight chunks.
+	for buf := range c.p.ch {
+		c.free <- buf
+	}
+	<-c.p.done
+	c.p = nil
+	if c.cur != nil {
+		c.free <- c.cur
+		c.cur, c.pos = nil, 0
+	}
+}

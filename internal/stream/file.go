@@ -1,0 +1,95 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"pythia/internal/trace"
+)
+
+// FileSource streams a trace file written in the binary trace format
+// (trace.Encoder). Decoding is incremental through the chunk pipeline, so
+// opening a multi-gigabyte trace costs a header read; Reset reopens the
+// file, which makes multi-core replay cheap compared to re-running a
+// generator. A FileSource may be Opened concurrently (each reader owns its
+// own file descriptor).
+type FileSource struct {
+	Path string
+	// Chunk is records per pipeline chunk (0 = DefaultChunk).
+	Chunk int
+	// Depth is the chunk-ring depth (0 = DefaultDepth).
+	Depth int
+
+	nameOnce sync.Once
+	name     string
+}
+
+// Name implements Source. It returns the trace name from the file header,
+// falling back to the path when the header is unreadable.
+func (s *FileSource) Name() string {
+	s.nameOnce.Do(func() {
+		s.name = s.Path
+		f, err := os.Open(s.Path)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		if d, err := trace.NewDecoder(f); err == nil {
+			s.name = d.Name()
+		}
+	})
+	return s.name
+}
+
+// Open implements Source.
+func (s *FileSource) Open() (Reader, error) {
+	// Validate eagerly so a missing or corrupt file fails at Open, not
+	// inside the producer.
+	it, cl, err := s.openPass()
+	if err != nil {
+		return nil, err
+	}
+	first := true
+	return newChunkedReader(func() (trace.Iter, io.Closer, error) {
+		if first {
+			first = false
+			return it, cl, nil
+		}
+		return s.openPass()
+	}, s.Chunk, s.Depth)
+}
+
+func (s *FileSource) openPass() (trace.Iter, io.Closer, error) {
+	f, err := os.Open(s.Path)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := trace.NewDecoder(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("stream: %s: %w", s.Path, err)
+	}
+	return &fileIter{d: d, path: s.Path}, f, nil
+}
+
+// fileIter adapts a Decoder to trace.Iter. A decode error mid-stream means
+// the file changed or corrupted under a running simulation, whose results
+// would silently be garbage — so it panics rather than truncating.
+type fileIter struct {
+	d    *trace.Decoder
+	path string
+}
+
+// Next implements trace.Iter.
+func (it *fileIter) Next() (trace.Record, bool) {
+	rec, err := it.d.Next()
+	if err == io.EOF {
+		return trace.Record{}, false
+	}
+	if err != nil {
+		panic(fmt.Sprintf("stream: decoding %s: %v", it.path, err))
+	}
+	return rec, true
+}

@@ -46,59 +46,103 @@ type Spec struct {
 	HotLines int
 }
 
+// GenVersion identifies the generator output: any change that alters the
+// record sequence a Spec produces must bump it, so on-disk trace caches
+// keyed on it (internal/stream) invalidate instead of replaying stale data.
+const GenVersion = 1
+
 // Generate materializes n records from the spec.
 func (s Spec) Generate(name, suite string, n int) *Trace {
-	rng := rand.New(rand.NewSource(s.Seed))
-	total := 0
-	for _, wa := range s.Actors {
-		total += wa.Weight
-	}
-	if total == 0 || n <= 0 {
-		return &Trace{Name: name, Suite: suite}
-	}
-	hotLines := s.HotLines
-	if hotLines <= 0 {
-		hotLines = 192
-	}
-	hotBase := region(30)
-	recs := make([]Record, 0, n)
-	for i := 0; i < n; i++ {
-		if s.HotFrac > 0 && rng.Float64() < s.HotFrac {
-			l := rng.Intn(hotLines)
-			gap := 0
-			if s.MeanGap > 0 {
-				gap = rng.Intn(2*s.MeanGap + 1)
-			}
-			recs = append(recs, Record{
-				PC:     0xA00000 + uint64(l&7)*4,
-				Addr:   hotBase + uint64(l)*mem.LineSize,
-				NonMem: uint16(gap),
-				Store:  rng.Float64() < s.StoreFrac,
-			})
-			continue
+	g := s.Generator(n)
+	recs := make([]Record, 0, max(n, 0))
+	for {
+		rec, ok := g.Next()
+		if !ok {
+			break
 		}
-		pick := rng.Intn(total)
-		var act Actor
-		for _, wa := range s.Actors {
-			if pick < wa.Weight {
-				act = wa.Actor
-				break
-			}
-			pick -= wa.Weight
-		}
-		pc, addr, store := act.Next(rng)
-		if !store && s.StoreFrac > 0 && rng.Float64() < s.StoreFrac {
-			store = true
-		}
-		gap := 0
-		if s.MeanGap > 0 {
-			// Geometric-ish gap with the requested mean, capped to fit
-			// the record field.
-			gap = rng.Intn(2*s.MeanGap + 1)
-		}
-		recs = append(recs, Record{PC: pc, Addr: addr, NonMem: uint16(gap), Store: store})
+		recs = append(recs, rec)
 	}
 	return &Trace{Name: name, Suite: suite, Records: recs}
+}
+
+// Gen produces a Spec's records one at a time, in exactly the order
+// Generate materializes them, so callers can stream arbitrarily long traces
+// in constant memory. It implements Iter.
+type Gen struct {
+	spec     Spec
+	rng      *rand.Rand
+	total    int
+	hotLines int
+	hotBase  uint64
+	left     int
+}
+
+// Generator returns an iterator over the first n records of the spec. The
+// spec's actors carry state, so each Generator call needs a fresh Spec
+// (e.g. from Workload.Spec).
+func (s Spec) Generator(n int) *Gen {
+	g := &Gen{spec: s, rng: rand.New(rand.NewSource(s.Seed)), left: n, hotBase: region(30)}
+	for _, wa := range s.Actors {
+		g.total += wa.Weight
+	}
+	g.hotLines = s.HotLines
+	if g.hotLines <= 0 {
+		g.hotLines = 192
+	}
+	if g.total == 0 {
+		g.left = 0
+	}
+	return g
+}
+
+// Remaining returns how many records the generator has yet to produce.
+func (g *Gen) Remaining() int {
+	if g.left < 0 {
+		return 0
+	}
+	return g.left
+}
+
+// Next implements Iter.
+func (g *Gen) Next() (Record, bool) {
+	if g.left <= 0 {
+		return Record{}, false
+	}
+	g.left--
+	s, rng := &g.spec, g.rng
+	if s.HotFrac > 0 && rng.Float64() < s.HotFrac {
+		l := rng.Intn(g.hotLines)
+		gap := 0
+		if s.MeanGap > 0 {
+			gap = rng.Intn(2*s.MeanGap + 1)
+		}
+		return Record{
+			PC:     0xA00000 + uint64(l&7)*4,
+			Addr:   g.hotBase + uint64(l)*mem.LineSize,
+			NonMem: uint16(gap),
+			Store:  rng.Float64() < s.StoreFrac,
+		}, true
+	}
+	pick := rng.Intn(g.total)
+	var act Actor
+	for _, wa := range s.Actors {
+		if pick < wa.Weight {
+			act = wa.Actor
+			break
+		}
+		pick -= wa.Weight
+	}
+	pc, addr, store := act.Next(rng)
+	if !store && s.StoreFrac > 0 && rng.Float64() < s.StoreFrac {
+		store = true
+	}
+	gap := 0
+	if s.MeanGap > 0 {
+		// Geometric-ish gap with the requested mean, capped to fit
+		// the record field.
+		gap = rng.Intn(2*s.MeanGap + 1)
+	}
+	return Record{PC: pc, Addr: addr, NonMem: uint16(gap), Store: store}, true
 }
 
 // pageBase returns a page-aligned address inside an actor's private region.

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Binary trace format:
@@ -21,21 +22,43 @@ import (
 //	    flags     byte    (bit0 = store)
 //
 // Delta encoding keeps traces compact since both PCs and addresses are
-// strongly local.
+// strongly local. Encoder/Decoder process the format incrementally so
+// paper-scale traces stream to and from disk without ever being resident
+// in memory; Write/Read wrap them for whole-trace convenience.
 
 var magic = [5]byte{'P', 'Y', 'T', 'R', '1'}
 
 // ErrBadFormat is returned when decoding input that is not a valid trace.
 var ErrBadFormat = errors.New("trace: bad format")
 
-// Write encodes t to w in the binary trace format.
-func Write(w io.Writer, t *Trace) error {
+// maxNameLen bounds the decoded name/suite strings.
+const maxNameLen = 1 << 20
+
+// maxRecordCount bounds the decoded record count.
+const maxRecordCount = 1 << 32
+
+// Encoder streams records into the binary trace format. The record count
+// is part of the header, so it must be known up front; Close fails if the
+// number of records written differs.
+type Encoder struct {
+	bw       *bufio.Writer
+	left     uint64
+	prevPC   uint64
+	prevAddr uint64
+}
+
+// NewEncoder writes the trace header for count records to w and returns an
+// encoder ready to accept exactly count WriteRecord calls.
+func NewEncoder(w io.Writer, name, suite string, count int) (*Encoder, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("trace: negative record count %d", count)
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(magic[:]); err != nil {
-		return err
+		return nil, err
 	}
+	var buf [binary.MaxVarintLen64]byte
 	writeString := func(s string) error {
-		var buf [binary.MaxVarintLen64]byte
 		n := binary.PutUvarint(buf[:], uint64(len(s)))
 		if _, err := bw.Write(buf[:n]); err != nil {
 			return err
@@ -43,45 +66,86 @@ func Write(w io.Writer, t *Trace) error {
 		_, err := bw.WriteString(s)
 		return err
 	}
-	if err := writeString(t.Name); err != nil {
-		return err
+	if err := writeString(name); err != nil {
+		return nil, err
 	}
-	if err := writeString(t.Suite); err != nil {
-		return err
+	if err := writeString(suite); err != nil {
+		return nil, err
 	}
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], uint64(len(t.Records)))
+	n := binary.PutUvarint(buf[:], uint64(count))
 	if _, err := bw.Write(buf[:n]); err != nil {
-		return err
+		return nil, err
 	}
-	var prevPC, prevAddr uint64
-	for _, r := range t.Records {
-		n = binary.PutVarint(buf[:], int64(r.PC-prevPC))
-		if _, err := bw.Write(buf[:n]); err != nil {
-			return err
-		}
-		n = binary.PutVarint(buf[:], int64(r.Addr-prevAddr))
-		if _, err := bw.Write(buf[:n]); err != nil {
-			return err
-		}
-		n = binary.PutUvarint(buf[:], uint64(r.NonMem))
-		if _, err := bw.Write(buf[:n]); err != nil {
-			return err
-		}
-		var flags byte
-		if r.Store {
-			flags |= 1
-		}
-		if err := bw.WriteByte(flags); err != nil {
-			return err
-		}
-		prevPC, prevAddr = r.PC, r.Addr
-	}
-	return bw.Flush()
+	return &Encoder{bw: bw, left: uint64(count)}, nil
 }
 
-// Read decodes a trace from r.
-func Read(r io.Reader) (*Trace, error) {
+// WriteRecord appends one record.
+func (e *Encoder) WriteRecord(r Record) error {
+	if e.left == 0 {
+		return fmt.Errorf("trace: encoder: more records than the declared count")
+	}
+	e.left--
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], int64(r.PC-e.prevPC))
+	if _, err := e.bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	n = binary.PutVarint(buf[:], int64(r.Addr-e.prevAddr))
+	if _, err := e.bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	n = binary.PutUvarint(buf[:], uint64(r.NonMem))
+	if _, err := e.bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	var flags byte
+	if r.Store {
+		flags |= 1
+	}
+	if err := e.bw.WriteByte(flags); err != nil {
+		return err
+	}
+	e.prevPC, e.prevAddr = r.PC, r.Addr
+	return nil
+}
+
+// Close flushes buffered output and verifies the declared record count was
+// written. It does not close the underlying writer.
+func (e *Encoder) Close() error {
+	if e.left != 0 {
+		return fmt.Errorf("trace: encoder: %d records short of the declared count", e.left)
+	}
+	return e.bw.Flush()
+}
+
+// Write encodes t to w in the binary trace format.
+func Write(w io.Writer, t *Trace) error {
+	e, err := NewEncoder(w, t.Name, t.Suite, len(t.Records))
+	if err != nil {
+		return err
+	}
+	for _, r := range t.Records {
+		if err := e.WriteRecord(r); err != nil {
+			return err
+		}
+	}
+	return e.Close()
+}
+
+// Decoder streams records out of the binary trace format, validating the
+// header on construction and each record as it is read.
+type Decoder struct {
+	br       *bufio.Reader
+	name     string
+	suite    string
+	count    uint64
+	read     uint64
+	prevPC   uint64
+	prevAddr uint64
+}
+
+// NewDecoder reads and validates the trace header from r.
+func NewDecoder(r io.Reader) (*Decoder, error) {
 	br := bufio.NewReader(r)
 	var got [5]byte
 	if _, err := io.ReadFull(br, got[:]); err != nil {
@@ -95,7 +159,7 @@ func Read(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return "", err
 		}
-		if n > 1<<20 {
+		if n > maxNameLen {
 			return "", fmt.Errorf("%w: string length %d", ErrBadFormat, n)
 		}
 		b := make([]byte, n)
@@ -104,48 +168,92 @@ func Read(r io.Reader) (*Trace, error) {
 		}
 		return string(b), nil
 	}
-	t := &Trace{}
+	d := &Decoder{br: br}
 	var err error
-	if t.Name, err = readString(); err != nil {
+	if d.name, err = readString(); err != nil {
 		return nil, fmt.Errorf("%w: name: %v", ErrBadFormat, err)
 	}
-	if t.Suite, err = readString(); err != nil {
+	if d.suite, err = readString(); err != nil {
 		return nil, fmt.Errorf("%w: suite: %v", ErrBadFormat, err)
 	}
-	count, err := binary.ReadUvarint(br)
-	if err != nil {
+	if d.count, err = binary.ReadUvarint(br); err != nil {
 		return nil, fmt.Errorf("%w: count: %v", ErrBadFormat, err)
 	}
-	if count > 1<<32 {
-		return nil, fmt.Errorf("%w: record count %d", ErrBadFormat, count)
+	if d.count > maxRecordCount {
+		return nil, fmt.Errorf("%w: record count %d", ErrBadFormat, d.count)
 	}
-	t.Records = make([]Record, 0, count)
-	var prevPC, prevAddr uint64
-	for i := uint64(0); i < count; i++ {
-		pcD, err := binary.ReadVarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: record %d: %v", ErrBadFormat, i, err)
-		}
-		addrD, err := binary.ReadVarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: record %d: %v", ErrBadFormat, i, err)
-		}
-		nonmem, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: record %d: %v", ErrBadFormat, i, err)
-		}
-		flags, err := br.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("%w: record %d: %v", ErrBadFormat, i, err)
-		}
-		prevPC += uint64(pcD)
-		prevAddr += uint64(addrD)
-		t.Records = append(t.Records, Record{
-			PC:     prevPC,
-			Addr:   prevAddr,
-			NonMem: uint16(nonmem),
-			Store:  flags&1 != 0,
-		})
+	return d, nil
+}
+
+// Name returns the trace name from the header.
+func (d *Decoder) Name() string { return d.name }
+
+// Suite returns the suite from the header.
+func (d *Decoder) Suite() string { return d.suite }
+
+// Count returns the declared record count from the header.
+func (d *Decoder) Count() int64 { return int64(d.count) }
+
+// Next decodes the next record. It returns io.EOF after the declared count
+// of records has been read, and an ErrBadFormat-wrapped error on corrupt
+// input.
+func (d *Decoder) Next() (Record, error) {
+	if d.read >= d.count {
+		return Record{}, io.EOF
 	}
-	return t, nil
+	i := d.read
+	pcD, err := binary.ReadVarint(d.br)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: record %d: %v", ErrBadFormat, i, err)
+	}
+	addrD, err := binary.ReadVarint(d.br)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: record %d: %v", ErrBadFormat, i, err)
+	}
+	nonmem, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: record %d: %v", ErrBadFormat, i, err)
+	}
+	if nonmem > math.MaxUint16 {
+		return Record{}, fmt.Errorf("%w: record %d: nonmem %d overflows uint16", ErrBadFormat, i, nonmem)
+	}
+	flags, err := d.br.ReadByte()
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: record %d: %v", ErrBadFormat, i, err)
+	}
+	d.read++
+	d.prevPC += uint64(pcD)
+	d.prevAddr += uint64(addrD)
+	return Record{
+		PC:     d.prevPC,
+		Addr:   d.prevAddr,
+		NonMem: uint16(nonmem),
+		Store:  flags&1 != 0,
+	}, nil
+}
+
+// Read decodes a trace from r.
+func Read(r io.Reader) (*Trace, error) {
+	d, err := NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{Name: d.Name(), Suite: d.Suite()}
+	// Cap the pre-allocation: the header's count is untrusted input, so a
+	// corrupt file must not force a huge up-front allocation.
+	capHint := d.count
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	t.Records = make([]Record, 0, capHint)
+	for {
+		rec, err := d.Next()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Records = append(t.Records, rec)
+	}
 }

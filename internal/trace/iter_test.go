@@ -1,0 +1,89 @@
+package trace
+
+import "testing"
+
+// TestGeneratorMatchesGenerate is the contract the streaming pipeline
+// stands on: Spec.Generator must yield exactly the sequence Generate
+// materializes, for every registered workload shape.
+func TestGeneratorMatchesGenerate(t *testing.T) {
+	names := []string{
+		"459.GemsFDTD-100B", // delta chains
+		"410.bwaves-100B",   // streams/strides
+		"429.mcf-100B",      // pointer chase
+		"CC-100B",           // graph
+		"cassandra-100B",    // zipf/server
+	}
+	const n = 30_000
+	for _, name := range names {
+		w, ok := ByName(name)
+		if !ok {
+			t.Errorf("missing workload %s", name)
+			continue
+		}
+		want := w.Generate(n).Records
+		it := w.Iter(n)
+		for i := 0; ; i++ {
+			rec, ok := it.Next()
+			if !ok {
+				if i != len(want) {
+					t.Errorf("%s: iterator ended at %d, want %d", name, i, len(want))
+				}
+				break
+			}
+			if i >= len(want) {
+				t.Errorf("%s: iterator overran %d records", name, len(want))
+				break
+			}
+			if rec != want[i] {
+				t.Fatalf("%s: record %d = %+v, want %+v", name, i, rec, want[i])
+			}
+		}
+	}
+}
+
+func TestGeneratorRemaining(t *testing.T) {
+	w, ok := ByName("459.GemsFDTD-100B")
+	if !ok {
+		t.Fatal("missing workload")
+	}
+	g := w.Spec().Generator(10)
+	if g.Remaining() != 10 {
+		t.Errorf("Remaining = %d, want 10", g.Remaining())
+	}
+	g.Next()
+	if g.Remaining() != 9 {
+		t.Errorf("Remaining after one Next = %d, want 9", g.Remaining())
+	}
+	if w.NumRecords(10) != 10 {
+		t.Errorf("NumRecords = %d", w.NumRecords(10))
+	}
+	// Degenerate specs produce nothing.
+	if got := (Spec{}).Generator(5).Remaining(); got != 0 {
+		t.Errorf("empty spec Remaining = %d, want 0", got)
+	}
+	if _, ok := (Spec{}).Generator(5).Next(); ok {
+		t.Error("empty spec produced a record")
+	}
+}
+
+func TestWorkloadKeyDistinguishes(t *testing.T) {
+	a, _ := ByName("459.GemsFDTD-100B")
+	b, _ := ByName("410.bwaves-100B")
+	if a.Key(100) == b.Key(100) {
+		t.Error("different workloads share a key")
+	}
+	if a.Key(100) == a.Key(200) {
+		t.Error("different lengths share a key")
+	}
+	if a.Key(100) != a.Key(100) {
+		t.Error("key not deterministic")
+	}
+	// Fixed workloads ignore n: both keys describe the same 3 records.
+	ft := Fixed(&Trace{Name: "f", Suite: "s", Records: make([]Record, 3)})
+	if ft.Key(100) != ft.Key(200) {
+		t.Error("fixed workload keys should not depend on n")
+	}
+	if ft.NumRecords(100) != 3 {
+		t.Errorf("fixed NumRecords = %d, want 3", ft.NumRecords(100))
+	}
+}

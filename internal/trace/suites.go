@@ -42,11 +42,49 @@ func (w Workload) Generate(n int) *Trace {
 	return w.Spec().Generate(w.Name, w.Suite, n)
 }
 
+// Iter returns a one-pass iterator over the workload's records — the same
+// sequence Generate(n) materializes, produced incrementally so arbitrarily
+// long traces never need to be resident at once.
+func (w Workload) Iter(n int) Iter {
+	if w.fixed != nil {
+		return NewSliceReader(w.fixed.Records)
+	}
+	return w.Spec().Generator(n)
+}
+
+// NumRecords returns the exact record count Iter(n)/Generate(n) produce:
+// n for generated workloads (0 for degenerate specs), the fixed length for
+// file-backed ones.
+func (w Workload) NumRecords(n int) int {
+	if w.fixed != nil {
+		return len(w.fixed.Records)
+	}
+	return w.Spec().Generator(n).Remaining()
+}
+
+// Key returns a deterministic identity for the first n records of the
+// workload, suitable as an on-disk cache key: it folds in the generator
+// seed and GenVersion so cached traces invalidate when either the workload
+// is re-seeded or generator output changes.
+func (w Workload) Key(n int) string {
+	if w.fixed != nil {
+		return fmt.Sprintf("%s|fixed|n%d", w.Name, len(w.fixed.Records))
+	}
+	return fmt.Sprintf("%s|s%d|n%d|g%d", w.Name, w.Spec().Seed, n, GenVersion)
+}
+
 // Fixed wraps an already-materialized trace (e.g. decoded from a file) as a
 // Workload usable anywhere a registry workload is.
 func Fixed(t *Trace) Workload {
 	return Workload{Name: t.Name, Base: t.Name, Suite: t.Suite, fixed: t}
 }
+
+// FixedTrace returns the pre-materialized trace of a file-backed workload,
+// nil for generated ones. Consumers that would otherwise persist the
+// workload (the stream trace cache) use it to serve the resident records
+// directly: a fixed workload's Key carries no content identity, so caching
+// it on disk could serve stale data after the source file changes.
+func (w Workload) FixedTrace() *Trace { return w.fixed }
 
 // registry is populated at init time.
 var registry []Workload

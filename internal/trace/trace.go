@@ -51,12 +51,19 @@ func (t *Trace) String() string {
 	return fmt.Sprintf("%s/%s (%d accesses)", t.Suite, t.Name, len(t.Records))
 }
 
+// Iter yields trace records one at a time, once: the minimal producer
+// interface that generators, file decoders and slices share. Streaming
+// sources (internal/stream) build restartable Readers out of Iters.
+type Iter interface {
+	// Next returns the next record. ok is false when the trace is exhausted.
+	Next() (rec Record, ok bool)
+}
+
 // Reader yields trace records one at a time and can restart from the
 // beginning, which the multi-core driver uses to replay traces for cores
 // that finish early (per the paper's methodology).
 type Reader interface {
-	// Next returns the next record. ok is false when the trace is exhausted.
-	Next() (rec Record, ok bool)
+	Iter
 	// Reset restarts the reader from the first record.
 	Reset()
 }
