@@ -1,10 +1,25 @@
 #!/bin/sh
-# ci.sh — the repo's verification gate: vet, build, full tests, and a
-# short QVStore benchmark smoke so hot-path perf regressions fail loudly
-# (the benchmark run also executes the allocation-budget tests).
+# ci.sh — the repo's tiered verification gate.
+#
+#   ci.sh quick   fmt + vet + build + full tests (the tier-1 gate)
+#   ci.sh full    quick, plus the race detector over every concurrent
+#                 subsystem and a QVStore benchmark smoke so hot-path perf
+#                 regressions fail loudly (the benchmark run also executes
+#                 the allocation-budget tests)
+#
+# With no argument, full runs (unchanged historical behavior).
 set -eu
 
 cd "$(dirname "$0")"
+
+tier="${1:-full}"
+case "$tier" in
+quick | full) ;;
+*)
+    echo "usage: ci.sh [quick|full]" >&2
+    exit 2
+    ;;
+esac
 
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
@@ -23,13 +38,17 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (worker pool + stream pipeline + trace io) =="
-# The repo's concurrency lives in the harness worker pool/singleflights
-# and the stream chunk pipeline / trace-cache population; run those
-# packages under the race detector.
-go test -race ./internal/harness/... ./internal/stream/... ./internal/trace/...
+if [ "$tier" = full ]; then
+    echo "== go test -race (worker pool + stream pipeline + trace io + result store + serve) =="
+    # The repo's concurrency lives in the harness worker pool/singleflights,
+    # the stream chunk pipeline / trace-cache population, the persistent
+    # result store, and the serving layer's queue/SSE fan-out; run those
+    # packages under the race detector.
+    go test -race ./internal/harness/... ./internal/stream/... ./internal/trace/... \
+        ./internal/results/... ./internal/serve/... ./internal/flight/...
 
-echo "== bench smoke (QVStore hot path) =="
-go test -run='AllocationFree' -bench='QVStore' -benchtime=100x -benchmem .
+    echo "== bench smoke (QVStore hot path) =="
+    go test -run='AllocationFree' -bench='QVStore' -benchtime=100x -benchmem .
+fi
 
-echo "CI OK"
+echo "CI OK ($tier)"

@@ -5,12 +5,16 @@
 //	pythia-bench -exp all -scale default
 //	pythia-bench -exp fig9a,fig8b -scale quick -csv out/
 //	pythia-bench -exp fig1 -parallel 8 -json BENCH_2.json
+//	pythia-bench -exp all -results /var/lib/pythia/results
 //	pythia-bench -list
 //
 // Simulations fan out over -parallel workers (default: all CPUs); worker
 // count changes wall time only, never a table's contents. -json records
 // per-experiment wall times in the BENCH_*.json format described in
-// PERF.md, tracking the perf trajectory PR over PR.
+// PERF.md, tracking the perf trajectory PR over PR. -results points the
+// harness at a persistent result store shared with pythia-serve and
+// earlier invocations, so repeated simulations are read from disk instead
+// of re-run (-results-readonly consumes without writing).
 package main
 
 import (
@@ -124,6 +128,8 @@ func main() {
 		jsonPath  = flag.String("json", "", "write per-experiment wall times as a BENCH_*.json report")
 		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = all CPUs, 1 = sequential)")
 		strBench  = flag.Bool("streambench", false, "also measure trace-delivery throughput (materialized vs streamed) into the -json report")
+		resDir    = flag.String("results", "", "persistent result store directory: simulations are read from and written to it, surviving restarts")
+		resRO     = flag.Bool("results-readonly", false, "with -results, read stored simulations but never write new ones")
 		list      = flag.Bool("list", false, "list available experiments and exit")
 	)
 	flag.Parse()
@@ -136,6 +142,13 @@ func main() {
 	}
 
 	harness.SetWorkers(*parallel)
+	if *resDir != "" {
+		store := harness.SetResultStore(*resDir)
+		store.SetReadOnly(*resRO)
+	} else if *resRO {
+		fmt.Fprintln(os.Stderr, "-results-readonly requires -results")
+		os.Exit(2)
+	}
 
 	sc, err := harness.ScaleByName(*scaleFlag)
 	if err != nil {
@@ -199,6 +212,10 @@ func main() {
 		}
 	}
 	report.TotalSecs = time.Since(wall).Seconds()
+	if st := harness.ResultStore(); st != nil {
+		fmt.Printf("[result store %s: %d hits, %d misses, %d writes]\n",
+			st.Dir(), st.Hits(), st.Misses(), st.Writes())
+	}
 	if *mdPath != "" {
 		if err := os.WriteFile(*mdPath, []byte(md.String()), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,171 @@
+// Command pythia-benchdiff compares a fresh pythia-bench -json report
+// against a committed baseline (BENCH_*.json) and flags per-experiment
+// wall-time regressions past a threshold.
+//
+// Usage:
+//
+//	pythia-bench -exp fig1,fig7 -scale quick -json /tmp/fresh.json
+//	pythia-benchdiff -new /tmp/fresh.json              # vs latest BENCH_*.json
+//	pythia-benchdiff -old BENCH_2.json -new /tmp/fresh.json -threshold 30
+//
+// Timing on shared CI runners is noisy and single-run numbers understate
+// their own dispersion, so the default mode only warns (exit 0); pass
+// -strict to turn threshold breaches into a non-zero exit for
+// environments with stable hardware. Reports recorded at different scales
+// are never numerically compared.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// report mirrors the fields of pythia-bench's -json payload that the diff
+// consumes.
+type report struct {
+	Scale       string `json:"scale"`
+	Workers     int    `json:"workers"`
+	CPUs        int    `json:"cpus"`
+	Experiments []struct {
+		ID      string  `json:"id"`
+		Seconds float64 `json:"seconds"`
+	} `json:"experiments"`
+	TotalSecs float64 `json:"total_seconds"`
+}
+
+// minSeconds filters out experiments whose baseline time is pure noise
+// (config-table renders finish in microseconds; a ratio there is
+// meaningless).
+const minSeconds = 0.05
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "baseline report (default: highest-numbered BENCH_*.json in the repo root)")
+		newPath   = flag.String("new", "", "fresh report to compare (required)")
+		threshold = flag.Float64("threshold", 25, "warn when an experiment slowed by more than this percentage")
+		strict    = flag.Bool("strict", false, "exit non-zero on threshold breaches instead of warning")
+	)
+	flag.Parse()
+
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "pythia-benchdiff: -new is required")
+		os.Exit(2)
+	}
+	newRep, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pythia-benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if *oldPath == "" {
+		// Auto-selection is scale-aware: baselines recorded at other
+		// scales are skipped, so committing a default-scale BENCH_*.json
+		// later cannot silently turn a quick-scale CI probe into a no-op.
+		p, err := latestCommitted(newRep.Scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pythia-benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		*oldPath = p
+	}
+
+	oldRep, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pythia-benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("baseline %s (scale %s, %d workers, %d cpus)\n", *oldPath, oldRep.Scale, oldRep.Workers, oldRep.CPUs)
+	fmt.Printf("fresh    %s (scale %s, %d workers, %d cpus)\n\n", *newPath, newRep.Scale, newRep.Workers, newRep.CPUs)
+
+	if oldRep.Scale != newRep.Scale {
+		fmt.Printf("scales differ (%s vs %s): timings are not comparable, skipping diff\n", oldRep.Scale, newRep.Scale)
+		return
+	}
+	if oldRep.Workers != newRep.Workers || oldRep.CPUs != newRep.CPUs {
+		fmt.Println("note: worker/CPU counts differ between reports; expect extra noise")
+	}
+
+	oldSecs := map[string]float64{}
+	for _, e := range oldRep.Experiments {
+		oldSecs[e.ID] = e.Seconds
+	}
+
+	var regressions []string
+	fmt.Printf("%-16s %10s %10s %8s\n", "experiment", "old (s)", "new (s)", "delta")
+	for _, e := range newRep.Experiments {
+		old, ok := oldSecs[e.ID]
+		if !ok {
+			fmt.Printf("%-16s %10s %10.3f %8s\n", e.ID, "-", e.Seconds, "new")
+			continue
+		}
+		if old < minSeconds {
+			continue
+		}
+		delta := (e.Seconds - old) / old * 100
+		mark := ""
+		if delta > *threshold {
+			mark = "  <-- regression"
+			regressions = append(regressions, fmt.Sprintf("%s slowed %.0f%% (%.3fs -> %.3fs)", e.ID, delta, old, e.Seconds))
+		}
+		fmt.Printf("%-16s %10.3f %10.3f %+7.1f%%%s\n", e.ID, old, e.Seconds, delta, mark)
+	}
+
+	if len(regressions) == 0 {
+		fmt.Printf("\nno regressions past %.0f%%\n", *threshold)
+		return
+	}
+	fmt.Printf("\nWARNING: %d experiment(s) regressed past %.0f%%:\n", len(regressions), *threshold)
+	for _, r := range regressions {
+		fmt.Println("  " + r)
+	}
+	if *strict {
+		os.Exit(1)
+	}
+	fmt.Println("(non-blocking: timings on shared runners are noisy; pass -strict to enforce)")
+}
+
+func load(path string) (report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return report{}, err
+	}
+	var r report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+var benchName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// latestCommitted finds the highest-numbered BENCH_*.json in the current
+// directory (the repo root in CI) whose recorded scale matches the fresh
+// report's, so only numerically comparable baselines are auto-selected.
+func latestCommitted(scale string) (string, error) {
+	matches, err := filepath.Glob("BENCH_*.json")
+	if err != nil || len(matches) == 0 {
+		return "", fmt.Errorf("no committed BENCH_*.json found (pass -old)")
+	}
+	sort.Slice(matches, func(i, j int) bool { return benchNum(matches[i]) < benchNum(matches[j]) })
+	for i := len(matches) - 1; i >= 0; i-- {
+		if rep, err := load(matches[i]); err == nil && rep.Scale == scale {
+			return matches[i], nil
+		}
+	}
+	return "", fmt.Errorf("no committed BENCH_*.json recorded at scale %q (found %v; pass -old to force)", scale, matches)
+}
+
+func benchNum(name string) int {
+	m := benchName.FindStringSubmatch(filepath.Base(name))
+	if m == nil {
+		return -1
+	}
+	n, _ := strconv.Atoi(m[1])
+	return n
+}

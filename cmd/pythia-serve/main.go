@@ -1,0 +1,80 @@
+// Command pythia-serve runs the experiment harness as a long-lived HTTP
+// service backed by the persistent result store: launch experiments,
+// stream their progress, and fetch cached tables without re-simulating.
+//
+// Usage:
+//
+//	pythia-serve -addr :8080
+//	pythia-serve -addr :8080 -results /var/lib/pythia/results -queue 32 -parallel 8
+//
+// API:
+//
+//	GET  /api/experiments            list experiments (paper + extended)
+//	POST /api/runs                   {"experiment":"fig9a","scale":"quick"}
+//	GET  /api/runs                   list jobs
+//	GET  /api/runs/{id}              job status + result
+//	GET  /api/runs/{id}/events       SSE progress stream (full replay)
+//	GET  /api/results/{exp}?scale=s  fetch a stored result directly
+//	GET  /healthz                    service + store health
+//
+// Repeat requests for an (experiment, scale) pair already in the store
+// are answered with zero additional simulation work; the store also feeds
+// harness.RunCached, so even a fresh experiment reuses any individual
+// simulations earlier runs persisted.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pythia/internal/harness"
+	"pythia/internal/results"
+	"pythia/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		storeDir = flag.String("results", results.DefaultDir(), "persistent result store directory")
+		queue    = flag.Int("queue", 16, "max queued (admitted but unstarted) jobs")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations per job (0 = all CPUs)")
+	)
+	flag.Parse()
+
+	harness.SetWorkers(*parallel)
+	// One store serves both layers of reuse: whole experiment tables for
+	// the service, and individual simulations for harness.RunCached.
+	store := harness.SetResultStore(*storeDir)
+
+	srv, err := serve.New(serve.Config{Store: store, QueueDepth: *queue})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("pythia-serve listening on %s (store %s, queue %d, %d workers)\n",
+		*addr, store.Dir(), *queue, harness.Workers())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Printf("received %v, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}
+}

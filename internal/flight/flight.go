@@ -1,0 +1,49 @@
+// Package flight provides a minimal generic singleflight: concurrent
+// calls for the same key are deduplicated so the first caller does the
+// work while everyone else blocks and shares the result. It is the one
+// implementation behind the harness's run/trace deduplication, the
+// stream trace cache's population, and the result store's compute path.
+package flight
+
+import "sync"
+
+// Group deduplicates concurrent Do calls per key. The zero value is
+// ready to use.
+type Group[V any] struct {
+	mu sync.Mutex
+	m  map[string]*call[V]
+}
+
+type call[V any] struct {
+	wg  sync.WaitGroup
+	val V
+}
+
+// Do runs fn for key unless a call for the same key is already in
+// flight, in which case it blocks and returns that call's result.
+// leader reports whether this caller executed fn. The key is released
+// once fn returns, so a later Do runs fn again.
+func (g *Group[V]) Do(key string, fn func() V) (val V, leader bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*call[V])
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, false
+	}
+	c := new(call[V])
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		c.wg.Done()
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+	}()
+	c.val = fn()
+	return c.val, true
+}

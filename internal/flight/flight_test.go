@@ -1,0 +1,86 @@
+package flight
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoDeduplicates(t *testing.T) {
+	// The regression this guards: two concurrent cache-missing callers
+	// used to run the identical expensive operation twice.
+	var g Group[int]
+	var calls atomic.Int32
+	release := make(chan struct{})
+	const waiters = 8
+	var wg, arrived sync.WaitGroup
+	results := make([]int, waiters)
+	leaders := make([]bool, waiters)
+	for i := 0; i < waiters; i++ {
+		i := i
+		wg.Add(1)
+		arrived.Add(1)
+		go func() {
+			defer wg.Done()
+			arrived.Done()
+			results[i], leaders[i] = g.Do("key", func() int {
+				calls.Add(1)
+				<-release // hold every other caller in the flight
+				return 42
+			})
+		}()
+	}
+	// Release only after every goroutine is at (or microseconds from) its
+	// Do() call, so all of them join the in-flight leader.
+	arrived.Wait()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Errorf("fn ran %d times for one key, want 1", got)
+	}
+	nLeaders := 0
+	for i := range results {
+		if results[i] != 42 {
+			t.Errorf("caller %d got %v", i, results[i])
+		}
+		if leaders[i] {
+			nLeaders++
+		}
+	}
+	if nLeaders != 1 {
+		t.Errorf("%d callers claim leadership, want 1", nLeaders)
+	}
+	// The key is released afterwards: a later call runs again.
+	if _, leader := g.Do("key", func() int { calls.Add(1); return 0 }); !leader {
+		t.Error("post-completion caller was not the leader")
+	}
+	if calls.Load() != 2 {
+		t.Error("flight key not released after completion")
+	}
+}
+
+func TestDistinctKeysRunConcurrently(t *testing.T) {
+	var g Group[string]
+	var wg sync.WaitGroup
+	block := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g.Do("a", func() string { <-block; return "a" })
+	}()
+	// While "a" is in flight, "b" must not wait on it.
+	done := make(chan struct{})
+	go func() {
+		g.Do("b", func() string { return "b" })
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do(b) blocked behind in-flight Do(a)")
+	}
+	close(block)
+	wg.Wait()
+}

@@ -1,0 +1,114 @@
+// Package fsutil holds the crash-safety helpers shared by the repo's
+// content-addressed disk caches (the stream trace cache and the result
+// store): atomic temp-file writes that never leave partial files behind,
+// reclamation of temp files orphaned by crashed processes, and
+// filesystem-safe name mangling.
+package fsutil
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// WriteAtomic lands a file at path by streaming through write into a
+// unique temp file in dir (created if missing), syncing, and atomically
+// renaming into place — so readers never observe partial content and
+// concurrent processes are safe (both write, either rename wins). Every
+// error path removes the temp file; fault-injection tests (SetFailpoint)
+// hold that no failure leaves anything behind.
+func WriteAtomic(dir, path string, write func(*os.File) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dir %s: %w", dir, err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("temp for %s: %w", path, err)
+	}
+	fail := func(step string, err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("%s %s: %w", step, path, err)
+	}
+	if err := write(tmp); err != nil {
+		return fail("write", err)
+	}
+	if err := failpoint(); err != nil {
+		return fail("write", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail("sync", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("rename %s: %w", path, err)
+	}
+	return nil
+}
+
+// StaleTempAge is how old an orphaned temp file must be before
+// SweepStaleTemps reclaims it; generous enough that a live writer on the
+// slowest machine is never raced.
+const StaleTempAge = time.Hour
+
+// SweepStaleTemps removes temp files abandoned by crashed processes from
+// dir. In-flight writers are protected by the age threshold: a temp file
+// still being written is always younger than StaleTempAge.
+func SweepStaleTemps(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.Contains(e.Name(), ".tmp") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if time.Since(info.ModTime()) > StaleTempAge {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// Sanitize makes a name filesystem-safe for use as a cache file name.
+func Sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ':', ' ', '|', '*', '?', '"', '<', '>':
+			return '_'
+		}
+		return r
+	}, name)
+}
+
+// failpointErr, when non-nil, is injected into WriteAtomic between the
+// write callback and sync; fault-injection tests use it to prove no
+// partial files survive failures.
+var (
+	failpointMu  sync.Mutex
+	failpointErr error
+)
+
+// SetFailpoint injects err into every subsequent WriteAtomic between
+// write and sync (nil clears it). Test-only.
+func SetFailpoint(err error) {
+	failpointMu.Lock()
+	failpointErr = err
+	failpointMu.Unlock()
+}
+
+func failpoint() error {
+	failpointMu.Lock()
+	defer failpointMu.Unlock()
+	return failpointErr
+}

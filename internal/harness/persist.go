@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"pythia/internal/cache"
+	"pythia/internal/dram"
+	"pythia/internal/results"
+	"pythia/internal/stats"
+)
+
+// --- Persistent result store integration ---
+//
+// The in-memory memoization in RunCached dies with the process; pointing
+// the harness at a results.Store makes simulation results survive
+// restarts, so pythia-bench, pythia-serve, tests and examples sharing one
+// store directory reuse each other's work. Entries are keyed by the same
+// outcome-determining fields as the in-memory cache plus trace.GenVersion
+// (via results.Fingerprint), so generator changes invalidate them
+// automatically.
+
+var (
+	resultStoreMu  sync.Mutex
+	resultStoreVal *results.Store
+)
+
+// SetResultStore points RunCached at a persistent result store rooted at
+// dir and returns it. An empty dir disables persistence (the default).
+// It affects subsequent runs only; in-memory memoization is unchanged.
+func SetResultStore(dir string) *results.Store {
+	resultStoreMu.Lock()
+	defer resultStoreMu.Unlock()
+	if dir == "" {
+		resultStoreVal = nil
+		return nil
+	}
+	resultStoreVal = results.Open(dir)
+	return resultStoreVal
+}
+
+// ResultStore returns the active persistent store, or nil when disabled.
+func ResultStore() *results.Store {
+	resultStoreMu.Lock()
+	defer resultStoreMu.Unlock()
+	return resultStoreVal
+}
+
+// Key returns the canonical identity string of everything in a Scale that
+// determines simulation outcomes. StreamChunk is excluded for the same
+// reason it is absent from cacheKey: streamed and materialized delivery
+// produce identical records.
+func (sc Scale) Key() string {
+	return fmt.Sprintf("w%d|s%d|t%d|wps%d|hm%d",
+		sc.Warmup, sc.Sim, sc.TraceLen, sc.WorkloadsPerSuite, sc.HeteroMixes)
+}
+
+// runPayload is the persisted form of a RunResult: every core's full
+// counter set (the per-trial statistics), not just the aggregates derived
+// from them. Live prefetcher objects (RunResult.PFs) are inherently
+// process-local and are not persisted; consumers that introspect policies
+// already guard for their absence.
+type runPayload struct {
+	Name    string                    `json:"name"`
+	IPC     []float64                 `json:"ipc"`
+	Stats   []cache.CoreStats         `json:"core_stats"`
+	Buckets [dram.BucketCount]float64 `json:"dram_buckets"`
+	DRAM    dram.Stats                `json:"dram"`
+}
+
+func payloadOf(r RunResult) runPayload {
+	return runPayload{Name: r.Name, IPC: r.IPC, Stats: r.Stats, Buckets: r.Buckets, DRAM: r.DRAM}
+}
+
+func (p runPayload) result() RunResult {
+	return RunResult{Name: p.Name, IPC: p.IPC, Stats: p.Stats, Buckets: p.Buckets, DRAM: p.DRAM}
+}
+
+// runKey addresses one simulation in the persistent store.
+func runKey(spec RunSpec) results.Key {
+	return results.Key{
+		Kind:        "run",
+		Name:        fmt.Sprintf("%s|%s", spec.Mix.Name, spec.PF.Name),
+		Fingerprint: results.Fingerprint(cacheKey(spec)),
+	}
+}
+
+// ExperimentKey addresses a rendered experiment table in the persistent
+// store (pythia-serve's unit of reuse).
+func ExperimentKey(expID string, sc Scale) results.Key {
+	return results.Key{
+		Kind:        "experiment",
+		Name:        expID,
+		Fingerprint: results.Fingerprint("experiment", expID, sc.Key()),
+	}
+}
+
+// ExperimentPayload is the persisted form of one experiment run: the
+// rendered table plus provenance (how much simulation produced it).
+type ExperimentPayload struct {
+	ID    string       `json:"id"`
+	Title string       `json:"title"`
+	Scale string       `json:"scale"`
+	Table *stats.Table `json:"table"`
+	// Sims is the number of simulations executed to produce the table
+	// (0 when every underlying run was itself served from cache).
+	Sims int64 `json:"sims"`
+	// Seconds is the wall time of the producing run.
+	Seconds float64 `json:"seconds"`
+}
+
+// loadPersisted consults the persistent store for a spec. Specs carrying a
+// Hook are never persisted or restored: hooks exist to observe live
+// simulation state (e.g. Q-value watches), which a disk hit cannot
+// provide.
+func loadPersisted(spec RunSpec) (RunResult, bool) {
+	st := ResultStore()
+	if st == nil || spec.Hook != nil {
+		return RunResult{}, false
+	}
+	var p runPayload
+	if !st.Get(runKey(spec), &p) {
+		return RunResult{}, false
+	}
+	return p.result(), true
+}
+
+// storePersisted writes a completed run to the persistent store
+// (best-effort: a full disk degrades to "no reuse").
+func storePersisted(spec RunSpec, r RunResult) {
+	st := ResultStore()
+	if st == nil || spec.Hook != nil {
+		return
+	}
+	_ = st.Put(runKey(spec), payloadOf(r))
+}

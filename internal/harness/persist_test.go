@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"testing"
+
+	"pythia/internal/cache"
+	"pythia/internal/prefetch"
+	"pythia/internal/trace"
+)
+
+// TestRunCachedSurvivesRestart is the tentpole guarantee: with a
+// persistent store configured, clearing every in-memory cache (the moral
+// equivalent of a process restart) and re-running the same spec serves
+// the result from disk with zero additional simulation work.
+func TestRunCachedSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	SetResultStore(dir)
+	defer SetResultStore("")
+	ResetCaches()
+	defer ResetCaches()
+
+	spec := RunSpec{Mix: tinyMix(t), CacheCfg: cache.DefaultConfig(1), Scale: tinyScale, PF: BasicPythiaPF()}
+	first := RunCached(spec)
+	if ResultStore().Writes() == 0 {
+		t.Fatal("fresh run was not persisted")
+	}
+
+	// "Restart": drop memoization and traces, point a fresh store handle at
+	// the same directory.
+	ResetCaches()
+	SetResultStore(dir)
+	before := SimCount()
+	second := RunCached(spec)
+	if delta := SimCount() - before; delta != 0 {
+		t.Fatalf("restored run simulated %d times, want 0", delta)
+	}
+	if second.IPC[0] != first.IPC[0] || second.Name != first.Name {
+		t.Fatalf("restored result differs: %+v vs %+v", second, first)
+	}
+	if second.SumLLCLoadMisses() != first.SumLLCLoadMisses() || second.DRAM != first.DRAM {
+		t.Error("restored per-trial stats differ from the original run")
+	}
+	if len(second.PFs) != 0 {
+		t.Error("disk-restored result claims live prefetcher objects")
+	}
+}
+
+// TestHookSpecsBypassPersistence: hooks observe live simulation state, so
+// a spec carrying one must neither be served from disk nor written there.
+func TestHookSpecsBypassPersistence(t *testing.T) {
+	dir := t.TempDir()
+	SetResultStore(dir)
+	defer SetResultStore("")
+	ResetCaches()
+	defer ResetCaches()
+
+	hooked := 0
+	spec := RunSpec{
+		Mix: tinyMix(t), CacheCfg: cache.DefaultConfig(1), Scale: tinyScale, PF: Baseline(),
+		Hook: func(*cache.Hierarchy, []prefetch.Prefetcher) { hooked++ },
+	}
+	RunCached(spec)
+	if hooked != 1 {
+		t.Fatalf("hook ran %d times, want 1", hooked)
+	}
+	if n := ResultStore().Writes(); n != 0 {
+		t.Fatalf("hooked spec persisted %d entries, want 0", n)
+	}
+
+	ResetCaches()
+	before := SimCount()
+	RunCached(spec)
+	if delta := SimCount() - before; delta != 1 {
+		t.Errorf("hooked spec after reset simulated %d times, want 1 (no disk hit)", delta)
+	}
+	if hooked != 2 {
+		t.Errorf("hook ran %d times total, want 2", hooked)
+	}
+}
+
+// TestCacheKeyDistinguishesFullConfig guards the memoization key against
+// the collision class a review caught empirically: specs differing only in
+// a cache-config field absent from a hand-picked key (Translate,
+// LLCPolicy, geometry) shared a slot, so one ablation arm was served the
+// other arm's result — and the persistent store baked the collision to
+// disk. The key now renders the whole config.
+func TestCacheKeyDistinguishesFullConfig(t *testing.T) {
+	base := RunSpec{Mix: tinyMix(t), CacheCfg: cache.DefaultConfig(1), Scale: tinyScale, PF: Baseline()}
+	for name, mutate := range map[string]func(*cache.Config){
+		"Translate":      func(c *cache.Config) { c.Translate = true },
+		"LLCPolicy":      func(c *cache.Config) { c.LLCPolicy = "lru" },
+		"LLCWays":        func(c *cache.Config) { c.LLCWays++ },
+		"L2SizeKB":       func(c *cache.Config) { c.L2SizeKB *= 2 },
+		"PrefetchBudget": func(c *cache.Config) { c.PrefetchBudget++ },
+		"DRAM.TRCDns":    func(c *cache.Config) { c.DRAM.TRCDns++ },
+	} {
+		mutated := base
+		mutate(&mutated.CacheCfg)
+		if cacheKey(mutated) == cacheKey(base) {
+			t.Errorf("cacheKey ignores CacheCfg.%s", name)
+		}
+	}
+}
+
+// TestCacheKeyDistinguishesMixComposition: heterogeneous mixes are all
+// named "Mix-N" while their workload draw varies with scale, so the key
+// must fold in the full composition — a name-only key silently served one
+// composition the other's persisted result.
+func TestCacheKeyDistinguishesMixComposition(t *testing.T) {
+	a, ok := trace.ByName("459.GemsFDTD-100B")
+	if !ok {
+		t.Fatal("missing workload")
+	}
+	b, ok := trace.ByName("482.sphinx3-100B")
+	if !ok {
+		t.Fatal("missing workload")
+	}
+	mixA := trace.Mix{Name: "Mix-1", Workloads: []trace.Workload{a}}
+	mixB := trace.Mix{Name: "Mix-1", Workloads: []trace.Workload{b}}
+	specA := RunSpec{Mix: mixA, CacheCfg: cache.DefaultConfig(1), Scale: tinyScale, PF: Baseline()}
+	specB := specA
+	specB.Mix = mixB
+	if cacheKey(specA) == cacheKey(specB) {
+		t.Error("cacheKey collides same-named mixes with different workload compositions")
+	}
+}
+
+// TestScaleKeyDistinguishesOutcomes: every outcome-relevant Scale field
+// must land in the key; StreamChunk (delivery-only) must not.
+func TestScaleKeyDistinguishesOutcomes(t *testing.T) {
+	base := tinyScale
+	for name, mutate := range map[string]func(*Scale){
+		"Warmup":            func(s *Scale) { s.Warmup++ },
+		"Sim":               func(s *Scale) { s.Sim++ },
+		"TraceLen":          func(s *Scale) { s.TraceLen++ },
+		"WorkloadsPerSuite": func(s *Scale) { s.WorkloadsPerSuite++ },
+		"HeteroMixes":       func(s *Scale) { s.HeteroMixes++ },
+	} {
+		mutated := base
+		mutate(&mutated)
+		if mutated.Key() == base.Key() {
+			t.Errorf("Scale.Key ignores %s", name)
+		}
+	}
+	streamed := base
+	streamed.StreamChunk = 4096
+	if streamed.Key() != base.Key() {
+		t.Error("Scale.Key includes StreamChunk, splitting identical results")
+	}
+}

@@ -12,6 +12,7 @@ package harness
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -19,6 +20,7 @@ import (
 	"pythia/internal/core"
 	"pythia/internal/cpu"
 	"pythia/internal/dram"
+	"pythia/internal/flight"
 	"pythia/internal/prefetch"
 	"pythia/internal/stats"
 	"pythia/internal/stream"
@@ -121,44 +123,6 @@ func (s *dynSema) limit() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.cap
-}
-
-// flightGroup deduplicates concurrent calls for the same key (a minimal
-// singleflight): the first caller runs fn, everyone else blocks and shares
-// the result.
-type flightGroup struct {
-	mu sync.Mutex
-	m  map[string]*flightCall
-}
-
-type flightCall struct {
-	wg  sync.WaitGroup
-	val any
-}
-
-func (g *flightGroup) do(key string, fn func() any) any {
-	g.mu.Lock()
-	if g.m == nil {
-		g.m = make(map[string]*flightCall)
-	}
-	if c, ok := g.m[key]; ok {
-		g.mu.Unlock()
-		c.wg.Wait()
-		return c.val
-	}
-	c := new(flightCall)
-	c.wg.Add(1)
-	g.m[key] = c
-	g.mu.Unlock()
-
-	defer func() {
-		c.wg.Done()
-		g.mu.Lock()
-		delete(g.m, key)
-		g.mu.Unlock()
-	}()
-	c.val = fn()
-	return c.val
 }
 
 // Scale controls simulation lengths so the full suite finishes in minutes
@@ -344,7 +308,7 @@ func (r RunResult) SumDRAMReads() int64 {
 
 var (
 	traceCache  sync.Map // key string -> *trace.Trace
-	traceFlight flightGroup
+	traceFlight flight.Group[*trace.Trace]
 	// genSlots bounds concurrent trace generation separately from
 	// simSlots: generation happens inside Run (which already holds a sim
 	// slot), so reusing simSlots would self-deadlock at low worker counts.
@@ -417,19 +381,28 @@ func tracesFor(mix trace.Mix, length int) []*trace.Trace {
 			out[i] = v.(*trace.Trace)
 			return
 		}
-		out[i] = traceFlight.do(key, func() any {
+		out[i], _ = traceFlight.Do(key, func() *trace.Trace {
 			if v, ok := traceCache.Load(key); ok {
-				return v
+				return v.(*trace.Trace)
 			}
 			genSlots.acquire()
 			t := w.Generate(length)
 			genSlots.release()
 			traceCache.Store(key, t)
 			return t
-		}).(*trace.Trace)
+		})
 	})
 	return out
 }
+
+// simCount tallies simulations executed by this process; it is how tests
+// and pythia-serve prove a result came from the store rather than from
+// re-simulation.
+var simCount atomic.Int64
+
+// SimCount returns the number of simulations this process has executed.
+// It only ever grows; callers measure work by deltas.
+func SimCount() int64 { return simCount.Load() }
 
 // Run executes one simulation. Concurrent callers are throttled to the
 // worker limit; each simulation owns all its mutable state, so any number
@@ -437,6 +410,7 @@ func tracesFor(mix trace.Mix, length int) []*trace.Trace {
 func Run(spec RunSpec) RunResult {
 	simSlots.acquire()
 	defer simSlots.release()
+	simCount.Add(1)
 	cores := len(spec.Mix.Workloads)
 	cfg := spec.CacheCfg
 	cfg.Cores = cores
@@ -507,7 +481,7 @@ func Run(spec RunSpec) RunResult {
 
 var (
 	baselineCache sync.Map // key string -> RunResult
-	runFlight     flightGroup
+	runFlight     flight.Group[RunResult]
 )
 
 // ResetCaches drops all memoized simulation results and materialized
@@ -518,35 +492,63 @@ func ResetCaches() {
 	traceCache.Range(func(k, _ any) bool { traceCache.Delete(k); return true })
 }
 
-// cacheKey captures everything that affects a run's outcome. StreamChunk
-// is deliberately absent: streaming and materialized delivery produce the
+// mixIdentity renders a mix's full composition, not just its display
+// name: heterogeneous mixes are all named "Mix-N" while their workload
+// draw varies with scale, so a name-only key would collide different
+// compositions (fatal once keys outlive the process in the persistent
+// store). Each workload contributes its canonical identity key
+// (name, seed, length, generator version).
+func mixIdentity(mix trace.Mix, traceLen int) string {
+	parts := make([]string, 0, len(mix.Workloads)+1)
+	parts = append(parts, mix.Name)
+	for _, w := range mix.Workloads {
+		parts = append(parts, w.Key(traceLen))
+	}
+	return strings.Join(parts, ",")
+}
+
+// cacheKey captures everything that affects a run's outcome. The whole
+// cache/DRAM configuration is rendered into the key (%+v over plain value
+// structs, deterministic field order) rather than a hand-picked subset: an
+// earlier version listed individual fields and silently collided specs
+// differing in the unlisted ones (Translate, LLCPolicy, geometry), serving
+// one ablation arm the other arm's cached result; the mix contributes its
+// full composition for the same reason (mixIdentity). StreamChunk is
+// deliberately absent: streaming and materialized delivery produce the
 // same records and therefore the same result, so runs differing only in
 // delivery mode share a memoization slot.
 func cacheKey(spec RunSpec) string {
-	d := spec.CacheCfg.DRAM
-	return fmt.Sprintf("%s|%s|c%d|llc%d|mshr%d|ch%d|mtps%d|w%d|s%d|t%d",
-		spec.Mix.Name, spec.PF.Name, len(spec.Mix.Workloads),
-		spec.CacheCfg.LLCSizeKBPerCore, spec.CacheCfg.MSHRs,
-		d.Channels, d.MTPS, spec.Scale.Warmup, spec.Scale.Sim, spec.Scale.TraceLen)
+	return fmt.Sprintf("%s|%s|c%d|%+v|w%d|s%d|t%d",
+		mixIdentity(spec.Mix, spec.Scale.TraceLen), spec.PF.Name, len(spec.Mix.Workloads),
+		spec.CacheCfg, spec.Scale.Warmup, spec.Scale.Sim, spec.Scale.TraceLen)
 }
 
 // RunCached executes a simulation, memoizing results (baselines recur in
 // every figure). Concurrent callers with the same key are deduplicated
 // through a singleflight: exactly one runs the simulation, the rest share
-// its result.
+// its result. When a persistent store is configured (SetResultStore), a
+// miss in memory falls through to disk before simulating, and fresh
+// results are written back — so the memoization survives process
+// restarts. Disk-restored results carry no live PFs (see runPayload).
 func RunCached(spec RunSpec) RunResult {
 	key := cacheKey(spec)
 	if v, ok := baselineCache.Load(key); ok {
 		return v.(RunResult)
 	}
-	return runFlight.do(key, func() any {
+	r, _ := runFlight.Do(key, func() RunResult {
 		if v, ok := baselineCache.Load(key); ok {
-			return v
+			return v.(RunResult)
+		}
+		if r, ok := loadPersisted(spec); ok {
+			baselineCache.Store(key, r)
+			return r
 		}
 		r := Run(spec)
+		storePersisted(spec, r)
 		baselineCache.Store(key, r)
 		return r
-	}).(RunResult)
+	})
+	return r
 }
 
 // Speedup returns the geomean over cores of per-core IPC ratios between a

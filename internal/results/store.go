@@ -1,0 +1,283 @@
+// Package results is the persistent experiment result store: a
+// content-addressed, on-disk collection of JSON payloads keyed by what was
+// measured (kind + name) and a fingerprint of everything that could change
+// the outcome (configuration, scale, trace.GenVersion, payload schema).
+//
+// It shares the crash-safety machinery of the on-disk trace cache
+// (internal/fsutil, internal/flight): population is deduplicated through a
+// singleflight so concurrent writers for one key do the work once, and
+// files land via fully-written temp files plus atomic rename, so readers
+// never observe partial JSON and concurrent processes sharing a directory
+// are safe (both write, either rename wins, contents are identical because
+// simulations are deterministic).
+//
+// Unlike the harness's in-memory memoization, entries survive process
+// restarts: pythia-bench, pythia-serve, tests and examples pointed at one
+// directory all reuse each other's simulations. Payloads carry per-trial
+// statistics (every simulated core's full counter set), not just headline
+// aggregates, so downstream consumers can report dispersion.
+package results
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pythia/internal/flight"
+	"pythia/internal/fsutil"
+	"pythia/internal/trace"
+)
+
+// SchemaVersion is baked into every fingerprint; bump it when a payload's
+// JSON shape changes incompatibly so stale entries miss instead of
+// half-decoding.
+const SchemaVersion = 1
+
+// Key identifies one stored result.
+type Key struct {
+	// Kind groups entries by producer ("run" for single simulations,
+	// "experiment" for rendered tables).
+	Kind string
+	// Name is the human-readable identity (mix|prefetcher, experiment ID).
+	Name string
+	// Fingerprint hashes everything else that determines the outcome; use
+	// Fingerprint to build it.
+	Fingerprint string
+}
+
+// Fingerprint condenses the outcome-determining parts of a key into a
+// fixed-width hex digest. trace.GenVersion and SchemaVersion are always
+// mixed in, so generator changes and schema changes both invalidate every
+// prior entry without any deletion pass.
+func Fingerprint(parts ...string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "g%d|v%d", trace.GenVersion, SchemaVersion)
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// envelope is the on-disk JSON document. The key fields are stored
+// alongside the payload and re-checked on read, so a filename-hash
+// collision (or a hand-copied file) can never serve the wrong result.
+type envelope struct {
+	Kind        string          `json:"kind"`
+	Name        string          `json:"name"`
+	Fingerprint string          `json:"fingerprint"`
+	GenVersion  int             `json:"gen_version"`
+	CreatedAt   time.Time       `json:"created_at"`
+	Payload     json.RawMessage `json:"payload"`
+}
+
+// Store is an on-disk result store rooted at one directory (created on
+// first write). The zero value is not usable; call Open.
+type Store struct {
+	dir      string
+	readOnly atomic.Bool
+
+	flight flight.Group[flightOut]
+
+	sweepOnce sync.Once
+
+	hits, misses, writes atomic.Int64
+}
+
+// flightOut is what a GetOrCompute flight delivers to every caller.
+type flightOut struct {
+	payload json.RawMessage
+	hit     bool
+	err     error
+}
+
+// Open returns a store rooted at dir. The directory is created lazily on
+// first write, so opening a store never touches the filesystem.
+func Open(dir string) *Store {
+	return &Store{dir: dir}
+}
+
+// DefaultDir returns the store directory used when none is configured: the
+// PYTHIA_RESULT_STORE environment variable, or pythia-result-store under
+// the OS temp directory.
+func DefaultDir() string {
+	if dir := os.Getenv("PYTHIA_RESULT_STORE"); dir != "" {
+		return dir
+	}
+	return filepath.Join(os.TempDir(), "pythia-result-store")
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// SetReadOnly toggles write suppression: a read-only store serves hits but
+// silently drops Put calls (CI uses this to consume a shared populated
+// store without mutating it).
+func (s *Store) SetReadOnly(ro bool) { s.readOnly.Store(ro) }
+
+// ReadOnly reports whether writes are suppressed.
+func (s *Store) ReadOnly() bool { return s.readOnly.Load() }
+
+// Hits returns the number of Get/GetOrCompute calls served from disk.
+func (s *Store) Hits() int64 { return s.hits.Load() }
+
+// Misses returns the number of lookups that found no valid entry.
+func (s *Store) Misses() int64 { return s.misses.Load() }
+
+// Writes returns the number of entries successfully persisted.
+func (s *Store) Writes() int64 { return s.writes.Load() }
+
+// path maps a key to its file. The name is embedded (sanitized) for
+// debuggability; the fingerprint digest provides the content addressing.
+func (s *Store) path(key Key) string {
+	name := fsutil.Sanitize(key.Name)
+	if len(name) > 80 {
+		name = name[:80]
+	}
+	return filepath.Join(s.dir, fmt.Sprintf("%s-%s-%s.json", fsutil.Sanitize(key.Kind), name, key.Fingerprint))
+}
+
+// Get looks a key up and, on a hit, unmarshals the stored payload into
+// out. It returns false on any miss: absent file, unreadable JSON, or an
+// envelope whose identity fields do not match the key.
+func (s *Store) Get(key Key, out any) bool {
+	env, ok := s.load(key)
+	if !ok {
+		s.misses.Add(1)
+		return false
+	}
+	if err := json.Unmarshal(env.Payload, out); err != nil {
+		s.misses.Add(1)
+		return false
+	}
+	s.hits.Add(1)
+	return true
+}
+
+// load reads and validates the envelope for a key.
+func (s *Store) load(key Key) (envelope, bool) {
+	buf, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return envelope{}, false
+	}
+	var env envelope
+	if err := json.Unmarshal(buf, &env); err != nil {
+		return envelope{}, false
+	}
+	if env.Kind != key.Kind || env.Name != key.Name || env.Fingerprint != key.Fingerprint {
+		return envelope{}, false
+	}
+	return env, true
+}
+
+// Put persists a payload under a key, overwriting any previous entry.
+// Writes go through a unique temp file and atomic rename; no error path
+// leaves a partial file behind. On a read-only store Put is a no-op.
+func (s *Store) Put(key Key, payload any) error {
+	if s.ReadOnly() {
+		return nil
+	}
+	buf, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("results: marshal %s/%s: %w", key.Kind, key.Name, err)
+	}
+	return s.write(key, buf)
+}
+
+// write lands raw payload bytes on disk.
+func (s *Store) write(key Key, payload json.RawMessage) error {
+	env := envelope{
+		Kind:        key.Kind,
+		Name:        key.Name,
+		Fingerprint: key.Fingerprint,
+		GenVersion:  trace.GenVersion,
+		CreatedAt:   time.Now().UTC(),
+		Payload:     payload,
+	}
+	buf, err := json.MarshalIndent(&env, "", "  ")
+	if err != nil {
+		return fmt.Errorf("results: marshal envelope: %w", err)
+	}
+	buf = append(buf, '\n')
+
+	s.sweepOnce.Do(func() { fsutil.SweepStaleTemps(s.dir) })
+	path := s.path(key)
+	if err := fsutil.WriteAtomic(s.dir, path, func(tmp *os.File) error {
+		_, werr := tmp.Write(buf)
+		return werr
+	}); err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	s.writes.Add(1)
+	return nil
+}
+
+// GetOrCompute returns the stored payload for key, computing and persisting
+// it on a miss. Concurrent callers for one key are deduplicated through a
+// singleflight: exactly one runs compute, everyone shares the result. The
+// result is unmarshalled into out; hit reports whether disk served it
+// without running compute. A failed persist does not fail the call — the
+// computed value is still delivered (and the error surfaced) so a full
+// disk degrades to "no reuse", never to "no results".
+func (s *Store) GetOrCompute(key Key, out any, compute func() (any, error)) (hit bool, err error) {
+	if s.Get(key, out) {
+		return true, nil
+	}
+
+	flightKey := key.Kind + "\x00" + key.Name + "\x00" + key.Fingerprint
+	res, leader := s.flight.Do(flightKey, func() flightOut {
+		// Re-check under the flight: an earlier flight (or another process)
+		// may have landed the entry between our miss and taking leadership.
+		if env, ok := s.load(key); ok {
+			s.hits.Add(1)
+			return flightOut{payload: env.Payload, hit: true}
+		}
+		v, err := compute()
+		if err != nil {
+			return flightOut{err: err}
+		}
+		buf, err := json.Marshal(v)
+		if err != nil {
+			return flightOut{err: fmt.Errorf("results: marshal %s/%s: %w", key.Kind, key.Name, err)}
+		}
+		o := flightOut{payload: buf}
+		if !s.ReadOnly() {
+			// Delivery beats persistence; report a write failure without
+			// discarding the computed value.
+			o.err = s.write(key, buf)
+		}
+		return o
+	})
+	if res.payload == nil {
+		return false, res.err
+	}
+	if uerr := json.Unmarshal(res.payload, out); uerr != nil {
+		return false, uerr
+	}
+	// Waiters share the leader's payload but report hit=false: they did
+	// not observe the entry on disk themselves.
+	return res.hit && leader, res.err
+}
+
+// Len reports how many entries are currently on disk (for tests and
+// status endpoints; it scans the directory).
+func (s *Store) Len() int {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"pythia/internal/harness"
+)
+
+// Job statuses, in lifecycle order.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusError   = "error"
+)
+
+// Event is one server-sent event: a type tag plus a JSON payload.
+type Event struct {
+	Type string
+	Data json.RawMessage
+}
+
+// job is one queued experiment run. All mutable state is behind mu; the
+// executor writes, HTTP handlers read, SSE subscribers receive a replay of
+// every event published so far followed by live events, so a subscriber
+// that arrives after completion still sees the full history.
+type job struct {
+	id        string
+	expID     string
+	title     string
+	scaleName string
+	scale     harness.Scale
+
+	mu       sync.Mutex
+	status   string
+	errMsg   string
+	cached   bool
+	sims     int64
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	result   *harness.ExperimentPayload
+
+	events []Event
+	subs   map[chan Event]struct{}
+	closed bool
+}
+
+// JobView is the JSON representation of a job exposed by the API.
+type JobView struct {
+	ID         string `json:"id"`
+	Experiment string `json:"experiment"`
+	Title      string `json:"title"`
+	Scale      string `json:"scale"`
+	Status     string `json:"status"`
+	Error      string `json:"error,omitempty"`
+	// Cached reports that the result came from the persistent store.
+	Cached bool `json:"cached"`
+	// Sims is the number of simulations this job executed (0 on a store
+	// hit: the zero-additional-work guarantee, measurable by clients).
+	Sims       int64                      `json:"sims"`
+	CreatedAt  time.Time                  `json:"created_at"`
+	StartedAt  *time.Time                 `json:"started_at,omitempty"`
+	FinishedAt *time.Time                 `json:"finished_at,omitempty"`
+	Result     *harness.ExperimentPayload `json:"result,omitempty"`
+	// Rendered is the table formatted as aligned text (terminal clients).
+	Rendered string `json:"rendered,omitempty"`
+}
+
+func newJob(id string, exp harness.Experiment, scaleName string, sc harness.Scale) *job {
+	j := &job{
+		id:        id,
+		expID:     exp.ID,
+		title:     exp.Title,
+		scaleName: scaleName,
+		scale:     sc,
+		status:    StatusQueued,
+		created:   time.Now().UTC(),
+		subs:      make(map[chan Event]struct{}),
+	}
+	j.publish("status", j.viewLocked())
+	return j
+}
+
+// terminal reports whether the job has reached done or error.
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == StatusDone || j.status == StatusError
+}
+
+// view snapshots the job for JSON rendering.
+func (j *job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.viewLocked()
+}
+
+func (j *job) viewLocked() JobView {
+	v := JobView{
+		ID:         j.id,
+		Experiment: j.expID,
+		Title:      j.title,
+		Scale:      j.scaleName,
+		Status:     j.status,
+		Error:      j.errMsg,
+		Cached:     j.cached,
+		Sims:       j.sims,
+		CreatedAt:  j.created,
+		Result:     j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	if j.result != nil && j.result.Table != nil {
+		v.Rendered = j.result.Table.Render()
+	}
+	return v
+}
+
+// publish appends an event to the history and fans it out to live
+// subscribers. Callers must hold mu (newJob's construction-time call is
+// safe: no other goroutine can see the job yet).
+func (j *job) publish(typ string, payload any) {
+	buf, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	ev := Event{Type: typ, Data: buf}
+	// Coalesce consecutive progress events in the history: live
+	// subscribers already received each one, and replaying every sample of
+	// a long run would bloat the history (and server memory) for no
+	// information — only the latest progress figure matters to a late
+	// subscriber.
+	if typ == "progress" && len(j.events) > 0 && j.events[len(j.events)-1].Type == "progress" {
+		j.events[len(j.events)-1] = ev
+	} else {
+		j.events = append(j.events, ev)
+	}
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+			// A subscriber that cannot keep up misses intermediate progress
+			// events; the SSE handler synthesizes the terminal event from
+			// the job's final state if it was dropped here, so nothing
+			// essential is lost.
+		}
+	}
+}
+
+// setRunning transitions the job to running and announces it.
+func (j *job) setRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.status = StatusRunning
+	j.started = time.Now().UTC()
+	j.publish("status", j.viewLocked())
+}
+
+// progress announces how many simulations the job has executed so far.
+func (j *job) progress(sims int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.sims = sims
+	j.publish("progress", map[string]any{"id": j.id, "sims": sims})
+}
+
+// finish records the terminal state, announces it, and closes every
+// subscriber channel (their signal to end the SSE stream).
+func (j *job) finish(res *harness.ExperimentPayload, cached bool, sims int64, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now().UTC()
+	j.cached = cached
+	j.sims = sims
+	if err != nil {
+		j.status = StatusError
+		j.errMsg = err.Error()
+	} else {
+		j.status = StatusDone
+		j.result = res
+	}
+	j.publish(j.status, j.viewLocked())
+	j.closed = true
+	for ch := range j.subs {
+		close(ch)
+		delete(j.subs, ch)
+	}
+}
+
+// subscribe returns the event history so far plus a channel of subsequent
+// events; the channel is closed when the job reaches a terminal state.
+// The caller must call the returned cancel function when done.
+func (j *job) subscribe() (replay []Event, live <-chan Event, cancel func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay = append([]Event(nil), j.events...)
+	ch := make(chan Event, 16)
+	if j.closed {
+		close(ch)
+		return replay, ch, func() {}
+	}
+	j.subs[ch] = struct{}{}
+	return replay, ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if _, ok := j.subs[ch]; ok {
+			delete(j.subs, ch)
+			close(ch)
+		}
+	}
+}

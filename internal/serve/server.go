@@ -1,0 +1,457 @@
+// Package serve exposes the experiment harness as a long-lived HTTP
+// service: the first step from batch reproduction toward a system that
+// serves results to many concurrent consumers.
+//
+// Architecture: requests land in a bounded job queue; a single executor
+// goroutine drains it, running one experiment at a time. Each experiment
+// internally fans its simulations out over the harness worker pool
+// (harness.SetWorkers), so the machine stays fully utilized while queue
+// depth — not goroutine count — bounds admitted work. Every completed
+// experiment is persisted in a results.Store; a repeat request (same
+// experiment, same scale, same generator version) is served from the
+// store with zero additional simulation work, observable through the
+// job's sims counter. Progress streams to clients over SSE with full
+// event replay, so late subscribers see the whole history.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"pythia/internal/harness"
+	"pythia/internal/results"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Store is the persistent result store (required).
+	Store *results.Store
+	// QueueDepth bounds the number of jobs waiting to execute (admitted
+	// but unstarted); the default is 16. A full queue rejects launches
+	// with 503 rather than queueing unboundedly.
+	QueueDepth int
+	// ProgressInterval is how often a running job samples the simulation
+	// counter into an SSE progress event; the default is 250ms.
+	ProgressInterval time.Duration
+	// JobHistory bounds how many finished jobs are retained for listing
+	// and late fetches (the default is 256). Queued and running jobs are
+	// never evicted; beyond the cap, the oldest finished jobs are dropped
+	// at admission time, so server memory is bounded by admitted + capped
+	// work, not by lifetime request count. Stored results are unaffected
+	// — evicted tables remain fetchable via /api/results.
+	JobHistory int
+	// ExtraScales registers additional named scales beyond the harness
+	// presets (tests register tiny ones; deployments can pin custom
+	// horizons).
+	ExtraScales map[string]harness.Scale
+}
+
+// Server is the pythia-serve HTTP service.
+type Server struct {
+	cfg   Config
+	store *results.Store
+	queue chan *job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	nextID int64
+
+	started time.Time
+}
+
+// New builds a Server and starts its executor. Callers own the HTTP
+// listener (mount Handler) and must Close the server to stop the
+// executor.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("serve: Config.Store is required")
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.ProgressInterval <= 0 {
+		cfg.ProgressInterval = 250 * time.Millisecond
+	}
+	if cfg.JobHistory <= 0 {
+		cfg.JobHistory = 256
+	}
+	s := &Server{
+		cfg:     cfg,
+		store:   cfg.Store,
+		queue:   make(chan *job, cfg.QueueDepth),
+		quit:    make(chan struct{}),
+		jobs:    make(map[string]*job),
+		started: time.Now().UTC(),
+	}
+	s.wg.Add(1)
+	go s.executor()
+	return s, nil
+}
+
+// Close stops the executor after the in-flight job (if any) completes.
+// Queued-but-unstarted jobs stay queued forever; Close is for shutdown,
+// not draining.
+func (s *Server) Close() {
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// resolveScale maps a scale name through ExtraScales, then the harness
+// presets. An empty name means the harness default.
+func (s *Server) resolveScale(name string) (harness.Scale, error) {
+	if sc, ok := s.cfg.ExtraScales[name]; ok {
+		return sc, nil
+	}
+	return harness.ScaleByName(name)
+}
+
+// --- Executor ---
+
+func (s *Server) executor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one experiment, consulting the store first. The
+// progress sampler reads the process-wide simulation counter: with a
+// single executor, every simulation between job start and finish belongs
+// to this job, so the delta is exact.
+func (s *Server) runJob(j *job) {
+	j.setRunning()
+	startSims := harness.SimCount()
+
+	stop := make(chan struct{})
+	var samplerDone sync.WaitGroup
+	samplerDone.Add(1)
+	go func() {
+		defer samplerDone.Done()
+		tick := time.NewTicker(s.cfg.ProgressInterval)
+		defer tick.Stop()
+		j.progress(0)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				j.progress(harness.SimCount() - startSims)
+			}
+		}
+	}()
+
+	key := harness.ExperimentKey(j.expID, j.scale)
+	var payload harness.ExperimentPayload
+	hit, err := s.store.GetOrCompute(key, &payload, func() (any, error) {
+		return s.computeExperiment(j, startSims)
+	})
+	close(stop)
+	samplerDone.Wait()
+
+	executed := harness.SimCount() - startSims
+	// GetOrCompute reports a non-nil error alongside a delivered payload
+	// when only the persist failed ("delivery beats persistence"); the
+	// computed table must still reach the client — an unwritable store
+	// degrades to "no reuse", never to a failed run.
+	if err != nil && payload.Table == nil {
+		j.finish(nil, false, executed, err)
+		return
+	}
+	j.finish(&payload, hit, executed, nil)
+}
+
+// computeExperiment runs the experiment itself, converting panics (the
+// harness's error convention for unrunnable specs) into job errors so one
+// bad request cannot take down the service.
+func (s *Server) computeExperiment(j *job, startSims int64) (payload any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiment %s panicked: %v", j.expID, r)
+		}
+	}()
+	exp, ok := harness.ExperimentByID(j.expID)
+	if !ok {
+		return nil, fmt.Errorf("unknown experiment %q", j.expID)
+	}
+	start := time.Now()
+	table := exp.Run(j.scale)
+	return harness.ExperimentPayload{
+		ID:      exp.ID,
+		Title:   exp.Title,
+		Scale:   j.scaleName,
+		Table:   table,
+		Sims:    harness.SimCount() - startSims,
+		Seconds: time.Since(start).Seconds(),
+	}, nil
+}
+
+// --- HTTP API ---
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /api/runs", s.handleListRuns)
+	mux.HandleFunc("POST /api/runs", s.handleLaunch)
+	mux.HandleFunc("GET /api/runs/{id}", s.handleGetRun)
+	mux.HandleFunc("GET /api/runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /api/results/{exp}", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// experimentInfo is one row of the experiment listing.
+type experimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	// Extended marks studies beyond the paper's figures.
+	Extended bool `json:"extended"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	var out []experimentInfo
+	for _, e := range harness.Experiments() {
+		out = append(out, experimentInfo{ID: e.ID, Title: e.Title})
+	}
+	for _, e := range harness.ExtendedExperiments() {
+		out = append(out, experimentInfo{ID: e.ID, Title: e.Title, Extended: true})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
+}
+
+// launchRequest is the POST /api/runs body.
+type launchRequest struct {
+	Experiment string `json:"experiment"`
+	Scale      string `json:"scale"`
+}
+
+func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
+	var req launchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	exp, ok := harness.ExperimentByID(req.Experiment)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown experiment %q", req.Experiment)
+		return
+	}
+	sc, err := s.resolveScale(req.Scale)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	scaleName := req.Scale
+	if scaleName == "" {
+		scaleName = "default"
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("job-%d", s.nextID)
+	j := newJob(id, exp, scaleName, sc)
+	// The enqueue attempt is non-blocking, so holding mu across it keeps
+	// admission atomic: a job is registered iff it made it into the queue.
+	select {
+	case s.queue <- j:
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		s.pruneLocked()
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "job queue full (%d queued)", s.cfg.QueueDepth)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"job": j.view()})
+}
+
+// pruneLocked evicts the oldest finished jobs past the history cap.
+// Callers hold s.mu.
+func (s *Server) pruneLocked() {
+	finished := 0
+	for _, id := range s.order {
+		if s.jobs[id].terminal() {
+			finished++
+		}
+	}
+	if finished <= s.cfg.JobHistory {
+		return
+	}
+	drop := finished - s.cfg.JobHistory
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if drop > 0 && s.jobs[id].terminal() {
+			delete(s.jobs, id)
+			drop--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *Server) jobByID(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, s.jobs[id].view())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"job": j.view()})
+}
+
+// handleEvents streams a job's progress as server-sent events: the full
+// history replays first, then live events until the job reaches a
+// terminal state or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live, cancel := j.subscribe()
+	defer cancel()
+	sawTerminal := false
+	emit := func(ev Event) {
+		if ev.Type == StatusDone || ev.Type == StatusError {
+			sawTerminal = true
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, ev.Data)
+	}
+	for _, ev := range replay {
+		emit(ev)
+	}
+	flusher.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-live:
+			if !ok {
+				// Channel closed: the job is terminal. A subscriber that
+				// fell behind may have had the terminal event dropped from
+				// its buffer (publish never blocks the executor), so
+				// synthesize it from the job's final state before ending
+				// the stream — every client is guaranteed a terminal event.
+				if !sawTerminal {
+					if v := j.view(); v.Status == StatusDone || v.Status == StatusError {
+						buf, err := json.Marshal(v)
+						if err == nil {
+							emit(Event{Type: v.Status, Data: buf})
+							flusher.Flush()
+						}
+					}
+				}
+				return
+			}
+			emit(ev)
+			flusher.Flush()
+		}
+	}
+}
+
+// handleResult serves a stored experiment result directly, without
+// creating a job: the read path for consumers that only want cached
+// tables (regenerating EXPERIMENTS.md, dashboards).
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	expID := r.PathValue("exp")
+	if _, ok := harness.ExperimentByID(expID); !ok {
+		writeErr(w, http.StatusNotFound, "unknown experiment %q", expID)
+		return
+	}
+	sc, err := s.resolveScale(r.URL.Query().Get("scale"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var payload harness.ExperimentPayload
+	if !s.store.Get(harness.ExperimentKey(expID, sc), &payload) {
+		writeErr(w, http.StatusNotFound, "no stored result for %s at this scale (launch a run first)", expID)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"result": payload, "rendered": payload.Table.Render()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":             true,
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"jobs":           jobs,
+		"queue_depth":    s.cfg.QueueDepth,
+		"queued":         len(s.queue),
+		"sims":           harness.SimCount(),
+		"workers":        harness.Workers(),
+		"store": map[string]any{
+			"dir":     s.store.Dir(),
+			"entries": s.store.Len(),
+			"hits":    s.store.Hits(),
+			"misses":  s.store.Misses(),
+			"writes":  s.store.Writes(),
+		},
+	})
+}
+
+// Scales lists the scale names this server accepts (presets plus extras),
+// for documentation endpoints and CLIs.
+func (s *Server) Scales() []string {
+	names := []string{"quick", "default", "full", "long"}
+	for n := range s.cfg.ExtraScales {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

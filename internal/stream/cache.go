@@ -6,9 +6,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 	"sync"
 
+	"pythia/internal/flight"
+	"pythia/internal/fsutil"
 	"pythia/internal/trace"
 )
 
@@ -25,18 +26,14 @@ import (
 type Cache struct {
 	dir string
 
-	mu     sync.Mutex
-	flight map[string]*populateCall
-}
+	flight flight.Group[error]
 
-type populateCall struct {
-	wg  sync.WaitGroup
-	err error
+	sweepOnce sync.Once
 }
 
 // NewCache returns a cache rooted at dir (created on first population).
 func NewCache(dir string) *Cache {
-	return &Cache{dir: dir, flight: make(map[string]*populateCall)}
+	return &Cache{dir: dir}
 }
 
 // DefaultDir returns the cache directory used when none is configured: the
@@ -55,7 +52,7 @@ func (c *Cache) Dir() string { return c.dir }
 // path maps a workload identity to its cache file.
 func (c *Cache) path(w trace.Workload, n int) string {
 	sum := sha256.Sum256([]byte(w.Key(n)))
-	return filepath.Join(c.dir, fmt.Sprintf("%s-%s.pytr", sanitize(w.Name), hex.EncodeToString(sum[:8])))
+	return filepath.Join(c.dir, fmt.Sprintf("%s-%s.pytr", fsutil.Sanitize(w.Name), hex.EncodeToString(sum[:8])))
 }
 
 // Source ensures the workload's trace is on disk (generating it exactly
@@ -76,9 +73,9 @@ func (c *Cache) Source(w trace.Workload, n, chunk int) (Source, error) {
 }
 
 // Ensure populates the cache entry for (w, n) if needed and returns its
-// path. Concurrent calls for the same entry share one generation pass.
-// Fixed workloads are rejected: their cache key has no content identity
-// (see Source).
+// path. Concurrent calls for the same entry share one generation pass
+// (a flight.Group singleflight). Fixed workloads are rejected: their
+// cache key has no content identity (see Source).
 func (c *Cache) Ensure(w trace.Workload, n int) (string, error) {
 	if w.FixedTrace() != nil {
 		return "", fmt.Errorf("stream: fixed workload %s is not disk-cacheable", w.Name)
@@ -87,32 +84,16 @@ func (c *Cache) Ensure(w trace.Workload, n int) (string, error) {
 	if c.valid(path, w, n) {
 		return path, nil
 	}
-
-	c.mu.Lock()
-	if call, ok := c.flight[path]; ok {
-		c.mu.Unlock()
-		call.wg.Wait()
-		return path, call.err
-	}
-	call := new(populateCall)
-	call.wg.Add(1)
-	c.flight[path] = call
-	c.mu.Unlock()
-
-	defer func() {
-		call.wg.Done()
-		c.mu.Lock()
-		delete(c.flight, path)
-		c.mu.Unlock()
-	}()
-
-	// Re-check under the flight: another process (or an earlier flight that
-	// completed between our check and lock) may have populated it.
-	if c.valid(path, w, n) {
-		return path, nil
-	}
-	call.err = c.populate(path, w, n)
-	return path, call.err
+	err, _ := c.flight.Do(path, func() error {
+		// Re-check under the flight: another process (or an earlier flight
+		// that completed between our check and joining) may have populated
+		// it.
+		if c.valid(path, w, n) {
+			return nil
+		}
+		return c.populate(path, w, n)
+	})
+	return path, err
 }
 
 // valid reports whether path holds a decodable trace matching the
@@ -132,32 +113,18 @@ func (c *Cache) valid(path string, w trace.Workload, n int) bool {
 }
 
 // populate generates the trace into a unique temp file and atomically
-// renames it into place.
+// renames it into place (fsutil.WriteAtomic). No error path leaves a
+// partial file behind (cache_fault_test.go injects faults to hold this);
+// temp files orphaned by a crashed process are reclaimed by an age-gated
+// sweep on first population.
 func (c *Cache) populate(path string, w trace.Workload, n int) error {
-	if err := os.MkdirAll(c.dir, 0o755); err != nil {
-		return fmt.Errorf("stream: cache dir: %w", err)
-	}
-	tmp, err := os.CreateTemp(c.dir, filepath.Base(path)+".tmp*")
+	c.sweepOnce.Do(func() { fsutil.SweepStaleTemps(c.dir) })
+	err := fsutil.WriteAtomic(c.dir, path, func(tmp *os.File) error {
+		_, _, werr := encodeWorkload(tmp, w, n)
+		return werr
+	})
 	if err != nil {
-		return fmt.Errorf("stream: cache temp: %w", err)
-	}
-	if _, _, err := encodeWorkload(tmp, w, n); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("stream: cache populate %s: %w", path, err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("stream: cache sync: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("stream: cache close: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("stream: cache rename: %w", err)
+		return fmt.Errorf("stream: cache populate: %w", err)
 	}
 	return nil
 }
@@ -203,15 +170,4 @@ func Materialize(path string, w trace.Workload, n int) (records int, instruction
 		return 0, 0, err
 	}
 	return records, instructions, nil
-}
-
-// sanitize makes a workload name filesystem-safe.
-func sanitize(name string) string {
-	return strings.Map(func(r rune) rune {
-		switch r {
-		case '/', '\\', ':', ' ':
-			return '_'
-		}
-		return r
-	}, name)
 }
