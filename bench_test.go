@@ -14,6 +14,7 @@
 package pythia_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -41,7 +42,11 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	var table *stats.Table
 	for i := 0; i < b.N; i++ {
-		table = exp.Run(harness.ScaleQuick)
+		var err error
+		table, err = exp.Run(context.Background(), harness.ScaleQuick)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	onceAny, _ := printOnce.LoadOrStore(id, &sync.Once{})
 	onceAny.(*sync.Once).Do(func() {
@@ -300,7 +305,7 @@ func BenchmarkTraceDeliveryGenStream(b *testing.B) {
 func BenchmarkTraceDeliveryFileStream(b *testing.B) {
 	w, _ := trace.ByName("459.GemsFDTD-100B")
 	cache := stream.NewCache(b.TempDir())
-	src, err := cache.Source(w, benchTraceLen, 0)
+	src, err := cache.Source(context.Background(), w, benchTraceLen, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -339,7 +344,9 @@ func BenchmarkSimulatorEndToEndStreaming(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		sys.Run()
+		if err := sys.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
 		sys.Close()
 		instr += sys.Cores[0].MeasuredInstructions()
 	}
@@ -367,7 +374,9 @@ func BenchmarkSimulatorEndToEnd(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		sys.Run()
+		if err := sys.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
 		instr += sys.Cores[0].MeasuredInstructions()
 	}
 	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "instr/s")
@@ -393,7 +402,11 @@ func ablationSpeedup(b *testing.B, mutate func(*core.Config), label string) {
 			mutate(&c)
 			c.Name = "pythia-" + label
 			mix := trace.Mix{Name: w.Name, Workloads: []trace.Workload{w}}
-			sp = append(sp, harness.SpeedupOn(mix, cfg, sc, harness.PythiaPF(c)))
+			v, err := harness.SpeedupOn(context.Background(), mix, cfg, sc, harness.PythiaPF(c))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sp = append(sp, v)
 		}
 	}
 	g := stats.Geomean(sp)

@@ -38,14 +38,35 @@ go build ./...
 echo "== go test =="
 go test ./...
 
+echo "== no-new-panics gate (error-propagation model) =="
+# The simulation stack reports failures as values (DESIGN.md "Error model
+# and cancellation"); a panic() reappearing outside tests in these
+# packages is a regression of that model. Allow-list: currently empty.
+panics=$(grep -rn 'panic(' internal/stream internal/harness internal/serve internal/cpu \
+    --include='*.go' | grep -v '_test\.go' || true)
+if [ -n "$panics" ]; then
+    echo "panic() on an error-propagation hot path:" >&2
+    echo "$panics" >&2
+    exit 1
+fi
+
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck =="
+    staticcheck ./...
+else
+    echo "== staticcheck (not installed, skipped; CI runs it) =="
+fi
+
 if [ "$tier" = full ]; then
-    echo "== go test -race (worker pool + stream pipeline + trace io + result store + serve) =="
+    echo "== go test -race (worker pool + stream pipeline + trace io + result store + serve/cancellation) =="
     # The repo's concurrency lives in the harness worker pool/singleflights,
     # the stream chunk pipeline / trace-cache population, the persistent
-    # result store, and the serving layer's queue/SSE fan-out; run those
-    # packages under the race detector.
+    # result store, the serving layer's queue/SSE fan-out, and the
+    # cancellation paths threading contexts through cpu/harness/serve; run
+    # those packages under the race detector.
     go test -race ./internal/harness/... ./internal/stream/... ./internal/trace/... \
-        ./internal/results/... ./internal/serve/... ./internal/flight/...
+        ./internal/results/... ./internal/serve/... ./internal/flight/... \
+        ./internal/cpu/...
 
     echo "== bench smoke (QVStore hot path) =="
     go test -run='AllocationFree' -bench='QVStore' -benchtime=100x -benchmem .

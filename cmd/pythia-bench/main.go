@@ -18,13 +18,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"pythia/internal/harness"
@@ -109,7 +113,7 @@ func runStreamBench(records int) (*streamBench, error) {
 		return nil, err
 	}
 	defer os.RemoveAll(dir)
-	file, err := stream.NewCache(dir).Source(w, records, 0)
+	file, err := stream.NewCache(dir).Source(context.Background(), w, records, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -187,11 +191,25 @@ func main() {
 		fmt.Printf("[trace delivery, %d records: materialized %.1f Mrec/s, gen-stream %.1f Mrec/s, file-stream %.1f Mrec/s]\n\n",
 			sb.Records, sb.MaterializedMrecS, sb.GenStreamMrecS, sb.FileStreamMrecS)
 	}
+	// SIGINT/SIGTERM cancel the experiment context: in-flight simulations
+	// abort at the next chunk boundary and the process exits cleanly
+	// instead of being killed mid-table.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	var md strings.Builder
 	wall := time.Now()
 	for _, e := range exps {
 		start := time.Now()
-		table := e.Run(sc)
+		table, err := e.Run(ctx, sc)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "interrupted during %s (%v)\n", e.ID, err)
+				os.Exit(130)
+			}
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
 		secs := time.Since(start).Seconds()
 		fmt.Println(table.Render())
 		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))

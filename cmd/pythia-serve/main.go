@@ -1,6 +1,7 @@
 // Command pythia-serve runs the experiment harness as a long-lived HTTP
 // service backed by the persistent result store: launch experiments,
-// stream their progress, and fetch cached tables without re-simulating.
+// stream their progress, cancel runs, and fetch cached tables without
+// re-simulating.
 //
 // Usage:
 //
@@ -9,18 +10,29 @@
 //
 // API:
 //
-//	GET  /api/experiments            list experiments (paper + extended)
-//	POST /api/runs                   {"experiment":"fig9a","scale":"quick"}
-//	GET  /api/runs                   list jobs
-//	GET  /api/runs/{id}              job status + result
-//	GET  /api/runs/{id}/events       SSE progress stream (full replay)
-//	GET  /api/results/{exp}?scale=s  fetch a stored result directly
-//	GET  /healthz                    service + store health
+//	GET    /api/experiments            list experiments (paper + extended)
+//	POST   /api/runs                   {"experiment":"fig9a","scale":"quick"}
+//	GET    /api/runs                   list jobs
+//	GET    /api/runs/{id}              job status + result
+//	DELETE /api/runs/{id}              cancel a queued or running job; its
+//	                                   SSE stream ends with a terminal
+//	                                   "canceled" event and in-flight
+//	                                   simulations abort at the next chunk
+//	                                   boundary
+//	GET    /api/runs/{id}/events       SSE progress stream (full replay)
+//	GET    /api/results/{exp}?scale=s  fetch a stored result directly
+//	GET    /healthz                    service + store health
 //
 // Repeat requests for an (experiment, scale) pair already in the store
 // are answered with zero additional simulation work; the store also feeds
 // harness.RunCached, so even a fresh experiment reuses any individual
 // simulations earlier runs persisted.
+//
+// Failures stay scoped to one job: the simulation stack reports errors as
+// values (a corrupted trace-cache file fails that run with a terminal
+// "error" event while the process keeps serving). SIGINT/SIGTERM trigger
+// a graceful shutdown — admission closes, queued jobs drain, and after
+// the grace period whatever is still running is canceled.
 package main
 
 import (
@@ -44,6 +56,7 @@ func main() {
 		storeDir = flag.String("results", results.DefaultDir(), "persistent result store directory")
 		queue    = flag.Int("queue", 16, "max queued (admitted but unstarted) jobs")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations per job (0 = all CPUs)")
+		grace    = flag.Duration("grace", 30*time.Second, "graceful-shutdown budget for draining queued jobs before canceling them")
 	)
 	flag.Parse()
 
@@ -57,7 +70,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	defer srv.Close()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
@@ -69,12 +81,28 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
+		srv.Close()
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	case s := <-sig:
-		fmt.Printf("received %v, shutting down\n", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		httpSrv.Shutdown(ctx)
+		fmt.Printf("received %v, shutting down (drain budget %v; signal again to abort)\n", s, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		go func() {
+			// A second signal skips the drain: cancel everything now.
+			<-sig
+			cancel()
+		}()
+		// Drain the job queue and wind down HTTP concurrently, both under
+		// the same grace context: SSE streams of running jobs only end when
+		// their jobs turn terminal, which is exactly what the drain (or its
+		// abort) produces — sequencing them would deadlock the grace budget.
+		httpDone := make(chan struct{})
+		go func() {
+			defer close(httpDone)
+			httpSrv.Shutdown(ctx)
+		}()
+		srv.Shutdown(ctx)
+		<-httpDone
+		cancel()
 	}
 }

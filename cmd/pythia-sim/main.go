@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"pythia/internal/cache"
 	"pythia/internal/core"
@@ -75,9 +78,23 @@ func main() {
 		cfg.LLCSizeKBPerCore = *llcKB
 	}
 
+	// SIGINT/SIGTERM abort in-flight simulations promptly via the context.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	mix := trace.HomogeneousMix(w, *cores)
-	base := harness.RunCached(harness.RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: harness.Baseline()})
-	run := harness.RunCached(harness.RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: pf})
+	base, err := harness.RunCached(ctx, harness.RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: harness.Baseline()})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// The prefetched run uses Run, not RunCached: this CLI inspects live
+	// prefetcher state below, and cached results are PF-stripped.
+	run, err := harness.Run(ctx, harness.RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: pf})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("workload: %s (%s), %d core(s), %d MTPS\n", w.Name, w.Suite, *cores, cfg.DRAM.MTPS)
 	fmt.Printf("prefetcher: %s\n\n", pf.Name)

@@ -11,11 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"pythia/internal/stream"
 	"pythia/internal/trace"
@@ -31,8 +34,13 @@ func main() {
 	)
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel in-flight generation; Materialize removes the
+	// partial output file on the way out.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	write := func(w trace.Workload, path string) error {
-		recs, instrs, err := stream.Materialize(path, w, *n)
+		recs, instrs, err := stream.Materialize(ctx, path, w, *n)
 		if err != nil {
 			return err
 		}

@@ -6,8 +6,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"os"
 
 	"pythia/internal/cache"
 	"pythia/internal/harness"
@@ -38,7 +40,12 @@ func main() {
 					continue
 				}
 				mix := trace.Mix{Name: w.Name, Workloads: []trace.Workload{w}}
-				prod *= harness.SpeedupOn(mix, cfg, sc, pf)
+				sp, err := harness.SpeedupOn(context.Background(), mix, cfg, sc, pf)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				prod *= sp
 				n++
 			}
 			geo := 1.0

@@ -7,7 +7,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
 	"pythia/internal/cache"
 	"pythia/internal/core"
@@ -17,7 +19,12 @@ import (
 
 func speedup(w trace.Workload, cfg core.Config) float64 {
 	mix := trace.Mix{Name: w.Name, Workloads: []trace.Workload{w}}
-	return harness.SpeedupOn(mix, cache.DefaultConfig(1), harness.ScaleQuick, harness.PythiaPF(cfg))
+	sp, err := harness.SpeedupOn(context.Background(), mix, cache.DefaultConfig(1), harness.ScaleQuick, harness.PythiaPF(cfg))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return sp
 }
 
 func main() {

@@ -6,22 +6,34 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
 	"pythia/internal/harness"
+	"pythia/internal/stats"
 )
 
 func main() {
+	ctx := context.Background()
 	sc := harness.ScaleQuick
 	sc.WorkloadsPerSuite = 2
 
+	show := func(tb *stats.Table, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(tb.Render())
+	}
+
 	fmt.Println("1) Feature selection (§4.3.1): single features + selected pairs,")
 	fmt.Println("   sorted by speedup (bottom = worst, top = winner):")
-	fmt.Println(harness.Fig19FeatureSweep(sc).Render())
+	show(harness.Fig19FeatureSweep(ctx, sc))
 
 	fmt.Println("2) Action-list pruning (§4.3.2): impact of dropping each action:")
-	fmt.Println(harness.ExtActionPruning(sc).Render())
+	show(harness.ExtActionPruning(ctx, sc))
 
 	fmt.Println("3) Hyperparameter grid search (§4.3.3): top configurations:")
-	fmt.Println(harness.ExtAutoTune(sc).Render())
+	show(harness.ExtAutoTune(ctx, sc))
 }

@@ -13,9 +13,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"pythia/internal/cache"
@@ -75,8 +79,15 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	sys.Run()
 	defer sys.Close()
+	// Ctrl-C aborts the long run at the next chunk boundary instead of
+	// leaving a killed process.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if err := sys.Run(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "run aborted:", err)
+		os.Exit(1)
+	}
 	wall := time.Since(start)
 
 	c := sys.Cores[0]

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"pythia/internal/cache"
@@ -27,14 +28,21 @@ func main() {
 	cfg := cache.DefaultConfig(4)
 	sc := harness.ScaleQuick
 
-	base := harness.RunCached(harness.RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: harness.Baseline()})
+	ctx := context.Background()
+	base, err := harness.RunCached(ctx, harness.RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: harness.Baseline()})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("four-core heterogeneous mix (2 DDR4-2400 channels shared):")
 	for i, w := range ws {
 		fmt.Printf("  core %d: %-18s baseline IPC %.3f\n", i, w.Name, base.IPC[i])
 	}
 
 	for _, pf := range []harness.PF{harness.BingoPF(), harness.BasicPythiaPF()} {
-		run := harness.RunCached(harness.RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: pf})
+		run, err := harness.RunCached(ctx, harness.RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: pf})
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("\nwith %s: speedup %.3f\n", pf.Name, harness.Speedup(run, base))
 		for i := range ws {
 			fmt.Printf("  core %d: IPC %.3f (%+.1f%%)\n", i, run.IPC[i], 100*(run.IPC[i]/base.IPC[i]-1))

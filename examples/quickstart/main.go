@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"pythia/internal/cache"
@@ -32,7 +33,9 @@ func run(w trace.Workload, attach func(h *cache.Hierarchy)) (float64, cache.Core
 	if err != nil {
 		panic(err)
 	}
-	sys.Run()
+	if err := sys.Run(context.Background()); err != nil {
+		panic(err)
+	}
 	return sys.Cores[0].IPC(), sys.Cores[0].Stats()
 }
 

@@ -2,7 +2,9 @@
 // persistent result store, launch an experiment over the API, stream its
 // progress, then show an identical repeat request being answered from the
 // store with zero additional simulation — the path from batch
-// reproduction to a result-serving system.
+// reproduction to a result-serving system. The final act launches a
+// heavier run and cancels it with DELETE /api/runs/{id}: the SSE stream
+// ends with a terminal "canceled" event while the service stays healthy.
 //
 //	go run ./examples/serve
 package main
@@ -16,6 +18,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"pythia/internal/harness"
 	"pythia/internal/results"
@@ -58,8 +61,29 @@ func main() {
 	// 3. The stored table is also directly fetchable, no job needed.
 	resp, err := http.Get(base + "/api/results/fig14?scale=quick")
 	check(err)
-	defer resp.Body.Close()
-	fmt.Printf("GET /api/results/fig14?scale=quick -> %s\n", resp.Status)
+	resp.Body.Close()
+	fmt.Printf("GET /api/results/fig14?scale=quick -> %s\n\n", resp.Status)
+
+	// 4. Cancellation: launch a heavier experiment, then DELETE the run.
+	// The job's context aborts in-flight simulations at the next chunk
+	// boundary and the SSE stream ends with a terminal "canceled" event.
+	fmt.Println("== cancellation: POST fig9a at default scale, then DELETE the run ==")
+	job3 := launch(base, "fig9a", "")
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		req, err := http.NewRequest(http.MethodDelete, base+"/api/runs/"+job3.ID, nil)
+		check(err)
+		resp, err := http.DefaultClient.Do(req)
+		check(err)
+		resp.Body.Close()
+		fmt.Printf("DELETE /api/runs/%s -> %s\n", job3.ID, resp.Status)
+	}()
+	final3 := follow(base, job3.ID)
+	fmt.Printf("canceled run ended with status %q (error %q)\n", final3.Status, final3.Error)
+	resp, err = http.Get(base + "/healthz")
+	check(err)
+	resp.Body.Close()
+	fmt.Printf("GET /healthz after cancellation -> %s\n", resp.Status)
 }
 
 func launch(base, exp, scale string) serve.JobView {
@@ -98,7 +122,7 @@ func follow(base, id string) serve.JobView {
 				}
 				json.Unmarshal([]byte(data), &p)
 				fmt.Printf("  progress: %d simulations\r", p.Sims)
-			case serve.StatusDone, serve.StatusError:
+			case serve.StatusDone, serve.StatusError, serve.StatusCanceled:
 				json.Unmarshal([]byte(data), &final)
 			}
 		}

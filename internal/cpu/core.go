@@ -6,6 +6,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -88,17 +89,36 @@ func (c *Core) MeasuredCycles() int64 {
 // Replays returns how many times the core wrapped its trace.
 func (c *Core) Replays() int { return c.replays }
 
-// step consumes one trace record, advancing the core's local clock.
-func (c *Core) step() {
+// readerErr surfaces a delivery failure from readers that can fail
+// mid-stream (streaming readers implement Err, per stream.Reader); plain
+// in-memory readers cannot fail and report nil.
+func readerErr(r trace.Reader) error {
+	if e, ok := r.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
+}
+
+// step consumes one trace record, advancing the core's local clock. A
+// reader that stops delivering because of an error (not EOF) aborts the
+// step: the record sequence can no longer be trusted, so the simulation
+// must fail rather than silently truncate or replay early.
+func (c *Core) step() error {
 	rec, ok := c.reader.Next()
 	if !ok {
+		if err := readerErr(c.reader); err != nil {
+			return fmt.Errorf("cpu: core %d: trace delivery: %w", c.id, err)
+		}
 		c.reader.Reset()
 		c.replays++
 		rec, ok = c.reader.Next()
 		if !ok {
+			if err := readerErr(c.reader); err != nil {
+				return fmt.Errorf("cpu: core %d: trace replay: %w", c.id, err)
+			}
 			// Empty trace: spin the clock forward so the driver terminates.
 			c.cycle += 1000
-			return
+			return nil
 		}
 	}
 
@@ -136,6 +156,7 @@ func (c *Core) step() {
 	if !rec.Store && done > c.cycle {
 		c.inflight = append(c.inflight, inflightLoad{idx: c.instret, complete: done})
 	}
+	return nil
 }
 
 // waitOldest advances the clock to the oldest in-flight load's completion.
@@ -197,17 +218,48 @@ func NewSystem(cfg SystemConfig, hier *cache.Hierarchy, readers []trace.Reader) 
 	return s, nil
 }
 
+// cancelCheckSteps is how many driver steps elapse between context
+// checks. Each step retires at least one instruction (typically several),
+// and the default streaming chunk is 1<<15 records, so cancellation is
+// observed well within one chunk boundary — milliseconds of simulation —
+// without putting a channel poll on the per-record hot path.
+const cancelCheckSteps = 1 << 12
+
 // Run executes warmup then measurement. Warmup trains caches and
 // prefetchers without counting statistics; measurement runs until every
 // core retires SimInstructions, replaying traces as needed.
-func (s *System) Run() {
+//
+// Errors are values here, not panics: a trace-delivery failure on any core
+// aborts the run with that core's error, and a canceled ctx aborts it with
+// ctx.Err() at the next check boundary. Either way the System is left in
+// an undefined simulation state and must only be Closed, never re-Run.
+func (s *System) Run(ctx context.Context) error {
+	done := ctx.Done()
+	steps := 0
+	canceled := func() error {
+		steps++
+		if steps&(cancelCheckSteps-1) == 0 && done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
+		return nil
+	}
+
 	// Warmup: run each core in lockstep until it retires the warmup count.
 	for {
 		c := s.nextCore(func(c *Core) bool { return c.instret < s.cfg.WarmupInstructions })
 		if c == nil {
 			break
 		}
-		c.step()
+		if err := c.step(); err != nil {
+			return err
+		}
+		if err := canceled(); err != nil {
+			return err
+		}
 	}
 
 	// Measurement boundary.
@@ -225,7 +277,12 @@ func (s *System) Run() {
 	unfinished := len(s.Cores)
 	for unfinished > 0 {
 		c := s.nextCore(func(*Core) bool { return true })
-		c.step()
+		if err := c.step(); err != nil {
+			return err
+		}
+		if err := canceled(); err != nil {
+			return err
+		}
 		if !c.finished && c.instret-c.startInstret >= s.cfg.SimInstructions {
 			c.finished = true
 			c.finalCycle = c.cycle
@@ -235,6 +292,7 @@ func (s *System) Run() {
 		}
 	}
 	s.Hier.Flush()
+	return nil
 }
 
 // Stats returns a core's memory statistics captured when it finished its

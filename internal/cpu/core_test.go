@@ -1,7 +1,10 @@
 package cpu
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"pythia/internal/cache"
 	"pythia/internal/trace"
@@ -45,6 +48,15 @@ func newSystem(t *testing.T, cfg SystemConfig, cores int, recs ...[]trace.Record
 	return sys
 }
 
+// mustRun executes a system to completion, failing the test on any
+// simulation error (these tests use in-memory readers, which cannot fail).
+func mustRun(t *testing.T, sys *System) {
+	t.Helper()
+	if err := sys.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func smallConfig() SystemConfig {
 	return SystemConfig{
 		Core:               DefaultCoreConfig(),
@@ -55,7 +67,7 @@ func smallConfig() SystemConfig {
 
 func TestComputeBoundIPCNearWidth(t *testing.T) {
 	sys := newSystem(t, smallConfig(), 1, computeTrace(100_000))
-	sys.Run()
+	mustRun(t, sys)
 	ipc := sys.Cores[0].IPC()
 	if ipc < 3.0 || ipc > 4.01 {
 		t.Errorf("compute-bound IPC = %.2f, want near the 4-wide limit", ipc)
@@ -64,7 +76,7 @@ func TestComputeBoundIPCNearWidth(t *testing.T) {
 
 func TestMemoryBoundIPCLow(t *testing.T) {
 	sys := newSystem(t, smallConfig(), 1, missTrace(200_000))
-	sys.Run()
+	mustRun(t, sys)
 	ipc := sys.Cores[0].IPC()
 	if ipc >= 1.0 {
 		t.Errorf("all-miss IPC = %.2f, should be far below the issue width", ipc)
@@ -77,7 +89,7 @@ func TestMemoryBoundIPCLow(t *testing.T) {
 func TestMeasuredInstructionCount(t *testing.T) {
 	cfg := smallConfig()
 	sys := newSystem(t, cfg, 1, computeTrace(100_000))
-	sys.Run()
+	mustRun(t, sys)
 	c := sys.Cores[0]
 	if !c.Finished() {
 		t.Fatal("core did not finish")
@@ -92,7 +104,7 @@ func TestTraceReplay(t *testing.T) {
 	// A short trace must be replayed until the instruction budget is met.
 	cfg := smallConfig()
 	sys := newSystem(t, cfg, 1, computeTrace(100)) // ~4100 instructions per pass
-	sys.Run()
+	mustRun(t, sys)
 	if sys.Cores[0].Replays() == 0 {
 		t.Error("short trace was not replayed")
 	}
@@ -104,7 +116,7 @@ func TestTraceReplay(t *testing.T) {
 func TestWarmupExcludedFromStats(t *testing.T) {
 	cfg := smallConfig()
 	sys := newSystem(t, cfg, 1, missTrace(200_000))
-	sys.Run()
+	mustRun(t, sys)
 	s := sys.Cores[0].Stats()
 	// All-miss trace: roughly one access per record, only measured ones
 	// counted. Warmup is 5k instructions = 5k records here.
@@ -120,7 +132,7 @@ func TestWarmupExcludedFromStats(t *testing.T) {
 func TestMultiCoreAllFinish(t *testing.T) {
 	cfg := smallConfig()
 	sys := newSystem(t, cfg, 4, computeTrace(100_000), missTrace(100_000))
-	sys.Run()
+	mustRun(t, sys)
 	for i, c := range sys.Cores {
 		if !c.Finished() {
 			t.Errorf("core %d unfinished", i)
@@ -134,13 +146,13 @@ func TestMultiCoreAllFinish(t *testing.T) {
 func TestContentionSlowsSharedDRAM(t *testing.T) {
 	cfg := smallConfig()
 	solo := newSystem(t, cfg, 1, missTrace(300_000))
-	solo.Run()
+	mustRun(t, solo)
 	soloIPC := solo.Cores[0].IPC()
 
 	// Two memory-bound cores on a single channel must each run slower than
 	// alone (DefaultConfig(2) keeps one channel).
 	duo := newSystem(t, cfg, 2, missTrace(300_000))
-	duo.Run()
+	mustRun(t, duo)
 	for i, c := range duo.Cores {
 		if c.IPC() >= soloIPC {
 			t.Errorf("core %d IPC %.3f not reduced by contention (solo %.3f)", i, c.IPC(), soloIPC)
@@ -154,9 +166,9 @@ func TestROBLimitsMLP(t *testing.T) {
 	small := smallConfig()
 	small.Core.ROB = 16
 	sysBig := newSystem(t, big, 1, missTrace(200_000))
-	sysBig.Run()
+	mustRun(t, sysBig)
 	sysSmall := newSystem(t, small, 1, missTrace(200_000))
-	sysSmall.Run()
+	mustRun(t, sysSmall)
 	if sysSmall.Cores[0].IPC() >= sysBig.Cores[0].IPC() {
 		t.Errorf("ROB16 IPC %.3f should be below ROB256 IPC %.3f",
 			sysSmall.Cores[0].IPC(), sysBig.Cores[0].IPC())
@@ -179,7 +191,7 @@ func TestNewSystemValidation(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	run := func() float64 {
 		sys := newSystem(t, smallConfig(), 1, missTrace(100_000))
-		sys.Run()
+		mustRun(t, sys)
 		return sys.Cores[0].IPC()
 	}
 	if a, b := run(), run(); a != b {
@@ -193,7 +205,7 @@ func TestAccessorsAndDefaults(t *testing.T) {
 		t.Errorf("default core config %+v does not match Table 5", def.Core)
 	}
 	sys := newSystem(t, smallConfig(), 1, computeTrace(50_000))
-	sys.Run()
+	mustRun(t, sys)
 	c := sys.Cores[0]
 	if c.Cycle() <= 0 {
 		t.Error("Cycle() not advancing")
@@ -219,9 +231,9 @@ func TestStoresDoNotBlockRetirement(t *testing.T) {
 		return recs
 	}
 	loads := newSystem(t, smallConfig(), 1, mk(false))
-	loads.Run()
+	mustRun(t, loads)
 	stores := newSystem(t, smallConfig(), 1, mk(true))
-	stores.Run()
+	mustRun(t, stores)
 	if stores.Cores[0].IPC() <= loads.Cores[0].IPC() {
 		t.Errorf("store IPC %.3f should exceed load IPC %.3f",
 			stores.Cores[0].IPC(), loads.Cores[0].IPC())
@@ -233,10 +245,73 @@ func TestLQLimitsInflightLoads(t *testing.T) {
 	small := smallConfig()
 	small.Core.LQ = 4
 	a := newSystem(t, big, 1, missTrace(150_000))
-	a.Run()
+	mustRun(t, a)
 	b := newSystem(t, small, 1, missTrace(150_000))
-	b.Run()
+	mustRun(t, b)
 	if b.Cores[0].IPC() >= a.Cores[0].IPC() {
 		t.Errorf("LQ4 IPC %.3f should trail LQ72 IPC %.3f", b.Cores[0].IPC(), a.Cores[0].IPC())
+	}
+}
+
+// failingReader delivers a few records, then stops with a sticky error —
+// the shape of a streaming reader whose backing file corrupted mid-run.
+type failingReader struct {
+	left int
+	err  error
+}
+
+func (r *failingReader) Next() (trace.Record, bool) {
+	if r.left <= 0 {
+		return trace.Record{}, false
+	}
+	r.left--
+	return trace.Record{PC: 1, Addr: 64, NonMem: 1}, true
+}
+
+func (r *failingReader) Reset() {}
+
+func (r *failingReader) Err() error {
+	if r.left <= 0 {
+		return r.err
+	}
+	return nil
+}
+
+// TestRunSurfacesReaderError: a reader that fails mid-stream must abort
+// the simulation with its error, not silently truncate or replay.
+func TestRunSurfacesReaderError(t *testing.T) {
+	hier, err := cache.NewHierarchy(cache.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("decode failed mid-run")
+	sys, err := NewSystem(smallConfig(), hier, []trace.Reader{&failingReader{left: 500, err: boom}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sys.Run(context.Background())
+	if !errors.Is(got, boom) {
+		t.Fatalf("Run returned %v, want the reader's error", got)
+	}
+}
+
+// TestRunHonorsCancellation: a canceled context stops the run promptly
+// with ctx.Err() instead of simulating to completion.
+func TestRunHonorsCancellation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SimInstructions = 500_000_000 // far beyond what the test budget allows
+	sys := newSystem(t, cfg, 1, computeTrace(100_000))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := sys.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("canceled run took %v to return", d)
+	}
+	if sys.Cores[0].Finished() {
+		t.Error("core claims to have finished a canceled run")
 	}
 }

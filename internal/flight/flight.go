@@ -17,13 +17,18 @@ type Group[V any] struct {
 type call[V any] struct {
 	wg  sync.WaitGroup
 	val V
+	err error
 }
 
 // Do runs fn for key unless a call for the same key is already in
 // flight, in which case it blocks and returns that call's result.
-// leader reports whether this caller executed fn. The key is released
-// once fn returns, so a later Do runs fn again.
-func (g *Group[V]) Do(key string, fn func() V) (val V, leader bool) {
+// Both the value and the error propagate to every caller; fn may
+// return a usable value alongside a non-nil error (partial success,
+// e.g. "computed but not persisted") and Do passes both through
+// unchanged. leader reports whether this caller executed fn. The key
+// is released once fn returns, so a later Do runs fn again — errors
+// are not cached.
+func (g *Group[V]) Do(key string, fn func() (V, error)) (val V, leader bool, err error) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[string]*call[V])
@@ -31,7 +36,7 @@ func (g *Group[V]) Do(key string, fn func() V) (val V, leader bool) {
 	if c, ok := g.m[key]; ok {
 		g.mu.Unlock()
 		c.wg.Wait()
-		return c.val, false
+		return c.val, false, c.err
 	}
 	c := new(call[V])
 	c.wg.Add(1)
@@ -44,6 +49,6 @@ func (g *Group[V]) Do(key string, fn func() V) (val V, leader bool) {
 		delete(g.m, key)
 		g.mu.Unlock()
 	}()
-	c.val = fn()
-	return c.val, true
+	c.val, c.err = fn()
+	return c.val, true, c.err
 }

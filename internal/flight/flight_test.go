@@ -1,6 +1,7 @@
 package flight
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -24,10 +25,10 @@ func TestDoDeduplicates(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			arrived.Done()
-			results[i], leaders[i] = g.Do("key", func() int {
+			results[i], leaders[i], _ = g.Do("key", func() (int, error) {
 				calls.Add(1)
 				<-release // hold every other caller in the flight
-				return 42
+				return 42, nil
 			})
 		}()
 	}
@@ -53,7 +54,7 @@ func TestDoDeduplicates(t *testing.T) {
 		t.Errorf("%d callers claim leadership, want 1", nLeaders)
 	}
 	// The key is released afterwards: a later call runs again.
-	if _, leader := g.Do("key", func() int { calls.Add(1); return 0 }); !leader {
+	if _, leader, _ := g.Do("key", func() (int, error) { calls.Add(1); return 0, nil }); !leader {
 		t.Error("post-completion caller was not the leader")
 	}
 	if calls.Load() != 2 {
@@ -68,12 +69,12 @@ func TestDistinctKeysRunConcurrently(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		g.Do("a", func() string { <-block; return "a" })
+		g.Do("a", func() (string, error) { <-block; return "a", nil })
 	}()
 	// While "a" is in flight, "b" must not wait on it.
 	done := make(chan struct{})
 	go func() {
-		g.Do("b", func() string { return "b" })
+		g.Do("b", func() (string, error) { return "b", nil })
 		close(done)
 	}()
 	select {
@@ -83,4 +84,45 @@ func TestDistinctKeysRunConcurrently(t *testing.T) {
 	}
 	close(block)
 	wg.Wait()
+}
+
+// TestErrorsPropagateToWaiters: a leader's error reaches every caller that
+// joined its flight, alongside any partial value, and is not cached — the
+// next call after completion runs fn again.
+func TestErrorsPropagateToWaiters(t *testing.T) {
+	var g Group[int]
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	var wg, arrived sync.WaitGroup
+	const waiters = 4
+	errs := make([]error, waiters)
+	vals := make([]int, waiters)
+	for i := 0; i < waiters; i++ {
+		i := i
+		wg.Add(1)
+		arrived.Add(1)
+		go func() {
+			defer wg.Done()
+			arrived.Done()
+			vals[i], _, errs[i] = g.Do("key", func() (int, error) {
+				<-release
+				return 7, boom // partial success: value and error together
+			})
+		}()
+	}
+	arrived.Wait()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for i := 0; i < waiters; i++ {
+		if !errors.Is(errs[i], boom) {
+			t.Errorf("caller %d error = %v, want boom", i, errs[i])
+		}
+		if vals[i] != 7 {
+			t.Errorf("caller %d lost the partial value: %d", i, vals[i])
+		}
+	}
+	if _, leader, err := g.Do("key", func() (int, error) { return 1, nil }); err != nil || !leader {
+		t.Errorf("error was cached across flights: err=%v leader=%v", err, leader)
+	}
 }

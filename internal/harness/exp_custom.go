@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"pythia/internal/cache"
@@ -13,7 +14,7 @@ import (
 // Fig13QValueCurves reproduces Fig. 13: the Q-value trajectories of the
 // PC+Delta feature values 0x436a81+0 and 0x4377c5+0 in the GemsFDTD case
 // study, for a subset of actions.
-func Fig13QValueCurves(sc Scale) *stats.Table {
+func Fig13QValueCurves(ctx context.Context, sc Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:  "Fig. 13: Q-value curves of PC+Delta feature values (GemsFDTD)",
 		Header: []string{"feature", "sample", "Q(+1)", "Q(+3)", "Q(+11)", "Q(+22)", "Q(+23)"},
@@ -21,7 +22,7 @@ func Fig13QValueCurves(sc Scale) *stats.Table {
 	w, ok := trace.ByName("459.GemsFDTD-100B")
 	if !ok {
 		t.Notes = append(t.Notes, "missing GemsFDTD workload")
-		return t
+		return t, nil
 	}
 	cfgActions := core.BasicConfig().Actions
 	actIdx := func(off int) int {
@@ -44,7 +45,9 @@ func Fig13QValueCurves(sc Scale) *stats.Table {
 				watch = pfs[0].(*core.Pythia).WatchFeature(0, featVal, 8)
 			},
 		}
-		Run(spec)
+		if _, err := Run(ctx, spec); err != nil {
+			return nil, err
+		}
 		if watch == nil || len(watch.Series) == 0 {
 			t.Notes = append(t.Notes, "no Q-updates observed for "+study.label)
 			continue
@@ -65,7 +68,7 @@ func Fig13QValueCurves(sc Scale) *stats.Table {
 	}
 	t.Notes = append(t.Notes,
 		"paper: Q(+23) dominates for 0x436a81+0 and Q(+11) for 0x4377c5+0 as updates accumulate")
-	return t
+	return t, nil
 }
 
 // fig14PFs returns the Fig. 14 comparison set.
@@ -76,7 +79,7 @@ func fig14PFs() []PF {
 // Fig14BandwidthBuckets reproduces Fig. 14: the fraction of runtime spent
 // in each DRAM bandwidth-usage quartile and the IPC improvement on
 // Ligra-CC for each prefetcher.
-func Fig14BandwidthBuckets(sc Scale) *stats.Table {
+func Fig14BandwidthBuckets(ctx context.Context, sc Scale) (*stats.Table, error) {
 	cfg := cache.DefaultConfig(1)
 	t := &stats.Table{
 		Title:  "Fig. 14: bandwidth-usage buckets and performance on Ligra-CC",
@@ -85,12 +88,18 @@ func Fig14BandwidthBuckets(sc Scale) *stats.Table {
 	w, ok := trace.ByName("CC-100B")
 	if !ok {
 		t.Notes = append(t.Notes, "missing Ligra-CC workload")
-		return t
+		return t, nil
 	}
 	mix := single(w)
-	base := RunCached(RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: Baseline()})
+	base, err := RunCached(ctx, RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: Baseline()})
+	if err != nil {
+		return nil, err
+	}
 	for _, pf := range fig14PFs() {
-		run := RunCached(RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: pf})
+		run, err := RunCached(ctx, RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: pf})
+		if err != nil {
+			return nil, err
+		}
 		sp := 1.0
 		if pf.Name != "nopref" {
 			sp = Speedup(run, base)
@@ -102,12 +111,12 @@ func Fig14BandwidthBuckets(sc Scale) *stats.Table {
 	t.Notes = append(t.Notes,
 		"paper: MLOP/Bingo push Ligra-CC into the >50% buckets and lose performance;",
 		"strict Pythia uses the least bandwidth and gains the most")
-	return t
+	return t, nil
 }
 
 // Fig15StrictPythia reproduces Fig. 15: basic vs strict (reward-customized)
 // Pythia over the Ligra suite.
-func Fig15StrictPythia(sc Scale) *stats.Table {
+func Fig15StrictPythia(ctx context.Context, sc Scale) (*stats.Table, error) {
 	cfg := cache.DefaultConfig(1)
 	t := &stats.Table{
 		Title:  "Fig. 15: basic vs strict Pythia on Ligra",
@@ -116,8 +125,14 @@ func Fig15StrictPythia(sc Scale) *stats.Table {
 	basic, strict := BasicPythiaPF(), PythiaPF(core.StrictConfig())
 	var bs, ss []float64
 	for _, w := range trace.Representative(trace.SuiteLigra) {
-		b := SpeedupOn(single(w), cfg, sc, basic)
-		s := SpeedupOn(single(w), cfg, sc, strict)
+		b, err := SpeedupOn(ctx, single(w), cfg, sc, basic)
+		if err != nil {
+			return nil, err
+		}
+		s, err := SpeedupOn(ctx, single(w), cfg, sc, strict)
+		if err != nil {
+			return nil, err
+		}
 		bs = append(bs, b)
 		ss = append(ss, s)
 		t.AddRow(w.Base, fmt.Sprintf("%.3f", b), fmt.Sprintf("%.3f", s), pct(s/b-1))
@@ -126,7 +141,7 @@ func Fig15StrictPythia(sc Scale) *stats.Table {
 	t.AddRow("GEOMEAN", fmt.Sprintf("%.3f", gb), fmt.Sprintf("%.3f", gs), pct(gs/gb-1))
 	t.Notes = append(t.Notes,
 		"paper: strict Pythia gains up to 7.8% (2.0% on average) over basic via reward registers alone")
-	return t
+	return t, nil
 }
 
 // fig16Candidates is the candidate feature-combination set used for the
@@ -150,7 +165,7 @@ func fig16Candidates() []core.Config {
 
 // Fig16FeatureOpt reproduces Fig. 16: basic vs per-workload
 // feature-optimized Pythia on SPEC06.
-func Fig16FeatureOpt(sc Scale) *stats.Table {
+func Fig16FeatureOpt(ctx context.Context, sc Scale) (*stats.Table, error) {
 	cfg := cache.DefaultConfig(1)
 	t := &stats.Table{
 		Title:  "Fig. 16: basic vs feature-optimized Pythia on SPEC06",
@@ -158,10 +173,16 @@ func Fig16FeatureOpt(sc Scale) *stats.Table {
 	}
 	var bs, os []float64
 	for _, w := range suiteWorkloads(trace.SuiteSPEC06, sc) {
-		base := SpeedupOn(single(w), cfg, sc, BasicPythiaPF())
+		base, err := SpeedupOn(ctx, single(w), cfg, sc, BasicPythiaPF())
+		if err != nil {
+			return nil, err
+		}
 		best, bestName := base, "basic"
 		for _, cand := range fig16Candidates()[1:] {
-			sp := SpeedupOn(single(w), cfg, sc, PythiaPF(cand))
+			sp, err := SpeedupOn(ctx, single(w), cfg, sc, PythiaPF(cand))
+			if err != nil {
+				return nil, err
+			}
 			if sp > best {
 				best, bestName = sp, featureNames(cand)
 			}
@@ -173,7 +194,7 @@ func Fig16FeatureOpt(sc Scale) *stats.Table {
 	gb, go_ := stats.Geomean(bs), stats.Geomean(os)
 	t.AddRow("GEOMEAN", fmt.Sprintf("%.3f", gb), fmt.Sprintf("%.3f", go_), pct(go_/gb-1))
 	t.Notes = append(t.Notes, "paper: feature optimization adds up to 5.1% (1.5% on average) over basic")
-	return t
+	return t, nil
 }
 
 func featureNames(cfg core.Config) string {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -48,24 +49,31 @@ func designWorkloads() []trace.Workload {
 	return out
 }
 
-func designSpeedup(cfg cache.Config, sc Scale, pf PF) float64 {
+func designSpeedup(ctx context.Context, cfg cache.Config, sc Scale, pf PF) (float64, error) {
 	var sp []float64
 	for _, w := range designWorkloads() {
-		sp = append(sp, SpeedupOn(single(w), cfg, sc, pf))
+		s, err := SpeedupOn(ctx, single(w), cfg, sc, pf)
+		if err != nil {
+			return 0, err
+		}
+		sp = append(sp, s)
 	}
-	return stats.Geomean(sp)
+	return stats.Geomean(sp), nil
 }
 
 // ExtActionPruning reproduces the §4.3.2 pruning method: drop each action
 // from the basic list individually and measure the performance impact;
 // actions whose removal does not hurt are pruning candidates.
-func ExtActionPruning(sc Scale) *stats.Table {
+func ExtActionPruning(ctx context.Context, sc Scale) (*stats.Table, error) {
 	cfg := cache.DefaultConfig(1)
 	t := &stats.Table{
 		Title:  "Action-list pruning: performance impact of dropping each action",
 		Header: []string{"dropped action", "geomean speedup", "delta vs full list"},
 	}
-	base := designSpeedup(cfg, sc, BasicPythiaPF())
+	base, err := designSpeedup(ctx, cfg, sc, BasicPythiaPF())
+	if err != nil {
+		return nil, err
+	}
 	t.AddRow("(none)", fmt.Sprintf("%.3f", base), "-")
 	full := core.BasicConfig().Actions
 	for _, drop := range full {
@@ -80,18 +88,21 @@ func ExtActionPruning(sc Scale) *stats.Table {
 				c.Actions = append(c.Actions, a)
 			}
 		}
-		sp := designSpeedup(cfg, sc, PythiaPF(c))
+		sp, err := designSpeedup(ctx, cfg, sc, PythiaPF(c))
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(fmt.Sprintf("%+d", drop), fmt.Sprintf("%.3f", sp), pct(sp/base-1))
 	}
 	t.Notes = append(t.Notes,
 		"paper §4.3.2: actions whose removal leaves performance unchanged are pruned from [-63,63] down to 16")
-	return t
+	return t, nil
 }
 
 // ExtAutoTune reproduces the §4.3.3 method at small scale: a uniform grid
 // over hyperparameters evaluated on a tuning suite, reporting the top
 // configurations.
-func ExtAutoTune(sc Scale) *stats.Table {
+func ExtAutoTune(ctx context.Context, sc Scale) (*stats.Table, error) {
 	cfg := cache.DefaultConfig(1)
 	t := &stats.Table{
 		Title:  "Hyperparameter grid search (top configurations)",
@@ -107,7 +118,11 @@ func ExtAutoTune(sc Scale) *stats.Table {
 				c := core.BasicConfig()
 				c.Name = fmt.Sprintf("pythia-a%v-g%v-e%v", alpha, gamma, eps)
 				c.Alpha, c.Gamma, c.Epsilon = alpha, gamma, eps
-				results = append(results, result{alpha, gamma, eps, designSpeedup(cfg, sc, PythiaPF(c))})
+				sp, err := designSpeedup(ctx, cfg, sc, PythiaPF(c))
+				if err != nil {
+					return nil, err
+				}
+				results = append(results, result{alpha, gamma, eps, sp})
 			}
 		}
 	}
@@ -122,13 +137,13 @@ func ExtAutoTune(sc Scale) *stats.Table {
 	}
 	t.Notes = append(t.Notes,
 		"paper §4.3.3: 10x10x10 exponential grid on a 10-trace suite, then full-suite validation of the top 25")
-	return t
+	return t, nil
 }
 
 // ExtFDPComparison contrasts inherent system awareness (Pythia) with a
 // bolt-on throttle (FDP over SPP), the distinction §1 draws, at normal and
 // constrained bandwidth.
-func ExtFDPComparison(sc Scale) *stats.Table {
+func ExtFDPComparison(ctx context.Context, sc Scale) (*stats.Table, error) {
 	fdpPF := PF{Name: "FDP(SPP)", L2: func(sys prefetch.System) prefetch.Prefetcher {
 		return prefetch.NewFDP(prefetch.DefaultFDPConfig(), prefetch.NewSPP(prefetch.DefaultSPPConfig()), sys)
 	}}
@@ -142,19 +157,23 @@ func ExtFDPComparison(sc Scale) *stats.Table {
 		cfg.DRAM = cfg.DRAM.WithMTPS(mtps)
 		cells := []string{fmt.Sprint(mtps)}
 		for _, pf := range pfs {
-			cells = append(cells, fmt.Sprintf("%.3f", designSpeedup(cfg, sc, pf)))
+			sp, err := designSpeedup(ctx, cfg, sc, pf)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, fmt.Sprintf("%.3f", sp))
 		}
 		t.AddRow(cells...)
 	}
 	t.Notes = append(t.Notes,
 		"FDP recovers part of SPP's low-bandwidth loss by throttling after the fact;",
 		"Pythia's reward-inherent feedback retains more performance (paper §1, §6.3.3)")
-	return t
+	return t, nil
 }
 
 // ExtTranslation measures the virtual-to-physical translation ablation:
 // scattered physical frames break cross-page virtual contiguity.
-func ExtTranslation(sc Scale) *stats.Table {
+func ExtTranslation(ctx context.Context, sc Scale) (*stats.Table, error) {
 	pfs := []PF{SPPPF(), BingoPF(), BasicPythiaPF()}
 	t := &stats.Table{
 		Title:  "Address translation ablation",
@@ -169,28 +188,40 @@ func ExtTranslation(sc Scale) *stats.Table {
 		}
 		cells := []string{label}
 		for _, pf := range pfs {
-			cells = append(cells, fmt.Sprintf("%.3f", designSpeedup(cfg, sc, pf)))
+			sp, err := designSpeedup(ctx, cfg, sc, pf)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, fmt.Sprintf("%.3f", sp))
 		}
 		t.AddRow(cells...)
 	}
 	t.Notes = append(t.Notes,
 		"in-page prefetchers are translation-invariant by construction; deltas survive, page-crossing patterns do not")
-	return t
+	return t, nil
 }
 
 // ExtFixedPoint verifies that 16-bit fixed-point Q-value storage (the
 // hardware's Table 4 entry width) matches the float reference.
-func ExtFixedPoint(sc Scale) *stats.Table {
+func ExtFixedPoint(ctx context.Context, sc Scale) (*stats.Table, error) {
 	cfg := cache.DefaultConfig(1)
 	t := &stats.Table{
 		Title:  "16-bit fixed-point QVStore vs float reference",
 		Header: []string{"config", "geomean speedup"},
 	}
-	t.AddRow("float64 Q-values", fmt.Sprintf("%.3f", designSpeedup(cfg, sc, BasicPythiaPF())))
+	ref, err := designSpeedup(ctx, cfg, sc, BasicPythiaPF())
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("float64 Q-values", fmt.Sprintf("%.3f", ref))
 	fp := core.BasicConfig()
 	fp.Name = "pythia-fixp"
 	fp.FixedPoint = true
-	t.AddRow("Q8.8 fixed point", fmt.Sprintf("%.3f", designSpeedup(cfg, sc, PythiaPF(fp))))
+	fps, err := designSpeedup(ctx, cfg, sc, PythiaPF(fp))
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("Q8.8 fixed point", fmt.Sprintf("%.3f", fps))
 	t.Notes = append(t.Notes, "the paper's hardware stores 16-bit Q-values; parity here validates that width")
-	return t
+	return t, nil
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"pythia/internal/cache"
@@ -12,26 +13,34 @@ import (
 // across all suites at one system configuration. Cells are independent
 // simulations, so the whole grid fans out at once; the grid is assembled by
 // index, keeping tables identical at any worker count.
-func sweepCells(points int, pfs []PF, sc Scale, cfgFor func(point int) cache.Config) [][]float64 {
+func sweepCells(ctx context.Context, points int, pfs []PF, sc Scale, cfgFor func(point int) cache.Config) ([][]float64, error) {
 	cells := make([][]float64, points)
 	for i := range cells {
 		cells[i] = make([]float64, len(pfs))
 	}
-	RunAll(points*len(pfs), func(k int) {
+	err := RunAll(ctx, points*len(pfs), func(k int) error {
 		i, j := k/len(pfs), k%len(pfs)
 		cfg := cfgFor(i)
 		var all []float64
 		for _, suite := range suitesList() {
-			all = append(all, suiteSpeedups(suite, cfg, sc, pfs[j])...)
+			sp, err := suiteSpeedups(ctx, suite, cfg, sc, pfs[j])
+			if err != nil {
+				return err
+			}
+			all = append(all, sp...)
 		}
 		cells[i][j] = stats.Geomean(all)
+		return nil
 	})
-	return cells
+	if err != nil {
+		return nil, err
+	}
+	return cells, nil
 }
 
 // Fig8aCores reproduces Fig. 8(a): geomean speedup while scaling the core
 // count (channel counts scale with cores per Table 5).
-func Fig8aCores(sc Scale) *stats.Table {
+func Fig8aCores(ctx context.Context, sc Scale) (*stats.Table, error) {
 	pfs := StandardPFs()
 	t := &stats.Table{
 		Title:  "Fig. 8a: speedup vs core count",
@@ -42,12 +51,20 @@ func Fig8aCores(sc Scale) *stats.Table {
 	for i := range cells {
 		cells[i] = make([]float64, len(pfs))
 	}
-	RunAll(len(coreCounts)*len(pfs), func(k int) {
+	err := RunAll(ctx, len(coreCounts)*len(pfs), func(k int) error {
 		i, j := k/len(pfs), k%len(pfs)
 		cfg := cache.DefaultConfig(coreCounts[i])
 		mixes := mixesFor(coreCounts[i], sc)
-		cells[i][j] = stats.Geomean(mixSpeedups(mixes, cfg, sc, pfs[j]))
+		sp, err := mixSpeedups(ctx, mixes, cfg, sc, pfs[j])
+		if err != nil {
+			return err
+		}
+		cells[i][j] = stats.Geomean(sp)
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	for i, cores := range coreCounts {
 		cellsRow := []string{fmt.Sprint(cores)}
 		for j := range pfs {
@@ -56,7 +73,7 @@ func Fig8aCores(sc Scale) *stats.Table {
 		t.AddRow(cellsRow...)
 	}
 	t.Notes = append(t.Notes, "paper: Pythia's margin over prior prefetchers grows with core count")
-	return t
+	return t, nil
 }
 
 // BandwidthPoints is the Fig. 8(b) MTPS sweep.
@@ -64,17 +81,20 @@ var BandwidthPoints = []int{150, 300, 600, 1200, 2400, 4800, 9600}
 
 // Fig8bBandwidth reproduces Fig. 8(b): single-core speedup while scaling
 // DRAM bandwidth from 150 to 9600 MTPS.
-func Fig8bBandwidth(sc Scale) *stats.Table {
+func Fig8bBandwidth(ctx context.Context, sc Scale) (*stats.Table, error) {
 	pfs := []PF{SPPPF(), BingoPF(), MLOPPF(), PPFPF(), BasicPythiaPF()}
 	t := &stats.Table{
 		Title:  "Fig. 8b: speedup vs DRAM bandwidth (MTPS, single-core)",
 		Header: append([]string{"MTPS"}, pfNames(pfs)...),
 	}
-	cells := sweepCells(len(BandwidthPoints), pfs, sc, func(i int) cache.Config {
+	cells, err := sweepCells(ctx, len(BandwidthPoints), pfs, sc, func(i int) cache.Config {
 		cfg := cache.DefaultConfig(1)
 		cfg.DRAM = cfg.DRAM.WithMTPS(BandwidthPoints[i])
 		return cfg
 	})
+	if err != nil {
+		return nil, err
+	}
 	for i, mtps := range BandwidthPoints {
 		row := []string{fmt.Sprint(mtps)}
 		for j := range pfs {
@@ -84,23 +104,26 @@ func Fig8bBandwidth(sc Scale) *stats.Table {
 	}
 	t.Notes = append(t.Notes,
 		"paper: at 150 MTPS Pythia outperforms MLOP/Bingo by 16.9%/20.2%; MLOP underperforms the baseline by 16%")
-	return t
+	return t, nil
 }
 
 // Fig8cLLCSize reproduces Fig. 8(c): single-core speedup while scaling the
 // LLC from 256KB to 4MB.
-func Fig8cLLCSize(sc Scale) *stats.Table {
+func Fig8cLLCSize(ctx context.Context, sc Scale) (*stats.Table, error) {
 	pfs := []PF{SPPPF(), BingoPF(), MLOPPF(), BasicPythiaPF()}
 	t := &stats.Table{
 		Title:  "Fig. 8c: speedup vs LLC size (single-core)",
 		Header: append([]string{"LLC KB"}, pfNames(pfs)...),
 	}
 	sizes := []int{256, 512, 1024, 2048, 4096}
-	cells := sweepCells(len(sizes), pfs, sc, func(i int) cache.Config {
+	cells, err := sweepCells(ctx, len(sizes), pfs, sc, func(i int) cache.Config {
 		cfg := cache.DefaultConfig(1)
 		cfg.LLCSizeKBPerCore = sizes[i]
 		return cfg
 	})
+	if err != nil {
+		return nil, err
+	}
 	for i, kb := range sizes {
 		row := []string{fmt.Sprint(kb)}
 		for j := range pfs {
@@ -109,23 +132,26 @@ func Fig8cLLCSize(sc Scale) *stats.Table {
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes, "paper: Pythia outperforms all competitors at every LLC size")
-	return t
+	return t, nil
 }
 
 // Fig8dMultiLevel reproduces Fig. 8(d): multi-level prefetching schemes
 // (stride@L1+streamer@L2, IPCP, stride@L1+Pythia@L2) under the MTPS sweep.
-func Fig8dMultiLevel(sc Scale) *stats.Table {
+func Fig8dMultiLevel(ctx context.Context, sc Scale) (*stats.Table, error) {
 	pfs := []PF{StrideStreamerPF(), IPCPPF(), StridePythiaPF()}
 	t := &stats.Table{
 		Title:  "Fig. 8d: multi-level prefetching vs DRAM bandwidth (single-core)",
 		Header: append([]string{"MTPS"}, pfNames(pfs)...),
 	}
 	points := []int{150, 600, 2400, 9600}
-	cells := sweepCells(len(points), pfs, sc, func(i int) cache.Config {
+	cells, err := sweepCells(ctx, len(points), pfs, sc, func(i int) cache.Config {
 		cfg := cache.DefaultConfig(1)
 		cfg.DRAM = cfg.DRAM.WithMTPS(points[i])
 		return cfg
 	})
+	if err != nil {
+		return nil, err
+	}
 	for i, mtps := range points {
 		row := []string{fmt.Sprint(mtps)}
 		for j := range pfs {
@@ -135,7 +161,7 @@ func Fig8dMultiLevel(sc Scale) *stats.Table {
 	}
 	t.Notes = append(t.Notes,
 		"paper: Stride+Pythia outperforms Stride+Streamer and IPCP at every bandwidth point")
-	return t
+	return t, nil
 }
 
 // suitesList is a tiny indirection so experiment files avoid repeating the

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"pythia/internal/cache"
@@ -29,7 +30,7 @@ func longHorizonWorkloads() []string {
 // quick scale), but its headline run is:
 //
 //	pythia-bench -exp ext-longhorizon -scale long
-func ExtLongHorizon(sc Scale) *stats.Table {
+func ExtLongHorizon(ctx context.Context, sc Scale) (*stats.Table, error) {
 	cfg := cache.DefaultConfig(1)
 	pfs := []PF{BasicPythiaPF(), PythiaPF(core.PaperHorizonConfig())}
 	t := &stats.Table{
@@ -48,10 +49,15 @@ func ExtLongHorizon(sc Scale) *stats.Table {
 		ws = append(ws, w)
 	}
 	rows := make([]row, len(ws))
-	RunAll(len(ws)*len(pfs), func(i int) {
+	err := RunAll(ctx, len(ws)*len(pfs), func(i int) error {
 		w, pf := ws[i/len(pfs)], i%len(pfs)
-		rows[i/len(pfs)].sp[pf] = SpeedupOn(single(w), cfg, sc, pfs[pf])
+		sp, err := SpeedupOn(ctx, single(w), cfg, sc, pfs[pf])
+		rows[i/len(pfs)].sp[pf] = sp
+		return err
 	})
+	if err != nil {
+		return nil, err
+	}
 	geo := [2][]float64{}
 	for i, w := range ws {
 		t.AddRow(w.Name, fmt.Sprintf("%d", sc.Sim),
@@ -68,5 +74,5 @@ func ExtLongHorizon(sc Scale) *stats.Table {
 		t.Notes = append(t.Notes,
 			"run at -scale long for the paper-horizon result (streaming pipeline, α=0.0065/ε=0.002 converges)")
 	}
-	return t
+	return t, nil
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"pythia/internal/cache"
@@ -11,7 +12,7 @@ import (
 
 // Fig10aFourCore reproduces Fig. 10(a): per-suite geomean speedup in the
 // four-core system over homogeneous and heterogeneous mixes.
-func Fig10aFourCore(sc Scale) *stats.Table {
+func Fig10aFourCore(ctx context.Context, sc Scale) (*stats.Table, error) {
 	cfg := cache.DefaultConfig(4)
 	pfs := StandardPFs()
 	mixes := mixesFor(4, sc)
@@ -32,7 +33,10 @@ func Fig10aFourCore(sc Scale) *stats.Table {
 	for _, suite := range order {
 		cells := []string{suite}
 		for _, pf := range pfs {
-			sp := mixSpeedups(groups[suite], cfg, sc, pf)
+			sp, err := mixSpeedups(ctx, groups[suite], cfg, sc, pf)
+			if err != nil {
+				return nil, err
+			}
 			all[pf.Name] = append(all[pf.Name], sp...)
 			cells = append(cells, fmt.Sprintf("%.3f", stats.Geomean(sp)))
 		}
@@ -44,12 +48,12 @@ func Fig10aFourCore(sc Scale) *stats.Table {
 	}
 	t.AddRow(cells...)
 	t.Notes = append(t.Notes, "paper: Pythia outperforms MLOP/Bingo/SPP by 5.8/8.2/6.5% at 4C")
-	return t
+	return t, nil
 }
 
 // Fig10bCombinations reproduces Fig. 10(b): prefetcher stacks at four
 // cores, where combining overpredictors hurts.
-func Fig10bCombinations(sc Scale) *stats.Table {
+func Fig10bCombinations(ctx context.Context, sc Scale) (*stats.Table, error) {
 	cfg := cache.DefaultConfig(4)
 	mixes := mixesFor(4, sc)
 	t := &stats.Table{
@@ -57,38 +61,45 @@ func Fig10bCombinations(sc Scale) *stats.Table {
 		Header: []string{"configuration", "geomean speedup"},
 	}
 	for _, pf := range combinationStacks() {
-		t.AddRow(pf.Name, fmt.Sprintf("%.3f", stats.Geomean(mixSpeedups(mixes, cfg, sc, pf))))
+		sp, err := mixSpeedups(ctx, mixes, cfg, sc, pf)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(pf.Name, fmt.Sprintf("%.3f", stats.Geomean(sp)))
 	}
 	t.Notes = append(t.Notes, "paper: stacking prefetchers beyond St+S lowers 4C performance; Pythia wins by 4.9%")
-	return t
+	return t, nil
 }
 
 // Fig11BandwidthOblivious reproduces Fig. 11: the bandwidth-oblivious
 // ablation of Pythia relative to basic Pythia under the MTPS sweep.
-func Fig11BandwidthOblivious(sc Scale) *stats.Table {
+func Fig11BandwidthOblivious(ctx context.Context, sc Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:  "Fig. 11: bandwidth-oblivious Pythia vs basic Pythia",
 		Header: []string{"MTPS", "basic", "bw-oblivious", "delta"},
 	}
 	// Both variants of every bandwidth point simulate concurrently.
 	variants := []PF{BasicPythiaPF(), PythiaPF(core.BandwidthObliviousConfig())}
-	cells := sweepCells(len(BandwidthPoints), variants, sc, func(i int) cache.Config {
+	cells, err := sweepCells(ctx, len(BandwidthPoints), variants, sc, func(i int) cache.Config {
 		cfg := cache.DefaultConfig(1)
 		cfg.DRAM = cfg.DRAM.WithMTPS(BandwidthPoints[i])
 		return cfg
 	})
+	if err != nil {
+		return nil, err
+	}
 	for i, mtps := range BandwidthPoints {
 		b, o := cells[i][0], cells[i][1]
 		t.AddRow(fmt.Sprint(mtps), fmt.Sprintf("%.3f", b), fmt.Sprintf("%.3f", o), pct(o/b-1))
 	}
 	t.Notes = append(t.Notes,
 		"paper: the oblivious variant loses up to 4.6% at 150 MTPS and converges to basic at high bandwidth")
-	return t
+	return t, nil
 }
 
 // Fig12Unseen reproduces Fig. 12: performance on the CVP-2 "unseen" trace
 // categories in single-core and four-core systems.
-func Fig12Unseen(sc Scale) *stats.Table {
+func Fig12Unseen(ctx context.Context, sc Scale) (*stats.Table, error) {
 	pfs := StandardPFs()
 	t := &stats.Table{
 		Title:  "Fig. 12: performance on unseen CVP-2 traces",
@@ -121,15 +132,20 @@ func Fig12Unseen(sc Scale) *stats.Table {
 			}
 		}
 		sps := make([]float64, len(jobs))
-		RunAll(len(jobs), func(k int) {
+		err := RunAll(ctx, len(jobs), func(k int) error {
 			j := jobs[k]
 			w := categories[j.cat][j.wIdx]
 			mix := single(w)
 			if cores > 1 {
 				mix = trace.HomogeneousMix(w, cores)
 			}
-			sps[k] = SpeedupOn(mix, cfg, sc, pfs[j.pfIdx])
+			sp, err := SpeedupOn(ctx, mix, cfg, sc, pfs[j.pfIdx])
+			sps[k] = sp
+			return err
 		})
+		if err != nil {
+			return nil, err
+		}
 		all := map[string][]float64{}
 		k := 0
 		for _, cat := range order {
@@ -152,5 +168,5 @@ func Fig12Unseen(sc Scale) *stats.Table {
 		t.AddRow(cells...)
 	}
 	t.Notes = append(t.Notes, "paper: Pythia wins on traces never used for tuning (crypto/INT/FP/server)")
-	return t
+	return t, nil
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"pythia/internal/cache"
@@ -21,7 +22,7 @@ func fig1Workloads() []string {
 // improvement of SPP, Bingo and Pythia on six example workloads. All
 // (workload, prefetcher) cells simulate in parallel; rows are assembled in
 // presentation order afterwards.
-func Fig1Motivation(sc Scale) *stats.Table {
+func Fig1Motivation(ctx context.Context, sc Scale) (*stats.Table, error) {
 	cfg := cache.DefaultConfig(1)
 	pfs := []PF{SPPPF(), BingoPF(), BasicPythiaPF()}
 	t := &stats.Table{
@@ -45,11 +46,22 @@ func Fig1Motivation(sc Scale) *stats.Table {
 	}
 	type cell struct{ cov, over, sp float64 }
 	cells := make([]cell, len(jobs))
-	RunAll(len(jobs), func(i int) {
+	err := RunAll(ctx, len(jobs), func(i int) error {
 		j := jobs[i]
-		cov, over := coverageOverpred(j.w, cfg, sc, j.pf)
-		cells[i] = cell{cov, over, SpeedupOn(single(j.w), cfg, sc, j.pf)}
+		cov, over, err := coverageOverpred(ctx, j.w, cfg, sc, j.pf)
+		if err != nil {
+			return err
+		}
+		sp, err := SpeedupOn(ctx, single(j.w), cfg, sc, j.pf)
+		if err != nil {
+			return err
+		}
+		cells[i] = cell{cov, over, sp}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	for i, j := range jobs {
 		c := cells[i]
 		t.AddRow(j.w.Name, j.pf.Name, pct(c.cov), pct(c.over), fmt.Sprintf("%.3f", c.sp))
@@ -57,12 +69,12 @@ func Fig1Motivation(sc Scale) *stats.Table {
 	t.Notes = append(t.Notes,
 		"paper shape: Bingo > SPP on sphinx3/canneal/facesim; SPP > Bingo on GemsFDTD;",
 		"Bingo loses on Ligra-CC despite coverage; Pythia competitive everywhere")
-	return t
+	return t, nil
 }
 
 // Fig7Coverage reproduces Fig. 7: per-suite prefetch coverage and
 // overprediction at the LLC-memory boundary, single-core.
-func Fig7Coverage(sc Scale) *stats.Table {
+func Fig7Coverage(ctx context.Context, sc Scale) (*stats.Table, error) {
 	cfg := cache.DefaultConfig(1)
 	pfs := StandardPFs()
 	t := &stats.Table{
@@ -86,9 +98,14 @@ func Fig7Coverage(sc Scale) *stats.Table {
 	}
 	covs := make([]float64, len(jobs))
 	overs := make([]float64, len(jobs))
-	RunAll(len(jobs), func(i int) {
-		covs[i], overs[i] = coverageOverpred(jobs[i].w, cfg, sc, jobs[i].pf)
+	err := RunAll(ctx, len(jobs), func(i int) error {
+		var err error
+		covs[i], overs[i], err = coverageOverpred(ctx, jobs[i].w, cfg, sc, jobs[i].pf)
+		return err
 	})
+	if err != nil {
+		return nil, err
+	}
 	type agg struct{ cov, over []float64 }
 	total := map[string]*agg{}
 	for i := 0; i < len(jobs); {
@@ -110,12 +127,12 @@ func Fig7Coverage(sc Scale) *stats.Table {
 		t.AddRow("AVG", pf.Name, pct(stats.Mean(a.cov)), pct(stats.Mean(a.over)))
 	}
 	t.Notes = append(t.Notes, "paper: Pythia 71% coverage / 27% overpredictions; MLOP 64%/110%")
-	return t
+	return t, nil
 }
 
 // Fig9aSingleCore reproduces Fig. 9(a): per-suite geomean speedup over the
 // no-prefetching baseline in the single-core system.
-func Fig9aSingleCore(sc Scale) *stats.Table {
+func Fig9aSingleCore(ctx context.Context, sc Scale) (*stats.Table, error) {
 	cfg := cache.DefaultConfig(1)
 	pfs := StandardPFs()
 	t := &stats.Table{
@@ -126,7 +143,10 @@ func Fig9aSingleCore(sc Scale) *stats.Table {
 	for _, suite := range trace.Suites() {
 		cells := []string{suite}
 		for _, pf := range pfs {
-			sp := suiteSpeedups(suite, cfg, sc, pf)
+			sp, err := suiteSpeedups(ctx, suite, cfg, sc, pf)
+			if err != nil {
+				return nil, err
+			}
 			all[pf.Name] = append(all[pf.Name], sp...)
 			cells = append(cells, fmt.Sprintf("%.3f", stats.Geomean(sp)))
 		}
@@ -138,7 +158,7 @@ func Fig9aSingleCore(sc Scale) *stats.Table {
 	}
 	t.AddRow(cells...)
 	t.Notes = append(t.Notes, "paper: Pythia 1.224 geomean; outperforms MLOP/Bingo/SPP by 3.4/3.8/4.3%")
-	return t
+	return t, nil
 }
 
 // combinationStacks returns the Fig. 9b hybrid ladder.
@@ -160,7 +180,7 @@ func combinationStacks() []PF {
 
 // Fig9bCombinations reproduces Fig. 9(b): Pythia vs stacked combinations of
 // prior prefetchers, single-core.
-func Fig9bCombinations(sc Scale) *stats.Table {
+func Fig9bCombinations(ctx context.Context, sc Scale) (*stats.Table, error) {
 	cfg := cache.DefaultConfig(1)
 	t := &stats.Table{
 		Title:  "Fig. 9b: prefetcher combinations (single-core)",
@@ -169,12 +189,16 @@ func Fig9bCombinations(sc Scale) *stats.Table {
 	for _, pf := range combinationStacks() {
 		var all []float64
 		for _, suite := range trace.Suites() {
-			all = append(all, suiteSpeedups(suite, cfg, sc, pf)...)
+			sp, err := suiteSpeedups(ctx, suite, cfg, sc, pf)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, sp...)
 		}
 		t.AddRow(pf.Name, fmt.Sprintf("%.3f", stats.Geomean(all)))
 	}
 	t.Notes = append(t.Notes, "paper: Pythia outperforms the full St+S+B+D+M stack by 1.4% at 1C")
-	return t
+	return t, nil
 }
 
 func pfNames(pfs []PF) []string {

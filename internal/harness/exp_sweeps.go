@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -13,7 +14,7 @@ import (
 // Fig17LineGraph1C reproduces Fig. 17: the sorted single-core performance
 // curve of every prefetcher, summarized at deciles (the paper plots 150
 // traces; we report the distribution).
-func Fig17LineGraph1C(sc Scale) *stats.Table {
+func Fig17LineGraph1C(ctx context.Context, sc Scale) (*stats.Table, error) {
 	cfg := cache.DefaultConfig(1)
 	pfs := StandardPFs()
 	t := &stats.Table{
@@ -23,7 +24,11 @@ func Fig17LineGraph1C(sc Scale) *stats.Table {
 	curves := map[string][]float64{}
 	for _, suite := range trace.Suites() {
 		for _, pf := range pfs {
-			curves[pf.Name] = append(curves[pf.Name], suiteSpeedups(suite, cfg, sc, pf)...)
+			sp, err := suiteSpeedups(ctx, suite, cfg, sc, pf)
+			if err != nil {
+				return nil, err
+			}
+			curves[pf.Name] = append(curves[pf.Name], sp...)
 		}
 	}
 	for _, p := range []float64{0, 10, 25, 50, 75, 90, 100} {
@@ -43,21 +48,26 @@ func Fig17LineGraph1C(sc Scale) *stats.Table {
 		all = append(all, suiteWorkloads(suite, sc)...)
 	}
 	list := make([]wl, len(all))
-	RunAll(len(all), func(i int) {
-		list[i] = wl{all[i].Name, SpeedupOn(single(all[i]), cfg, sc, BasicPythiaPF())}
+	err := RunAll(ctx, len(all), func(i int) error {
+		sp, err := SpeedupOn(ctx, single(all[i]), cfg, sc, BasicPythiaPF())
+		list[i] = wl{all[i].Name, sp}
+		return err
 	})
+	if err != nil {
+		return nil, err
+	}
 	sort.Slice(list, func(i, j int) bool { return list[i].sp < list[j].sp })
 	if len(list) > 0 {
 		t.Notes = append(t.Notes,
 			fmt.Sprintf("Pythia worst: %s (%.3f); best: %s (%.3f)",
 				list[0].name, list[0].sp, list[len(list)-1].name, list[len(list)-1].sp))
 	}
-	return t
+	return t, nil
 }
 
 // Fig18LineGraph4C reproduces Fig. 18: the four-core mix speedup
 // distribution.
-func Fig18LineGraph4C(sc Scale) *stats.Table {
+func Fig18LineGraph4C(ctx context.Context, sc Scale) (*stats.Table, error) {
 	cfg := cache.DefaultConfig(4)
 	pfs := StandardPFs()
 	mixes := mixesFor(4, sc)
@@ -67,7 +77,11 @@ func Fig18LineGraph4C(sc Scale) *stats.Table {
 	}
 	curves := map[string][]float64{}
 	for _, pf := range pfs {
-		curves[pf.Name] = mixSpeedups(mixes, cfg, sc, pf)
+		sp, err := mixSpeedups(ctx, mixes, cfg, sc, pf)
+		if err != nil {
+			return nil, err
+		}
+		curves[pf.Name] = sp
 	}
 	for _, p := range []float64{0, 10, 25, 50, 75, 90, 100} {
 		cells := []string{fmt.Sprintf("p%.0f", p)}
@@ -76,13 +90,13 @@ func Fig18LineGraph4C(sc Scale) *stats.Table {
 		}
 		t.AddRow(cells...)
 	}
-	return t
+	return t, nil
 }
 
 // Fig19FeatureSweep reproduces Fig. 19 / §4.3.1: the automated feature
 // selection sweep — Pythia's speedup, coverage and overprediction across
 // feature combinations, sorted by speedup.
-func Fig19FeatureSweep(sc Scale) *stats.Table {
+func Fig19FeatureSweep(ctx context.Context, sc Scale) (*stats.Table, error) {
 	cfg := cache.DefaultConfig(1)
 	t := &stats.Table{
 		Title:  "Fig. 19: feature-combination design space (sorted by speedup)",
@@ -108,60 +122,82 @@ func Fig19FeatureSweep(sc Scale) *stats.Table {
 	// The design-space sweep is embarrassingly parallel: every candidate
 	// config evaluates independently (and within one, every workload).
 	rows := make([]row, len(configs))
-	RunAll(len(configs), func(ci int) {
+	err := RunAll(ctx, len(configs), func(ci int) error {
 		cand := configs[ci]
 		sps := make([]float64, len(ws))
 		covs := make([]float64, len(ws))
 		overs := make([]float64, len(ws))
-		RunAll(len(ws), func(wi int) {
+		err := RunAll(ctx, len(ws), func(wi int) error {
 			pf := PythiaPF(cand)
-			sps[wi] = SpeedupOn(single(ws[wi]), cfg, sc, pf)
-			covs[wi], overs[wi] = coverageOverpred(ws[wi], cfg, sc, pf)
+			sp, err := SpeedupOn(ctx, single(ws[wi]), cfg, sc, pf)
+			if err != nil {
+				return err
+			}
+			sps[wi] = sp
+			covs[wi], overs[wi], err = coverageOverpred(ctx, ws[wi], cfg, sc, pf)
+			return err
 		})
+		if err != nil {
+			return err
+		}
 		rows[ci] = row{featureNames(cand), stats.Geomean(sps), stats.Mean(covs), stats.Mean(overs)}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].sp < rows[j].sp })
 	for _, r := range rows {
 		t.AddRow(r.name, fmt.Sprintf("%.3f", r.sp), pct(r.cov), pct(r.overpr))
 	}
 	t.Notes = append(t.Notes, "paper: performance correlates with coverage; the PC+Delta & last-4-deltas pair wins")
-	return t
+	return t, nil
 }
 
 // Fig20Hyperparams reproduces Fig. 20: sensitivity to the exploration rate
 // ε and learning rate α (log sweeps).
-func Fig20Hyperparams(sc Scale) *stats.Table {
+func Fig20Hyperparams(ctx context.Context, sc Scale) (*stats.Table, error) {
 	cfg := cache.DefaultConfig(1)
 	t := &stats.Table{
 		Title:  "Fig. 20: hyperparameter sensitivity",
 		Header: []string{"parameter", "value", "geomean speedup"},
 	}
 	ws := suiteWorkloads(trace.SuiteSPEC06, sc)
-	run := func(c core.Config) float64 {
+	run := func(c core.Config) (float64, error) {
 		sp := make([]float64, len(ws))
-		RunAll(len(ws), func(i int) {
-			sp[i] = SpeedupOn(single(ws[i]), cfg, sc, PythiaPF(c))
+		err := RunAll(ctx, len(ws), func(i int) error {
+			var err error
+			sp[i], err = SpeedupOn(ctx, single(ws[i]), cfg, sc, PythiaPF(c))
+			return err
 		})
-		return stats.Geomean(sp)
+		if err != nil {
+			return 0, err
+		}
+		return stats.Geomean(sp), nil
 	}
 	// Both log sweeps fan out across their sample points.
 	epss := []float64{1e-6, 1e-4, 1e-3, 1e-2, 1e-1, 0.5, 1.0}
 	alphas := []float64{1e-5, 1e-3, 0.0065, 0.05, 0.1, 0.3, 1.0}
 	epsSp := make([]float64, len(epss))
 	alphaSp := make([]float64, len(alphas))
-	RunAll(len(epss)+len(alphas), func(i int) {
+	err := RunAll(ctx, len(epss)+len(alphas), func(i int) error {
 		c := core.BasicConfig()
+		var err error
 		if i < len(epss) {
 			c.Name = fmt.Sprintf("pythia-eps%g", epss[i])
 			c.Epsilon = epss[i]
-			epsSp[i] = run(c)
+			epsSp[i], err = run(c)
 		} else {
 			j := i - len(epss)
 			c.Name = fmt.Sprintf("pythia-alpha%g", alphas[j])
 			c.Alpha = alphas[j]
-			alphaSp[j] = run(c)
+			alphaSp[j], err = run(c)
 		}
+		return err
 	})
+	if err != nil {
+		return nil, err
+	}
 	for i, eps := range epss {
 		t.AddRow("epsilon", fmt.Sprintf("%g", eps), fmt.Sprintf("%.3f", epsSp[i]))
 	}
@@ -171,25 +207,25 @@ func Fig20Hyperparams(sc Scale) *stats.Table {
 	t.Notes = append(t.Notes,
 		"paper: performance collapses as epsilon->1; alpha has an interior optimum",
 		"(the optimum alpha/epsilon shift upward at this library's scaled-down horizon; see DESIGN.md)")
-	return t
+	return t, nil
 }
 
 // Fig21ContextPrefetcher reproduces Fig. 21 / Appendix B.4: Pythia vs the
 // hardware-context contextual-bandit prefetcher CP-HW.
-func Fig21ContextPrefetcher(sc Scale) *stats.Table {
-	return versusTable(sc, "Fig. 21: Pythia vs CP-HW", CPHWPF(),
+func Fig21ContextPrefetcher(ctx context.Context, sc Scale) (*stats.Table, error) {
+	return versusTable(ctx, sc, "Fig. 21: Pythia vs CP-HW", CPHWPF(),
 		"paper: Pythia outperforms CP-HW by 5.3% (1C) and 7.6% (4C) via long-term credit and bandwidth awareness")
 }
 
 // Fig22Power7 reproduces Fig. 22 / Appendix B.5: Pythia vs the POWER7-style
 // adaptive prefetcher.
-func Fig22Power7(sc Scale) *stats.Table {
-	return versusTable(sc, "Fig. 22: Pythia vs POWER7 adaptive prefetcher", Power7PF(),
+func Fig22Power7(ctx context.Context, sc Scale) (*stats.Table, error) {
+	return versusTable(ctx, sc, "Fig. 22: Pythia vs POWER7 adaptive prefetcher", Power7PF(),
 		"paper: Pythia outperforms the POWER7 prefetcher by 4.5% (1C) and 6.5% (4C)")
 }
 
 // versusTable builds the 1C+4C per-suite comparison used by Figs. 21-22.
-func versusTable(sc Scale, title string, rival PF, note string) *stats.Table {
+func versusTable(ctx context.Context, sc Scale, title string, rival PF, note string) (*stats.Table, error) {
 	pfs := []PF{rival, BasicPythiaPF()}
 	t := &stats.Table{
 		Title:  title,
@@ -201,7 +237,10 @@ func versusTable(sc Scale, title string, rival PF, note string) *stats.Table {
 	for _, suite := range trace.Suites() {
 		cells := []string{"1C", suite}
 		for _, pf := range pfs {
-			sp := suiteSpeedups(suite, cfg1, sc, pf)
+			sp, err := suiteSpeedups(ctx, suite, cfg1, sc, pf)
+			if err != nil {
+				return nil, err
+			}
 			all[pf.Name] = append(all[pf.Name], sp...)
 			cells = append(cells, fmt.Sprintf("%.3f", stats.Geomean(sp)))
 		}
@@ -217,16 +256,20 @@ func versusTable(sc Scale, title string, rival PF, note string) *stats.Table {
 	mixes := mixesFor(4, sc)
 	cells = []string{"4C", "ALL"}
 	for _, pf := range pfs {
-		cells = append(cells, fmt.Sprintf("%.3f", stats.Geomean(mixSpeedups(mixes, cfg4, sc, pf))))
+		sp, err := mixSpeedups(ctx, mixes, cfg4, sc, pf)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, fmt.Sprintf("%.3f", stats.Geomean(sp)))
 	}
 	t.AddRow(cells...)
 	t.Notes = append(t.Notes, note)
-	return t
+	return t, nil
 }
 
 // Fig23Warmup reproduces Fig. 23: sensitivity to the number of warmup
 // instructions.
-func Fig23Warmup(sc Scale) *stats.Table {
+func Fig23Warmup(ctx context.Context, sc Scale) (*stats.Table, error) {
 	cfg := cache.DefaultConfig(1)
 	pfs := StandardPFs()
 	t := &stats.Table{
@@ -241,12 +284,16 @@ func Fig23Warmup(sc Scale) *stats.Table {
 		for _, pf := range pfs {
 			var all []float64
 			for _, suite := range trace.Suites() {
-				all = append(all, suiteSpeedups(suite, cfg, scv, pf)...)
+				sp, err := suiteSpeedups(ctx, suite, cfg, scv, pf)
+				if err != nil {
+					return nil, err
+				}
+				all = append(all, sp...)
 			}
 			cells = append(cells, fmt.Sprintf("%.3f", stats.Geomean(all)))
 		}
 		t.AddRow(cells...)
 	}
 	t.Notes = append(t.Notes, "paper: Pythia outperforms prior prefetchers at every warmup length, including none")
-	return t
+	return t, nil
 }

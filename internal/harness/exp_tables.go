@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -13,7 +14,7 @@ import (
 // Table2BasicConfig reports the basic Pythia configuration (paper Table 2).
 // The paper's 500M-instruction hyperparameters are shown alongside the
 // horizon-scaled values this library's runs use (see DESIGN.md).
-func Table2BasicConfig(Scale) *stats.Table {
+func Table2BasicConfig(context.Context, Scale) (*stats.Table, error) {
 	cfg := core.BasicConfig()
 	t := &stats.Table{
 		Title:  "Table 2: basic Pythia configuration",
@@ -36,11 +37,11 @@ func Table2BasicConfig(Scale) *stats.Table {
 	t.AddRow("EQ size", fmt.Sprint(cfg.EQSize))
 	t.AddRow("Planes per vault", fmt.Sprint(cfg.PlanesPerVault))
 	t.AddRow("Plane feature dimension", fmt.Sprint(cfg.FeatureDim))
-	return t
+	return t, nil
 }
 
 // Table4Storage reports Pythia's metadata storage (paper Table 4: 25.5 KB).
-func Table4Storage(Scale) *stats.Table {
+func Table4Storage(context.Context, Scale) (*stats.Table, error) {
 	cfg := core.BasicConfig()
 	items := hw.PythiaStorage(cfg)
 	t := &stats.Table{
@@ -52,12 +53,12 @@ func Table4Storage(Scale) *stats.Table {
 	}
 	t.AddRow("Total", "", fmt.Sprintf("%.1f", hw.TotalKB(items)))
 	t.Notes = append(t.Notes, "paper: QVStore 24 KB, EQ 1.5 KB, total 25.5 KB")
-	return t
+	return t, nil
 }
 
 // Table7PrefetcherConfigs reports the evaluated prefetchers and their
 // storage budgets (paper Table 7).
-func Table7PrefetcherConfigs(Scale) *stats.Table {
+func Table7PrefetcherConfigs(context.Context, Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:  "Table 7: evaluated prefetcher configurations",
 		Header: []string{"prefetcher", "configuration", "storage (KB)"},
@@ -74,13 +75,13 @@ func Table7PrefetcherConfigs(Scale) *stats.Table {
 	for _, r := range rows {
 		t.AddRow(r.name, r.desc, fmt.Sprintf("%.1f", budgets[r.name]))
 	}
-	return t
+	return t, nil
 }
 
 // Table8AreaPower reports Pythia's area/power and its overhead over
 // reference processors (paper Table 8), from the calibrated analytical
 // model in internal/hw.
-func Table8AreaPower(Scale) *stats.Table {
+func Table8AreaPower(context.Context, Scale) (*stats.Table, error) {
 	kb := hw.TotalKB(hw.PythiaStorage(core.BasicConfig()))
 	t := &stats.Table{
 		Title:  "Table 8: area and power overhead of Pythia",
@@ -96,5 +97,5 @@ func Table8AreaPower(Scale) *stats.Table {
 		a, pw := hw.Overhead(kb, p)
 		t.AddRow(p.Name, pct(a), pct(pw))
 	}
-	return t
+	return t, nil
 }

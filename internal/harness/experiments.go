@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"pythia/internal/cache"
@@ -14,8 +15,10 @@ type Experiment struct {
 	ID string
 	// Title describes what the experiment shows.
 	Title string
-	// Run executes the experiment at a scale and renders the result.
-	Run func(sc Scale) *stats.Table
+	// Run executes the experiment at a scale and renders the result. A
+	// simulation failure (or a canceled ctx) aborts the experiment and
+	// surfaces here as an error; a nil error guarantees a complete table.
+	Run func(ctx context.Context, sc Scale) (*stats.Table, error)
 }
 
 // Experiments returns every experiment in the paper's presentation order.
@@ -66,24 +69,35 @@ func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
 
 // suiteSpeedups runs pf over a suite's workloads (1-core) in parallel and
 // returns per-workload speedups in workload order.
-func suiteSpeedups(suite string, cfg cache.Config, sc Scale, pf PF) []float64 {
+func suiteSpeedups(ctx context.Context, suite string, cfg cache.Config, sc Scale, pf PF) ([]float64, error) {
 	ws := suiteWorkloads(suite, sc)
 	out := make([]float64, len(ws))
-	RunAll(len(ws), func(i int) {
-		out[i] = SpeedupOn(single(ws[i]), cfg, sc, pf)
+	err := RunAll(ctx, len(ws), func(i int) error {
+		sp, err := SpeedupOn(ctx, single(ws[i]), cfg, sc, pf)
+		out[i] = sp
+		return err
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // coverageOverpred returns the artifact-formula coverage and overprediction
 // of a prefetcher on one 1-core workload.
-func coverageOverpred(w trace.Workload, cfg cache.Config, sc Scale, pf PF) (cov, over float64) {
+func coverageOverpred(ctx context.Context, w trace.Workload, cfg cache.Config, sc Scale, pf PF) (cov, over float64, err error) {
 	mix := single(w)
-	base := RunCached(RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: Baseline()})
-	run := RunCached(RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: pf})
+	base, err := RunCached(ctx, RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: Baseline()})
+	if err != nil {
+		return 0, 0, err
+	}
+	run, err := RunCached(ctx, RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: pf})
+	if err != nil {
+		return 0, 0, err
+	}
 	cov = stats.Coverage(base.SumLLCLoadMisses(), run.SumLLCLoadMisses())
 	over = stats.Overprediction(base.SumDRAMReads(), run.SumDRAMReads())
-	return
+	return cov, over, nil
 }
 
 // mixesFor builds the standard multi-core mix list at a scale.
@@ -102,12 +116,17 @@ func mixesFor(cores int, sc Scale) []trace.Mix {
 }
 
 // mixSpeedups runs pf over a mix list in parallel, preserving mix order.
-func mixSpeedups(mixes []trace.Mix, cfg cache.Config, sc Scale, pf PF) []float64 {
+func mixSpeedups(ctx context.Context, mixes []trace.Mix, cfg cache.Config, sc Scale, pf PF) ([]float64, error) {
 	out := make([]float64, len(mixes))
-	RunAll(len(mixes), func(i int) {
-		out[i] = SpeedupOn(mixes[i], cfg, sc, pf)
+	err := RunAll(ctx, len(mixes), func(i int) error {
+		sp, err := SpeedupOn(ctx, mixes[i], cfg, sc, pf)
+		out[i] = sp
+		return err
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // suiteOfMix groups a mix under its suite or "Mix".

@@ -1,12 +1,29 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"pythia/internal/cache"
+	"pythia/internal/stats"
 	"pythia/internal/trace"
 )
+
+// bg is the context used by tests that don't exercise cancellation.
+var bg = context.Background()
+
+// mustTable unwraps an experiment result, failing the test on error:
+// mustTable(t)(SomeExperiment(bg, sc)).
+func mustTable(t *testing.T) func(*stats.Table, error) *stats.Table {
+	return func(tb *stats.Table, err error) *stats.Table {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb
+	}
+}
 
 // tinyScale keeps harness tests fast.
 var tinyScale = Scale{Warmup: 50_000, Sim: 200_000, TraceLen: 40_000, WorkloadsPerSuite: 1, HeteroMixes: 1}
@@ -21,7 +38,10 @@ func tinyMix(t *testing.T) trace.Mix {
 }
 
 func TestRunProducesResults(t *testing.T) {
-	r := Run(RunSpec{Mix: tinyMix(t), CacheCfg: cache.DefaultConfig(1), Scale: tinyScale, PF: Baseline()})
+	r, err := Run(bg, RunSpec{Mix: tinyMix(t), CacheCfg: cache.DefaultConfig(1), Scale: tinyScale, PF: Baseline()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.IPC) != 1 || r.IPC[0] <= 0 {
 		t.Fatalf("IPC = %v", r.IPC)
 	}
@@ -32,7 +52,11 @@ func TestRunProducesResults(t *testing.T) {
 
 func TestRunDeterministic(t *testing.T) {
 	spec := RunSpec{Mix: tinyMix(t), CacheCfg: cache.DefaultConfig(1), Scale: tinyScale, PF: BasicPythiaPF()}
-	a, b := Run(spec), Run(spec)
+	a, errA := Run(bg, spec)
+	b, errB := Run(bg, spec)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
 	if a.IPC[0] != b.IPC[0] {
 		t.Errorf("runs differ: %v vs %v", a.IPC[0], b.IPC[0])
 	}
@@ -40,15 +64,21 @@ func TestRunDeterministic(t *testing.T) {
 
 func TestRunCachedMemoizes(t *testing.T) {
 	spec := RunSpec{Mix: tinyMix(t), CacheCfg: cache.DefaultConfig(1), Scale: tinyScale, PF: Baseline()}
-	a := RunCached(spec)
-	b := RunCached(spec)
+	a, errA := RunCached(bg, spec)
+	b, errB := RunCached(bg, spec)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
 	if a.IPC[0] != b.IPC[0] {
 		t.Error("cached result differs")
 	}
 }
 
 func TestSpeedupOnPythiaBeatsBaselineOnGems(t *testing.T) {
-	sp := SpeedupOn(tinyMix(t), cache.DefaultConfig(1), tinyScale, BasicPythiaPF())
+	sp, err := SpeedupOn(bg, tinyMix(t), cache.DefaultConfig(1), tinyScale, BasicPythiaPF())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sp < 1.0 {
 		t.Errorf("Pythia speedup %.3f on GemsFDTD, expected > 1", sp)
 	}
@@ -107,33 +137,33 @@ func TestExperimentRegistry(t *testing.T) {
 func TestStaticTables(t *testing.T) {
 	// The four static tables run instantly and must carry the paper's
 	// headline values.
-	t2 := Table2BasicConfig(tinyScale).Render()
+	t2 := mustTable(t)(Table2BasicConfig(bg, tinyScale)).Render()
 	if !strings.Contains(t2, "PC+Delta") || !strings.Contains(t2, "0.556") {
 		t.Errorf("table 2 missing key values:\n%s", t2)
 	}
-	t4 := Table4Storage(tinyScale).Render()
+	t4 := mustTable(t)(Table4Storage(bg, tinyScale)).Render()
 	if !strings.Contains(t4, "25.5") {
 		t.Errorf("table 4 missing 25.5KB total:\n%s", t4)
 	}
-	t7 := Table7PrefetcherConfigs(tinyScale).Render()
+	t7 := mustTable(t)(Table7PrefetcherConfigs(bg, tinyScale)).Render()
 	if !strings.Contains(t7, "Bingo") || !strings.Contains(t7, "46.0") {
 		t.Errorf("table 7 wrong:\n%s", t7)
 	}
-	t8 := Table8AreaPower(tinyScale).Render()
+	t8 := mustTable(t)(Table8AreaPower(bg, tinyScale)).Render()
 	if !strings.Contains(t8, "Skylake") {
 		t.Errorf("table 8 wrong:\n%s", t8)
 	}
 }
 
 func TestFig13ProducesCurves(t *testing.T) {
-	tb := Fig13QValueCurves(tinyScale)
+	tb := mustTable(t)(Fig13QValueCurves(bg, tinyScale))
 	if len(tb.Rows) == 0 {
 		t.Fatalf("fig13 produced no rows:\n%s", tb.Render())
 	}
 }
 
 func TestFig14Buckets(t *testing.T) {
-	tb := Fig14BandwidthBuckets(tinyScale)
+	tb := mustTable(t)(Fig14BandwidthBuckets(bg, tinyScale))
 	if len(tb.Rows) != 6 {
 		t.Fatalf("fig14 rows = %d, want 6:\n%s", len(tb.Rows), tb.Render())
 	}
@@ -146,7 +176,7 @@ func TestFig14Buckets(t *testing.T) {
 }
 
 func TestFig1RunsAtTinyScale(t *testing.T) {
-	tb := Fig1Motivation(tinyScale)
+	tb := mustTable(t)(Fig1Motivation(bg, tinyScale))
 	if len(tb.Rows) != 18 { // 6 workloads × 3 prefetchers
 		t.Errorf("fig1 rows = %d, want 18:\n%s", len(tb.Rows), tb.Render())
 	}
@@ -199,7 +229,7 @@ func TestExtendedExperimentsRegistered(t *testing.T) {
 }
 
 func TestExtFixedPointRunsAtTinyScale(t *testing.T) {
-	tb := ExtFixedPoint(tinyScale)
+	tb := mustTable(t)(ExtFixedPoint(bg, tinyScale))
 	if len(tb.Rows) != 2 {
 		t.Fatalf("rows = %d:\n%s", len(tb.Rows), tb.Render())
 	}
@@ -226,7 +256,10 @@ func TestScorecardStorageClaim(t *testing.T) {
 	// The static claim must pass at any scale.
 	for _, c := range Scorecard() {
 		if c.ID == "storage" {
-			detail, ok := c.Check(tinyScale)
+			detail, ok, err := c.Check(bg, tinyScale)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if !ok {
 				t.Errorf("storage claim failed: %s", detail)
 			}
@@ -238,7 +271,7 @@ func TestFig15RunsAtTinyScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	tb := Fig15StrictPythia(tinyScale)
+	tb := mustTable(t)(Fig15StrictPythia(bg, tinyScale))
 	// 13 Ligra workloads + GEOMEAN row.
 	if len(tb.Rows) != 14 {
 		t.Errorf("fig15 rows = %d, want 14:\n%s", len(tb.Rows), tb.Render())
@@ -249,7 +282,7 @@ func TestFig12RunsAtTinyScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	tb := Fig12Unseen(tinyScale)
+	tb := mustTable(t)(Fig12Unseen(bg, tinyScale))
 	// (4 categories + GEOMEAN) × 2 systems.
 	if len(tb.Rows) != 10 {
 		t.Errorf("fig12 rows = %d, want 10:\n%s", len(tb.Rows), tb.Render())
@@ -260,7 +293,7 @@ func TestFig11RunsAtTinyScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	tb := Fig11BandwidthOblivious(tinyScale)
+	tb := mustTable(t)(Fig11BandwidthOblivious(bg, tinyScale))
 	if len(tb.Rows) != len(BandwidthPoints) {
 		t.Errorf("fig11 rows = %d, want %d", len(tb.Rows), len(BandwidthPoints))
 	}
@@ -270,7 +303,7 @@ func TestExtTranslationRunsAtTinyScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	tb := ExtTranslation(tinyScale)
+	tb := mustTable(t)(ExtTranslation(bg, tinyScale))
 	if len(tb.Rows) != 2 {
 		t.Errorf("ext-xlat rows = %d:\n%s", len(tb.Rows), tb.Render())
 	}
@@ -287,7 +320,10 @@ func TestAllExperimentsRun(t *testing.T) {
 	for _, e := range AllExperiments() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tb := e.Run(micro)
+			tb, err := e.Run(bg, micro)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
 			if tb == nil || tb.Title == "" {
 				t.Fatalf("%s returned an empty table", e.ID)
 			}

@@ -13,7 +13,9 @@ func TestRunAllCoversEveryIndex(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		SetWorkers(workers)
 		hits := make([]int32, 100)
-		RunAll(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) })
+		if err := RunAll(bg, len(hits), func(i int) error { atomic.AddInt32(&hits[i], 1); return nil }); err != nil {
+			t.Fatal(err)
+		}
 		for i, h := range hits {
 			if h != 1 {
 				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
@@ -26,9 +28,12 @@ func TestRunAllNests(t *testing.T) {
 	SetWorkers(4)
 	defer SetWorkers(0)
 	var n atomic.Int32
-	RunAll(5, func(int) {
-		RunAll(7, func(int) { n.Add(1) })
+	err := RunAll(bg, 5, func(int) error {
+		return RunAll(bg, 7, func(int) error { n.Add(1); return nil })
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n.Load() != 35 {
 		t.Errorf("nested RunAll ran %d leaf calls, want 35", n.Load())
 	}
@@ -49,7 +54,12 @@ func TestRunCachedConcurrentCallersAgree(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			out[i] = RunCached(spec)
+			r, err := RunCached(bg, spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			out[i] = r
 		}()
 	}
 	wg.Wait()
@@ -70,7 +80,7 @@ func TestExperimentDeterministicAcrossWorkerCounts(t *testing.T) {
 		SetWorkers(workers)
 		ResetCaches()
 		defer ResetCaches()
-		return Fig1Motivation(tinyScale).Render()
+		return mustTable(t)(Fig1Motivation(bg, tinyScale)).Render()
 	}
 	seq := render(1)
 	par := render(8)

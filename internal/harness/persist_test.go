@@ -20,7 +20,10 @@ func TestRunCachedSurvivesRestart(t *testing.T) {
 	defer ResetCaches()
 
 	spec := RunSpec{Mix: tinyMix(t), CacheCfg: cache.DefaultConfig(1), Scale: tinyScale, PF: BasicPythiaPF()}
-	first := RunCached(spec)
+	first, err := RunCached(bg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ResultStore().Writes() == 0 {
 		t.Fatal("fresh run was not persisted")
 	}
@@ -30,7 +33,10 @@ func TestRunCachedSurvivesRestart(t *testing.T) {
 	ResetCaches()
 	SetResultStore(dir)
 	before := SimCount()
-	second := RunCached(spec)
+	second, err := RunCached(bg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if delta := SimCount() - before; delta != 0 {
 		t.Fatalf("restored run simulated %d times, want 0", delta)
 	}
@@ -59,7 +65,9 @@ func TestHookSpecsBypassPersistence(t *testing.T) {
 		Mix: tinyMix(t), CacheCfg: cache.DefaultConfig(1), Scale: tinyScale, PF: Baseline(),
 		Hook: func(*cache.Hierarchy, []prefetch.Prefetcher) { hooked++ },
 	}
-	RunCached(spec)
+	if _, err := RunCached(bg, spec); err != nil {
+		t.Fatal(err)
+	}
 	if hooked != 1 {
 		t.Fatalf("hook ran %d times, want 1", hooked)
 	}
@@ -69,7 +77,9 @@ func TestHookSpecsBypassPersistence(t *testing.T) {
 
 	ResetCaches()
 	before := SimCount()
-	RunCached(spec)
+	if _, err := RunCached(bg, spec); err != nil {
+		t.Fatal(err)
+	}
 	if delta := SimCount() - before; delta != 1 {
 		t.Errorf("hooked spec after reset simulated %d times, want 1 (no disk hit)", delta)
 	}

@@ -7,9 +7,16 @@
 // (SetWorkers / RunAll); every simulation is deterministic and results are
 // written into index-addressed slots, so a rendered table is byte-identical
 // at any worker count. PERF.md describes the parallel architecture.
+//
+// The harness never panics on unrunnable work: construction, stream and
+// simulation failures return as errors, and every entry point accepts a
+// context.Context that aborts in-flight simulations at chunk boundaries
+// with their worker slots released (DESIGN.md "Error model and
+// cancellation").
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -50,36 +57,70 @@ func SetWorkers(n int) {
 func Workers() int { return simSlots.limit() }
 
 // RunAll invokes fn(0..n-1), fanning out over the worker pool. Every fn
-// must write its result to its own index-addressed slot; RunAll returns
-// when all calls complete. Calls may nest — the global simulation cap keeps
-// total CPU bounded.
-func RunAll(n int, fn func(i int)) {
+// must write its result to its own index-addressed slot; on success RunAll
+// returns nil once all calls complete, so the slot array is fully
+// populated and tables stay byte-identical at any worker count. Calls may
+// nest — the global simulation cap keeps total CPU bounded.
+//
+// Errors short-circuit the fan-out: once any fn returns non-nil (or ctx is
+// canceled), no further indices are dispatched, in-flight calls finish,
+// and RunAll returns the first error observed. Partial results in the slot
+// array must be discarded by the caller.
+func RunAll(ctx context.Context, n int, fn func(i int) error) error {
 	w := Workers()
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
 	for k := 0; k < w; k++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if failed() || ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				if err := fn(i); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }
 
 // dynSema is a counting semaphore with an adjustable limit.
@@ -96,20 +137,48 @@ func newDynSema(limit int) *dynSema {
 	return s
 }
 
-func (s *dynSema) acquire() {
+// acquire blocks until a slot is free or ctx is canceled; a canceled wait
+// returns ctx.Err() without consuming a slot, so canceled simulations
+// never leak pool capacity. Cancellation is delivered to waiters through
+// an AfterFunc broadcast taken under the mutex, which closes the
+// check-then-wait race; the AfterFunc is registered lazily, only once a
+// caller actually has to wait, keeping the uncontended fast path free of
+// per-acquire allocation and parent-context locking.
+func (s *dynSema) acquire(ctx context.Context) error {
 	s.mu.Lock()
+	if s.inUse < s.cap {
+		s.inUse++
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for s.inUse >= s.cap {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		s.cond.Wait()
 	}
 	s.inUse++
-	s.mu.Unlock()
+	return nil
 }
 
+// release frees one slot. Signal suffices here: exactly one slot opened,
+// so exactly one waiter can proceed (limit growth, which can unblock many
+// waiters at once, broadcasts in setLimit instead).
 func (s *dynSema) release() {
 	s.mu.Lock()
 	s.inUse--
 	s.mu.Unlock()
-	s.cond.Broadcast()
+	s.cond.Signal()
 }
 
 func (s *dynSema) setLimit(n int) {
@@ -352,47 +421,70 @@ func SetTraceCacheDir(dir string) {
 // core, worker and experiment that wants the same trace; if the cache is
 // unusable (unwritable directory), delivery falls back to per-reader
 // generator replay, which costs CPU on replay but never materializes the
-// trace either.
-func streamSources(mix trace.Mix, sc Scale) []stream.Source {
+// trace either. A canceled ctx aborts the generation passes and returns
+// ctx.Err().
+func streamSources(ctx context.Context, mix trace.Mix, sc Scale) ([]stream.Source, error) {
 	out := make([]stream.Source, len(mix.Workloads))
-	RunAll(len(mix.Workloads), func(i int) {
+	err := RunAll(ctx, len(mix.Workloads), func(i int) error {
 		w := mix.Workloads[i]
-		genSlots.acquire()
-		src, err := streamCache().Source(w, sc.TraceLen, sc.StreamChunk)
+		if err := genSlots.acquire(ctx); err != nil {
+			return err
+		}
+		src, err := streamCache().Source(ctx, w, sc.TraceLen, sc.StreamChunk)
 		genSlots.release()
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
 			src = &stream.GenSource{W: w, N: sc.TraceLen, Chunk: sc.StreamChunk}
 		}
 		out[i] = src
+		return nil
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // tracesFor materializes the traces of a mix: cached, generated in
 // parallel, and deduplicated so concurrent runs of the same workload (e.g.
 // a homogeneous mix, or a baseline and a prefetched run racing) generate
-// each trace exactly once.
-func tracesFor(mix trace.Mix, length int) []*trace.Trace {
+// each trace exactly once. The cache keys by the workload's full identity
+// (Workload.Key: name, seed, length, generator version), not just its
+// display name — two same-named workloads with different seeds must not
+// share a materialized trace.
+func tracesFor(ctx context.Context, mix trace.Mix, length int) ([]*trace.Trace, error) {
 	out := make([]*trace.Trace, len(mix.Workloads))
-	RunAll(len(mix.Workloads), func(i int) {
+	err := RunAll(ctx, len(mix.Workloads), func(i int) error {
 		w := mix.Workloads[i]
-		key := fmt.Sprintf("%s|%d", w.Name, length)
+		key := w.Key(length)
 		if v, ok := traceCache.Load(key); ok {
 			out[i] = v.(*trace.Trace)
-			return
+			return nil
 		}
-		out[i], _ = traceFlight.Do(key, func() *trace.Trace {
+		t, _, err := traceFlight.Do(key, func() (*trace.Trace, error) {
 			if v, ok := traceCache.Load(key); ok {
-				return v.(*trace.Trace)
+				return v.(*trace.Trace), nil
 			}
-			genSlots.acquire()
+			if err := genSlots.acquire(ctx); err != nil {
+				return nil, err
+			}
 			t := w.Generate(length)
 			genSlots.release()
 			traceCache.Store(key, t)
-			return t
+			return t, nil
 		})
+		if err != nil {
+			return err
+		}
+		out[i] = t
+		return nil
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // simCount tallies simulations executed by this process; it is how tests
@@ -407,8 +499,18 @@ func SimCount() int64 { return simCount.Load() }
 // Run executes one simulation. Concurrent callers are throttled to the
 // worker limit; each simulation owns all its mutable state, so any number
 // may run side by side with deterministic results.
-func Run(spec RunSpec) RunResult {
-	simSlots.acquire()
+//
+// Errors are returned, never panicked: an unbuildable hierarchy or system,
+// a stream that cannot open or fails mid-run, and a canceled ctx all
+// surface as values, so long-lived callers (pythia-serve) survive a bad
+// spec or a corrupted trace-cache file. Cancellation is prompt — checked
+// while waiting for a worker slot, during trace generation, and at chunk
+// boundaries inside the simulation — and the slot is always released on
+// the way out.
+func Run(ctx context.Context, spec RunSpec) (RunResult, error) {
+	if err := simSlots.acquire(ctx); err != nil {
+		return RunResult{}, err
+	}
 	defer simSlots.release()
 	simCount.Add(1)
 	cores := len(spec.Mix.Workloads)
@@ -416,25 +518,40 @@ func Run(spec RunSpec) RunResult {
 	cfg.Cores = cores
 	hier, err := cache.NewHierarchy(cfg)
 	if err != nil {
-		panic(err)
+		return RunResult{}, fmt.Errorf("harness: %s: hierarchy: %w", spec.Mix.Name, err)
 	}
 
 	readers := make([]trace.Reader, cores)
+	closeReaders := func() {
+		for _, r := range readers {
+			if cl, ok := r.(interface{ Close() error }); ok && cl != nil {
+				cl.Close()
+			}
+		}
+	}
 	if spec.Scale.StreamChunk > 0 {
 		// Streaming delivery: records flow through the bounded chunk
 		// pipeline instead of a materialized []Record, so the horizon is
 		// limited by disk, not memory. The record sequence is identical to
 		// the materialized path (stream package equivalence tests), so a
 		// spec yields the same result either way.
-		for i, src := range streamSources(spec.Mix, spec.Scale) {
+		srcs, err := streamSources(ctx, spec.Mix, spec.Scale)
+		if err != nil {
+			return RunResult{}, err
+		}
+		for i, src := range srcs {
 			r, err := src.Open()
 			if err != nil {
-				panic(fmt.Sprintf("harness: open stream %s: %v", src.Name(), err))
+				closeReaders()
+				return RunResult{}, fmt.Errorf("harness: open stream %s: %w", src.Name(), err)
 			}
 			readers[i] = r
 		}
 	} else {
-		traces := tracesFor(spec.Mix, spec.Scale.TraceLen)
+		traces, err := tracesFor(ctx, spec.Mix, spec.Scale.TraceLen)
+		if err != nil {
+			return RunResult{}, err
+		}
 		for i, t := range traces {
 			readers[i] = trace.NewSliceReader(t.Records)
 		}
@@ -462,12 +579,15 @@ func Run(spec RunSpec) RunResult {
 	}
 	sys, err := cpu.NewSystem(sysCfg, hier, readers)
 	if err != nil {
-		panic(err)
+		closeReaders()
+		return RunResult{}, fmt.Errorf("harness: %s: %w", spec.Mix.Name, err)
 	}
 	// Streaming readers own producer goroutines and file handles; release
 	// them once the simulation is done (a no-op for slice readers).
 	defer sys.Close()
-	sys.Run()
+	if err := sys.Run(ctx); err != nil {
+		return RunResult{}, fmt.Errorf("harness: %s/%s: %w", spec.Mix.Name, spec.PF.Name, err)
+	}
 
 	res := RunResult{Name: spec.Mix.Name, PFs: pfs}
 	for _, c := range sys.Cores {
@@ -476,7 +596,7 @@ func Run(spec RunSpec) RunResult {
 	}
 	res.Buckets = hier.DRAM().Buckets()
 	res.DRAM = hier.DRAM().Stats()
-	return res
+	return res, nil
 }
 
 var (
@@ -523,32 +643,52 @@ func cacheKey(spec RunSpec) string {
 		spec.CacheCfg, spec.Scale.Warmup, spec.Scale.Sim, spec.Scale.TraceLen)
 }
 
+// stripPFs returns r without its live prefetcher objects. Memoized
+// results must not pin PFs: a Pythia agent retains its whole QVStore, so
+// caching it for the process lifetime would hold every table of every
+// baseline ever run. The stripped form matches what the persistent store
+// restores, keeping memory hits and disk hits indistinguishable.
+func stripPFs(r RunResult) RunResult {
+	r.PFs = nil
+	return r
+}
+
 // RunCached executes a simulation, memoizing results (baselines recur in
 // every figure). Concurrent callers with the same key are deduplicated
 // through a singleflight: exactly one runs the simulation, the rest share
-// its result. When a persistent store is configured (SetResultStore), a
-// miss in memory falls through to disk before simulating, and fresh
-// results are written back — so the memoization survives process
-// restarts. Disk-restored results carry no live PFs (see runPayload).
-func RunCached(spec RunSpec) RunResult {
+// its result (including its error — though errors are never memoized, so
+// a later retry simulates afresh; note the shared result means a waiter
+// can observe the leader's ctx cancellation). When a persistent store is
+// configured (SetResultStore), a miss in memory falls through to disk
+// before simulating, and fresh results are written back — so the
+// memoization survives process restarts.
+//
+// RunCached results never carry live PFs, whether they come from memory
+// or disk (see stripPFs); callers that introspect prefetcher state must
+// use Run directly.
+func RunCached(ctx context.Context, spec RunSpec) (RunResult, error) {
 	key := cacheKey(spec)
 	if v, ok := baselineCache.Load(key); ok {
-		return v.(RunResult)
+		return v.(RunResult), nil
 	}
-	r, _ := runFlight.Do(key, func() RunResult {
+	r, _, err := runFlight.Do(key, func() (RunResult, error) {
 		if v, ok := baselineCache.Load(key); ok {
-			return v.(RunResult)
+			return v.(RunResult), nil
 		}
 		if r, ok := loadPersisted(spec); ok {
 			baselineCache.Store(key, r)
-			return r
+			return r, nil
 		}
-		r := Run(spec)
+		r, err := Run(ctx, spec)
+		if err != nil {
+			return RunResult{}, err
+		}
 		storePersisted(spec, r)
+		r = stripPFs(r)
 		baselineCache.Store(key, r)
-		return r
+		return r, nil
 	})
-	return r
+	return r, err
 }
 
 // Speedup returns the geomean over cores of per-core IPC ratios between a
@@ -565,10 +705,16 @@ func Speedup(pf, base RunResult) float64 {
 
 // SpeedupOn runs prefetcher pf and the no-prefetch baseline on a mix and
 // returns the speedup (both runs cached).
-func SpeedupOn(mix trace.Mix, cfg cache.Config, sc Scale, pf PF) float64 {
-	base := RunCached(RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: Baseline()})
-	run := RunCached(RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: pf})
-	return Speedup(run, base)
+func SpeedupOn(ctx context.Context, mix trace.Mix, cfg cache.Config, sc Scale, pf PF) (float64, error) {
+	base, err := RunCached(ctx, RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: Baseline()})
+	if err != nil {
+		return 0, err
+	}
+	run, err := RunCached(ctx, RunSpec{Mix: mix, CacheCfg: cfg, Scale: sc, PF: pf})
+	if err != nil {
+		return 0, err
+	}
+	return Speedup(run, base), nil
 }
 
 // suiteWorkloads returns the workloads of a suite honoring the scale's

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"pythia/internal/cache"
@@ -21,8 +22,9 @@ type Claim struct {
 	// Statement is the finding in one sentence.
 	Statement string
 	// Check measures the claim; it returns the observed detail and whether
-	// the claim holds.
-	Check func(sc Scale) (detail string, ok bool)
+	// the claim holds. A simulation failure (or canceled ctx) aborts the
+	// check with an error rather than reporting a verdict.
+	Check func(ctx context.Context, sc Scale) (detail string, ok bool, err error)
 }
 
 // Scorecard returns the checked claims in presentation order.
@@ -31,47 +33,63 @@ func Scorecard() []Claim {
 		{
 			ID: "1c-ordering", Source: "§6.2.1 / Fig. 9a",
 			Statement: "Pythia outperforms SPP, Bingo and MLOP on the single-core geomean",
-			Check: func(sc Scale) (string, bool) {
+			Check: func(ctx context.Context, sc Scale) (string, bool, error) {
 				cfg := cache.DefaultConfig(1)
 				g := map[string]float64{}
 				for _, pf := range StandardPFs() {
 					var sp []float64
 					for _, suite := range trace.Suites() {
-						sp = append(sp, suiteSpeedups(suite, cfg, sc, pf)...)
+						s, err := suiteSpeedups(ctx, suite, cfg, sc, pf)
+						if err != nil {
+							return "", false, err
+						}
+						sp = append(sp, s...)
 					}
 					g[pf.Name] = stats.Geomean(sp)
 				}
 				ok := g["pythia"] > g["SPP"] && g["pythia"] > g["Bingo"] && g["pythia"] > g["MLOP"]
 				return fmt.Sprintf("pythia %.3f, SPP %.3f, Bingo %.3f, MLOP %.3f",
-					g["pythia"], g["SPP"], g["Bingo"], g["MLOP"]), ok
+					g["pythia"], g["SPP"], g["Bingo"], g["MLOP"]), ok, nil
 			},
 		},
 		{
 			ID: "gems-delta-win", Source: "Fig. 1 / §6.5",
 			Statement: "On the GemsFDTD delta-chain workload, Pythia beats Bingo (delta learners win)",
-			Check: func(sc Scale) (string, bool) {
+			Check: func(ctx context.Context, sc Scale) (string, bool, error) {
 				cfg := cache.DefaultConfig(1)
 				w, _ := trace.ByName("459.GemsFDTD-100B")
-				py := SpeedupOn(single(w), cfg, sc, BasicPythiaPF())
-				bi := SpeedupOn(single(w), cfg, sc, BingoPF())
-				return fmt.Sprintf("pythia %.3f vs Bingo %.3f", py, bi), py > bi
+				py, err := SpeedupOn(ctx, single(w), cfg, sc, BasicPythiaPF())
+				if err != nil {
+					return "", false, err
+				}
+				bi, err := SpeedupOn(ctx, single(w), cfg, sc, BingoPF())
+				if err != nil {
+					return "", false, err
+				}
+				return fmt.Sprintf("pythia %.3f vs Bingo %.3f", py, bi), py > bi, nil
 			},
 		},
 		{
 			ID: "sphinx-spatial-win", Source: "Fig. 1",
 			Statement: "On the sphinx3 spatial-footprint workload, Bingo beats SPP",
-			Check: func(sc Scale) (string, bool) {
+			Check: func(ctx context.Context, sc Scale) (string, bool, error) {
 				cfg := cache.DefaultConfig(1)
 				w, _ := trace.ByName("482.sphinx3-100B")
-				bi := SpeedupOn(single(w), cfg, sc, BingoPF())
-				sp := SpeedupOn(single(w), cfg, sc, SPPPF())
-				return fmt.Sprintf("Bingo %.3f vs SPP %.3f", bi, sp), bi > sp
+				bi, err := SpeedupOn(ctx, single(w), cfg, sc, BingoPF())
+				if err != nil {
+					return "", false, err
+				}
+				sp, err := SpeedupOn(ctx, single(w), cfg, sc, SPPPF())
+				if err != nil {
+					return "", false, err
+				}
+				return fmt.Sprintf("Bingo %.3f vs SPP %.3f", bi, sp), bi > sp, nil
 			},
 		},
 		{
 			ID: "low-bw-lead", Source: "§6.2.2 / Fig. 8b",
 			Statement: "At 150 MTPS Pythia leads SPP, Bingo and MLOP; every prefetcher does worse than at 2400 MTPS",
-			Check: func(sc Scale) (string, bool) {
+			Check: func(ctx context.Context, sc Scale) (string, bool, error) {
 				low := cache.DefaultConfig(1)
 				low.DRAM = low.DRAM.WithMTPS(150)
 				high := cache.DefaultConfig(1)
@@ -80,8 +98,16 @@ func Scorecard() []Claim {
 				for _, pf := range StandardPFs() {
 					var l, h []float64
 					for _, suite := range trace.Suites() {
-						l = append(l, suiteSpeedups(suite, low, sc, pf)...)
-						h = append(h, suiteSpeedups(suite, high, sc, pf)...)
+						ls, err := suiteSpeedups(ctx, suite, low, sc, pf)
+						if err != nil {
+							return "", false, err
+						}
+						hs, err := suiteSpeedups(ctx, suite, high, sc, pf)
+						if err != nil {
+							return "", false, err
+						}
+						l = append(l, ls...)
+						h = append(h, hs...)
 					}
 					lowG[pf.Name] = stats.Geomean(l)
 					if stats.Geomean(l) >= stats.Geomean(h) {
@@ -94,100 +120,130 @@ func Scorecard() []Claim {
 					}
 				}
 				return fmt.Sprintf("150 MTPS: pythia %.3f, SPP %.3f, Bingo %.3f, MLOP %.3f",
-					lowG["pythia"], lowG["SPP"], lowG["Bingo"], lowG["MLOP"]), ok
+					lowG["pythia"], lowG["SPP"], lowG["Bingo"], lowG["MLOP"]), ok, nil
 			},
 		},
 		{
 			ID: "bw-awareness", Source: "§6.3.3 / Fig. 11",
 			Statement: "The bandwidth-oblivious ablation does not beat basic Pythia under constrained bandwidth",
-			Check: func(sc Scale) (string, bool) {
+			Check: func(ctx context.Context, sc Scale) (string, bool, error) {
 				cfg := cache.DefaultConfig(1)
 				cfg.DRAM = cfg.DRAM.WithMTPS(300)
 				var b, o []float64
 				for _, suite := range trace.Suites() {
-					b = append(b, suiteSpeedups(suite, cfg, sc, BasicPythiaPF())...)
-					o = append(o, suiteSpeedups(suite, cfg, sc, PythiaPF(core.BandwidthObliviousConfig()))...)
+					bs, err := suiteSpeedups(ctx, suite, cfg, sc, BasicPythiaPF())
+					if err != nil {
+						return "", false, err
+					}
+					os, err := suiteSpeedups(ctx, suite, cfg, sc, PythiaPF(core.BandwidthObliviousConfig()))
+					if err != nil {
+						return "", false, err
+					}
+					b = append(b, bs...)
+					o = append(o, os...)
 				}
 				gb, gobl := stats.Geomean(b), stats.Geomean(o)
-				return fmt.Sprintf("basic %.3f vs oblivious %.3f at 300 MTPS", gb, gobl), gobl <= gb*1.02
+				return fmt.Sprintf("basic %.3f vs oblivious %.3f at 300 MTPS", gb, gobl), gobl <= gb*1.02, nil
 			},
 		},
 		{
 			ID: "strict-ligra", Source: "§6.6.1 / Fig. 15",
 			Statement: "Strict reward customization does not lose on the Ligra suite",
-			Check: func(sc Scale) (string, bool) {
+			Check: func(ctx context.Context, sc Scale) (string, bool, error) {
 				cfg := cache.DefaultConfig(1)
 				var b, s []float64
 				for _, w := range suiteWorkloads(trace.SuiteLigra, sc) {
-					b = append(b, SpeedupOn(single(w), cfg, sc, BasicPythiaPF()))
-					s = append(s, SpeedupOn(single(w), cfg, sc, PythiaPF(core.StrictConfig())))
+					bs, err := SpeedupOn(ctx, single(w), cfg, sc, BasicPythiaPF())
+					if err != nil {
+						return "", false, err
+					}
+					ss, err := SpeedupOn(ctx, single(w), cfg, sc, PythiaPF(core.StrictConfig()))
+					if err != nil {
+						return "", false, err
+					}
+					b = append(b, bs)
+					s = append(s, ss)
 				}
 				gb, gs := stats.Geomean(b), stats.Geomean(s)
-				return fmt.Sprintf("basic %.3f vs strict %.3f", gb, gs), gs >= gb*0.99
+				return fmt.Sprintf("basic %.3f vs strict %.3f", gb, gs), gs >= gb*0.99, nil
 			},
 		},
 		{
 			ID: "cphw", Source: "§4.5 / Fig. 21",
 			Statement: "Pythia beats the myopic contextual-bandit CP-HW on the single-core geomean",
-			Check: func(sc Scale) (string, bool) {
-				cfg := cache.DefaultConfig(1)
-				var p, c []float64
-				for _, suite := range trace.Suites() {
-					p = append(p, suiteSpeedups(suite, cfg, sc, BasicPythiaPF())...)
-					c = append(c, suiteSpeedups(suite, cfg, sc, CPHWPF())...)
-				}
-				gp, gc := stats.Geomean(p), stats.Geomean(c)
-				return fmt.Sprintf("pythia %.3f vs CP-HW %.3f", gp, gc), gp > gc
+			Check: func(ctx context.Context, sc Scale) (string, bool, error) {
+				return rivalGeomeans(ctx, sc, CPHWPF(), "CP-HW")
 			},
 		},
 		{
 			ID: "power7", Source: "Appendix B.5 / Fig. 22",
 			Statement: "Pythia beats the POWER7-style adaptive prefetcher on the single-core geomean",
-			Check: func(sc Scale) (string, bool) {
-				cfg := cache.DefaultConfig(1)
-				var p, c []float64
-				for _, suite := range trace.Suites() {
-					p = append(p, suiteSpeedups(suite, cfg, sc, BasicPythiaPF())...)
-					c = append(c, suiteSpeedups(suite, cfg, sc, Power7PF())...)
-				}
-				gp, gc := stats.Geomean(p), stats.Geomean(c)
-				return fmt.Sprintf("pythia %.3f vs POWER7 %.3f", gp, gc), gp > gc
+			Check: func(ctx context.Context, sc Scale) (string, bool, error) {
+				return rivalGeomeans(ctx, sc, Power7PF(), "POWER7")
 			},
 		},
 		{
 			ID: "unseen", Source: "§6.4 / Fig. 12",
 			Statement: "Pythia gains on the unseen CVP-2 traces it was never tuned on",
-			Check: func(sc Scale) (string, bool) {
+			Check: func(ctx context.Context, sc Scale) (string, bool, error) {
 				cfg := cache.DefaultConfig(1)
 				var sp []float64
 				for _, w := range trace.Representative(trace.SuiteCVP2) {
-					sp = append(sp, SpeedupOn(single(w), cfg, sc, BasicPythiaPF()))
+					s, err := SpeedupOn(ctx, single(w), cfg, sc, BasicPythiaPF())
+					if err != nil {
+						return "", false, err
+					}
+					sp = append(sp, s)
 				}
 				g := stats.Geomean(sp)
-				return fmt.Sprintf("geomean %.3f", g), g > 1.0
+				return fmt.Sprintf("geomean %.3f", g), g > 1.0, nil
 			},
 		},
 		{
 			ID: "storage", Source: "Table 4",
 			Statement: "Pythia's metadata budget is 25.5 KB (QVStore 24 KB + EQ 1.5 KB)",
-			Check: func(Scale) (string, bool) {
+			Check: func(context.Context, Scale) (string, bool, error) {
 				qv := core.NewQVStore(core.BasicConfig().Features, 128, 16, 3, 1, 1)
 				kb := float64(qv.StorageBits()) / 8 / 1024
-				return fmt.Sprintf("QVStore %.1f KB", kb), kb == 24
+				return fmt.Sprintf("QVStore %.1f KB", kb), kb == 24, nil
 			},
 		},
 	}
 }
 
+// rivalGeomeans compares Pythia's single-core geomean to a rival's across
+// every suite (the shared body of the CP-HW and POWER7 claims).
+func rivalGeomeans(ctx context.Context, sc Scale, rival PF, label string) (string, bool, error) {
+	cfg := cache.DefaultConfig(1)
+	var p, c []float64
+	for _, suite := range trace.Suites() {
+		ps, err := suiteSpeedups(ctx, suite, cfg, sc, BasicPythiaPF())
+		if err != nil {
+			return "", false, err
+		}
+		cs, err := suiteSpeedups(ctx, suite, cfg, sc, rival)
+		if err != nil {
+			return "", false, err
+		}
+		p = append(p, ps...)
+		c = append(c, cs...)
+	}
+	gp, gc := stats.Geomean(p), stats.Geomean(c)
+	return fmt.Sprintf("pythia %.3f vs %s %.3f", gp, label, gc), gp > gc, nil
+}
+
 // RunScorecard evaluates every claim at a scale.
-func RunScorecard(sc Scale) *stats.Table {
+func RunScorecard(ctx context.Context, sc Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:  "Reproduction scorecard: the paper's qualitative claims",
 		Header: []string{"claim", "source", "result", "observed"},
 	}
 	pass := 0
 	for _, c := range Scorecard() {
-		detail, ok := c.Check(sc)
+		detail, ok, err := c.Check(ctx, sc)
+		if err != nil {
+			return nil, fmt.Errorf("scorecard claim %s: %w", c.ID, err)
+		}
 		verdict := "FAIL"
 		if ok {
 			verdict = "PASS"
@@ -197,5 +253,5 @@ func RunScorecard(sc Scale) *stats.Table {
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d/%d claims hold at this scale", pass, len(Scorecard())))
-	return t
+	return t, nil
 }

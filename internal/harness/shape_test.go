@@ -23,7 +23,11 @@ func speedups(t *testing.T, names []string, cfg cache.Config, pf PF) []float64 {
 		if !ok {
 			t.Fatalf("missing workload %s", n)
 		}
-		out = append(out, SpeedupOn(single(w), cfg, shapeScale(), pf))
+		sp, err := SpeedupOn(bg, single(w), cfg, shapeScale(), pf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, sp)
 	}
 	return out
 }
@@ -150,7 +154,10 @@ func TestShapeCaseStudyLearnsPlus23(t *testing.T) {
 	// §6.5: after running GemsFDTD, the Q-value of +23 for context
 	// (PC=0x436a81, delta=0) must dominate small offsets.
 	w, _ := trace.ByName("459.GemsFDTD-100B")
-	r := Run(RunSpec{Mix: single(w), CacheCfg: cache.DefaultConfig(1), Scale: shapeScale(), PF: BasicPythiaPF()})
+	r, err := Run(bg, RunSpec{Mix: single(w), CacheCfg: cache.DefaultConfig(1), Scale: shapeScale(), PF: BasicPythiaPF()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	p := r.PFs[0].(*core.Pythia)
 	featVal := core.FeaturePCDelta.Value(&core.State{PC: 0x436a81, Delta: 0})
 	qv := p.QVStore()

@@ -31,8 +31,14 @@ func TestStreamingRunMatchesMaterialized(t *testing.T) {
 	mix := tinyMix(t)
 	cfg := cache.DefaultConfig(1)
 	for _, pf := range []PF{Baseline(), BasicPythiaPF()} {
-		mat := Run(RunSpec{Mix: mix, CacheCfg: cfg, Scale: tinyScale, PF: pf})
-		str := Run(RunSpec{Mix: mix, CacheCfg: cfg, Scale: streamScale, PF: pf})
+		mat, err := Run(bg, RunSpec{Mix: mix, CacheCfg: cfg, Scale: tinyScale, PF: pf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		str, err := Run(bg, RunSpec{Mix: mix, CacheCfg: cfg, Scale: streamScale, PF: pf})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if mat.IPC[0] != str.IPC[0] {
 			t.Errorf("%s: IPC %v materialized vs %v streamed", pf.Name, mat.IPC[0], str.IPC[0])
 		}
@@ -58,8 +64,14 @@ func TestStreamingMultiCoreReplay(t *testing.T) {
 	mix.Workloads = append(mix.Workloads, w)
 	mix.Name = w.Name + "-homo2"
 	cfg := cache.DefaultConfig(2)
-	mat := Run(RunSpec{Mix: mix, CacheCfg: cfg, Scale: tinyScale, PF: BasicPythiaPF()})
-	str := Run(RunSpec{Mix: mix, CacheCfg: cfg, Scale: streamScale, PF: BasicPythiaPF()})
+	mat, err := Run(bg, RunSpec{Mix: mix, CacheCfg: cfg, Scale: tinyScale, PF: BasicPythiaPF()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	str, err := Run(bg, RunSpec{Mix: mix, CacheCfg: cfg, Scale: streamScale, PF: BasicPythiaPF()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for c := range mat.IPC {
 		if mat.IPC[c] != str.IPC[c] {
 			t.Errorf("core %d: IPC %v materialized vs %v streamed", c, mat.IPC[c], str.IPC[c])
@@ -81,7 +93,7 @@ func TestStreamingDeterministicAcrossWorkerCounts(t *testing.T) {
 		SetWorkers(workers)
 		ResetCaches()
 		defer ResetCaches()
-		return ExtLongHorizon(streamScale).Render()
+		return mustTable(t)(ExtLongHorizon(bg, streamScale)).Render()
 	}
 	seq := render(1)
 	par := render(8)

@@ -91,11 +91,11 @@ type Store struct {
 	hits, misses, writes atomic.Int64
 }
 
-// flightOut is what a GetOrCompute flight delivers to every caller.
+// flightOut is what a GetOrCompute flight delivers to every caller; the
+// flight's error return carries compute/persist failures alongside it.
 type flightOut struct {
 	payload json.RawMessage
 	hit     bool
-	err     error
 }
 
 // Open returns a store rooted at dir. The directory is created lazily on
@@ -232,38 +232,38 @@ func (s *Store) GetOrCompute(key Key, out any, compute func() (any, error)) (hit
 	}
 
 	flightKey := key.Kind + "\x00" + key.Name + "\x00" + key.Fingerprint
-	res, leader := s.flight.Do(flightKey, func() flightOut {
+	res, leader, ferr := s.flight.Do(flightKey, func() (flightOut, error) {
 		// Re-check under the flight: an earlier flight (or another process)
 		// may have landed the entry between our miss and taking leadership.
 		if env, ok := s.load(key); ok {
 			s.hits.Add(1)
-			return flightOut{payload: env.Payload, hit: true}
+			return flightOut{payload: env.Payload, hit: true}, nil
 		}
 		v, err := compute()
 		if err != nil {
-			return flightOut{err: err}
+			return flightOut{}, err
 		}
 		buf, err := json.Marshal(v)
 		if err != nil {
-			return flightOut{err: fmt.Errorf("results: marshal %s/%s: %w", key.Kind, key.Name, err)}
+			return flightOut{}, fmt.Errorf("results: marshal %s/%s: %w", key.Kind, key.Name, err)
 		}
 		o := flightOut{payload: buf}
 		if !s.ReadOnly() {
 			// Delivery beats persistence; report a write failure without
 			// discarding the computed value.
-			o.err = s.write(key, buf)
+			return o, s.write(key, buf)
 		}
-		return o
+		return o, nil
 	})
 	if res.payload == nil {
-		return false, res.err
+		return false, ferr
 	}
 	if uerr := json.Unmarshal(res.payload, out); uerr != nil {
 		return false, uerr
 	}
 	// Waiters share the leader's payload but report hit=false: they did
 	// not observe the entry on disk themselves.
-	return res.hit && leader, res.err
+	return res.hit && leader, ferr
 }
 
 // Len reports how many entries are currently on disk (for tests and

@@ -1,20 +1,30 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"sync"
 	"time"
 
 	"pythia/internal/harness"
 )
 
-// Job statuses, in lifecycle order.
+// Job statuses, in lifecycle order. Done, error and canceled are the
+// terminal states; each is also the SSE event type of the job's final
+// event.
 const (
-	StatusQueued  = "queued"
-	StatusRunning = "running"
-	StatusDone    = "done"
-	StatusError   = "error"
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusError    = "error"
+	StatusCanceled = "canceled"
 )
+
+// terminalStatus reports whether s is a terminal job status.
+func terminalStatus(s string) bool {
+	return s == StatusDone || s == StatusError || s == StatusCanceled
+}
 
 // Event is one server-sent event: a type tag plus a JSON payload.
 type Event struct {
@@ -26,12 +36,20 @@ type Event struct {
 // executor writes, HTTP handlers read, SSE subscribers receive a replay of
 // every event published so far followed by live events, so a subscriber
 // that arrives after completion still sees the full history.
+//
+// Each job owns a context derived from the server's base context; cancel
+// (DELETE /api/runs/{id}) aborts an in-flight simulation at the next chunk
+// boundary and turns a queued job into a no-op. Server shutdown cancels
+// the base context, which reaches every job the same way.
 type job struct {
 	id        string
 	expID     string
 	title     string
 	scaleName string
 	scale     harness.Scale
+
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu       sync.Mutex
 	status   string
@@ -69,13 +87,16 @@ type JobView struct {
 	Rendered string `json:"rendered,omitempty"`
 }
 
-func newJob(id string, exp harness.Experiment, scaleName string, sc harness.Scale) *job {
+func newJob(base context.Context, id string, exp harness.Experiment, scaleName string, sc harness.Scale) *job {
+	ctx, cancel := context.WithCancel(base)
 	j := &job{
 		id:        id,
 		expID:     exp.ID,
 		title:     exp.Title,
 		scaleName: scaleName,
 		scale:     sc,
+		ctx:       ctx,
+		cancel:    cancel,
 		status:    StatusQueued,
 		created:   time.Now().UTC(),
 		subs:      make(map[chan Event]struct{}),
@@ -84,11 +105,11 @@ func newJob(id string, exp harness.Experiment, scaleName string, sc harness.Scal
 	return j
 }
 
-// terminal reports whether the job has reached done or error.
+// terminal reports whether the job has reached done, error or canceled.
 func (j *job) terminal() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.status == StatusDone || j.status == StatusError
+	return terminalStatus(j.status)
 }
 
 // view snapshots the job for JSON rendering.
@@ -156,37 +177,59 @@ func (j *job) publish(typ string, payload any) {
 	}
 }
 
-// setRunning transitions the job to running and announces it.
+// setRunning transitions the job to running and announces it. A job that
+// already turned terminal stays terminal: a DELETE can finish a queued
+// job between the executor popping it and reaching here, and running
+// must not overwrite (or be published after) that terminal state.
 func (j *job) setRunning() {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if terminalStatus(j.status) {
+		return
+	}
 	j.status = StatusRunning
 	j.started = time.Now().UTC()
 	j.publish("status", j.viewLocked())
 }
 
-// progress announces how many simulations the job has executed so far.
+// progress announces how many simulations the job has executed so far
+// (dropped once the job is terminal, so no event trails the terminal one
+// in the history).
 func (j *job) progress(sims int64) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if terminalStatus(j.status) {
+		return
+	}
 	j.sims = sims
 	j.publish("progress", map[string]any{"id": j.id, "sims": sims})
 }
 
 // finish records the terminal state, announces it, and closes every
-// subscriber channel (their signal to end the SSE stream).
+// subscriber channel (their signal to end the SSE stream). A context
+// cancellation error lands the job in canceled, not error: being stopped
+// on request is a normal lifecycle outcome, not a failure. Finishing twice
+// is a no-op (a canceled queued job may be finished by both the DELETE
+// handler and the executor's drain).
 func (j *job) finish(res *harness.ExperimentPayload, cached bool, sims int64, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if terminalStatus(j.status) {
+		return
+	}
 	j.finished = time.Now().UTC()
 	j.cached = cached
 	j.sims = sims
-	if err != nil {
-		j.status = StatusError
-		j.errMsg = err.Error()
-	} else {
+	switch {
+	case err == nil:
 		j.status = StatusDone
 		j.result = res
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.status = StatusCanceled
+		j.errMsg = err.Error()
+	default:
+		j.status = StatusError
+		j.errMsg = err.Error()
 	}
 	j.publish(j.status, j.viewLocked())
 	j.closed = true
@@ -194,6 +237,9 @@ func (j *job) finish(res *harness.ExperimentPayload, cached bool, sims int64, er
 		close(ch)
 		delete(j.subs, ch)
 	}
+	// The job context is done with: release its resources (also unparks
+	// any AfterFunc the harness registered for it).
+	j.cancel()
 }
 
 // subscribe returns the event history so far plus a channel of subsequent

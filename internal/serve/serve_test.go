@@ -114,7 +114,8 @@ func waitDone(t *testing.T, base, id string) serve.JobView {
 		if code := getJSON(t, base+"/api/runs/"+id, &out); code != http.StatusOK {
 			t.Fatalf("GET run %s = %d", id, code)
 		}
-		if out.Job.Status == serve.StatusDone || out.Job.Status == serve.StatusError {
+		switch out.Job.Status {
+		case serve.StatusDone, serve.StatusError, serve.StatusCanceled:
 			return out.Job
 		}
 		time.Sleep(10 * time.Millisecond)

@@ -12,14 +12,24 @@
 // store with zero additional simulation work, observable through the
 // job's sims counter. Progress streams to clients over SSE with full
 // event replay, so late subscribers see the whole history.
+//
+// Failure and cancellation are first-class: the harness returns errors as
+// values (a corrupted trace-cache file fails only the job that touched
+// it, with a terminal "error" SSE event, while the service keeps serving),
+// every job carries a context that DELETE /api/runs/{id} cancels (terminal
+// "canceled" event, in-flight simulations abort at the next chunk
+// boundary and release their worker slots), and Shutdown drains the queue
+// before stopping.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pythia/internal/harness"
@@ -55,8 +65,17 @@ type Server struct {
 	cfg   Config
 	store *results.Store
 	queue chan *job
-	quit  chan struct{}
 	wg    sync.WaitGroup
+
+	// baseCtx parents every job context; baseCancel is the hard-stop
+	// lever (Close, or Shutdown past its deadline).
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	// drain tells the executor to exit once the queue is empty; closing
+	// is the shutdown signal.
+	drain     chan struct{}
+	drainOnce sync.Once
+	closing   atomic.Bool
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -67,8 +86,8 @@ type Server struct {
 }
 
 // New builds a Server and starts its executor. Callers own the HTTP
-// listener (mount Handler) and must Close the server to stop the
-// executor.
+// listener (mount Handler) and must stop the server with Shutdown (drain)
+// or Close (abort) to stop the executor.
 func New(cfg Config) (*Server, error) {
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("serve: Config.Store is required")
@@ -86,21 +105,64 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		store:   cfg.Store,
 		queue:   make(chan *job, cfg.QueueDepth),
-		quit:    make(chan struct{}),
+		drain:   make(chan struct{}),
 		jobs:    make(map[string]*job),
 		started: time.Now().UTC(),
 	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.wg.Add(1)
 	go s.executor()
 	return s, nil
 }
 
-// Close stops the executor after the in-flight job (if any) completes.
-// Queued-but-unstarted jobs stay queued forever; Close is for shutdown,
-// not draining.
+// Shutdown gracefully stops the server: admission closes immediately
+// (launches get 503), then the executor drains every queued job to
+// completion before exiting. If ctx expires first, the drain turns into
+// an abort — the base context is canceled, so the in-flight job ends
+// "canceled" at its next chunk boundary and the remaining queued jobs
+// are marked canceled as the executor pops them. Shutdown returns when
+// the executor has exited; it is idempotent and safe to race with Close.
+func (s *Server) Shutdown(ctx context.Context) {
+	// The closing transition is taken under s.mu — the same lock admission
+	// holds across its check-and-enqueue — so after this critical section
+	// no launch can observe closing == false and enqueue later.
+	s.mu.Lock()
+	s.closing.Store(true)
+	s.mu.Unlock()
+	s.drainOnce.Do(func() { close(s.drain) })
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+	}
+	s.baseCancel()
+	// A launch that won the race (enqueued before the closing transition
+	// above) may still have slipped its job in after the executor drained
+	// and exited; finish any leftovers here — every admitted job is
+	// guaranteed a terminal event, shutdown or not.
+	for {
+		select {
+		case j := <-s.queue:
+			j.finish(nil, false, 0, context.Canceled)
+		default:
+			return
+		}
+	}
+}
+
+// Close stops the server without draining: every job still queued or
+// running is canceled. Equivalent to Shutdown with an already-expired
+// context.
 func (s *Server) Close() {
-	close(s.quit)
-	s.wg.Wait()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Shutdown(ctx)
 }
 
 // resolveScale maps a scale name through ExtraScales, then the harness
@@ -118,10 +180,20 @@ func (s *Server) executor() {
 	defer s.wg.Done()
 	for {
 		select {
-		case <-s.quit:
-			return
 		case j := <-s.queue:
 			s.runJob(j)
+		case <-s.drain:
+			// Shutdown: finish whatever is queued (each job still honors
+			// its own context, so an aborted shutdown cancels them), then
+			// exit.
+			for {
+				select {
+				case j := <-s.queue:
+					s.runJob(j)
+				default:
+					return
+				}
+			}
 		}
 	}
 }
@@ -131,6 +203,12 @@ func (s *Server) executor() {
 // single executor, every simulation between job start and finish belongs
 // to this job, so the delta is exact.
 func (s *Server) runJob(j *job) {
+	// A job canceled while queued (DELETE, or an aborted shutdown) is
+	// already terminal — or about to be; don't touch the store for it.
+	if j.ctx.Err() != nil {
+		j.finish(nil, false, 0, j.ctx.Err())
+		return
+	}
 	j.setRunning()
 	startSims := harness.SimCount()
 
@@ -172,9 +250,11 @@ func (s *Server) runJob(j *job) {
 	j.finish(&payload, hit, executed, nil)
 }
 
-// computeExperiment runs the experiment itself, converting panics (the
-// harness's error convention for unrunnable specs) into job errors so one
-// bad request cannot take down the service.
+// computeExperiment runs the experiment itself under the job's context.
+// The harness reports failures (bad specs, corrupted trace-cache files,
+// cancellation) as error values; the recover is a last line of defense
+// against latent panics in model code, so no single request can take down
+// the service either way.
 func (s *Server) computeExperiment(j *job, startSims int64) (payload any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -186,7 +266,10 @@ func (s *Server) computeExperiment(j *job, startSims int64) (payload any, err er
 		return nil, fmt.Errorf("unknown experiment %q", j.expID)
 	}
 	start := time.Now()
-	table := exp.Run(j.scale)
+	table, err := exp.Run(j.ctx, j.scale)
+	if err != nil {
+		return nil, err
+	}
 	return harness.ExperimentPayload{
 		ID:      exp.ID,
 		Title:   exp.Title,
@@ -206,6 +289,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/runs", s.handleListRuns)
 	mux.HandleFunc("POST /api/runs", s.handleLaunch)
 	mux.HandleFunc("GET /api/runs/{id}", s.handleGetRun)
+	mux.HandleFunc("DELETE /api/runs/{id}", s.handleCancelRun)
 	mux.HandleFunc("GET /api/runs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /api/results/{exp}", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -250,6 +334,10 @@ type launchRequest struct {
 }
 
 func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
 	var req launchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -271,9 +359,17 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.mu.Lock()
+	// Re-check closing under mu: Shutdown takes the same lock for its
+	// closing transition, so a launch past this point is guaranteed to be
+	// swept (or executed) by shutdown's drain rather than stranded.
+	if s.closing.Load() {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
 	s.nextID++
 	id := fmt.Sprintf("job-%d", s.nextID)
-	j := newJob(id, exp, scaleName, sc)
+	j := newJob(s.baseCtx, id, exp, scaleName, sc)
 	// The enqueue attempt is non-blocking, so holding mu across it keeps
 	// admission atomic: a job is registered iff it made it into the queue.
 	select {
@@ -284,6 +380,10 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 	default:
 		s.mu.Unlock()
+		// The rejected job was never admitted: release its context
+		// registration on baseCtx so retry storms against a full queue
+		// don't accumulate canceled children.
+		j.cancel()
 		writeErr(w, http.StatusServiceUnavailable, "job queue full (%d queued)", s.cfg.QueueDepth)
 		return
 	}
@@ -341,6 +441,33 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"job": j.view()})
 }
 
+// handleCancelRun is DELETE /api/runs/{id}: cancel a queued or running
+// job. A queued job turns terminal immediately; a running one has its
+// context canceled, which the harness observes at the next chunk boundary
+// — either way the job's SSE stream ends with a terminal "canceled"
+// event. Canceling an already-terminal job is a no-op (its final state is
+// returned unchanged, with 409 to signal nothing was canceled).
+func (s *Server) handleCancelRun(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if j.terminal() {
+		writeJSON(w, http.StatusConflict, map[string]any{"job": j.view()})
+		return
+	}
+	// Cancel the context first so a job mid-transition (popped from the
+	// queue but not yet running) still observes it; then, if the executor
+	// hasn't picked the job up, finish it here for a prompt terminal event
+	// (finish is idempotent, so racing the executor's own finish is safe).
+	j.cancel()
+	if v := j.view(); v.Status == StatusQueued {
+		j.finish(nil, false, 0, context.Canceled)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"job": j.view()})
+}
+
 // handleEvents streams a job's progress as server-sent events: the full
 // history replays first, then live events until the job reaches a
 // terminal state or the client disconnects.
@@ -364,7 +491,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	sawTerminal := false
 	emit := func(ev Event) {
-		if ev.Type == StatusDone || ev.Type == StatusError {
+		if terminalStatus(ev.Type) {
 			sawTerminal = true
 		}
 		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, ev.Data)
@@ -385,7 +512,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				// synthesize it from the job's final state before ending
 				// the stream — every client is guaranteed a terminal event.
 				if !sawTerminal {
-					if v := j.view(); v.Status == StatusDone || v.Status == StatusError {
+					if v := j.view(); terminalStatus(v.Status) {
 						buf, err := json.Marshal(v)
 						if err == nil {
 							emit(Event{Type: v.Status, Data: buf})
@@ -433,6 +560,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"jobs":           jobs,
 		"queue_depth":    s.cfg.QueueDepth,
 		"queued":         len(s.queue),
+		"closing":        s.closing.Load(),
 		"sims":           harness.SimCount(),
 		"workers":        harness.Workers(),
 		"store": map[string]any{

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -26,7 +27,7 @@ import (
 type Cache struct {
 	dir string
 
-	flight flight.Group[error]
+	flight flight.Group[struct{}]
 
 	sweepOnce sync.Once
 }
@@ -57,15 +58,16 @@ func (c *Cache) path(w trace.Workload, n int) string {
 
 // Source ensures the workload's trace is on disk (generating it exactly
 // once across concurrent callers) and returns a streaming FileSource over
-// it. chunk is the pipeline chunk size in records (0 = DefaultChunk).
-// File-backed (fixed) workloads are served straight from their resident
-// records instead: they are already materialized, and their identity key
-// carries no content hash, so persisting them could go stale.
-func (c *Cache) Source(w trace.Workload, n, chunk int) (Source, error) {
+// it; ctx bounds the generation pass. chunk is the pipeline chunk size in
+// records (0 = DefaultChunk). File-backed (fixed) workloads are served
+// straight from their resident records instead: they are already
+// materialized, and their identity key carries no content hash, so
+// persisting them could go stale.
+func (c *Cache) Source(ctx context.Context, w trace.Workload, n, chunk int) (Source, error) {
 	if ft := w.FixedTrace(); ft != nil {
 		return &SliceSource{T: ft}, nil
 	}
-	path, err := c.Ensure(w, n)
+	path, err := c.Ensure(ctx, w, n)
 	if err != nil {
 		return nil, err
 	}
@@ -74,9 +76,10 @@ func (c *Cache) Source(w trace.Workload, n, chunk int) (Source, error) {
 
 // Ensure populates the cache entry for (w, n) if needed and returns its
 // path. Concurrent calls for the same entry share one generation pass
-// (a flight.Group singleflight). Fixed workloads are rejected: their
-// cache key has no content identity (see Source).
-func (c *Cache) Ensure(w trace.Workload, n int) (string, error) {
+// (a flight.Group singleflight); a canceled ctx aborts the pass without
+// leaving a partial file. Fixed workloads are rejected: their cache key
+// has no content identity (see Source).
+func (c *Cache) Ensure(ctx context.Context, w trace.Workload, n int) (string, error) {
 	if w.FixedTrace() != nil {
 		return "", fmt.Errorf("stream: fixed workload %s is not disk-cacheable", w.Name)
 	}
@@ -84,14 +87,14 @@ func (c *Cache) Ensure(w trace.Workload, n int) (string, error) {
 	if c.valid(path, w, n) {
 		return path, nil
 	}
-	err, _ := c.flight.Do(path, func() error {
+	_, _, err := c.flight.Do(path, func() (struct{}, error) {
 		// Re-check under the flight: another process (or an earlier flight
 		// that completed between our check and joining) may have populated
 		// it.
 		if c.valid(path, w, n) {
-			return nil
+			return struct{}{}, nil
 		}
-		return c.populate(path, w, n)
+		return struct{}{}, c.populate(ctx, path, w, n)
 	})
 	return path, err
 }
@@ -117,10 +120,10 @@ func (c *Cache) valid(path string, w trace.Workload, n int) bool {
 // partial file behind (cache_fault_test.go injects faults to hold this);
 // temp files orphaned by a crashed process are reclaimed by an age-gated
 // sweep on first population.
-func (c *Cache) populate(path string, w trace.Workload, n int) error {
+func (c *Cache) populate(ctx context.Context, path string, w trace.Workload, n int) error {
 	c.sweepOnce.Do(func() { fsutil.SweepStaleTemps(c.dir) })
 	err := fsutil.WriteAtomic(c.dir, path, func(tmp *os.File) error {
-		_, _, werr := encodeWorkload(tmp, w, n)
+		_, _, werr := encodeWorkload(ctx, tmp, w, n)
 		return werr
 	})
 	if err != nil {
@@ -130,8 +133,10 @@ func (c *Cache) populate(path string, w trace.Workload, n int) error {
 }
 
 // encodeWorkload streams n records of w into wr through the incremental
-// encoder, returning the record and instruction counts.
-func encodeWorkload(wr *os.File, w trace.Workload, n int) (records int, instructions int64, err error) {
+// encoder, returning the record and instruction counts. The context is
+// checked between record batches so a canceled generation pass aborts
+// promptly.
+func encodeWorkload(ctx context.Context, wr *os.File, w trace.Workload, n int) (records int, instructions int64, err error) {
 	count := w.NumRecords(n)
 	e, err := trace.NewEncoder(wr, w.Name, w.Suite, count)
 	if err != nil {
@@ -139,6 +144,11 @@ func encodeWorkload(wr *os.File, w trace.Workload, n int) (records int, instruct
 	}
 	it := w.Iter(n)
 	for {
+		if records&0xFFFF == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return records, instructions, cerr
+			}
+		}
 		rec, ok := it.Next()
 		if !ok {
 			break
@@ -153,15 +163,16 @@ func encodeWorkload(wr *os.File, w trace.Workload, n int) (records int, instruct
 }
 
 // Materialize streams n records of w to path in the binary trace format,
-// generating incrementally so the trace is never resident in memory. On
-// any write error the partial output file is removed. It returns the
-// record and instruction counts written.
-func Materialize(path string, w trace.Workload, n int) (records int, instructions int64, err error) {
+// generating incrementally so the trace is never resident in memory; ctx
+// aborts a long write. On any error (including cancellation) the partial
+// output file is removed. It returns the record and instruction counts
+// written.
+func Materialize(ctx context.Context, path string, w trace.Workload, n int) (records int, instructions int64, err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return 0, 0, err
 	}
-	records, instructions, err = encodeWorkload(f, w, n)
+	records, instructions, err = encodeWorkload(ctx, f, w, n)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -28,7 +29,7 @@ func TestPopulateFailureLeavesNoPartialFiles(t *testing.T) {
 	fsutil.SetFailpoint(boom)
 	defer fsutil.SetFailpoint(nil)
 
-	if _, err := c.Ensure(w, 2000); !errors.Is(err, boom) {
+	if _, err := c.Ensure(context.Background(), w, 2000); !errors.Is(err, boom) {
 		t.Fatalf("Ensure error = %v, want injected failure", err)
 	}
 	ents, _ := os.ReadDir(dir)
@@ -37,7 +38,7 @@ func TestPopulateFailureLeavesNoPartialFiles(t *testing.T) {
 	}
 
 	fsutil.SetFailpoint(nil)
-	path, err := c.Ensure(w, 2000)
+	path, err := c.Ensure(context.Background(), w, 2000)
 	if err != nil {
 		t.Fatalf("Ensure after fault cleared: %v", err)
 	}
@@ -66,7 +67,7 @@ func TestCacheSweepReclaimsOnlyStaleTemps(t *testing.T) {
 
 	// First population triggers the sweep.
 	c := NewCache(dir)
-	if _, err := c.Ensure(w, 1000); err != nil {
+	if _, err := c.Ensure(context.Background(), w, 1000); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(stale); !os.IsNotExist(err) {

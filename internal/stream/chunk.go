@@ -15,6 +15,12 @@ import (
 // Memory bound: at most depth+2 chunk buffers ever exist per reader — one
 // in the producer's hands, up to depth queued, one being drained by the
 // consumer — regardless of trace length.
+//
+// Producer failures (a decode error on a file that changed under a running
+// simulation, a reset that cannot reopen its pass) are carried through the
+// pipe and surface on the consumer side as Next() == false with a sticky
+// Err(), never as a panic: the simulation driver owns the decision of what
+// an unrecoverable trace means for the run.
 type chunkedReader struct {
 	// open starts a fresh pass over the records; the returned closer (may
 	// be nil) releases pass-scoped resources (an open file) when the
@@ -28,6 +34,7 @@ type chunkedReader struct {
 
 	cur    []trace.Record // chunk being drained
 	pos    int
+	err    error // sticky first delivery error
 	closed bool
 }
 
@@ -37,6 +44,10 @@ type pipe struct {
 	ch   chan []trace.Record
 	stop chan struct{}
 	done chan struct{}
+	// err is the producer's terminal error, written before ch is closed
+	// (the close is the synchronization point, so the consumer may read it
+	// after observing the closed channel).
+	err error
 }
 
 func newChunkedReader(open func() (trace.Iter, io.Closer, error), chunk, depth int) (*chunkedReader, error) {
@@ -67,10 +78,11 @@ func (c *chunkedReader) start() error {
 	return nil
 }
 
-// produce fills chunks from it and sends them until EOF or stop. Every
-// buffer it takes from the free list goes back — either via the channel to
-// the consumer or directly on the stop path — so the buffer population
-// stays constant across any number of resets.
+// produce fills chunks from it and sends them until EOF, a delivery error,
+// or stop. Every buffer it takes from the free list goes back — either via
+// the channel to the consumer or directly on the stop path — so the buffer
+// population stays constant across any number of resets. An iterator error
+// lands in p.err before the channel closes.
 func (c *chunkedReader) produce(p *pipe, it trace.Iter, cl io.Closer) {
 	defer close(p.done)
 	defer close(p.ch)
@@ -95,8 +107,10 @@ func (c *chunkedReader) produce(p *pipe, it trace.Iter, cl io.Closer) {
 			}
 			buf = append(buf, rec)
 		}
+		ended := len(buf) < c.chunk
 		if len(buf) == 0 {
 			c.free <- buf
+			p.err = iterErr(it)
 			return
 		}
 		select {
@@ -105,7 +119,20 @@ func (c *chunkedReader) produce(p *pipe, it trace.Iter, cl io.Closer) {
 			c.free <- buf
 			return
 		}
+		if ended {
+			p.err = iterErr(it)
+			return
+		}
 	}
+}
+
+// iterErr extracts the terminal error from iterators that can fail
+// (fileIter); generator-backed iterators cannot and report nil.
+func iterErr(it trace.Iter) error {
+	if e, ok := it.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
 }
 
 // Next implements trace.Reader.
@@ -115,7 +142,7 @@ func (c *chunkedReader) Next() (trace.Record, bool) {
 		c.pos++
 		return r, true
 	}
-	if c.p == nil {
+	if c.err != nil || c.p == nil {
 		return trace.Record{}, false
 	}
 	if c.cur != nil {
@@ -124,25 +151,34 @@ func (c *chunkedReader) Next() (trace.Record, bool) {
 	}
 	buf, ok := <-c.p.ch
 	if !ok {
+		// Producer finished; distinguish clean EOF from a delivery failure.
+		if c.p.err != nil {
+			c.err = c.p.err
+		}
 		return trace.Record{}, false
 	}
 	c.cur, c.pos = buf, 1
 	return buf[0], true
 }
 
+// Err implements Reader: the sticky first delivery error, nil on clean
+// streams.
+func (c *chunkedReader) Err() error { return c.err }
+
 // Reset implements trace.Reader: it stops the current pass and starts a
 // fresh one from the first record. The multi-core driver calls this to
-// replay traces for cores that finish early. Reset on a closed reader is a
-// no-op; a failure to reopen the underlying pass (e.g. a cache file
-// deleted mid-simulation) panics, as the simulation cannot continue
-// meaningfully.
+// replay traces for cores that finish early. Reset on a closed or failed
+// reader is a no-op; a failure to reopen the underlying pass (e.g. a cache
+// file deleted mid-simulation) is recorded in Err and subsequent Next
+// calls return false, so the driver observes the failure on its next read
+// instead of a panic.
 func (c *chunkedReader) Reset() {
-	if c.closed {
+	if c.closed || c.err != nil {
 		return
 	}
 	c.stopPipe()
 	if err := c.start(); err != nil {
-		panic(fmt.Sprintf("stream: reset: %v", err))
+		c.err = fmt.Errorf("stream: reset: %w", err)
 	}
 }
 

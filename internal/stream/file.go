@@ -76,20 +76,31 @@ func (s *FileSource) openPass() (trace.Iter, io.Closer, error) {
 
 // fileIter adapts a Decoder to trace.Iter. A decode error mid-stream means
 // the file changed or corrupted under a running simulation, whose results
-// would silently be garbage — so it panics rather than truncating.
+// would silently be garbage — so the error is recorded and surfaced
+// through the reader's Err path (the driver aborts the run) rather than
+// truncating the stream or panicking.
 type fileIter struct {
 	d    *trace.Decoder
 	path string
+	err  error
 }
 
 // Next implements trace.Iter.
 func (it *fileIter) Next() (trace.Record, bool) {
+	if it.err != nil {
+		return trace.Record{}, false
+	}
 	rec, err := it.d.Next()
 	if err == io.EOF {
 		return trace.Record{}, false
 	}
 	if err != nil {
-		panic(fmt.Sprintf("stream: decoding %s: %v", it.path, err))
+		it.err = fmt.Errorf("stream: decoding %s: %w", it.path, err)
+		return trace.Record{}, false
 	}
 	return rec, true
 }
+
+// Err reports the sticky decode error; the chunk pipeline's producer
+// forwards it to the consumer side.
+func (it *fileIter) Err() error { return it.err }

@@ -44,9 +44,21 @@ const DefaultDepth = 2
 // goroutine and possibly an open file. Callers must Close it when the
 // simulation is done (Close is idempotent); cpu.System.Close does this for
 // every core reader.
+//
+// Delivery can fail mid-stream (a cache file deleted or corrupted under a
+// running simulation, a reset that cannot reopen its pass). Such failures
+// surface through the read path, never as panics: Next returns ok == false
+// and Err reports the sticky first error, distinguishing a failure from a
+// genuine end of trace (Err == nil). Consumers must check Err before
+// treating ok == false as EOF — the cpu driver does, and aborts the
+// simulation with the error instead of silently truncating.
 type Reader interface {
 	trace.Reader
 	io.Closer
+	// Err returns the first delivery error, or nil if the stream has only
+	// ever ended cleanly. It is sticky: once non-nil, Next keeps returning
+	// false and Reset is a no-op.
+	Err() error
 }
 
 // Source produces fresh Readers over one trace. A Source is cheap and
@@ -77,6 +89,8 @@ func (s *SliceSource) Open() (Reader, error) {
 type nopCloserReader struct{ *trace.SliceReader }
 
 func (nopCloserReader) Close() error { return nil }
+
+func (nopCloserReader) Err() error { return nil }
 
 func chunkOr(n int) int {
 	if n <= 0 {

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -10,6 +11,9 @@ import (
 
 	"pythia/internal/trace"
 )
+
+// bgCtx is the context for tests that don't exercise cancellation.
+var bgCtx = context.Background()
 
 func testWorkload(t testing.TB) trace.Workload {
 	t.Helper()
@@ -81,7 +85,7 @@ func TestFileSourceMatchesGenerate(t *testing.T) {
 	want := w.Generate(n).Records
 
 	cache := NewCache(t.TempDir())
-	src, err := cache.Source(w, n, 4096)
+	src, err := cache.Source(bgCtx, w, n, 4096)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +130,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			p, err := cache.Ensure(w, n)
+			p, err := cache.Ensure(bgCtx, w, n)
 			if err != nil {
 				t.Error(err)
 				return
@@ -155,17 +159,17 @@ func TestCacheSingleflight(t *testing.T) {
 func TestCacheRepopulatesInvalid(t *testing.T) {
 	w := testWorkload(t)
 	cache := NewCache(t.TempDir())
-	path, err := cache.Ensure(w, 5000)
+	path, err := cache.Ensure(bgCtx, w, 5000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cache.Ensure(w, 5000); err != nil {
+	if _, err := cache.Ensure(bgCtx, w, 5000); err != nil {
 		t.Fatal(err)
 	}
-	src, err := cache.Source(w, 5000, 0)
+	src, err := cache.Source(bgCtx, w, 5000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +189,7 @@ func TestCacheServesFixedWorkloadsFromMemory(t *testing.T) {
 	tr := testWorkload(t).Generate(1000)
 	fixed := trace.Fixed(tr)
 	cache := NewCache(t.TempDir())
-	src, err := cache.Source(fixed, 500, 0)
+	src, err := cache.Source(bgCtx, fixed, 500, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +205,7 @@ func TestCacheServesFixedWorkloadsFromMemory(t *testing.T) {
 	if entries, _ := os.ReadDir(cache.Dir()); len(entries) != 0 {
 		t.Errorf("fixed workload wrote %d cache entries", len(entries))
 	}
-	if _, err := cache.Ensure(fixed, 500); err == nil {
+	if _, err := cache.Ensure(bgCtx, fixed, 500); err == nil {
 		t.Error("Ensure accepted a fixed workload")
 	}
 }
@@ -211,11 +215,11 @@ func TestCacheServesFixedWorkloadsFromMemory(t *testing.T) {
 func TestCacheKeysDistinguishLengths(t *testing.T) {
 	w := testWorkload(t)
 	cache := NewCache(t.TempDir())
-	p1, err := cache.Ensure(w, 1000)
+	p1, err := cache.Ensure(bgCtx, w, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := cache.Ensure(w, 2000)
+	p2, err := cache.Ensure(bgCtx, w, 2000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +314,7 @@ func TestMaterialize(t *testing.T) {
 	w := testWorkload(t)
 	dir := t.TempDir()
 	path := filepath.Join(dir, "out.pytr")
-	recs, instrs, err := Materialize(path, w, 10_000)
+	recs, instrs, err := Materialize(bgCtx, path, w, 10_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,10 +333,104 @@ func TestMaterialize(t *testing.T) {
 
 	// An uncreatable path errors and leaves nothing behind.
 	badPath := filepath.Join(dir, "no-such-dir", "out.pytr")
-	if _, _, err := Materialize(badPath, w, 100); err == nil {
+	if _, _, err := Materialize(bgCtx, badPath, w, 100); err == nil {
 		t.Error("Materialize into a missing directory succeeded")
 	}
 	if _, err := os.Stat(badPath); !os.IsNotExist(err) {
 		t.Error("partial output left behind")
+	}
+}
+
+// TestFileReaderSurfacesMidStreamCorruption: truncating a trace file under
+// an open reader (the header stays intact, the body dies mid-record) must
+// end the stream with Next == false and a sticky non-nil Err — never a
+// panic, never a silent truncation that looks like EOF.
+func TestFileReaderSurfacesMidStreamCorruption(t *testing.T) {
+	w := testWorkload(t)
+	const n = 20_000
+	cache := NewCache(t.TempDir())
+	path, err := cache.Ensure(bgCtx, w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep the header plus a prefix of the body; the decoder hits
+	// unexpected EOF before reaching the declared record count.
+	if err := os.WriteFile(path, buf[:len(buf)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	src := &FileSource{Path: path, Chunk: 512}
+	r, err := src.Open()
+	if err != nil {
+		t.Fatal(err) // header is intact, Open must succeed
+	}
+	defer r.Close()
+	got := drain(r, 0)
+	if len(got) == 0 || len(got) >= n {
+		t.Fatalf("drained %d records from a half-truncated %d-record trace", len(got), n)
+	}
+	if r.Err() == nil {
+		t.Fatal("reader reports clean EOF on a corrupted file")
+	}
+	// The error is sticky: further reads and resets change nothing.
+	r.Reset()
+	if _, ok := r.Next(); ok {
+		t.Error("Next delivered a record after a sticky delivery error")
+	}
+	if r.Err() == nil {
+		t.Error("Err cleared by Reset")
+	}
+}
+
+// TestFileReaderSurfacesResetFailure: deleting the backing file mid-run
+// makes the next Reset (reopen) fail; the failure lands in Err and Next
+// returns false, instead of the old panic.
+func TestFileReaderSurfacesResetFailure(t *testing.T) {
+	w := testWorkload(t)
+	const n = 5_000
+	cache := NewCache(t.TempDir())
+	path, err := cache.Ensure(bgCtx, w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &FileSource{Path: path, Chunk: 512}
+	r, err := src.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := drain(r, 0); len(got) != n {
+		t.Fatalf("first pass drained %d records, want %d", len(got), n)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	r.Reset()
+	if _, ok := r.Next(); ok {
+		t.Fatal("Next delivered a record after a failed Reset")
+	}
+	if r.Err() == nil {
+		t.Fatal("failed Reset left Err nil")
+	}
+}
+
+// TestCleanEOFHasNilErr pins the other half of the contract: a stream
+// that ends normally reports Err == nil, so consumers can distinguish
+// EOF from failure.
+func TestCleanEOFHasNilErr(t *testing.T) {
+	w := testWorkload(t)
+	src := &GenSource{W: w, N: 1000}
+	r, err := src.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	drain(r, 0)
+	if r.Err() != nil {
+		t.Fatalf("clean stream reports Err = %v", r.Err())
 	}
 }
