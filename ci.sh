@@ -42,7 +42,7 @@ echo "== no-new-panics gate (error-propagation model) =="
 # The simulation stack reports failures as values (DESIGN.md "Error model
 # and cancellation"); a panic() reappearing outside tests in these
 # packages is a regression of that model. Allow-list: currently empty.
-panics=$(grep -rn 'panic(' internal/stream internal/harness internal/serve internal/cpu \
+panics=$(grep -rn 'panic(' internal/stream internal/harness internal/serve internal/cpu internal/policy \
     --include='*.go' | grep -v '_test\.go' || true)
 if [ -n "$panics" ]; then
     echo "panic() on an error-propagation hot path:" >&2
@@ -58,15 +58,16 @@ else
 fi
 
 if [ "$tier" = full ]; then
-    echo "== go test -race (worker pool + stream pipeline + trace io + result store + serve/cancellation) =="
+    echo "== go test -race (worker pool + stream pipeline + trace io + result/policy stores + serve/cancellation) =="
     # The repo's concurrency lives in the harness worker pool/singleflights,
     # the stream chunk pipeline / trace-cache population, the persistent
-    # result store, the serving layer's queue/SSE fan-out, and the
-    # cancellation paths threading contexts through cpu/harness/serve; run
-    # those packages under the race detector.
+    # result and policy stores, the serving layer's queue/SSE fan-out (now
+    # including POST-able training jobs), and the cancellation paths
+    # threading contexts through cpu/harness/serve; run those packages
+    # under the race detector.
     go test -race ./internal/harness/... ./internal/stream/... ./internal/trace/... \
-        ./internal/results/... ./internal/serve/... ./internal/flight/... \
-        ./internal/cpu/...
+        ./internal/results/... ./internal/policy/... ./internal/serve/... \
+        ./internal/flight/... ./internal/cpu/...
 
     echo "== bench smoke (QVStore hot path) =="
     go test -run='AllocationFree' -bench='QVStore' -benchtime=100x -benchmem .

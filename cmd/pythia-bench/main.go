@@ -4,9 +4,15 @@
 //
 //	pythia-bench -exp all -scale default
 //	pythia-bench -exp fig9a,fig8b -scale quick -csv out/
+//	pythia-bench -exp all,ext -scale quick
+//	pythia-bench -exp ext-generalization,ext-warmstart -policies /var/lib/pythia/policies
 //	pythia-bench -exp fig1 -parallel 8 -json BENCH_2.json
 //	pythia-bench -exp all -results /var/lib/pythia/results
 //	pythia-bench -list
+//
+// -exp takes a comma-separated list of experiment IDs and/or the group
+// tokens "all" (every paper figure/table) and "ext" (every extended
+// study); duplicates are dropped, order is preserved.
 //
 // Simulations fan out over -parallel workers (default: all CPUs); worker
 // count changes wall time only, never a table's contents. -json records
@@ -31,7 +37,10 @@ import (
 	"syscall"
 	"time"
 
+	"pythia/internal/cache"
+	"pythia/internal/core"
 	"pythia/internal/harness"
+	"pythia/internal/policy"
 	"pythia/internal/stream"
 	"pythia/internal/trace"
 )
@@ -44,6 +53,7 @@ type benchReport struct {
 	GOARCH      string            `json:"goarch"`
 	CPUs        int               `json:"cpus"`
 	Stream      *streamBench      `json:"stream,omitempty"`
+	Warmstart   *warmstartBench   `json:"warmstart,omitempty"`
 	Experiments []benchExperiment `json:"experiments"`
 	TotalSecs   float64           `json:"total_seconds"`
 }
@@ -123,9 +133,115 @@ func runStreamBench(records int) (*streamBench, error) {
 	return sb, nil
 }
 
+// warmstartBench records what warm-starting buys on one workload: the
+// instructions each arm needed to reach converged IPC (99% of its own
+// full-horizon figure over a checkpoint ladder) and the wall time of the
+// full-horizon evaluations. ConvergeSpeedup — cold over warm converge
+// instructions — is the headline column pythia-benchdiff tracks.
+type warmstartBench struct {
+	Workload          string  `json:"workload"`
+	TrainSeconds      float64 `json:"train_seconds"`
+	ColdConvergeInstr int64   `json:"cold_converge_instr"`
+	WarmConvergeInstr int64   `json:"warm_converge_instr"`
+	ConvergeSpeedup   float64 `json:"converge_speedup"`
+	ColdEvalSeconds   float64 `json:"cold_eval_seconds"`
+	WarmEvalSeconds   float64 `json:"warm_eval_seconds"`
+}
+
+// runWarmBench trains a policy fresh (no store) and times warm vs cold
+// evaluations over a horizon-checkpoint ladder. It uses harness.Run, not
+// RunCached, so every timing is a real simulation.
+func runWarmBench(ctx context.Context, sc harness.Scale) (*warmstartBench, error) {
+	w, ok := trace.ByName("459.GemsFDTD-100B")
+	if !ok {
+		return nil, fmt.Errorf("warm bench workload missing")
+	}
+	cfg := cache.DefaultConfig(1)
+	ts := harness.TrainSpec{Workload: w, CacheCfg: cfg, Scale: sc, Config: core.BasicConfig()}
+
+	wb := &warmstartBench{Workload: w.Name}
+	start := time.Now()
+	env, _, err := harness.TrainPolicyIn(ctx, nil, ts)
+	if err != nil {
+		return nil, err
+	}
+	wb.TrainSeconds = time.Since(start).Seconds()
+
+	// The ladder, arm construction and convergence rule are the
+	// harness's (WarmLadderSpec / WarmConvergeInstr), so this section
+	// records exactly the metric ext-warmstart defines. Run, not
+	// RunCached: every timing is a real simulation.
+	ipcAt := func(warm *policy.Envelope) ([]float64, float64, error) {
+		ipc := make([]float64, len(harness.WarmCheckpoints))
+		var fullSecs float64
+		for ci, f := range harness.WarmCheckpoints {
+			start := time.Now()
+			r, err := harness.Run(ctx, harness.WarmLadderSpec(w, cfg, sc, ci, warm))
+			if err != nil {
+				return nil, 0, err
+			}
+			if f == 1.0 {
+				fullSecs = time.Since(start).Seconds()
+			}
+			ipc[ci] = r.IPC[0]
+		}
+		return ipc, fullSecs, nil
+	}
+	coldIPC, coldSecs, err := ipcAt(nil)
+	if err != nil {
+		return nil, err
+	}
+	warmIPC, warmSecs, err := ipcAt(&env)
+	if err != nil {
+		return nil, err
+	}
+	wb.ColdEvalSeconds, wb.WarmEvalSeconds = coldSecs, warmSecs
+	wb.ColdConvergeInstr = harness.WarmConvergeInstr(coldIPC, sc.Sim)
+	wb.WarmConvergeInstr = harness.WarmConvergeInstr(warmIPC, sc.Sim)
+	wb.ConvergeSpeedup = float64(wb.ColdConvergeInstr) / float64(wb.WarmConvergeInstr)
+	return wb, nil
+}
+
+// resolveExperiments expands a comma-separated -exp value: experiment IDs
+// and/or the group tokens "all" (paper) and "ext" (extended studies).
+// Duplicates are dropped; order is preserved.
+func resolveExperiments(spec string) ([]harness.Experiment, error) {
+	var exps []harness.Experiment
+	seen := map[string]bool{}
+	add := func(e harness.Experiment) {
+		if !seen[e.ID] {
+			seen[e.ID] = true
+			exps = append(exps, e)
+		}
+	}
+	for _, tok := range strings.Split(spec, ",") {
+		switch tok = strings.TrimSpace(tok); tok {
+		case "":
+		case "all":
+			for _, e := range harness.Experiments() {
+				add(e)
+			}
+		case "ext":
+			for _, e := range harness.ExtendedExperiments() {
+				add(e)
+			}
+		default:
+			e, ok := harness.ExperimentByID(tok)
+			if !ok {
+				return nil, fmt.Errorf("unknown experiment %q (use -list; groups: all, ext)", tok)
+			}
+			add(e)
+		}
+	}
+	if len(exps) == 0 {
+		return nil, fmt.Errorf("-exp %q selects no experiments", spec)
+	}
+	return exps, nil
+}
+
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		expFlag   = flag.String("exp", "all", "comma-separated experiment IDs and/or group tokens: 'all' (paper figures/tables), 'ext' (extended studies)")
 		scaleFlag = flag.String("scale", "default", "simulation scale: quick|default|full|long")
 		csvDir    = flag.String("csv", "", "also write each result as CSV into this directory")
 		mdPath    = flag.String("md", "", "also append all results as a markdown report to this file")
@@ -134,13 +250,20 @@ func main() {
 		strBench  = flag.Bool("streambench", false, "also measure trace-delivery throughput (materialized vs streamed) into the -json report")
 		resDir    = flag.String("results", "", "persistent result store directory: simulations are read from and written to it, surviving restarts")
 		resRO     = flag.Bool("results-readonly", false, "with -results, read stored simulations but never write new ones")
+		polDir    = flag.String("policies", "", "policy store directory: warm-start experiments reuse trained policies across invocations")
+		warmBench = flag.Bool("warmbench", false, "also measure warm-vs-cold convergence (instructions and wall time) into the -json report")
 		list      = flag.Bool("list", false, "list available experiments and exit")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, e := range harness.AllExperiments() {
-			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		fmt.Println("paper experiments:")
+		for _, e := range harness.Experiments() {
+			fmt.Printf("  %-20s %s\n", e.ID, e.Title)
+		}
+		fmt.Println("\nextended studies (-exp ext runs all of them):")
+		for _, e := range harness.ExtendedExperiments() {
+			fmt.Printf("  %-20s %s\n", e.ID, e.Title)
 		}
 		return
 	}
@@ -153,6 +276,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-results-readonly requires -results")
 		os.Exit(2)
 	}
+	if *polDir != "" {
+		harness.SetPolicyStore(*polDir)
+	}
 
 	sc, err := harness.ScaleByName(*scaleFlag)
 	if err != nil {
@@ -160,18 +286,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	var exps []harness.Experiment
-	if *expFlag == "all" {
-		exps = harness.Experiments()
-	} else {
-		for _, id := range strings.Split(*expFlag, ",") {
-			e, ok := harness.ExperimentByID(strings.TrimSpace(id))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
-			}
-			exps = append(exps, e)
-		}
+	exps, err := resolveExperiments(*expFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	report := benchReport{
@@ -196,6 +314,18 @@ func main() {
 	// instead of being killed mid-table.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+
+	if *warmBench {
+		wb, err := runWarmBench(ctx, sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		report.Warmstart = wb
+		fmt.Printf("[warm start, %s: converge %d instr warm vs %d cold (%.1fx), train %.1fs, full eval %.1fs warm / %.1fs cold]\n\n",
+			wb.Workload, wb.WarmConvergeInstr, wb.ColdConvergeInstr, wb.ConvergeSpeedup,
+			wb.TrainSeconds, wb.WarmEvalSeconds, wb.ColdEvalSeconds)
+	}
 
 	var md strings.Builder
 	wall := time.Now()

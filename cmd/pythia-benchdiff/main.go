@@ -29,9 +29,15 @@ import (
 // report mirrors the fields of pythia-bench's -json payload that the diff
 // consumes.
 type report struct {
-	Scale       string `json:"scale"`
-	Workers     int    `json:"workers"`
-	CPUs        int    `json:"cpus"`
+	Scale     string `json:"scale"`
+	Workers   int    `json:"workers"`
+	CPUs      int    `json:"cpus"`
+	Warmstart *struct {
+		Workload          string  `json:"workload"`
+		ColdConvergeInstr int64   `json:"cold_converge_instr"`
+		WarmConvergeInstr int64   `json:"warm_converge_instr"`
+		ConvergeSpeedup   float64 `json:"converge_speedup"`
+	} `json:"warmstart,omitempty"`
 	Experiments []struct {
 		ID      string  `json:"id"`
 		Seconds float64 `json:"seconds"`
@@ -114,6 +120,29 @@ func main() {
 			regressions = append(regressions, fmt.Sprintf("%s slowed %.0f%% (%.3fs -> %.3fs)", e.ID, delta, old, e.Seconds))
 		}
 		fmt.Printf("%-16s %10.3f %10.3f %+7.1f%%%s\n", e.ID, old, e.Seconds, delta, mark)
+	}
+
+	// Warm-start convergence speedup is instruction-count based, so unlike
+	// wall times it is stable across machines; surface it whenever the
+	// fresh report carries one, and flag a drop against the baseline (a
+	// shrinking ratio means warm-started agents converge later — a policy
+	// lifecycle regression, not noise).
+	if nw := newRep.Warmstart; nw != nil {
+		fmt.Printf("\n%-16s %10s %10s %8s\n", "warm start", "old", "new", "delta")
+		if ow := oldRep.Warmstart; ow != nil && ow.Workload == nw.Workload {
+			delta := (nw.ConvergeSpeedup - ow.ConvergeSpeedup) / ow.ConvergeSpeedup * 100
+			mark := ""
+			if delta < -*threshold {
+				mark = "  <-- regression"
+				regressions = append(regressions, fmt.Sprintf("warm-start converge speedup on %s fell %.0f%% (%.1fx -> %.1fx)",
+					nw.Workload, -delta, ow.ConvergeSpeedup, nw.ConvergeSpeedup))
+			}
+			fmt.Printf("%-16s %9.1fx %9.1fx %+7.1f%%%s\n", nw.Workload, ow.ConvergeSpeedup, nw.ConvergeSpeedup, delta, mark)
+		} else {
+			fmt.Printf("%-16s %10s %9.1fx %8s\n", nw.Workload, "-", nw.ConvergeSpeedup, "new")
+		}
+		fmt.Printf("%-16s %10s %9s\n", "  converge instr",
+			fmt.Sprintf("warm %d", nw.WarmConvergeInstr), fmt.Sprintf("cold %d", nw.ColdConvergeInstr))
 	}
 
 	if len(regressions) == 0 {

@@ -12,6 +12,9 @@
 //
 //	GET    /api/experiments            list experiments (paper + extended)
 //	POST   /api/runs                   {"experiment":"fig9a","scale":"quick"}
+//	                                   or a policy-training job:
+//	                                   {"train":{"workload":"CC-100B",
+//	                                   "config":"pythia"},"scale":"default"}
 //	GET    /api/runs                   list jobs
 //	GET    /api/runs/{id}              job status + result
 //	DELETE /api/runs/{id}              cancel a queued or running job; its
@@ -21,7 +24,15 @@
 //	                                   boundary
 //	GET    /api/runs/{id}/events       SSE progress stream (full replay)
 //	GET    /api/results/{exp}?scale=s  fetch a stored result directly
+//	GET    /api/policies               list trained policies (metadata)
+//	GET    /api/policies/{id}          one policy's envelope metadata
+//	GET    /api/policies/{id}/snapshot download the raw PYQV01 Q-table
 //	GET    /healthz                    service + store health
+//
+// Training jobs flow through the same queue and SSE machinery as
+// experiments; a repeat training request for a policy already in the
+// store completes with zero simulations (the job's sims counter proves
+// it), and warm-started evaluations reuse stored policies the same way.
 //
 // Repeat requests for an (experiment, scale) pair already in the store
 // are answered with zero additional simulation work; the store also feeds
@@ -46,6 +57,7 @@ import (
 	"time"
 
 	"pythia/internal/harness"
+	"pythia/internal/policy"
 	"pythia/internal/results"
 	"pythia/internal/serve"
 )
@@ -54,6 +66,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		storeDir = flag.String("results", results.DefaultDir(), "persistent result store directory")
+		polDir   = flag.String("policies", policy.DefaultDir(), "trained-policy store directory (empty disables the policy endpoints)")
 		queue    = flag.Int("queue", 16, "max queued (admitted but unstarted) jobs")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations per job (0 = all CPUs)")
 		grace    = flag.Duration("grace", 30*time.Second, "graceful-shutdown budget for draining queued jobs before canceling them")
@@ -62,10 +75,14 @@ func main() {
 
 	harness.SetWorkers(*parallel)
 	// One store serves both layers of reuse: whole experiment tables for
-	// the service, and individual simulations for harness.RunCached.
+	// the service, and individual simulations for harness.RunCached. The
+	// policy store is wired into the harness too, so warm-start
+	// experiments (ext-generalization, ext-warmstart) reuse trained
+	// policies across jobs and restarts.
 	store := harness.SetResultStore(*storeDir)
+	pols := harness.SetPolicyStore(*polDir)
 
-	srv, err := serve.New(serve.Config{Store: store, QueueDepth: *queue})
+	srv, err := serve.New(serve.Config{Store: store, Policies: pols, QueueDepth: *queue})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -74,8 +91,12 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Printf("pythia-serve listening on %s (store %s, queue %d, %d workers)\n",
-		*addr, store.Dir(), *queue, harness.Workers())
+	polDesc := "disabled"
+	if pols != nil {
+		polDesc = pols.Dir()
+	}
+	fmt.Printf("pythia-serve listening on %s (store %s, policies %s, queue %d, %d workers)\n",
+		*addr, store.Dir(), polDesc, *queue, harness.Workers())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

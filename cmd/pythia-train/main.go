@@ -1,0 +1,111 @@
+// Command pythia-train manages the trained-policy lifecycle from the
+// command line: train a Pythia policy on a workload, persist it in the
+// policy store, inspect what is stored, and export envelopes for
+// pythia-sim -load-policy.
+//
+// Usage:
+//
+//	pythia-train -workload 459.GemsFDTD-100B -config pythia -scale default
+//	pythia-train -workload CC-100B -config pythia-strict -store /var/lib/pythia/policies
+//	pythia-train -list
+//	pythia-train -workload CC-100B -export cc.policy.json
+//
+// Training is idempotent: the policy's content address is derived from
+// the configuration, workload, scale and seed, so re-running a command
+// against a populated store is a hit that performs zero simulations (the
+// printed sims counter proves it). The same store feeds pythia-serve's
+// policy endpoints and the harness's warm-start experiments.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pythia/internal/cache"
+	"pythia/internal/harness"
+	"pythia/internal/policy"
+	"pythia/internal/trace"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "459.GemsFDTD-100B", "training trace name (see pythia-sim -workloads)")
+		cfgName   = flag.String("config", "pythia", "Pythia configuration: pythia|pythia-paper|pythia-strict|pythia-bwobl")
+		scaleName = flag.String("scale", "default", "training scale: quick|default|full|long")
+		storeDir  = flag.String("store", policy.DefaultDir(), "policy store directory")
+		export    = flag.String("export", "", "also write the trained envelope to this file (pythia-sim -load-policy)")
+		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = all CPUs)")
+		list      = flag.Bool("list", false, "list stored policies and exit")
+	)
+	flag.Parse()
+
+	st := policy.Open(*storeDir)
+	if *list {
+		metas := st.List()
+		if len(metas) == 0 {
+			fmt.Printf("no policies in %s\n", st.Dir())
+			return
+		}
+		fmt.Printf("%-22s %-14s %-22s %6s %8s  %s\n", "id", "config", "workload", "seed", "bytes", "created")
+		for _, m := range metas {
+			fmt.Printf("%-22s %-14s %-22s %6d %8d  %s\n",
+				m.ID, m.Config, m.TrainedOn.Workload, m.TrainedOn.Seed, m.SnapshotBytes,
+				m.CreatedAt.Format(time.RFC3339))
+		}
+		return
+	}
+
+	harness.SetWorkers(*parallel)
+	w, ok := trace.ByName(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (use pythia-sim -workloads)\n", *workload)
+		os.Exit(2)
+	}
+	cfg, err := harness.PythiaConfigByName(*cfgName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sc, err := harness.ScaleByName(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// SIGINT/SIGTERM abort the training simulation promptly via the context.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	ts := harness.TrainSpec{Workload: w, CacheCfg: cache.DefaultConfig(1), Scale: sc, Config: cfg}
+	before := harness.SimCount()
+	start := time.Now()
+	env, hit, err := harness.TrainPolicyIn(ctx, st, ts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sims := harness.SimCount() - before
+
+	source := "trained"
+	if hit {
+		source = "store hit"
+	}
+	fmt.Printf("policy %s (%s in %v, %d simulations)\n", env.ID, source, time.Since(start).Round(time.Millisecond), sims)
+	fmt.Printf("  config    %s (fingerprint %s)\n", env.Config, env.ConfigFingerprint)
+	fmt.Printf("  trained   %s @ scale %s, seed %d\n", env.TrainedOn.Workload, env.TrainedOn.Scale, env.TrainedOn.Seed)
+	fmt.Printf("  snapshot  %d bytes (gen v%d, schema v%d)\n", env.SnapshotBytes, env.GenVersion, env.SchemaVersion)
+	fmt.Printf("  store     %s (%d policies)\n", st.Dir(), st.Len())
+
+	if *export != "" {
+		if err := policy.WriteFile(*export, env); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  exported  %s\n", *export)
+	}
+}

@@ -59,40 +59,92 @@ func (s *QVStore) Snapshot(w io.Writer) error {
 }
 
 // Restore loads Q-values from a snapshot written by Snapshot into a store
-// with identical geometry.
+// with identical geometry. It is strict and atomic: the header geometry
+// must match the store exactly (a mismatch reports the full expected and
+// found shapes, wrapped in ErrSnapshotMismatch), the stream must end at
+// the last entry (trailing bytes — a concatenated or corrupted snapshot —
+// are rejected rather than silently ignored), and the store is only
+// mutated after the whole stream has validated, so a failed Restore never
+// leaves a half-written policy behind.
 func (s *QVStore) Restore(r io.Reader) error {
 	br := bufio.NewReader(r)
-	var got [6]byte
-	if _, err := io.ReadFull(br, got[:]); err != nil {
+	var magic [6]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return fmt.Errorf("core: snapshot header: %w", err)
 	}
-	if got != snapshotMagic {
-		return fmt.Errorf("core: bad snapshot magic %q", got[:])
+	if magic != snapshotMagic {
+		return fmt.Errorf("core: bad snapshot magic %q", magic[:])
 	}
-	want := []uint64{
-		uint64(len(s.vaults)), uint64(s.numPlanes),
-		uint64(s.featureDim), uint64(s.numActions),
-	}
-	for i, w := range want {
-		v, err := binary.ReadUvarint(br)
+	// Decode the full geometry before comparing, so a mismatch can report
+	// the complete expected-vs-got shape rather than the first bad field.
+	var got [4]uint64
+	for i := range got {
+		v, err := readCanonicalUvarint(br)
 		if err != nil {
 			return fmt.Errorf("core: snapshot geometry: %w", err)
 		}
-		if v != w {
-			return fmt.Errorf("%w: field %d is %d, store has %d", ErrSnapshotMismatch, i, v, w)
-		}
+		got[i] = v
 	}
+	want := [4]uint64{
+		uint64(len(s.vaults)), uint64(s.numPlanes),
+		uint64(s.featureDim), uint64(s.numActions),
+	}
+	if got != want {
+		return fmt.Errorf("%w: snapshot has %d vaults x %d planes x %d rows x %d actions, store has %d x %d x %d x %d",
+			ErrSnapshotMismatch,
+			got[0], got[1], got[2], got[3],
+			want[0], want[1], want[2], want[3])
+	}
+	scratch := make([]float64, len(s.vaults)*s.numPlanes*s.featureDim*s.numActions)
 	var le [8]byte
+	for i := range scratch {
+		if _, err := io.ReadFull(br, le[:]); err != nil {
+			return fmt.Errorf("core: snapshot entries: %w", err)
+		}
+		scratch[i] = math.Float64frombits(binary.LittleEndian.Uint64(le[:]))
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		if err == nil {
+			return fmt.Errorf("core: snapshot has trailing bytes after the last entry (concatenated or corrupted stream)")
+		}
+		return fmt.Errorf("core: snapshot trailer: %w", err)
+	}
+	// Fully validated: commit into the vault tables.
+	off := 0
 	for vi := range s.vaults {
 		table := s.vaults[vi].data
-		for i := range table {
-			if _, err := io.ReadFull(br, le[:]); err != nil {
-				return fmt.Errorf("core: snapshot entries: %w", err)
-			}
-			table[i] = math.Float64frombits(binary.LittleEndian.Uint64(le[:]))
-		}
+		copy(table, scratch[off:off+len(table)])
+		off += len(table)
 	}
 	return nil
+}
+
+// readCanonicalUvarint decodes a uvarint and rejects non-canonical
+// (overlong) encodings, so the snapshot format has exactly one byte
+// representation per value: any stream Restore accepts re-snapshots to
+// the identical bytes (the property FuzzSnapshotRestore holds).
+func readCanonicalUvarint(br io.ByteReader) (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		if i == binary.MaxVarintLen64-1 && b > 1 {
+			return 0, fmt.Errorf("uvarint overflows 64 bits")
+		}
+		if b < 0x80 {
+			if b == 0 && i > 0 {
+				// A trailing zero group is the overlong form (e.g. 0x81
+				// 0x00 for 1); Snapshot never writes it.
+				return 0, fmt.Errorf("non-canonical uvarint encoding")
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
 }
 
 // SnapshotPolicy serializes the agent's learned Q-values.

@@ -71,6 +71,137 @@ func TestRestoreGeometryMismatch(t *testing.T) {
 	}
 }
 
+// tinyStore builds the smallest legal QVStore (1 vault, 1 plane, 2 rows,
+// 2 actions) so byte-level snapshot properties can be checked exhaustively.
+func tinyStore() *QVStore {
+	return NewQVStore([]Feature{FeaturePCDelta}, 2, 2, 1, 1.0, 7)
+}
+
+func snapshotBytes(t *testing.T, s *QVStore) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRestoreRejectsTrailingBytes(t *testing.T) {
+	src := MustNew(BasicConfig(), nil)
+	runStream(src, 5000)
+	snap := snapshotBytes(t, src.QVStore())
+
+	dst := MustNew(BasicConfig(), nil)
+	before := snapshotBytes(t, dst.QVStore())
+	for _, tail := range [][]byte{{0}, []byte("x"), snap} {
+		bad := append(append([]byte(nil), snap...), tail...)
+		if err := dst.RestorePolicy(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("snapshot with %d trailing bytes restored silently", len(tail))
+		}
+		// A rejected restore must not have mutated the store (atomicity).
+		if !bytes.Equal(snapshotBytes(t, dst.QVStore()), before) {
+			t.Fatal("failed restore left a partially-written store behind")
+		}
+	}
+	// The unmodified snapshot still restores.
+	if err := dst.RestorePolicy(bytes.NewReader(snap)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestoreTruncationAtEveryBoundary snapshots a minimal store and
+// verifies that a stream cut at every possible byte offset is rejected —
+// header, geometry varints, and every entry boundary included.
+func TestRestoreTruncationAtEveryBoundary(t *testing.T) {
+	s := tinyStore()
+	s.Update(StateSig{42}, 1, 5, StateSig{42}, 1, 0.5, 0.5)
+	snap := snapshotBytes(t, s)
+
+	dst := tinyStore()
+	for cut := 0; cut < len(snap); cut++ {
+		if err := dst.Restore(bytes.NewReader(snap[:cut])); err == nil {
+			t.Fatalf("snapshot truncated to %d/%d bytes restored silently", cut, len(snap))
+		}
+	}
+	if err := dst.Restore(bytes.NewReader(snap)); err != nil {
+		t.Fatalf("full snapshot rejected: %v", err)
+	}
+	if !bytes.Equal(snapshotBytes(t, dst), snap) {
+		t.Fatal("restored store re-snapshots differently")
+	}
+}
+
+// TestRestoreRejectsOverlongVarint: the format has one canonical
+// encoding per value; an overlong geometry varint (0x81 0x00 for 1) is
+// rejected even though it decodes to the right number.
+func TestRestoreRejectsOverlongVarint(t *testing.T) {
+	s := tinyStore()
+	snap := snapshotBytes(t, s)
+	// Bytes 0-5 are the magic; byte 6 is the vault count (1, one byte).
+	bad := append(append([]byte(nil), snap[:6]...), 0x81, 0x00)
+	bad = append(bad, snap[7:]...)
+	if err := tinyStore().Restore(bytes.NewReader(bad)); err == nil {
+		t.Fatal("overlong geometry varint restored silently")
+	}
+}
+
+// TestRestoreGeometryMessage mutates each geometry axis in turn and checks
+// the error both wraps ErrSnapshotMismatch and reports the full
+// expected-vs-got shape, not just the first differing field.
+func TestRestoreGeometryMessage(t *testing.T) {
+	base := tinyStore() // 1 vault x 1 plane x 2 rows x 2 actions
+	mutants := []*QVStore{
+		NewQVStore([]Feature{FeaturePCDelta, FeatureLast4Deltas}, 2, 2, 1, 1.0, 7), // vaults
+		NewQVStore([]Feature{FeaturePCDelta}, 2, 2, 2, 1.0, 7),                     // planes
+		NewQVStore([]Feature{FeaturePCDelta}, 4, 2, 1, 1.0, 7),                     // rows
+		NewQVStore([]Feature{FeaturePCDelta}, 2, 3, 1, 1.0, 7),                     // actions
+	}
+	for i, m := range mutants {
+		err := base.Restore(bytes.NewReader(snapshotBytes(t, m)))
+		if !errors.Is(err, ErrSnapshotMismatch) {
+			t.Fatalf("mutant %d: want ErrSnapshotMismatch, got %v", i, err)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "1 x 1 x 2 x 2") {
+			t.Errorf("mutant %d: error %q lacks the store's full geometry", i, msg)
+		}
+		if !strings.Contains(msg, "snapshot has") || !strings.Contains(msg, "store has") {
+			t.Errorf("mutant %d: error %q lacks expected-vs-got phrasing", i, msg)
+		}
+	}
+}
+
+// FuzzSnapshotRestore holds two properties over arbitrary input bytes:
+// Restore never panics, and any stream it accepts re-snapshots to exactly
+// the bytes that were restored (the format has one canonical encoding).
+func FuzzSnapshotRestore(f *testing.F) {
+	s := tinyStore()
+	s.Update(StateSig{1}, 0, 3, StateSig{2}, 1, 0.25, 0.5)
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("PYQV01"))
+	f.Add([]byte{})
+	// Overlong-varint geometry: decodes to valid values but must be
+	// rejected (non-canonical encoding).
+	f.Add(append(append([]byte(nil), buf.Bytes()[:6]...), 0x81, 0x00))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dst := tinyStore()
+		if err := dst.Restore(bytes.NewReader(data)); err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := dst.Snapshot(&out); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("accepted %d bytes but re-snapshots to %d different bytes", len(data), out.Len())
+		}
+	})
+}
+
 func TestRestoreBadInput(t *testing.T) {
 	p := MustNew(BasicConfig(), nil)
 	if err := p.RestorePolicy(strings.NewReader("garbage")); err == nil {

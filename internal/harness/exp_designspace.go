@@ -23,6 +23,8 @@ func ExtendedExperiments() []Experiment {
 		{"ext-xlat", "Virtual-to-physical translation ablation", ExtTranslation},
 		{"ext-fixedpoint", "16-bit fixed-point QVStore ablation", ExtFixedPoint},
 		{"ext-longhorizon", "Long-horizon study: paper Table 2 hyperparameters over streamed traces", ExtLongHorizon},
+		{"ext-generalization", "Cross-workload generalization matrix: train-on-A / evaluate-on-B speedup delta", ExtGeneralization},
+		{"ext-warmstart", "Warm-start study: instructions to converged IPC, warm vs cold", ExtWarmStart},
 		{"scorecard", "Reproduction scorecard: the paper's qualitative claims", RunScorecard},
 	}
 }

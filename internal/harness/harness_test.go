@@ -217,11 +217,13 @@ func TestCombinationStacks(t *testing.T) {
 
 func TestExtendedExperimentsRegistered(t *testing.T) {
 	ext := ExtendedExperiments()
-	if len(ext) != 7 {
-		t.Errorf("extended experiments = %d, want 7", len(ext))
+	if len(ext) != 9 {
+		t.Errorf("extended experiments = %d, want 9", len(ext))
 	}
-	if _, ok := ExperimentByID("ext-fdp"); !ok {
-		t.Error("ext-fdp not resolvable")
+	for _, id := range []string{"ext-fdp", "ext-generalization", "ext-warmstart"} {
+		if _, ok := ExperimentByID(id); !ok {
+			t.Errorf("%s not resolvable", id)
+		}
 	}
 	if len(AllExperiments()) != len(Experiments())+len(ext) {
 		t.Error("AllExperiments composition wrong")

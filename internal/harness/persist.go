@@ -110,12 +110,15 @@ type ExperimentPayload struct {
 }
 
 // loadPersisted consults the persistent store for a spec. Specs carrying a
-// Hook are never persisted or restored: hooks exist to observe live
-// simulation state (e.g. Q-value watches), which a disk hit cannot
-// provide.
+// live-state hook (Hook or TrainPolicy) are never persisted or restored:
+// hooks exist to observe live simulation state (Q-value watches, policy
+// snapshots), which a disk hit cannot provide. RunCached already bypasses
+// every cache layer for such specs; the check here keeps the rule local
+// too. Warm-started specs persist normally — their policy's content
+// address is part of the key.
 func loadPersisted(spec RunSpec) (RunResult, bool) {
 	st := ResultStore()
-	if st == nil || spec.Hook != nil {
+	if st == nil || spec.Hook != nil || spec.TrainPolicy != nil {
 		return RunResult{}, false
 	}
 	var p runPayload
@@ -129,7 +132,7 @@ func loadPersisted(spec RunSpec) (RunResult, bool) {
 // (best-effort: a full disk degrades to "no reuse").
 func storePersisted(spec RunSpec, r RunResult) {
 	st := ResultStore()
-	if st == nil || spec.Hook != nil {
+	if st == nil || spec.Hook != nil || spec.TrainPolicy != nil {
 		return
 	}
 	_ = st.Put(runKey(spec), payloadOf(r))

@@ -38,6 +38,28 @@ func PFByName(name string) (PF, error) {
 	return PF{}, fmt.Errorf("unknown prefetcher %q (available: %v)", name, names)
 }
 
+// PythiaConfigByName resolves a Pythia configuration by name for the
+// policy-training entry points (pythia-train, the serve training API).
+// Unlike PFByName this returns the raw core.Config, which training needs
+// for provenance and fingerprinting.
+func PythiaConfigByName(name string) (core.Config, error) {
+	all := map[string]func() core.Config{
+		"pythia":        core.BasicConfig,
+		"pythia-paper":  core.PaperHorizonConfig,
+		"pythia-strict": core.StrictConfig,
+		"pythia-bwobl":  core.BandwidthObliviousConfig,
+	}
+	if f, ok := all[name]; ok {
+		return f(), nil
+	}
+	names := make([]string, 0, len(all))
+	for n := range all {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return core.Config{}, fmt.Errorf("unknown Pythia configuration %q (available: %v)", name, names)
+}
+
 // ScaleByName resolves a scale preset.
 func ScaleByName(name string) (Scale, error) {
 	switch name {

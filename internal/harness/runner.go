@@ -28,6 +28,7 @@ import (
 	"pythia/internal/cpu"
 	"pythia/internal/dram"
 	"pythia/internal/flight"
+	"pythia/internal/policy"
 	"pythia/internal/prefetch"
 	"pythia/internal/stats"
 	"pythia/internal/stream"
@@ -345,6 +346,20 @@ type RunSpec struct {
 	// Hook runs after prefetchers are attached, before simulation; used by
 	// the Fig. 13 case study to install Q-value watches.
 	Hook func(h *cache.Hierarchy, pfs []prefetch.Prefetcher)
+	// WarmStart restores a trained policy into every Pythia agent of the
+	// run before simulation begins. The envelope's compatibility checks
+	// apply: a configuration or generator-version mismatch fails the run
+	// with a typed error (policy.ErrMismatch) instead of silently training
+	// from scratch. The policy's identity is part of the run's cache key,
+	// so warm and cold runs of one spec never share a memoized result.
+	WarmStart *policy.Envelope
+	// TrainPolicy runs after a successful simulation with the live
+	// prefetchers, before Run returns — the post-run counterpart of Hook,
+	// used by the policy-training path to snapshot learned Q-state. Like
+	// Hook, it observes live simulation state, so specs carrying it are
+	// excluded from memoization and the persistent result store (a cached
+	// result could not invoke it).
+	TrainPolicy func(pfs []prefetch.Prefetcher)
 }
 
 // RunResult summarizes one simulation.
@@ -571,6 +586,24 @@ func Run(ctx context.Context, spec RunSpec) (RunResult, error) {
 	if spec.Hook != nil {
 		spec.Hook(hier, pfs)
 	}
+	if spec.WarmStart != nil {
+		restored := 0
+		for _, p := range pfs {
+			py, ok := p.(*core.Pythia)
+			if !ok {
+				continue
+			}
+			if err := spec.WarmStart.Restore(py); err != nil {
+				closeReaders()
+				return RunResult{}, fmt.Errorf("harness: %s: warm start: %w", spec.Mix.Name, err)
+			}
+			restored++
+		}
+		if restored == 0 {
+			closeReaders()
+			return RunResult{}, fmt.Errorf("harness: %s: warm start: prefetcher %s has no Pythia agent to restore into", spec.Mix.Name, spec.PF.Name)
+		}
+	}
 
 	sysCfg := cpu.SystemConfig{
 		Core:               cpu.DefaultCoreConfig(),
@@ -596,6 +629,9 @@ func Run(ctx context.Context, spec RunSpec) (RunResult, error) {
 	}
 	res.Buckets = hier.DRAM().Buckets()
 	res.DRAM = hier.DRAM().Stats()
+	if spec.TrainPolicy != nil {
+		spec.TrainPolicy(pfs)
+	}
 	return res, nil
 }
 
@@ -636,11 +672,17 @@ func mixIdentity(mix trace.Mix, traceLen int) string {
 // full composition for the same reason (mixIdentity). StreamChunk is
 // deliberately absent: streaming and materialized delivery produce the
 // same records and therefore the same result, so runs differing only in
-// delivery mode share a memoization slot.
+// delivery mode share a memoization slot. A warm-started run contributes
+// its policy's content address: warm and cold runs of one spec produce
+// different results and must never share a slot (on disk or in memory).
 func cacheKey(spec RunSpec) string {
-	return fmt.Sprintf("%s|%s|c%d|%+v|w%d|s%d|t%d",
+	key := fmt.Sprintf("%s|%s|c%d|%+v|w%d|s%d|t%d",
 		mixIdentity(spec.Mix, spec.Scale.TraceLen), spec.PF.Name, len(spec.Mix.Workloads),
 		spec.CacheCfg, spec.Scale.Warmup, spec.Scale.Sim, spec.Scale.TraceLen)
+	if spec.WarmStart != nil {
+		key += "|warm:" + spec.WarmStart.ID
+	}
+	return key
 }
 
 // stripPFs returns r without its live prefetcher objects. Memoized
@@ -665,8 +707,14 @@ func stripPFs(r RunResult) RunResult {
 //
 // RunCached results never carry live PFs, whether they come from memory
 // or disk (see stripPFs); callers that introspect prefetcher state must
-// use Run directly.
+// use Run directly. For the same reason, specs carrying a live-state hook
+// (Hook or TrainPolicy) bypass every cache layer and always simulate: a
+// memoized or persisted result cannot replay the hook, so serving one
+// would silently skip it.
 func RunCached(ctx context.Context, spec RunSpec) (RunResult, error) {
+	if spec.Hook != nil || spec.TrainPolicy != nil {
+		return Run(ctx, spec)
+	}
 	key := cacheKey(spec)
 	if v, ok := baselineCache.Load(key); ok {
 		return v.(RunResult), nil

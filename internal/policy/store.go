@@ -1,0 +1,274 @@
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"pythia/internal/flight"
+	"pythia/internal/fsutil"
+)
+
+// Store is an on-disk policy store rooted at one directory (created on
+// first write). The zero value is not usable; call Open.
+type Store struct {
+	dir      string
+	readOnly atomic.Bool
+
+	flight flight.Group[flightOut]
+
+	sweepOnce sync.Once
+
+	hits, misses, writes atomic.Int64
+}
+
+// flightOut is what a GetOrTrain flight delivers to every caller.
+type flightOut struct {
+	env Envelope
+	hit bool
+}
+
+// Open returns a store rooted at dir. The directory is created lazily on
+// first write, so opening a store never touches the filesystem.
+func Open(dir string) *Store {
+	return &Store{dir: dir}
+}
+
+// DefaultDir returns the store directory used when none is configured: the
+// PYTHIA_POLICY_STORE environment variable, or pythia-policy-store under
+// the OS temp directory.
+func DefaultDir() string {
+	if dir := os.Getenv("PYTHIA_POLICY_STORE"); dir != "" {
+		return dir
+	}
+	return filepath.Join(os.TempDir(), "pythia-policy-store")
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// SetReadOnly toggles write suppression: a read-only store serves hits but
+// silently drops Put calls (shared populated stores in CI).
+func (s *Store) SetReadOnly(ro bool) { s.readOnly.Store(ro) }
+
+// ReadOnly reports whether writes are suppressed.
+func (s *Store) ReadOnly() bool { return s.readOnly.Load() }
+
+// Hits returns the number of lookups served from disk.
+func (s *Store) Hits() int64 { return s.hits.Load() }
+
+// Misses returns the number of lookups that found no valid entry.
+func (s *Store) Misses() int64 { return s.misses.Load() }
+
+// Writes returns the number of envelopes successfully persisted.
+func (s *Store) Writes() int64 { return s.writes.Load() }
+
+// path maps a policy ID to its file. The config and workload names are
+// embedded (sanitized) for debuggability; the ID digest provides the
+// content addressing and is all Get needs.
+func (s *Store) path(id string) string {
+	return filepath.Join(s.dir, fsutil.Sanitize(id)+".json")
+}
+
+// Get loads the envelope for a policy ID. It returns false on any miss:
+// absent file, unreadable JSON, or an envelope whose embedded ID does not
+// match (a hand-copied or renamed file can never serve the wrong policy).
+func (s *Store) Get(id string) (Envelope, bool) {
+	env, ok := s.load(id)
+	if !ok {
+		s.misses.Add(1)
+		return Envelope{}, false
+	}
+	s.hits.Add(1)
+	return env, true
+}
+
+// load reads and validates the envelope for an ID without counting.
+func (s *Store) load(id string) (Envelope, bool) {
+	buf, err := os.ReadFile(s.path(id))
+	if err != nil {
+		return Envelope{}, false
+	}
+	var env Envelope
+	if err := json.Unmarshal(buf, &env); err != nil {
+		return Envelope{}, false
+	}
+	if env.ID != id || len(env.Snapshot) == 0 {
+		return Envelope{}, false
+	}
+	return env, true
+}
+
+// Put persists an envelope under its ID, overwriting any previous entry.
+// Writes go through a unique temp file and atomic rename; no error path
+// leaves a partial file behind. On a read-only store Put is a no-op.
+func (s *Store) Put(env Envelope) error {
+	if s.ReadOnly() {
+		return nil
+	}
+	if env.ID == "" {
+		return fmt.Errorf("policy: envelope has no ID")
+	}
+	buf, err := json.MarshalIndent(&env, "", "  ")
+	if err != nil {
+		return fmt.Errorf("policy: marshal %s: %w", env.ID, err)
+	}
+	buf = append(buf, '\n')
+
+	s.sweepOnce.Do(func() { fsutil.SweepStaleTemps(s.dir) })
+	path := s.path(env.ID)
+	if err := fsutil.WriteAtomic(s.dir, path, func(tmp *os.File) error {
+		_, werr := tmp.Write(buf)
+		return werr
+	}); err != nil {
+		return fmt.Errorf("policy: %w", err)
+	}
+	s.writes.Add(1)
+	return nil
+}
+
+// GetOrTrain returns the stored envelope for id, training and persisting
+// it on a miss. Concurrent callers for one ID are deduplicated through a
+// singleflight: exactly one runs train, everyone shares the result. hit
+// reports whether disk served it without running train — the
+// zero-additional-simulations guarantee repeat training requests rely on.
+// A failed persist does not fail the call: the trained policy is still
+// delivered (and the error surfaced), so a full disk degrades to "no
+// reuse", never to "no policy".
+func (s *Store) GetOrTrain(id string, train func() (Envelope, error)) (env Envelope, hit bool, err error) {
+	if env, ok := s.Get(id); ok {
+		return env, true, nil
+	}
+	res, leader, ferr := s.flight.Do(id, func() (flightOut, error) {
+		// Re-check under the flight: an earlier flight (or another
+		// process) may have landed the entry between our miss and taking
+		// leadership.
+		if env, ok := s.load(id); ok {
+			s.hits.Add(1)
+			return flightOut{env: env, hit: true}, nil
+		}
+		env, err := train()
+		if err != nil {
+			return flightOut{}, err
+		}
+		if env.ID != id {
+			return flightOut{}, fmt.Errorf("policy: trained envelope has ID %s, expected %s", env.ID, id)
+		}
+		// Delivery beats persistence; report a write failure without
+		// discarding the trained policy.
+		return flightOut{env: env}, s.Put(env)
+	})
+	if res.env.ID == "" {
+		return Envelope{}, false, ferr
+	}
+	// Waiters share the leader's envelope but report hit=false: they did
+	// not observe the entry on disk themselves.
+	return res.env, res.hit && leader, ferr
+}
+
+// metaProbe decodes an envelope's metadata while skipping the expensive
+// part: with the snapshot captured as raw JSON, the base64 payload is
+// scanned but never decoded, so listing a store does not materialize
+// every Q-table.
+type metaProbe struct {
+	Meta
+	Snapshot json.RawMessage `json:"snapshot"`
+}
+
+// List returns the metadata of every valid envelope on disk, newest
+// first. Unreadable or mismatched files are skipped, not errors: the
+// listing describes what Get would serve. Snapshot payloads are not
+// decoded.
+func (s *Store) List() []Meta {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var out []Meta
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.Contains(name, ".tmp") {
+			continue
+		}
+		buf, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			continue
+		}
+		var probe metaProbe
+		if err := json.Unmarshal(buf, &probe); err != nil {
+			continue
+		}
+		// Same identity check as load: the embedded ID must match the
+		// filename, and a snapshot must be present (">2" = more than the
+		// empty JSON string's quotes).
+		if probe.ID != strings.TrimSuffix(name, ".json") || len(probe.Snapshot) <= 2 {
+			continue
+		}
+		out = append(out, probe.Meta)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
+			return out[i].CreatedAt.After(out[j].CreatedAt)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Len reports how many envelope files are on disk (for status endpoints;
+// it counts directory entries without reading them, so a routinely
+// polled health check never re-reads the store).
+func (s *Store) Len() int {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") && !strings.Contains(e.Name(), ".tmp") {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteFile saves a single envelope as a standalone file outside any
+// store (pythia-sim -save-policy), using the same atomic temp-and-rename
+// discipline.
+func WriteFile(path string, env Envelope) error {
+	buf, err := json.MarshalIndent(&env, "", "  ")
+	if err != nil {
+		return fmt.Errorf("policy: marshal %s: %w", env.ID, err)
+	}
+	buf = append(buf, '\n')
+	dir := filepath.Dir(path)
+	if err := fsutil.WriteAtomic(dir, path, func(tmp *os.File) error {
+		_, werr := tmp.Write(buf)
+		return werr
+	}); err != nil {
+		return fmt.Errorf("policy: %w", err)
+	}
+	return nil
+}
+
+// ReadFile loads a standalone envelope written by WriteFile (or copied
+// out of a store).
+func ReadFile(path string) (Envelope, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("policy: %w", err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(buf, &env); err != nil {
+		return Envelope{}, fmt.Errorf("policy: %s: %w", path, err)
+	}
+	if env.ID == "" || len(env.Snapshot) == 0 {
+		return Envelope{}, fmt.Errorf("policy: %s: not a policy envelope", path)
+	}
+	return env, nil
+}

@@ -8,6 +8,14 @@ import (
 	"time"
 
 	"pythia/internal/harness"
+	"pythia/internal/policy"
+)
+
+// Job kinds: an experiment render, or a policy-training run. Both flow
+// through the same queue, executor and SSE machinery.
+const (
+	KindExperiment = "experiment"
+	KindTrain      = "train"
 )
 
 // Job statuses, in lifecycle order. Done, error and canceled are the
@@ -43,10 +51,13 @@ type Event struct {
 // the base context, which reaches every job the same way.
 type job struct {
 	id        string
+	kind      string
 	expID     string
 	title     string
 	scaleName string
 	scale     harness.Scale
+	// train is the training spec of a KindTrain job.
+	train harness.TrainSpec
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -60,6 +71,8 @@ type job struct {
 	started  time.Time
 	finished time.Time
 	result   *harness.ExperimentPayload
+	// policyMeta is a finished training job's artifact descriptor.
+	policyMeta *policy.Meta
 
 	events []Event
 	subs   map[chan Event]struct{}
@@ -68,12 +81,17 @@ type job struct {
 
 // JobView is the JSON representation of a job exposed by the API.
 type JobView struct {
-	ID         string `json:"id"`
-	Experiment string `json:"experiment"`
-	Title      string `json:"title"`
-	Scale      string `json:"scale"`
-	Status     string `json:"status"`
-	Error      string `json:"error,omitempty"`
+	ID string `json:"id"`
+	// Kind is "experiment" or "train".
+	Kind       string `json:"kind"`
+	Experiment string `json:"experiment,omitempty"`
+	// Workload and Config describe a training job's target.
+	Workload string `json:"workload,omitempty"`
+	Config   string `json:"config,omitempty"`
+	Title    string `json:"title"`
+	Scale    string `json:"scale"`
+	Status   string `json:"status"`
+	Error    string `json:"error,omitempty"`
 	// Cached reports that the result came from the persistent store.
 	Cached bool `json:"cached"`
 	// Sims is the number of simulations this job executed (0 on a store
@@ -83,16 +101,34 @@ type JobView struct {
 	StartedAt  *time.Time                 `json:"started_at,omitempty"`
 	FinishedAt *time.Time                 `json:"finished_at,omitempty"`
 	Result     *harness.ExperimentPayload `json:"result,omitempty"`
+	// Policy is a finished training job's artifact (metadata only; the
+	// snapshot downloads from /api/policies/{id}/snapshot).
+	Policy *policy.Meta `json:"policy,omitempty"`
 	// Rendered is the table formatted as aligned text (terminal clients).
 	Rendered string `json:"rendered,omitempty"`
 }
 
 func newJob(base context.Context, id string, exp harness.Experiment, scaleName string, sc harness.Scale) *job {
+	j := blankJob(base, id, KindExperiment, scaleName, sc)
+	j.expID = exp.ID
+	j.title = exp.Title
+	j.publish("status", j.viewLocked())
+	return j
+}
+
+func newTrainJob(base context.Context, id string, ts harness.TrainSpec, scaleName string, sc harness.Scale) *job {
+	j := blankJob(base, id, KindTrain, scaleName, sc)
+	j.train = ts
+	j.title = "Train policy: " + ts.Config.Name + " on " + ts.Workload.Name
+	j.publish("status", j.viewLocked())
+	return j
+}
+
+func blankJob(base context.Context, id, kind, scaleName string, sc harness.Scale) *job {
 	ctx, cancel := context.WithCancel(base)
-	j := &job{
+	return &job{
 		id:        id,
-		expID:     exp.ID,
-		title:     exp.Title,
+		kind:      kind,
 		scaleName: scaleName,
 		scale:     sc,
 		ctx:       ctx,
@@ -101,8 +137,6 @@ func newJob(base context.Context, id string, exp harness.Experiment, scaleName s
 		created:   time.Now().UTC(),
 		subs:      make(map[chan Event]struct{}),
 	}
-	j.publish("status", j.viewLocked())
-	return j
 }
 
 // terminal reports whether the job has reached done, error or canceled.
@@ -122,6 +156,7 @@ func (j *job) view() JobView {
 func (j *job) viewLocked() JobView {
 	v := JobView{
 		ID:         j.id,
+		Kind:       j.kind,
 		Experiment: j.expID,
 		Title:      j.title,
 		Scale:      j.scaleName,
@@ -131,6 +166,11 @@ func (j *job) viewLocked() JobView {
 		Sims:       j.sims,
 		CreatedAt:  j.created,
 		Result:     j.result,
+		Policy:     j.policyMeta,
+	}
+	if j.kind == KindTrain {
+		v.Workload = j.train.Workload.Name
+		v.Config = j.train.Config.Name
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -212,6 +252,18 @@ func (j *job) progress(sims int64) {
 // is a no-op (a canceled queued job may be finished by both the DELETE
 // handler and the executor's drain).
 func (j *job) finish(res *harness.ExperimentPayload, cached bool, sims int64, err error) {
+	j.finishWith(func() { j.result = res }, cached, sims, err)
+}
+
+// finishPolicy is finish for training jobs: the artifact is a policy
+// descriptor rather than a rendered table.
+func (j *job) finishPolicy(meta *policy.Meta, cached bool, sims int64, err error) {
+	j.finishWith(func() { j.policyMeta = meta }, cached, sims, err)
+}
+
+// finishWith records the terminal state (setResult installs the
+// kind-specific artifact on success) under mu.
+func (j *job) finishWith(setResult func(), cached bool, sims int64, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if terminalStatus(j.status) {
@@ -223,7 +275,7 @@ func (j *job) finish(res *harness.ExperimentPayload, cached bool, sims int64, er
 	switch {
 	case err == nil:
 		j.status = StatusDone
-		j.result = res
+		setResult()
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.status = StatusCanceled
 		j.errMsg = err.Error()

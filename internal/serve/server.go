@@ -13,6 +13,12 @@
 // job's sims counter. Progress streams to clients over SSE with full
 // event replay, so late subscribers see the whole history.
 //
+// Policy-training jobs flow through the same queue, executor and SSE
+// machinery: a POST with a "train" body trains a Pythia policy and
+// persists it in the policy.Store, a repeat training request is a store
+// hit with zero simulations (same sims-counter proof), and stored
+// policies are listable and downloadable under /api/policies.
+//
 // Failure and cancellation are first-class: the harness returns errors as
 // values (a corrupted trace-cache file fails only the job that touched
 // it, with a terminal "error" SSE event, while the service keeps serving),
@@ -32,14 +38,21 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pythia/internal/cache"
 	"pythia/internal/harness"
+	"pythia/internal/policy"
 	"pythia/internal/results"
+	"pythia/internal/trace"
 )
 
 // Config parameterizes a Server.
 type Config struct {
 	// Store is the persistent result store (required).
 	Store *results.Store
+	// Policies is the trained-policy store backing the policy lifecycle
+	// endpoints (/api/policies, POST-able training jobs). Optional: when
+	// nil those endpoints answer 503 and everything else works unchanged.
+	Policies *policy.Store
 	// QueueDepth bounds the number of jobs waiting to execute (admitted
 	// but unstarted); the default is 16. A full queue rejects launches
 	// with 503 rather than queueing unboundedly.
@@ -181,7 +194,7 @@ func (s *Server) executor() {
 	for {
 		select {
 		case j := <-s.queue:
-			s.runJob(j)
+			s.dispatch(j)
 		case <-s.drain:
 			// Shutdown: finish whatever is queued (each job still honors
 			// its own context, so an aborted shutdown cancels them), then
@@ -189,13 +202,22 @@ func (s *Server) executor() {
 			for {
 				select {
 				case j := <-s.queue:
-					s.runJob(j)
+					s.dispatch(j)
 				default:
 					return
 				}
 			}
 		}
 	}
+}
+
+// dispatch routes a popped job to its kind's runner.
+func (s *Server) dispatch(j *job) {
+	if j.kind == KindTrain {
+		s.runTrainJob(j)
+		return
+	}
+	s.runJob(j)
 }
 
 // runJob executes one experiment, consulting the store first. The
@@ -211,32 +233,14 @@ func (s *Server) runJob(j *job) {
 	}
 	j.setRunning()
 	startSims := harness.SimCount()
-
-	stop := make(chan struct{})
-	var samplerDone sync.WaitGroup
-	samplerDone.Add(1)
-	go func() {
-		defer samplerDone.Done()
-		tick := time.NewTicker(s.cfg.ProgressInterval)
-		defer tick.Stop()
-		j.progress(0)
-		for {
-			select {
-			case <-stop:
-				return
-			case <-tick.C:
-				j.progress(harness.SimCount() - startSims)
-			}
-		}
-	}()
+	stopSampler := s.startSampler(j, startSims)
 
 	key := harness.ExperimentKey(j.expID, j.scale)
 	var payload harness.ExperimentPayload
 	hit, err := s.store.GetOrCompute(key, &payload, func() (any, error) {
 		return s.computeExperiment(j, startSims)
 	})
-	close(stop)
-	samplerDone.Wait()
+	stopSampler()
 
 	executed := harness.SimCount() - startSims
 	// GetOrCompute reports a non-nil error alongside a delivered payload
@@ -248,6 +252,74 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	j.finish(&payload, hit, executed, nil)
+}
+
+// startSampler launches the progress sampler for a running job and
+// returns a function that stops it and waits for it to exit. The sampler
+// reads the process-wide simulation counter: with a single executor,
+// every simulation between job start and finish belongs to this job, so
+// the delta is exact.
+func (s *Server) startSampler(j *job, startSims int64) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(s.cfg.ProgressInterval)
+		defer tick.Stop()
+		j.progress(0)
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				j.progress(harness.SimCount() - startSims)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
+// runTrainJob executes one policy-training job: the policy store is
+// consulted first (through the same GetOrTrain path every caller shares),
+// so a repeat request for an already-trained policy is a store hit with
+// zero simulations — the job's sims counter proves it to clients, exactly
+// as experiment jobs prove result-store reuse.
+func (s *Server) runTrainJob(j *job) {
+	if j.ctx.Err() != nil {
+		j.finish(nil, false, 0, j.ctx.Err())
+		return
+	}
+	j.setRunning()
+	startSims := harness.SimCount()
+	stopSampler := s.startSampler(j, startSims)
+
+	env, hit, err := s.trainPolicy(j)
+	stopSampler()
+
+	executed := harness.SimCount() - startSims
+	// Like experiment jobs, delivery beats persistence: a policy that
+	// trained but failed to land on disk still reaches the client.
+	if err != nil && env.ID == "" {
+		j.finishPolicy(nil, false, executed, err)
+		return
+	}
+	meta := env.Meta
+	j.finishPolicy(&meta, hit, executed, nil)
+}
+
+// trainPolicy runs the training itself under the job's context; the
+// recover mirrors computeExperiment's last line of defense.
+func (s *Server) trainPolicy(j *job) (env policy.Envelope, hit bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("training %s on %s panicked: %v", j.train.Config.Name, j.train.Workload.Name, r)
+		}
+	}()
+	return harness.TrainPolicyIn(j.ctx, s.cfg.Policies, j.train)
 }
 
 // computeExperiment runs the experiment itself under the job's context.
@@ -292,6 +364,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /api/runs/{id}", s.handleCancelRun)
 	mux.HandleFunc("GET /api/runs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /api/results/{exp}", s.handleResult)
+	mux.HandleFunc("GET /api/policies", s.handlePolicies)
+	mux.HandleFunc("GET /api/policies/{id}", s.handlePolicy)
+	mux.HandleFunc("GET /api/policies/{id}/snapshot", s.handlePolicySnapshot)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
@@ -327,10 +402,21 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
 }
 
-// launchRequest is the POST /api/runs body.
+// launchRequest is the POST /api/runs body: either an experiment render
+// or, with Train set, a policy-training job.
 type launchRequest struct {
 	Experiment string `json:"experiment"`
 	Scale      string `json:"scale"`
+	// Train requests a policy-training job instead of an experiment.
+	Train *trainRequest `json:"train,omitempty"`
+}
+
+// trainRequest describes a POST-able training job.
+type trainRequest struct {
+	// Workload is the training trace name (see pythia-sim -workloads).
+	Workload string `json:"workload"`
+	// Config is the Pythia configuration name; empty means "pythia".
+	Config string `json:"config"`
 }
 
 func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
@@ -343,11 +429,6 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	exp, ok := harness.ExperimentByID(req.Experiment)
-	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown experiment %q", req.Experiment)
-		return
-	}
 	sc, err := s.resolveScale(req.Scale)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -356,6 +437,37 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 	scaleName := req.Scale
 	if scaleName == "" {
 		scaleName = "default"
+	}
+
+	var exp harness.Experiment
+	var train harness.TrainSpec
+	if req.Train != nil {
+		if s.cfg.Policies == nil {
+			writeErr(w, http.StatusServiceUnavailable, "no policy store configured")
+			return
+		}
+		wl, ok := trace.ByName(req.Train.Workload)
+		if !ok {
+			writeErr(w, http.StatusNotFound, "unknown workload %q", req.Train.Workload)
+			return
+		}
+		cfgName := req.Train.Config
+		if cfgName == "" {
+			cfgName = "pythia"
+		}
+		cfg, err := harness.PythiaConfigByName(cfgName)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		train = harness.TrainSpec{Workload: wl, CacheCfg: cache.DefaultConfig(1), Scale: sc, Config: cfg}
+	} else {
+		var ok bool
+		exp, ok = harness.ExperimentByID(req.Experiment)
+		if !ok {
+			writeErr(w, http.StatusNotFound, "unknown experiment %q", req.Experiment)
+			return
+		}
 	}
 
 	s.mu.Lock()
@@ -369,7 +481,12 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.nextID++
 	id := fmt.Sprintf("job-%d", s.nextID)
-	j := newJob(s.baseCtx, id, exp, scaleName, sc)
+	var j *job
+	if req.Train != nil {
+		j = newTrainJob(s.baseCtx, id, train, scaleName, sc)
+	} else {
+		j = newJob(s.baseCtx, id, exp, scaleName, sc)
+	}
 	// The enqueue attempt is non-blocking, so holding mu across it keeps
 	// admission atomic: a job is registered iff it made it into the queue.
 	select {
@@ -550,11 +667,67 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"result": payload, "rendered": payload.Table.Render()})
 }
 
+// --- Policy lifecycle endpoints ---
+
+// policyStore returns the configured policy store or answers 503.
+func (s *Server) policyStore(w http.ResponseWriter) (*policy.Store, bool) {
+	if s.cfg.Policies == nil {
+		writeErr(w, http.StatusServiceUnavailable, "no policy store configured")
+		return nil, false
+	}
+	return s.cfg.Policies, true
+}
+
+// handlePolicies lists the metadata of every stored policy (newest
+// first); snapshots are not shipped — fetch one via its /snapshot path.
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.policyStore(w)
+	if !ok {
+		return
+	}
+	metas := st.List()
+	if metas == nil {
+		metas = []policy.Meta{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"policies": metas})
+}
+
+func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.policyStore(w)
+	if !ok {
+		return
+	}
+	env, ok := st.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown policy %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"policy": env.Meta})
+}
+
+// handlePolicySnapshot downloads a policy's raw PYQV01 snapshot bytes —
+// the "ship the learned tables to another machine" path.
+func (s *Server) handlePolicySnapshot(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.policyStore(w)
+	if !ok {
+		return
+	}
+	env, ok := st.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown policy %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", env.ID+".pyqv"))
+	w.WriteHeader(http.StatusOK)
+	w.Write(env.Snapshot)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	jobs := len(s.jobs)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	health := map[string]any{
 		"ok":             true,
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"jobs":           jobs,
@@ -570,7 +743,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			"misses":  s.store.Misses(),
 			"writes":  s.store.Writes(),
 		},
-	})
+	}
+	if p := s.cfg.Policies; p != nil {
+		health["policies"] = map[string]any{
+			"dir":     p.Dir(),
+			"entries": p.Len(),
+			"hits":    p.Hits(),
+			"misses":  p.Misses(),
+			"writes":  p.Writes(),
+		}
+	}
+	writeJSON(w, http.StatusOK, health)
 }
 
 // Scales lists the scale names this server accepts (presets plus extras),

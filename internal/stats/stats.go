@@ -38,6 +38,22 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
+// Stddev returns the sample standard deviation of xs (0 for fewer than
+// two samples). Experiment cells report it alongside the mean so per-trial
+// dispersion is never collapsed into a bare point estimate.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
 // Percentile returns the p-th percentile (0..100) of xs.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {

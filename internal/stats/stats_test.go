@@ -60,6 +60,19 @@ func TestMean(t *testing.T) {
 	}
 }
 
+func TestStddev(t *testing.T) {
+	if s := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(s-2.138) > 0.001 {
+		t.Errorf("Stddev = %v", s)
+	}
+	if s := Stddev([]float64{3, 3, 3}); s != 0 {
+		t.Errorf("Stddev of constants = %v", s)
+	}
+	// Fewer than two samples have no dispersion estimate.
+	if Stddev(nil) != 0 || Stddev([]float64{5}) != 0 {
+		t.Error("Stddev of <2 samples should be 0")
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	xs := []float64{5, 1, 3, 2, 4}
 	cases := map[float64]float64{0: 1, 50: 3, 100: 5, 25: 2}
