@@ -2,10 +2,13 @@
 # ci.sh — the repo's tiered verification gate.
 #
 #   ci.sh quick   fmt + vet + build + full tests (the tier-1 gate)
-#   ci.sh full    quick, plus the race detector over every concurrent
-#                 subsystem and a QVStore benchmark smoke so hot-path perf
-#                 regressions fail loudly (the benchmark run also executes
-#                 the allocation-budget tests)
+#   ci.sh chaos   the fault-injection and crash-recovery suite under the
+#                 race detector: every failpoint armed, a worker process
+#                 SIGKILLed mid-job, journal recovery replayed
+#   ci.sh full    quick + chaos, plus the race detector over every
+#                 concurrent subsystem and a QVStore benchmark smoke so
+#                 hot-path perf regressions fail loudly (the benchmark
+#                 run also executes the allocation-budget tests)
 #
 # With no argument, full runs (unchanged historical behavior).
 set -eu
@@ -14,9 +17,9 @@ cd "$(dirname "$0")"
 
 tier="${1:-full}"
 case "$tier" in
-quick | full) ;;
+quick | chaos | full) ;;
 *)
-    echo "usage: ci.sh [quick|full]" >&2
+    echo "usage: ci.sh [quick|chaos|full]" >&2
     exit 2
     ;;
 esac
@@ -35,18 +38,34 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test =="
-go test ./...
+if [ "$tier" != chaos ]; then
+    echo "== go test =="
+    go test ./...
+fi
 
 echo "== no-new-panics gate (error-propagation model) =="
 # The simulation stack reports failures as values (DESIGN.md "Error model
 # and cancellation"); a panic() reappearing outside tests in these
-# packages is a regression of that model. Allow-list: currently empty.
-panics=$(grep -rn 'panic(' internal/stream internal/harness internal/serve internal/cpu internal/policy \
-    --include='*.go' | grep -v '_test\.go' || true)
+# packages is a regression of that model. Allow-list: the fault
+# registry's deliberate injected panic (tagged "fault: injected panic"),
+# which exists so chaos tests can simulate crashes.
+panics=$(grep -rn 'panic(' internal/stream internal/harness internal/serve internal/cpu internal/policy internal/fault \
+    --include='*.go' | grep -v '_test\.go' | grep -v 'fault: injected panic' || true)
 if [ -n "$panics" ]; then
     echo "panic() on an error-propagation hot path:" >&2
     echo "$panics" >&2
+    exit 1
+fi
+
+echo "== single-fault-framework gate =="
+# All fault injection goes through internal/fault's registry (DESIGN.md
+# "Fault model and recovery"). A package growing a private failpoint
+# mechanism again — the pre-registry state — fails here.
+private_fps=$(grep -rnE '(func|var)( \([^)]*\))? [Ff]ailpoint' internal cmd examples \
+    --include='*.go' | grep -v '^internal/fault/' || true)
+if [ -n "$private_fps" ]; then
+    echo "private failpoint mechanism outside internal/fault:" >&2
+    echo "$private_fps" >&2
     exit 1
 fi
 
@@ -55,6 +74,18 @@ if command -v staticcheck >/dev/null 2>&1; then
     staticcheck ./...
 else
     echo "== staticcheck (not installed, skipped; CI runs it) =="
+fi
+
+if [ "$tier" = chaos ] || [ "$tier" = full ]; then
+    echo "== chaos tier: fault injection + crash recovery under -race =="
+    # The durable-execution invariants (ISSUE: crash-recoverable queue,
+    # lease-based retry, breakers): failpoints at every store write and
+    # the trace decoder, a SIGKILLed worker subprocess, journal recovery
+    # replayed from snapshots — all under the race detector.
+    go test -race ./internal/fault/...
+    go test -race -run 'Chaos|Journal|Fault|Breaker|Failpoint|Sweep' \
+        ./internal/serve/... ./internal/fsutil/... \
+        ./internal/stream/... ./internal/results/... ./internal/policy/...
 fi
 
 if [ "$tier" = full ]; then

@@ -7,6 +7,7 @@
 //
 //	pythia-serve -addr :8080
 //	pythia-serve -addr :8080 -results /var/lib/pythia/results -queue 32 -parallel 8
+//	pythia-serve -addr :8080 -journal /var/lib/pythia/journal
 //
 // API:
 //
@@ -44,6 +45,15 @@
 // "error" event while the process keeps serving). SIGINT/SIGTERM trigger
 // a graceful shutdown — admission closes, queued jobs drain, and after
 // the grace period whatever is still running is canceled.
+//
+// With -journal set, every accepted job is also persisted to a
+// crash-recovery journal: a killed or crashed process requeues its
+// queued and orphaned-running jobs on the next start (at-least-once
+// execution — the content-addressed stores make re-execution
+// idempotent). Transient store failures are retried with jittered
+// backoff; a persistently failing store opens a circuit breaker that
+// sheds new simulation jobs with 503 + Retry-After while store hits
+// keep being served (degraded read-only mode, visible in /healthz).
 package main
 
 import (
@@ -70,6 +80,7 @@ func main() {
 		queue    = flag.Int("queue", 16, "max queued (admitted but unstarted) jobs")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations per job (0 = all CPUs)")
 		grace    = flag.Duration("grace", 30*time.Second, "graceful-shutdown budget for draining queued jobs before canceling them")
+		journal  = flag.String("journal", "", "job-journal directory; accepted jobs survive crashes and are requeued on restart (empty disables)")
 	)
 	flag.Parse()
 
@@ -82,10 +93,13 @@ func main() {
 	store := harness.SetResultStore(*storeDir)
 	pols := harness.SetPolicyStore(*polDir)
 
-	srv, err := serve.New(serve.Config{Store: store, Policies: pols, QueueDepth: *queue})
+	srv, err := serve.New(serve.Config{Store: store, Policies: pols, QueueDepth: *queue, JournalDir: *journal})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if n := srv.Recovered(); n > 0 {
+		fmt.Printf("recovered %d journaled job(s) from %s\n", n, *journal)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -2,9 +2,13 @@
 // persistent result store, launch an experiment over the API, stream its
 // progress, then show an identical repeat request being answered from the
 // store with zero additional simulation — the path from batch
-// reproduction to a result-serving system. The final act launches a
+// reproduction to a result-serving system. The next act launches a
 // heavier run and cancels it with DELETE /api/runs/{id}: the SSE stream
 // ends with a terminal "canceled" event while the service stays healthy.
+// The final act overloads a deliberately tiny service until it sheds a
+// launch with 503 + Retry-After, and shows the polite client response:
+// jittered backoff driven by the server's own hint until the request is
+// accepted.
 //
 //	go run ./examples/serve
 package main
@@ -14,9 +18,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -83,7 +89,89 @@ func main() {
 	resp, err = http.Get(base + "/healthz")
 	check(err)
 	resp.Body.Close()
-	fmt.Printf("GET /healthz after cancellation -> %s\n", resp.Status)
+	fmt.Printf("GET /healthz after cancellation -> %s\n\n", resp.Status)
+
+	// 5. Overload and polite retry: a service with a single queue slot
+	// sheds excess launches with 503 + Retry-After, and a client that
+	// honors the hint (with jitter, so a thundering herd spreads out)
+	// gets in as soon as capacity frees up.
+	fmt.Println("== overload: queue depth 1, then retry with jittered backoff ==")
+	small, err := serve.New(serve.Config{Store: results.Open(dir), QueueDepth: 1})
+	check(err)
+	defer small.Close()
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	go http.Serve(ln2, small.Handler())
+	base2 := "http://" + ln2.Addr().String()
+
+	blocker := launch(base2, "fig9a", "") // occupies the executor
+	waitRunning(base2, blocker.ID)
+	filler := launch(base2, "fig14", "quick") // occupies the one queue slot
+	fmt.Printf("executor busy with %s, queue holds %s\n", blocker.ID, filler.ID)
+
+	// Free capacity shortly after the first rejection so the retry loop
+	// has something to succeed against.
+	go func() {
+		time.Sleep(700 * time.Millisecond)
+		req, err := http.NewRequest(http.MethodDelete, base2+"/api/runs/"+blocker.ID, nil)
+		check(err)
+		resp, err := http.DefaultClient.Do(req)
+		check(err)
+		resp.Body.Close()
+		fmt.Printf("  (freed capacity: DELETE /api/runs/%s -> %s)\n", blocker.ID, resp.Status)
+	}()
+
+	accepted := launchWithRetry(base2, "fig1", "quick")
+	final5 := follow(base2, accepted.ID)
+	fmt.Printf("retried launch %s finished with status %q, cached=%v\n", accepted.ID, final5.Status, final5.Cached)
+}
+
+// launchWithRetry POSTs a run and, on 503, backs off by the server's
+// Retry-After hint with added jitter before trying again — the client
+// half of the service's load-shedding contract.
+func launchWithRetry(base, exp, scale string) serve.JobView {
+	body, _ := json.Marshal(map[string]string{"experiment": exp, "scale": scale})
+	for attempt := 1; ; attempt++ {
+		resp, err := http.Post(base+"/api/runs", "application/json", bytes.NewReader(body))
+		check(err)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			var out struct {
+				Job serve.JobView `json:"job"`
+			}
+			check(json.NewDecoder(resp.Body).Decode(&out))
+			resp.Body.Close()
+			fmt.Printf("attempt %d: %s -> job %s accepted\n", attempt, resp.Status, out.Job.ID)
+			return out.Job
+		}
+		resp.Body.Close()
+		hint, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err != nil || hint < 1 {
+			hint = 1
+		}
+		// Jitter uniformly over (0, hint]: honoring the hint exactly would
+		// re-synchronize every shed client onto the same instant.
+		wait := time.Duration(rand.Int63n(int64(time.Duration(hint) * time.Second)))
+		fmt.Printf("attempt %d: 503 Service Unavailable, Retry-After %ds -> backing off %v\n",
+			attempt, hint, wait.Round(time.Millisecond))
+		time.Sleep(wait)
+	}
+}
+
+// waitRunning polls a job until it leaves the queued state.
+func waitRunning(base, id string) {
+	for {
+		resp, err := http.Get(base + "/api/runs/" + id)
+		check(err)
+		var out struct {
+			Job serve.JobView `json:"job"`
+		}
+		check(json.NewDecoder(resp.Body).Decode(&out))
+		resp.Body.Close()
+		if out.Job.Status != serve.StatusQueued {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }
 
 func launch(base, exp, scale string) serve.JobView {

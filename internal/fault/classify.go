@@ -1,0 +1,66 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"syscall"
+)
+
+// classified wraps an error with an explicit retry classification. The
+// wrapped error stays reachable through Unwrap, so errors.Is/As chains
+// (and the serve layer's context-cancellation mapping) see through it.
+type classified struct {
+	err       error
+	transient bool
+}
+
+func (c *classified) Error() string { return c.err.Error() }
+func (c *classified) Unwrap() error { return c.err }
+
+// Transient marks err as retryable: the operation failed for a reason
+// that plausibly clears on its own (a busy disk, a full queue, a
+// deadline). Returns nil for nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, transient: true}
+}
+
+// Permanent marks err as not worth retrying: the same inputs will fail
+// the same way (a bad spec, a corrupted trace, a policy mismatch).
+// Returns nil for nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, transient: false}
+}
+
+// IsTransient reports whether err should be retried. An explicit
+// Transient/Permanent mark wins (the outermost mark, so re-classifying
+// a wrapped error works); otherwise a small allow-list of known-flaky
+// causes — I/O pressure errnos and expired deadlines — is transient and
+// everything else, including context.Canceled (the caller asked us to
+// stop) and unrecognized errors, defaults to permanent so unknown
+// failures never feed a retry storm. This is the Su et al. distinction
+// the ROADMAP adopts: flaky point-failures retry, systematic ones fail
+// fast.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var c *classified
+	if errors.As(err, &c) {
+		return c.transient
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	for _, errno := range []syscall.Errno{syscall.ENOSPC, syscall.EIO, syscall.EAGAIN, syscall.EINTR} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}

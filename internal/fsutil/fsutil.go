@@ -10,23 +10,35 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"sync"
 	"time"
+
+	"pythia/internal/fault"
 )
+
+// FPWriteAtomic is the failpoint between the write callback and sync —
+// the worst possible moment for a write to die; fault-injection tests
+// arm it to prove no failure leaves a partial file behind.
+const FPWriteAtomic = "fsutil.write-atomic"
 
 // WriteAtomic lands a file at path by streaming through write into a
 // unique temp file in dir (created if missing), syncing, and atomically
 // renaming into place — so readers never observe partial content and
 // concurrent processes are safe (both write, either rename wins). Every
-// error path removes the temp file; fault-injection tests (SetFailpoint)
-// hold that no failure leaves anything behind.
+// error path removes the temp file; fault-injection tests (the
+// FPWriteAtomic failpoint) hold that no failure leaves anything behind.
+//
+// Infrastructure failures (mkdir, temp creation, sync, rename) are
+// marked fault.Transient — they are I/O pressure, not bad input, and
+// retrying the whole write is sound because it lands atomically. The
+// write callback's own error passes through unclassified: its meaning
+// (a canceled context, a corrupt source) belongs to the caller.
 func WriteAtomic(dir, path string, write func(*os.File) error) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("dir %s: %w", dir, err)
+		return fault.Transient(fmt.Errorf("dir %s: %w", dir, err))
 	}
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
-		return fmt.Errorf("temp for %s: %w", path, err)
+		return fault.Transient(fmt.Errorf("temp for %s: %w", path, err))
 	}
 	fail := func(step string, err error) error {
 		tmp.Close()
@@ -36,19 +48,19 @@ func WriteAtomic(dir, path string, write func(*os.File) error) error {
 	if err := write(tmp); err != nil {
 		return fail("write", err)
 	}
-	if err := failpoint(); err != nil {
+	if err := fault.Hit(FPWriteAtomic); err != nil {
 		return fail("write", err)
 	}
 	if err := tmp.Sync(); err != nil {
-		return fail("sync", err)
+		return fault.Transient(fail("sync", err))
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("close %s: %w", path, err)
+		return fault.Transient(fmt.Errorf("close %s: %w", path, err))
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("rename %s: %w", path, err)
+		return fault.Transient(fmt.Errorf("rename %s: %w", path, err))
 	}
 	return nil
 }
@@ -89,26 +101,4 @@ func Sanitize(name string) string {
 		}
 		return r
 	}, name)
-}
-
-// failpointErr, when non-nil, is injected into WriteAtomic between the
-// write callback and sync; fault-injection tests use it to prove no
-// partial files survive failures.
-var (
-	failpointMu  sync.Mutex
-	failpointErr error
-)
-
-// SetFailpoint injects err into every subsequent WriteAtomic between
-// write and sync (nil clears it). Test-only.
-func SetFailpoint(err error) {
-	failpointMu.Lock()
-	failpointErr = err
-	failpointMu.Unlock()
-}
-
-func failpoint() error {
-	failpointMu.Lock()
-	defer failpointMu.Unlock()
-	return failpointErr
 }

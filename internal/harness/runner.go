@@ -431,6 +431,13 @@ func SetTraceCacheDir(dir string) {
 	streamCacheVal = stream.NewCache(dir)
 }
 
+// SweepTraceCache reclaims stale temp files from the on-disk trace
+// cache immediately; long-lived services call it at startup so a crash
+// mid-population never leaves litter across restarts.
+func SweepTraceCache() {
+	streamCache().Sweep()
+}
+
 // streamSources resolves each workload of a mix to a bounded-memory
 // stream source. The disk cache shares one generation pass across every
 // core, worker and experiment that wants the same trace; if the cache is

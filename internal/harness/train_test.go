@@ -6,6 +6,7 @@ import (
 
 	"pythia/internal/cache"
 	"pythia/internal/core"
+	"pythia/internal/fault"
 	"pythia/internal/fsutil"
 	"pythia/internal/policy"
 	"pythia/internal/prefetch"
@@ -225,8 +226,7 @@ func TestWarmExperimentsSurvivePersistFailure(t *testing.T) {
 	defer ResetCaches()
 	st := SetPolicyStore(t.TempDir())
 	defer SetPolicyStore("")
-	fsutil.SetFailpoint(errors.New("injected disk failure"))
-	defer fsutil.SetFailpoint(nil)
+	defer fault.Enable(fsutil.FPWriteAtomic, fault.Spec{Err: errors.New("injected disk failure")})()
 
 	tb, err := ExtWarmStart(bg, tinyScale)
 	if err != nil {

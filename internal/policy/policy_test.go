@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"pythia/internal/core"
+	"pythia/internal/fault"
 	"pythia/internal/fsutil"
 	"pythia/internal/policy"
 	"pythia/internal/prefetch"
@@ -228,8 +229,8 @@ func TestWriteFailureLeavesNoPartialFiles(t *testing.T) {
 	s := policy.Open(dir)
 	env := testEnvelope(t)
 	boom := errors.New("injected disk failure")
-	fsutil.SetFailpoint(boom)
-	defer fsutil.SetFailpoint(nil)
+	disable := fault.Enable(fsutil.FPWriteAtomic, fault.Spec{Err: boom})
+	defer disable()
 
 	if err := s.Put(env); !errors.Is(err, boom) {
 		t.Fatalf("Put error = %v, want injected failure", err)
@@ -250,7 +251,7 @@ func TestWriteFailureLeavesNoPartialFiles(t *testing.T) {
 	}
 
 	// After the fault clears, the same ID persists normally.
-	fsutil.SetFailpoint(nil)
+	disable()
 	if err := s.Put(env); err != nil {
 		t.Fatal(err)
 	}

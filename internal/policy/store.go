@@ -10,9 +10,14 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pythia/internal/fault"
 	"pythia/internal/flight"
 	"pythia/internal/fsutil"
 )
+
+// FPWrite is the failpoint at the head of every policy-store write;
+// chaos tests arm it to fail policy persistence in isolation.
+const FPWrite = "policy.write"
 
 // Store is an on-disk policy store rooted at one directory (created on
 // first write). The zero value is not usable; call Open.
@@ -120,16 +125,26 @@ func (s *Store) Put(env Envelope) error {
 	}
 	buf = append(buf, '\n')
 
-	s.sweepOnce.Do(func() { fsutil.SweepStaleTemps(s.dir) })
+	s.Sweep()
+	if err := fault.Hit(FPWrite); err != nil {
+		return fmt.Errorf("policy: write %s: %w", env.ID, err)
+	}
 	path := s.path(env.ID)
 	if err := fsutil.WriteAtomic(s.dir, path, func(tmp *os.File) error {
 		_, werr := tmp.Write(buf)
-		return werr
+		return fault.Transient(werr)
 	}); err != nil {
 		return fmt.Errorf("policy: %w", err)
 	}
 	s.writes.Add(1)
 	return nil
+}
+
+// Sweep reclaims temp files orphaned by crashed processes now, instead
+// of waiting for the first write (long-lived services sweep at startup).
+// It runs at most once per Store.
+func (s *Store) Sweep() {
+	s.sweepOnce.Do(func() { fsutil.SweepStaleTemps(s.dir) })
 }
 
 // GetOrTrain returns the stored envelope for id, training and persisting

@@ -30,10 +30,16 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pythia/internal/fault"
 	"pythia/internal/flight"
 	"pythia/internal/fsutil"
 	"pythia/internal/trace"
 )
+
+// FPWrite is the failpoint at the head of every store write; chaos tests
+// arm it to fail result persistence without touching other WriteAtomic
+// users (the policy store, the job journal).
+const FPWrite = "results.write"
 
 // SchemaVersion is baked into every fingerprint; bump it when a payload's
 // JSON shape changes incompatibly so stale entries miss instead of
@@ -207,16 +213,34 @@ func (s *Store) write(key Key, payload json.RawMessage) error {
 	}
 	buf = append(buf, '\n')
 
-	s.sweepOnce.Do(func() { fsutil.SweepStaleTemps(s.dir) })
+	s.Sweep()
+	if err := fault.Hit(FPWrite); err != nil {
+		return fmt.Errorf("results: write %s/%s: %w", key.Kind, key.Name, err)
+	}
 	path := s.path(key)
 	if err := fsutil.WriteAtomic(s.dir, path, func(tmp *os.File) error {
 		_, werr := tmp.Write(buf)
-		return werr
+		return fault.Transient(werr)
 	}); err != nil {
 		return fmt.Errorf("results: %w", err)
 	}
 	s.writes.Add(1)
 	return nil
+}
+
+// Sweep reclaims temp files orphaned by crashed processes now, instead
+// of waiting for the first write (long-lived services sweep at startup).
+// It runs at most once per Store.
+func (s *Store) Sweep() {
+	s.sweepOnce.Do(func() { fsutil.SweepStaleTemps(s.dir) })
+}
+
+// Has reports whether a valid entry for key is on disk, without
+// decoding its payload or touching the hit/miss counters. The serving
+// layer uses it to admit store-hit requests while writes are degraded.
+func (s *Store) Has(key Key) bool {
+	_, ok := s.load(key)
+	return ok
 }
 
 // GetOrCompute returns the stored payload for key, computing and persisting

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"pythia/internal/fault"
 	"pythia/internal/fsutil"
 	"pythia/internal/results"
 )
@@ -176,8 +177,8 @@ func TestWriteFailureLeavesNoPartialFiles(t *testing.T) {
 	dir := t.TempDir()
 	s := results.Open(dir)
 	boom := errors.New("injected disk failure")
-	fsutil.SetFailpoint(boom)
-	defer fsutil.SetFailpoint(nil)
+	disable := fault.Enable(fsutil.FPWriteAtomic, fault.Spec{Err: boom})
+	defer disable()
 
 	key := testKey("w", "cfg")
 	if err := s.Put(key, payload{Label: "x"}); !errors.Is(err, boom) {
@@ -203,7 +204,7 @@ func TestWriteFailureLeavesNoPartialFiles(t *testing.T) {
 	}
 
 	// After the fault clears, the same key persists normally.
-	fsutil.SetFailpoint(nil)
+	disable()
 	if err := s.Put(key, payload{Label: "x"}); err != nil {
 		t.Fatal(err)
 	}

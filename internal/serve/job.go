@@ -62,15 +62,29 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// jl is the server's journal (nil = journaling disabled); set before
+	// the job is visible to any other goroutine. State transitions under
+	// mu write through to it, so per-job journal writes are serialized.
+	jl *journal
+	// recovered marks a job rebuilt from the journal after a restart.
+	recovered bool
+
 	mu       sync.Mutex
 	status   string
 	errMsg   string
 	cached   bool
 	sims     int64
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	result   *harness.ExperimentPayload
+	attempts int
+	// leaseUntil is the running job's heartbeat-renewed lease expiry.
+	leaseUntil time.Time
+	// userCanceled distinguishes DELETE (a terminal decision, journaled)
+	// from shutdown-driven cancellation (the journal keeps the job's
+	// pre-cancel state so a restart requeues it).
+	userCanceled bool
+	created      time.Time
+	started      time.Time
+	finished     time.Time
+	result       *harness.ExperimentPayload
 	// policyMeta is a finished training job's artifact descriptor.
 	policyMeta *policy.Meta
 
@@ -96,7 +110,12 @@ type JobView struct {
 	Cached bool `json:"cached"`
 	// Sims is the number of simulations this job executed (0 on a store
 	// hit: the zero-additional-work guarantee, measurable by clients).
-	Sims       int64                      `json:"sims"`
+	Sims int64 `json:"sims"`
+	// Attempts is how many times the job entered execution (> 1 after
+	// transient-failure retries or crash recovery).
+	Attempts int `json:"attempts,omitempty"`
+	// Recovered marks a job requeued from the journal after a restart.
+	Recovered  bool                       `json:"recovered,omitempty"`
 	CreatedAt  time.Time                  `json:"created_at"`
 	StartedAt  *time.Time                 `json:"started_at,omitempty"`
 	FinishedAt *time.Time                 `json:"finished_at,omitempty"`
@@ -164,6 +183,8 @@ func (j *job) viewLocked() JobView {
 		Error:      j.errMsg,
 		Cached:     j.cached,
 		Sims:       j.sims,
+		Attempts:   j.attempts,
+		Recovered:  j.recovered,
 		CreatedAt:  j.created,
 		Result:     j.result,
 		Policy:     j.policyMeta,
@@ -217,19 +238,76 @@ func (j *job) publish(typ string, payload any) {
 	}
 }
 
-// setRunning transitions the job to running and announces it. A job that
-// already turned terminal stays terminal: a DELETE can finish a queued
-// job between the executor popping it and reaching here, and running
-// must not overwrite (or be published after) that terminal state.
-func (j *job) setRunning() {
+// beginAttempt transitions the job to running (announced once, on the
+// first attempt), counts the attempt, and takes a lease of ttl — all
+// journaled. A job that already turned terminal stays terminal: a
+// DELETE can finish a queued job between the executor popping it and
+// reaching here, and running must not overwrite (or be published after)
+// that terminal state.
+func (j *job) beginAttempt(ttl time.Duration) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if terminalStatus(j.status) {
 		return
 	}
-	j.status = StatusRunning
-	j.started = time.Now().UTC()
-	j.publish("status", j.viewLocked())
+	j.attempts++
+	j.leaseUntil = time.Now().UTC().Add(ttl)
+	if j.status != StatusRunning {
+		j.status = StatusRunning
+		j.started = time.Now().UTC()
+		j.publish("status", j.viewLocked())
+	}
+	j.journalLocked(j.jl)
+}
+
+// renewLease is the heartbeat: the progress sampler pushes the running
+// job's lease expiry out every interval, so only a process that stopped
+// sampling (crashed, hung, killed) ever lets it lapse.
+func (j *job) renewLease(ttl time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusRunning {
+		return
+	}
+	j.leaseUntil = time.Now().UTC().Add(ttl)
+	j.journalLocked(j.jl)
+}
+
+// retrying announces a transient failure and the backoff before the
+// next attempt (a "retry" SSE event; bounded by the attempt budget, so
+// no coalescing is needed).
+func (j *job) retrying(err error, wait time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if terminalStatus(j.status) {
+		return
+	}
+	j.publish("retry", map[string]any{
+		"id":         j.id,
+		"attempt":    j.attempts,
+		"error":      err.Error(),
+		"backoff_ms": wait.Milliseconds(),
+	})
+}
+
+// requeued journals the job's (re-)queued state; the recovery requeue
+// paths call it so the journal reflects that the job is waiting again.
+func (j *job) requeued() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if terminalStatus(j.status) {
+		return
+	}
+	j.journalLocked(j.jl)
+}
+
+// markUserCanceled records that a cancellation was an explicit client
+// decision (DELETE), making the resulting terminal state durable; see
+// the userCanceled field.
+func (j *job) markUserCanceled() {
+	j.mu.Lock()
+	j.userCanceled = true
+	j.mu.Unlock()
 }
 
 // progress announces how many simulations the job has executed so far
@@ -282,6 +360,14 @@ func (j *job) finishWith(setResult func(), cached bool, sims int64, err error) {
 	default:
 		j.status = StatusError
 		j.errMsg = err.Error()
+	}
+	// Journal the terminal state — except for cancellations the client
+	// did not ask for (shutdown, an aborted drain): those keep their
+	// last journaled state so a restart requeues the job instead of
+	// losing it. That asymmetry is what makes the queue durable across
+	// SIGTERM, not just SIGKILL.
+	if j.status != StatusCanceled || j.userCanceled {
+		j.journalLocked(j.jl)
 	}
 	j.publish(j.status, j.viewLocked())
 	j.closed = true

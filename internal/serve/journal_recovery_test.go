@@ -1,0 +1,373 @@
+package serve_test
+
+// Journal-recovery properties: recovery is idempotent (restarting twice
+// from the same journal snapshot converges to the same jobs and never
+// re-simulates persisted work), expired leases are taken over while
+// live ones are respected, and user-visible job state round-trips the
+// restart.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"pythia/internal/fault"
+	"pythia/internal/harness"
+	"pythia/internal/results"
+	"pythia/internal/serve"
+)
+
+// ghostQueue journals an admission on srv's journal without ever
+// inserting it into the queue, by crashing the handler (injected panic)
+// inside the admission window. This is the adversarial interleaving the
+// journal exists for.
+func ghostQueue(t *testing.T, base, exp string) {
+	t.Helper()
+	fault.Enable(serve.FPAdmitCrash, fault.Spec{Mode: fault.ModePanic, Count: 1})
+	defer fault.Disable(serve.FPAdmitCrash)
+	body := strings.NewReader(fmt.Sprintf(`{"experiment": %q, "scale": "tiny"}`, exp))
+	if resp, err := http.Post(base+"/api/runs", "application/json", body); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// quietHTTPServer is newHTTPServer minus the panic log noise (injected
+// admission crashes are recovered and logged by net/http).
+func quietHTTPServer(t *testing.T, srv *serve.Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	ts.Config.ErrorLog = log.New(io.Discard, "", 0)
+	ts.Start()
+	return ts
+}
+
+// copyDir clones the journal directory — a filesystem snapshot of the
+// moment of the crash, replayable as many times as the test likes.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		buf, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// recoverAndDrain rebuilds a server over journalDir+storeDir, waits for
+// every recovered job to reach a terminal state, and returns the sorted
+// recovered job IDs and the simulation count consumed.
+func recoverAndDrain(t *testing.T, journalDir string, store *results.Store) ([]string, int64) {
+	t.Helper()
+	harness.ResetCaches() // force recovery to prove itself against disk, not memory
+	before := harness.SimCount()
+	srv, err := serve.New(serve.Config{
+		Store:            store,
+		QueueDepth:       4,
+		ProgressInterval: 10 * time.Millisecond,
+		JournalDir:       journalDir,
+		ExtraScales:      map[string]harness.Scale{"tiny": tinyScale},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	var list struct {
+		Jobs []serve.JobView `json:"jobs"`
+	}
+	getJSON(t, ts.URL+"/api/runs", &list)
+	var ids []string
+	for _, j := range list.Jobs {
+		if !j.Recovered {
+			t.Errorf("job %s on a freshly recovered server not marked recovered", j.ID)
+		}
+		ids = append(ids, j.ID)
+		if done := waitDone(t, ts.URL, j.ID); done.Status != serve.StatusDone {
+			t.Errorf("recovered job %s ended %q (%s)", j.ID, done.Status, done.Error)
+		}
+	}
+	sort.Strings(ids)
+	return ids, harness.SimCount() - before
+}
+
+// TestJournalRecoveryIdempotent: after a crash that strands journaled
+// jobs, restarting from the journal — twice, from identical snapshots —
+// recovers the same job set both times, converges to the same terminal
+// state, and performs zero duplicate simulations for work whose result
+// already landed in the content-addressed store.
+func TestJournalRecoveryIdempotent(t *testing.T) {
+	harness.ResetCaches()
+	defer harness.ResetCaches()
+	defer fault.Reset()
+	journalDir := t.TempDir()
+	storeDir := t.TempDir()
+
+	// A first life: one experiment runs to completion (simulations happen,
+	// result persists), then two admissions crash inside the journal→queue
+	// window, then the process dies.
+	srvA, err := serve.New(serve.Config{
+		Store:            results.Open(storeDir),
+		QueueDepth:       4,
+		ProgressInterval: 10 * time.Millisecond,
+		JournalDir:       journalDir,
+		ExtraScales:      map[string]harness.Scale{"tiny": tinyScale},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := quietHTTPServer(t, srvA)
+	job, code := postRun(t, tsA.URL, "fig14", "tiny")
+	if code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	if done := waitDone(t, tsA.URL, job.ID); done.Status != serve.StatusDone || done.Sims == 0 {
+		t.Fatalf("first-life job: status %q, %d sims", done.Status, done.Sims)
+	}
+	ghostQueue(t, tsA.URL, "fig14")  // same work as the persisted result
+	ghostQueue(t, tsA.URL, "table2") // distinct, never-run work
+	tsA.Close()
+	srvA.Close()
+
+	snapshot := copyDir(t, journalDir)
+
+	// Second life, over the original journal: both ghosts recover; the
+	// fig14 ghost is a pure store hit (zero simulations), and table2 is
+	// simulation-free by construction — so the total must be zero.
+	idsB, simsB := recoverAndDrain(t, journalDir, results.Open(storeDir))
+	if len(idsB) != 2 {
+		t.Fatalf("second life recovered %v, want the 2 ghost jobs", idsB)
+	}
+	if simsB != 0 {
+		t.Errorf("second life re-simulated: %d sims, want 0 (store idempotency)", simsB)
+	}
+
+	// Third life, over the pristine snapshot of the same crash: identical
+	// job set, identical outcome, still zero duplicate work.
+	idsC, simsC := recoverAndDrain(t, snapshot, results.Open(storeDir))
+	if fmt.Sprint(idsB) != fmt.Sprint(idsC) {
+		t.Errorf("replayed recovery diverged: %v vs %v", idsB, idsC)
+	}
+	if simsC != 0 {
+		t.Errorf("replayed recovery re-simulated: %d sims, want 0", simsC)
+	}
+
+	// Recovery reclaims terminal records: the journals now describe only
+	// jobs that finished during the lives above, as terminal states.
+	for _, dir := range []string{journalDir, snapshot} {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			buf, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rec struct {
+				ID     string `json:"id"`
+				Status string `json:"status"`
+			}
+			if err := json.Unmarshal(buf, &rec); err != nil {
+				t.Errorf("corrupt journal record %s after recovery", e.Name())
+				continue
+			}
+			if rec.Status != serve.StatusDone {
+				t.Errorf("journal record %s left in state %q after drain", rec.ID, rec.Status)
+			}
+		}
+	}
+}
+
+// TestJournalLeaseTakeover: a journaled running job with a still-live
+// lease is not stolen at startup — the reaper waits for the lease to
+// expire, then requeues it. (A live lease may belong to another process
+// sharing the journal directory.)
+func TestJournalLeaseTakeover(t *testing.T) {
+	harness.ResetCaches()
+	defer harness.ResetCaches()
+	journalDir := t.TempDir()
+	lease := 1500 * time.Millisecond
+
+	rec := map[string]any{
+		"id":          "job-7",
+		"kind":        serve.KindExperiment,
+		"experiment":  "table2",
+		"scale":       "tiny",
+		"status":      serve.StatusRunning,
+		"attempts":    1,
+		"lease_until": time.Now().Add(lease).UTC().Format(time.RFC3339Nano),
+		"created_at":  time.Now().UTC().Format(time.RFC3339Nano),
+		"updated_at":  time.Now().UTC().Format(time.RFC3339Nano),
+	}
+	buf, _ := json.Marshal(rec)
+	if err := os.WriteFile(filepath.Join(journalDir, "job-7.json"), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	srv, err := serve.New(serve.Config{
+		Store:            results.Open(t.TempDir()),
+		QueueDepth:       4,
+		ProgressInterval: 10 * time.Millisecond,
+		JournalDir:       journalDir,
+		ExtraScales:      map[string]harness.Scale{"tiny": tinyScale},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newHTTPServer(t, srv)
+
+	// While the foreign lease is live, the job is registered but parked.
+	time.Sleep(200 * time.Millisecond)
+	var out struct {
+		Job serve.JobView `json:"job"`
+	}
+	if code := getJSON(t, ts+"/api/runs/job-7", &out); code != http.StatusOK {
+		t.Fatalf("recovered job not listed: %d", code)
+	}
+	if out.Job.Status != serve.StatusQueued {
+		t.Fatalf("job with a live lease is %q %v into a %v lease, want queued",
+			out.Job.Status, time.Since(start), lease)
+	}
+
+	// After expiry the reaper requeues it and it runs to completion.
+	done := waitDone(t, ts, "job-7")
+	if done.Status != serve.StatusDone {
+		t.Fatalf("taken-over job ended %q (%s)", done.Status, done.Error)
+	}
+	if !done.Recovered {
+		t.Error("taken-over job not marked recovered")
+	}
+	if took := time.Since(start); took < lease-300*time.Millisecond {
+		t.Errorf("job finished %v after startup, inside the foreign %v lease", took, lease)
+	}
+	// nextID resumed past the recovered ID: no collision with new jobs.
+	fresh, code := postRun(t, ts, "table4", "tiny")
+	if code != http.StatusAccepted {
+		t.Fatalf("POST after takeover = %d", code)
+	}
+	if serveJobIDLE(fresh.ID, "job-7") {
+		t.Errorf("fresh job ID %q collides with recovered job-7", fresh.ID)
+	}
+}
+
+// serveJobIDLE reports a <= b for job-N IDs.
+func serveJobIDLE(a, b string) bool {
+	num := func(id string) int {
+		var n int
+		fmt.Sscanf(id, "job-%d", &n)
+		return n
+	}
+	return num(a) <= num(b)
+}
+
+// TestJournalAbandonsCrashLoopers: a journaled job that already burned
+// through the attempt budget is not requeued — it surfaces as a
+// permanently failed job instead of crash-looping the server forever.
+func TestJournalAbandonsCrashLoopers(t *testing.T) {
+	harness.ResetCaches()
+	defer harness.ResetCaches()
+	journalDir := t.TempDir()
+	rec := map[string]any{
+		"id":          "job-3",
+		"kind":        serve.KindExperiment,
+		"experiment":  "fig14",
+		"scale":       "tiny",
+		"status":      serve.StatusRunning,
+		"attempts":    3,
+		"lease_until": time.Now().Add(-time.Minute).UTC().Format(time.RFC3339Nano),
+		"created_at":  time.Now().UTC().Format(time.RFC3339Nano),
+	}
+	buf, _ := json.Marshal(rec)
+	if err := os.WriteFile(filepath.Join(journalDir, "job-3.json"), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Store:            results.Open(t.TempDir()),
+		QueueDepth:       4,
+		ProgressInterval: 10 * time.Millisecond,
+		JournalDir:       journalDir,
+		MaxAttempts:      3,
+		ExtraScales:      map[string]harness.Scale{"tiny": tinyScale},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newHTTPServer(t, srv)
+
+	done := waitDone(t, ts, "job-3")
+	if done.Status != serve.StatusError {
+		t.Fatalf("crash-looping job recovered as %q, want error", done.Status)
+	}
+	if !strings.Contains(done.Error, "crash loop") {
+		t.Errorf("abandonment reason not surfaced: %q", done.Error)
+	}
+	// Zero simulations were spent on it.
+	if done.Sims != 0 {
+		t.Errorf("abandoned job still ran %d sims", done.Sims)
+	}
+}
+
+// TestJournalUnresolvableSpecFailsVisibly: a journal record whose spec
+// no longer resolves (a custom scale not re-registered after restart)
+// becomes a visible failed job, not a silent drop or a crash.
+func TestJournalUnresolvableSpecFailsVisibly(t *testing.T) {
+	harness.ResetCaches()
+	defer harness.ResetCaches()
+	journalDir := t.TempDir()
+	rec := map[string]any{
+		"id":         "job-2",
+		"kind":       serve.KindExperiment,
+		"experiment": "fig14",
+		"scale":      "bespoke", // was an ExtraScale in the previous life
+		"status":     serve.StatusQueued,
+		"attempts":   0,
+		"created_at": time.Now().UTC().Format(time.RFC3339Nano),
+	}
+	buf, _ := json.Marshal(rec)
+	if err := os.WriteFile(filepath.Join(journalDir, "job-2.json"), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Store:            results.Open(t.TempDir()),
+		QueueDepth:       4,
+		ProgressInterval: 10 * time.Millisecond,
+		JournalDir:       journalDir,
+		ExtraScales:      map[string]harness.Scale{"tiny": tinyScale}, // no "bespoke"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newHTTPServer(t, srv)
+
+	done := waitDone(t, ts, "job-2")
+	if done.Status != serve.StatusError {
+		t.Fatalf("unresolvable job recovered as %q, want error", done.Status)
+	}
+	if done.Error == "" {
+		t.Error("unresolvable job carries no error message")
+	}
+}

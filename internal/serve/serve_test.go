@@ -293,8 +293,17 @@ func TestServeBoundedQueue(t *testing.T) {
 	if _, code := postRun(t, ts.URL, "fig14", "tiny"); code != http.StatusAccepted {
 		t.Fatalf("second run not queued: %d", code)
 	}
-	if _, code := postRun(t, ts.URL, "fig1", "tiny"); code != http.StatusServiceUnavailable {
-		t.Errorf("third run got %d, want 503 queue-full", code)
+	body, _ := json.Marshal(map[string]string{"experiment": "fig1", "scale": "tiny"})
+	resp, err := http.Post(ts.URL+"/api/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("third run got %d, want 503 queue-full", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("queue-full 503 carries no Retry-After header")
 	}
 
 	var listing struct {

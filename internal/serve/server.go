@@ -32,6 +32,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
@@ -39,6 +40,7 @@ import (
 	"time"
 
 	"pythia/internal/cache"
+	"pythia/internal/fault"
 	"pythia/internal/harness"
 	"pythia/internal/policy"
 	"pythia/internal/results"
@@ -71,6 +73,33 @@ type Config struct {
 	// presets (tests register tiny ones; deployments can pin custom
 	// horizons).
 	ExtraScales map[string]harness.Scale
+
+	// JournalDir enables the durable job journal: every accepted job is
+	// persisted there (spec + state transitions), and New recovers
+	// non-terminal jobs from it — queued jobs requeue immediately,
+	// running jobs requeue once their lease expires. Empty disables
+	// journaling (jobs live only in process memory, the pre-journal
+	// behavior). Custom scales in ExtraScales must be re-registered for
+	// their journaled jobs to be recoverable.
+	JournalDir string
+	// LeaseTTL is how long a running job's lease lasts between
+	// heartbeats (renewed by the progress sampler); the default is 30s.
+	// A crashed server stops renewing, and recovery requeues the job
+	// once the lease lapses.
+	LeaseTTL time.Duration
+	// MaxAttempts bounds how many times a job may enter execution —
+	// transient-failure retries and crash-recovery dispatches both
+	// count — before it fails permanently; the default is 3.
+	MaxAttempts int
+	// RetryBase is the first retry backoff; attempt n waits up to
+	// RetryBase·2^(n-1), full-jittered, capped at 5s. Default 100ms.
+	RetryBase time.Duration
+	// BreakerThreshold is how many consecutive persist failures open a
+	// store's circuit breaker (degraded read-only mode); default 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker sheds write-needing
+	// work before letting a probe through; default 15s.
+	BreakerCooldown time.Duration
 }
 
 // Server is the pythia-serve HTTP service.
@@ -95,12 +124,31 @@ type Server struct {
 	order  []string
 	nextID int64
 
+	// journal is the durable job log (nil when Config.JournalDir is
+	// empty); recovered counts the jobs it requeued at startup.
+	journal   *journal
+	recovered int
+
+	// storeBrk and polBrk are the per-store circuit breakers guarding
+	// result and policy persistence respectively.
+	storeBrk *breaker
+	polBrk   *breaker
+
 	started time.Time
 }
 
 // New builds a Server and starts its executor. Callers own the HTTP
 // listener (mount Handler) and must stop the server with Shutdown (drain)
 // or Close (abort) to stop the executor.
+//
+// With Config.JournalDir set, New first recovers the journal: jobs that
+// were queued (or running with an expired lease) when the previous
+// process died are rebuilt and requeued ahead of new admissions, and
+// running jobs whose lease is still live are taken over once it lapses.
+// Re-execution is at-least-once but idempotent — results and policies
+// are content-addressed and singleflight-guarded, so a recovered job
+// that already persisted its result is a store hit with zero new
+// simulations.
 func New(cfg Config) (*Server, error) {
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("serve: Config.Store is required")
@@ -114,18 +162,188 @@ func New(cfg Config) (*Server, error) {
 	if cfg.JobHistory <= 0 {
 		cfg.JobHistory = 256
 	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 100 * time.Millisecond
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 15 * time.Second
+	}
 	s := &Server{
-		cfg:     cfg,
-		store:   cfg.Store,
-		queue:   make(chan *job, cfg.QueueDepth),
-		drain:   make(chan struct{}),
-		jobs:    make(map[string]*job),
-		started: time.Now().UTC(),
+		cfg:      cfg,
+		store:    cfg.Store,
+		drain:    make(chan struct{}),
+		jobs:     make(map[string]*job),
+		storeBrk: newBreaker("results", cfg.BreakerThreshold, cfg.BreakerCooldown),
+		polBrk:   newBreaker("policies", cfg.BreakerThreshold, cfg.BreakerCooldown),
+		started:  time.Now().UTC(),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+
+	// A crash mid-WriteAtomic must not leave temp litter across
+	// restarts: sweep all three stores now, not on their first write.
+	s.store.Sweep()
+	if cfg.Policies != nil {
+		cfg.Policies.Sweep()
+	}
+	harness.SweepTraceCache()
+
+	var requeue, pending []*job
+	if cfg.JournalDir != "" {
+		jl, err := openJournal(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jl
+		requeue, pending = s.recover(jl.load())
+	}
+	// The recovered backlog rides ahead of the configured depth so a
+	// full journal can never deadlock startup; the extra capacity drains
+	// as the backlog executes.
+	s.queue = make(chan *job, cfg.QueueDepth+len(requeue)+len(pending))
+	for _, j := range requeue {
+		j.requeued() // re-land as queued before it can run
+		s.queue <- j
+	}
+	if len(pending) > 0 {
+		s.wg.Add(1)
+		go s.reaper(pending)
+	}
 	s.wg.Add(1)
 	go s.executor()
 	return s, nil
+}
+
+// recover rebuilds journaled jobs after a restart: terminal records are
+// reclaimed, queued ones (and expired-lease running ones) are returned
+// for immediate requeue, and running jobs whose lease is still live are
+// returned as pending for the reaper to take over at expiry (a live
+// lease may belong to another process sharing the journal). Jobs whose
+// spec no longer resolves, or that already burned the attempt budget
+// (a crash loop), are registered permanently failed instead of
+// requeued.
+func (s *Server) recover(recs []jobRecord) (requeue, pending []*job) {
+	now := time.Now().UTC()
+	for _, rec := range recs {
+		if n := jobIDNum(rec.ID); n > s.nextID {
+			s.nextID = n
+		}
+		if terminalStatus(rec.Status) {
+			s.journal.remove(rec.ID)
+			continue
+		}
+		j, err := s.rebuildJob(rec)
+		s.jobs[rec.ID] = j
+		s.order = append(s.order, rec.ID)
+		s.recovered++
+		switch {
+		case err != nil:
+			j.finish(nil, false, 0, fmt.Errorf("unrecoverable job spec: %w", err))
+		case rec.Attempts >= s.cfg.MaxAttempts:
+			j.finish(nil, false, 0, fmt.Errorf("abandoned after %d attempts (crash loop): %s", rec.Attempts, rec.Error))
+		case rec.Status == StatusRunning && rec.LeaseUntil.After(now):
+			pending = append(pending, j)
+		default:
+			requeue = append(requeue, j)
+		}
+	}
+	return requeue, pending
+}
+
+// rebuildJob reconstructs a job from its journal record, resolving the
+// spec through the same tables admission used.
+func (s *Server) rebuildJob(rec jobRecord) (*job, error) {
+	sc, err := s.resolveScale(scaleArg(rec.Scale))
+	if err != nil {
+		return s.placeholderJob(rec), err
+	}
+	if rec.Kind == KindTrain {
+		wl, ok := trace.ByName(rec.Workload)
+		if !ok {
+			return s.placeholderJob(rec), fmt.Errorf("unknown workload %q", rec.Workload)
+		}
+		pcfg, err := harness.PythiaConfigByName(rec.Config)
+		if err != nil {
+			return s.placeholderJob(rec), err
+		}
+		ts := harness.TrainSpec{Workload: wl, CacheCfg: cache.DefaultConfig(1), Scale: sc, Config: pcfg}
+		j := newTrainJob(s.baseCtx, rec.ID, ts, rec.Scale, sc)
+		s.adoptRecovered(j, rec)
+		return j, nil
+	}
+	exp, ok := harness.ExperimentByID(rec.Experiment)
+	if !ok {
+		return s.placeholderJob(rec), fmt.Errorf("unknown experiment %q", rec.Experiment)
+	}
+	j := newJob(s.baseCtx, rec.ID, exp, rec.Scale, sc)
+	s.adoptRecovered(j, rec)
+	return j, nil
+}
+
+// scaleArg maps the journaled scale name back to a resolveScale
+// argument ("default" was minted by admission from the empty name).
+func scaleArg(name string) string {
+	if name == "default" {
+		return ""
+	}
+	return name
+}
+
+// placeholderJob is a journaled job whose spec no longer resolves: it
+// exists to be registered and failed visibly, not silently dropped.
+func (s *Server) placeholderJob(rec jobRecord) *job {
+	j := blankJob(s.baseCtx, rec.ID, rec.Kind, rec.Scale, harness.Scale{})
+	j.expID = rec.Experiment
+	j.title = "(recovered)"
+	s.adoptRecovered(j, rec)
+	return j
+}
+
+// adoptRecovered carries durable state from the record onto a rebuilt
+// job. The job is not yet visible to other goroutines.
+func (s *Server) adoptRecovered(j *job, rec jobRecord) {
+	j.jl = s.journal
+	j.recovered = true
+	j.attempts = rec.Attempts
+	j.leaseUntil = rec.LeaseUntil // the reaper waits this out before requeueing
+	j.created = rec.CreatedAt
+	j.status = StatusQueued
+	j.publish("status", j.viewLocked())
+}
+
+// reaper waits out the live leases of running jobs recovered from the
+// journal and requeues each as its lease expires; pending jobs stay
+// visible as queued in the listing meanwhile. The enqueue blocks if the
+// queue is momentarily full — the reaper, unlike admission, may wait.
+func (s *Server) reaper(pending []*job) {
+	defer s.wg.Done()
+	sort.Slice(pending, func(i, j int) bool {
+		return pending[i].leaseUntil.Before(pending[j].leaseUntil)
+	})
+	for _, j := range pending {
+		wait := time.Until(j.leaseUntil)
+		if wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-s.baseCtx.Done():
+				return
+			}
+		}
+		j.requeued() // journal the takeover point
+		select {
+		case s.queue <- j:
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
 }
 
 // Shutdown gracefully stops the server: admission closes immediately
@@ -178,6 +396,14 @@ func (s *Server) Close() {
 	s.Shutdown(ctx)
 }
 
+// Recovered reports how many jobs were rebuilt from the journal at
+// startup (0 without a journal).
+func (s *Server) Recovered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovered
+}
+
 // resolveScale maps a scale name through ExtraScales, then the harness
 // presets. An empty name means the harness default.
 func (s *Server) resolveScale(name string) (harness.Scale, error) {
@@ -220,10 +446,13 @@ func (s *Server) dispatch(j *job) {
 	s.runJob(j)
 }
 
-// runJob executes one experiment, consulting the store first. The
-// progress sampler reads the process-wide simulation counter: with a
-// single executor, every simulation between job start and finish belongs
-// to this job, so the delta is exact.
+// runJob executes one experiment, consulting the store first. Transient
+// failures (store writes, I/O pressure — see fault.IsTransient) retry
+// with jittered exponential backoff under the job's attempt budget;
+// each attempt's persist outcome feeds the result store's circuit
+// breaker. Retrying the whole GetOrCompute is nearly free on the
+// compute side: the harness memoizes finished runs in memory even when
+// persists fail, so a retry re-renders the table without re-simulating.
 func (s *Server) runJob(j *job) {
 	// A job canceled while queued (DELETE, or an aborted shutdown) is
 	// already terminal — or about to be; don't touch the store for it.
@@ -231,15 +460,25 @@ func (s *Server) runJob(j *job) {
 		j.finish(nil, false, 0, j.ctx.Err())
 		return
 	}
-	j.setRunning()
 	startSims := harness.SimCount()
 	stopSampler := s.startSampler(j, startSims)
 
 	key := harness.ExperimentKey(j.expID, j.scale)
 	var payload harness.ExperimentPayload
-	hit, err := s.store.GetOrCompute(key, &payload, func() (any, error) {
-		return s.computeExperiment(j, startSims)
-	})
+	var hit bool
+	var err error
+	for {
+		payload = harness.ExperimentPayload{}
+		j.beginAttempt(s.cfg.LeaseTTL)
+		hit, err = s.store.GetOrCompute(key, &payload, func() (any, error) {
+			return s.computeExperiment(j, startSims)
+		})
+		delivered := payload.Table != nil
+		s.recordPersist(s.storeBrk, hit, delivered, err)
+		if !s.retry(j, err) {
+			break
+		}
+	}
 	stopSampler()
 
 	executed := harness.SimCount() - startSims
@@ -254,11 +493,66 @@ func (s *Server) runJob(j *job) {
 	j.finish(&payload, hit, executed, nil)
 }
 
+// recordPersist feeds one attempt's persist outcome into a store's
+// breaker. Only outcomes that say something about the store count: a
+// delivered-but-unpersisted artifact is a persist failure, an actual
+// write is a success, and a store hit (or a compute failure, or a
+// read-only store) says nothing.
+func (s *Server) recordPersist(b *breaker, hit, delivered bool, err error) {
+	switch {
+	case err != nil && delivered:
+		b.recordFailure(err)
+	case err == nil && !hit:
+		b.recordSuccess()
+	}
+}
+
+// retry decides whether err warrants another attempt: transient
+// classification only (fault.IsTransient), within the attempt budget,
+// and never once the job's context is done. It sleeps the jittered
+// backoff before reporting true.
+func (s *Server) retry(j *job, err error) bool {
+	if err == nil || j.ctx.Err() != nil || !fault.IsTransient(err) {
+		return false
+	}
+	j.mu.Lock()
+	attempt := j.attempts
+	j.mu.Unlock()
+	if attempt >= s.cfg.MaxAttempts {
+		return false
+	}
+	wait := backoff(s.cfg.RetryBase, attempt)
+	j.retrying(err, wait)
+	select {
+	case <-time.After(wait):
+	case <-j.ctx.Done():
+		return false
+	}
+	return true
+}
+
+// backoff is full-jittered exponential backoff: a uniform draw from
+// (0, base·2^(attempt-1)], capped at 5s — the de-correlated shape that
+// keeps retry herds from re-colliding.
+func backoff(base time.Duration, attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	span := base << (attempt - 1)
+	if lim := 5 * time.Second; span > lim {
+		span = lim
+	}
+	return time.Duration(rand.Int63n(int64(span))) + 1
+}
+
 // startSampler launches the progress sampler for a running job and
 // returns a function that stops it and waits for it to exit. The sampler
 // reads the process-wide simulation counter: with a single executor,
 // every simulation between job start and finish belongs to this job, so
 // the delta is exact.
+// The sampler is also the lease heartbeat: each tick renews the running
+// job's journaled lease, so the lease lapses exactly when the process
+// stops making progress observations (crash, hang, SIGKILL).
 func (s *Server) startSampler(j *job, startSims int64) (stop func()) {
 	done := make(chan struct{})
 	var wg sync.WaitGroup
@@ -268,12 +562,20 @@ func (s *Server) startSampler(j *job, startSims int64) (stop func()) {
 		tick := time.NewTicker(s.cfg.ProgressInterval)
 		defer tick.Stop()
 		j.progress(0)
+		lastRenew := time.Now()
 		for {
 			select {
 			case <-done:
 				return
 			case <-tick.C:
 				j.progress(harness.SimCount() - startSims)
+				// Renewing on every tick would write the journal far more
+				// often than durability needs; a third of the TTL keeps two
+				// renewals of slack before a lease could falsely lapse.
+				if s.journal != nil && time.Since(lastRenew) >= s.cfg.LeaseTTL/3 {
+					j.renewLease(s.cfg.LeaseTTL)
+					lastRenew = time.Now()
+				}
 			}
 		}
 	}()
@@ -293,11 +595,20 @@ func (s *Server) runTrainJob(j *job) {
 		j.finish(nil, false, 0, j.ctx.Err())
 		return
 	}
-	j.setRunning()
 	startSims := harness.SimCount()
 	stopSampler := s.startSampler(j, startSims)
 
-	env, hit, err := s.trainPolicy(j)
+	var env policy.Envelope
+	var hit bool
+	var err error
+	for {
+		j.beginAttempt(s.cfg.LeaseTTL)
+		env, hit, err = s.trainPolicy(j)
+		s.recordPersist(s.polBrk, hit, env.ID != "", err)
+		if !s.retry(j, err) {
+			break
+		}
+	}
 	stopSampler()
 
 	executed := harness.SimCount() - startSims
@@ -461,6 +772,12 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		train = harness.TrainSpec{Workload: wl, CacheCfg: cache.DefaultConfig(1), Scale: sc, Config: cfg}
+		// Degraded mode: an open policy breaker sheds training work (every
+		// training job needs a store write to be useful).
+		if !s.polBrk.allow() {
+			shedDegraded(w, s.polBrk, "policy store")
+			return
+		}
 	} else {
 		var ok bool
 		exp, ok = harness.ExperimentByID(req.Experiment)
@@ -468,8 +785,18 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusNotFound, "unknown experiment %q", req.Experiment)
 			return
 		}
+		// Degraded mode: with the result-store breaker open, only requests
+		// the store can already answer are admitted — a store hit needs no
+		// write, so degraded is read-only, not down.
+		if !s.store.Has(harness.ExperimentKey(exp.ID, sc)) && !s.storeBrk.allow() {
+			shedDegraded(w, s.storeBrk, "result store")
+			return
+		}
 	}
 
+	// Mint the ID under mu, but journal the admission outside it: the
+	// journal write (and the crash failpoint after it) must not poison
+	// the server lock if it dies.
 	s.mu.Lock()
 	// Re-check closing under mu: Shutdown takes the same lock for its
 	// closing transition, so a launch past this point is guaranteed to be
@@ -481,11 +808,39 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.nextID++
 	id := fmt.Sprintf("job-%d", s.nextID)
+	s.mu.Unlock()
+
 	var j *job
 	if req.Train != nil {
 		j = newTrainJob(s.baseCtx, id, train, scaleName, sc)
 	} else {
 		j = newJob(s.baseCtx, id, exp, scaleName, sc)
+	}
+	j.jl = s.journal
+	// Journal before enqueue: a crash in the window between the two (the
+	// FPAdmitCrash failpoint) leaves a journaled job that never reached
+	// the queue — recovery requeues it, which is the at-least-once side
+	// of the durability contract (content-addressed stores make the
+	// possible re-execution idempotent).
+	j.requeued()
+	if err := fault.Hit(FPAdmitCrash); err != nil {
+		if s.journal != nil {
+			s.journal.remove(id)
+		}
+		j.cancel()
+		writeErr(w, http.StatusInternalServerError, "admission failed: %v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.closing.Load() {
+		s.mu.Unlock()
+		if s.journal != nil {
+			s.journal.remove(id)
+		}
+		j.cancel()
+		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
 	}
 	// The enqueue attempt is non-blocking, so holding mu across it keeps
 	// admission atomic: a job is registered iff it made it into the queue.
@@ -497,14 +852,27 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 	default:
 		s.mu.Unlock()
-		// The rejected job was never admitted: release its context
-		// registration on baseCtx so retry storms against a full queue
-		// don't accumulate canceled children.
+		// The rejected job was never admitted: drop its journal record and
+		// release its context registration on baseCtx so retry storms
+		// against a full queue don't accumulate canceled children.
+		if s.journal != nil {
+			s.journal.remove(id)
+		}
 		j.cancel()
+		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusServiceUnavailable, "job queue full (%d queued)", s.cfg.QueueDepth)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{"job": j.view()})
+}
+
+// shedDegraded answers a launch that needs a degraded store: 503 with a
+// Retry-After hint derived from the breaker's remaining cooldown, so
+// well-behaved clients back off instead of hammering a sick disk.
+func shedDegraded(w http.ResponseWriter, b *breaker, what string) {
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", b.retryAfter()))
+	writeErr(w, http.StatusServiceUnavailable,
+		"%s is degraded (circuit breaker open); only stored results are being served", what)
 }
 
 // pruneLocked evicts the oldest finished jobs past the history cap.
@@ -524,6 +892,9 @@ func (s *Server) pruneLocked() {
 	for _, id := range s.order {
 		if drop > 0 && s.jobs[id].terminal() {
 			delete(s.jobs, id)
+			if s.journal != nil {
+				s.journal.remove(id)
+			}
 			drop--
 			continue
 		}
@@ -574,6 +945,10 @@ func (s *Server) handleCancelRun(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, map[string]any{"job": j.view()})
 		return
 	}
+	// A DELETE is an explicit client decision: the terminal state it
+	// causes is journaled, unlike shutdown-driven cancellation (which
+	// leaves the journal requeue-able).
+	j.markUserCanceled()
 	// Cancel the context first so a job mid-transition (popped from the
 	// queue but not yet running) still observes it; then, if the executor
 	// hasn't picked the job up, finish it here for a prompt terminal event
@@ -727,8 +1102,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	jobs := len(s.jobs)
 	s.mu.Unlock()
+	// The health report is truthful about degradation: an open breaker
+	// flips ok to false and names itself, so fleet probes (and humans)
+	// see "degraded read-only", not a lying green light. The endpoint
+	// still answers 200 — the process is alive and serving store hits.
+	degraded := s.storeBrk.open() || s.polBrk.open()
 	health := map[string]any{
-		"ok":             true,
+		"ok":             !degraded,
+		"degraded":       degraded,
+		"breakers":       map[string]any{"results": s.storeBrk.view(), "policies": s.polBrk.view()},
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"jobs":           jobs,
 		"queue_depth":    s.cfg.QueueDepth,
@@ -751,6 +1133,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			"hits":    p.Hits(),
 			"misses":  p.Misses(),
 			"writes":  p.Writes(),
+		}
+	}
+	if s.journal != nil {
+		health["journal"] = map[string]any{
+			"dir":          s.journal.dir,
+			"recovered":    s.recovered,
+			"write_errors": s.journal.writeErrs.Load(),
 		}
 	}
 	writeJSON(w, http.StatusOK, health)

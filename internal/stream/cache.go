@@ -50,6 +50,14 @@ func DefaultDir() string {
 // Dir returns the cache's root directory.
 func (c *Cache) Dir() string { return c.dir }
 
+// Sweep reclaims temp files orphaned by crashed processes now, instead
+// of waiting for the first population (long-lived services sweep at
+// startup so a crash mid-write never leaves litter across restarts).
+// The sweep runs at most once per Cache.
+func (c *Cache) Sweep() {
+	c.sweepOnce.Do(func() { fsutil.SweepStaleTemps(c.dir) })
+}
+
 // path maps a workload identity to its cache file.
 func (c *Cache) path(w trace.Workload, n int) string {
 	sum := sha256.Sum256([]byte(w.Key(n)))

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"pythia/internal/fault"
 	"pythia/internal/fsutil"
 	"pythia/internal/trace"
 )
@@ -26,8 +27,8 @@ func TestPopulateFailureLeavesNoPartialFiles(t *testing.T) {
 	dir := t.TempDir()
 	c := NewCache(dir)
 	boom := errors.New("injected disk failure")
-	fsutil.SetFailpoint(boom)
-	defer fsutil.SetFailpoint(nil)
+	disable := fault.Enable(fsutil.FPWriteAtomic, fault.Spec{Err: boom})
+	defer disable()
 
 	if _, err := c.Ensure(context.Background(), w, 2000); !errors.Is(err, boom) {
 		t.Fatalf("Ensure error = %v, want injected failure", err)
@@ -37,13 +38,50 @@ func TestPopulateFailureLeavesNoPartialFiles(t *testing.T) {
 		t.Errorf("file left behind after injected failure: %s", e.Name())
 	}
 
-	fsutil.SetFailpoint(nil)
+	disable()
 	path, err := c.Ensure(context.Background(), w, 2000)
 	if err != nil {
 		t.Fatalf("Ensure after fault cleared: %v", err)
 	}
 	if !c.valid(path, w, 2000) {
 		t.Error("recovered entry is not valid")
+	}
+}
+
+// TestDecodeFaultSurfacesAsStickyError arms the decode failpoint and
+// holds the package's error contract: a mid-stream decode failure
+// surfaces as Next() == false with a sticky Err() on the consumer side,
+// never as a panic or a silently truncated trace.
+func TestDecodeFaultSurfacesAsStickyError(t *testing.T) {
+	w, ok := trace.ByName("459.GemsFDTD-100B")
+	if !ok {
+		t.Fatal("missing workload")
+	}
+	dir := t.TempDir()
+	c := NewCache(dir)
+	path, err := c.Ensure(context.Background(), w, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	defer fault.Enable(FPDecode, fault.Spec{Skip: 100})()
+	r, err := (&FileSource{Path: path}).Open()
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer r.Close()
+	reads := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		reads++
+	}
+	if err := r.Err(); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Err = %v, want injected decode fault", err)
+	}
+	if reads == 0 || reads >= w.NumRecords(2000) {
+		t.Fatalf("consumer read %d records before the fault, want a mid-stream cut", reads)
 	}
 }
 

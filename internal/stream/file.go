@@ -6,8 +6,15 @@ import (
 	"os"
 	"sync"
 
+	"pythia/internal/fault"
 	"pythia/internal/trace"
 )
+
+// FPDecode is the failpoint inside the trace decode loop; arming it
+// simulates a file corrupting under a running simulation. Decode
+// failures are permanent by classification: the same file will fail the
+// same way, so retrying the job cannot help.
+const FPDecode = "stream.decode"
 
 // FileSource streams a trace file written in the binary trace format
 // (trace.Encoder). Decoding is incremental through the chunk pipeline, so
@@ -88,6 +95,10 @@ type fileIter struct {
 // Next implements trace.Iter.
 func (it *fileIter) Next() (trace.Record, bool) {
 	if it.err != nil {
+		return trace.Record{}, false
+	}
+	if ferr := fault.Hit(FPDecode); ferr != nil {
+		it.err = fmt.Errorf("stream: decoding %s: %w", it.path, ferr)
 		return trace.Record{}, false
 	}
 	rec, err := it.d.Next()
