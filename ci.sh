@@ -69,6 +69,21 @@ if [ -n "$private_fps" ]; then
     exit 1
 fi
 
+echo "== route-metrics gate (telemetry coverage) =="
+# Every serve route must flow through the Server.route() helper so it
+# gets a per-route pythia_http_requests_total counter (DESIGN.md
+# "Observability"). A bare mux.HandleFunc registration outside the
+# helper — recognizable by the missing "route-metrics-allow" marker on
+# the wrapping closure — would silently drop that route from /metrics.
+unrouted=$(grep -rn 'mux\.HandleFunc(' internal/serve --include='*.go' |
+    grep -v '_test\.go' | grep -v 'route-metrics-allow' || true)
+if [ -n "$unrouted" ]; then
+    echo "serve route registered without the route() metrics helper:" >&2
+    echo "$unrouted" >&2
+    echo "(register through Server.route(), or tag the closure with // route-metrics-allow)" >&2
+    exit 1
+fi
+
 if command -v staticcheck >/dev/null 2>&1; then
     echo "== staticcheck =="
     staticcheck ./...

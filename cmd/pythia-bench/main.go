@@ -16,8 +16,10 @@
 //
 // Simulations fan out over -parallel workers (default: all CPUs); worker
 // count changes wall time only, never a table's contents. -json records
-// per-experiment wall times in the BENCH_*.json format described in
-// PERF.md, tracking the perf trajectory PR over PR. -results points the
+// per-experiment wall times plus simulation throughput (sims run,
+// instructions retired, simulated instructions per second) in the
+// BENCH_*.json format described in PERF.md, tracking the perf
+// trajectory PR over PR. -results points the
 // harness at a persistent result store shared with pythia-serve and
 // earlier invocations, so repeated simulations are read from disk instead
 // of re-run (-results-readonly consumes without writing).
@@ -62,6 +64,14 @@ type benchExperiment struct {
 	ID      string  `json:"id"`
 	Title   string  `json:"title"`
 	Seconds float64 `json:"seconds"`
+	// Throughput accounting: simulations actually run (store hits don't
+	// count), instructions those simulations retired, and the resulting
+	// simulated-instructions-per-second rate. Zero sims (fully cached
+	// experiment) leaves InstrPerSec at 0 rather than reporting a rate
+	// for work that never happened.
+	Sims         int64   `json:"sims"`
+	Instructions int64   `json:"instructions"`
+	InstrPerSec  float64 `json:"instr_per_sec"`
 }
 
 // streamBench compares trace-delivery throughput (million records per
@@ -202,6 +212,21 @@ func runWarmBench(ctx context.Context, sc harness.Scale) (*warmstartBench, error
 	return wb, nil
 }
 
+// humanCount renders an instruction count compactly (12.3M, 4.5G) for
+// the per-experiment progress line; the JSON report keeps exact values.
+func humanCount(n int64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.1fG", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
 // resolveExperiments expands a comma-separated -exp value: experiment IDs
 // and/or the group tokens "all" (paper) and "ext" (extended studies).
 // Duplicates are dropped; order is preserved.
@@ -330,6 +355,7 @@ func main() {
 	var md strings.Builder
 	wall := time.Now()
 	for _, e := range exps {
+		simsBefore, instrBefore := harness.SimCount(), harness.InstructionsRetired()
 		start := time.Now()
 		table, err := e.Run(ctx, sc)
 		if err != nil {
@@ -341,9 +367,19 @@ func main() {
 			os.Exit(1)
 		}
 		secs := time.Since(start).Seconds()
+		be := benchExperiment{
+			ID: e.ID, Title: e.Title, Seconds: secs,
+			Sims:         harness.SimCount() - simsBefore,
+			Instructions: harness.InstructionsRetired() - instrBefore,
+		}
+		if secs > 0 && be.Instructions > 0 {
+			be.InstrPerSec = float64(be.Instructions) / secs
+		}
 		fmt.Println(table.Render())
-		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-		report.Experiments = append(report.Experiments, benchExperiment{ID: e.ID, Title: e.Title, Seconds: secs})
+		fmt.Printf("[%s completed in %v: %d sims, %s instr, %s instr/s]\n\n",
+			e.ID, time.Since(start).Round(time.Millisecond),
+			be.Sims, humanCount(be.Instructions), humanCount(int64(be.InstrPerSec)))
+		report.Experiments = append(report.Experiments, be)
 		if *mdPath != "" {
 			fmt.Fprintf(&md, "## %s\n\n```\n%s```\n\n", e.Title, table.Render())
 		}

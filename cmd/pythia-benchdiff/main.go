@@ -1,6 +1,9 @@
 // Command pythia-benchdiff compares a fresh pythia-bench -json report
 // against a committed baseline (BENCH_*.json) and flags per-experiment
-// wall-time regressions past a threshold.
+// wall-time regressions past a threshold. When the reports carry
+// simulation-throughput figures (instr_per_sec, recorded by newer
+// pythia-bench builds), an informational instructions-per-second column
+// is shown alongside the timings.
 //
 // Usage:
 //
@@ -39,8 +42,9 @@ type report struct {
 		ConvergeSpeedup   float64 `json:"converge_speedup"`
 	} `json:"warmstart,omitempty"`
 	Experiments []struct {
-		ID      string  `json:"id"`
-		Seconds float64 `json:"seconds"`
+		ID          string  `json:"id"`
+		Seconds     float64 `json:"seconds"`
+		InstrPerSec float64 `json:"instr_per_sec"`
 	} `json:"experiments"`
 	TotalSecs float64 `json:"total_seconds"`
 }
@@ -98,16 +102,18 @@ func main() {
 	}
 
 	oldSecs := map[string]float64{}
+	oldRate := map[string]float64{}
 	for _, e := range oldRep.Experiments {
 		oldSecs[e.ID] = e.Seconds
+		oldRate[e.ID] = e.InstrPerSec
 	}
 
 	var regressions []string
-	fmt.Printf("%-16s %10s %10s %8s\n", "experiment", "old (s)", "new (s)", "delta")
+	fmt.Printf("%-16s %10s %10s %8s %12s\n", "experiment", "old (s)", "new (s)", "delta", "instr/s")
 	for _, e := range newRep.Experiments {
 		old, ok := oldSecs[e.ID]
 		if !ok {
-			fmt.Printf("%-16s %10s %10.3f %8s\n", e.ID, "-", e.Seconds, "new")
+			fmt.Printf("%-16s %10s %10.3f %8s %12s\n", e.ID, "-", e.Seconds, "new", rateCol(oldRate[e.ID], e.InstrPerSec))
 			continue
 		}
 		if old < minSeconds {
@@ -119,7 +125,7 @@ func main() {
 			mark = "  <-- regression"
 			regressions = append(regressions, fmt.Sprintf("%s slowed %.0f%% (%.3fs -> %.3fs)", e.ID, delta, old, e.Seconds))
 		}
-		fmt.Printf("%-16s %10.3f %10.3f %+7.1f%%%s\n", e.ID, old, e.Seconds, delta, mark)
+		fmt.Printf("%-16s %10.3f %10.3f %+7.1f%% %12s%s\n", e.ID, old, e.Seconds, delta, rateCol(oldRate[e.ID], e.InstrPerSec), mark)
 	}
 
 	// Warm-start convergence speedup is instruction-count based, so unlike
@@ -157,6 +163,36 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("(non-blocking: timings on shared runners are noisy; pass -strict to enforce)")
+}
+
+// rateCol renders the simulated-instructions-per-second column: the
+// fresh rate plus its change against the baseline when both reports
+// carry one (older baselines predate throughput accounting). Purely
+// informational — the cached-vs-simulated mix differs run to run, so
+// rate swings are not flagged as regressions.
+func rateCol(old, new float64) string {
+	if new <= 0 {
+		return "-"
+	}
+	s := humanRate(new)
+	if old > 0 {
+		s += fmt.Sprintf(" (%+.0f%%)", (new-old)/old*100)
+	}
+	return s
+}
+
+// humanRate renders instructions/second compactly (e.g. 12.3M).
+func humanRate(r float64) string {
+	switch {
+	case r >= 1e9:
+		return fmt.Sprintf("%.1fG", r/1e9)
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk", r/1e3)
+	default:
+		return fmt.Sprintf("%.0f", r)
+	}
 }
 
 func load(path string) (report, error) {

@@ -29,6 +29,16 @@
 //	GET    /api/policies/{id}          one policy's envelope metadata
 //	GET    /api/policies/{id}/snapshot download the raw PYQV01 Q-table
 //	GET    /healthz                    service + store health
+//	GET    /metrics                    Prometheus text exposition (queue
+//	                                   depth, job latency histograms,
+//	                                   store hit/miss, retry/breaker
+//	                                   counters, instructions/sec)
+//
+// With -pprof, the net/http/pprof profiling endpoints are mounted under
+// /debug/pprof/ (see the EXPERIMENTS.md profiling recipe). Structured
+// logs (job admission, dispatch, retries, terminal states) go to stderr;
+// -log-json switches them to JSON, -log-level debug|info|warn|error
+// filters them.
 //
 // Training jobs flow through the same queue and SSE machinery as
 // experiments; a repeat training request for a policy already in the
@@ -61,12 +71,14 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"pythia/internal/harness"
+	"pythia/internal/obs"
 	"pythia/internal/policy"
 	"pythia/internal/results"
 	"pythia/internal/serve"
@@ -81,9 +93,13 @@ func main() {
 		parallel = flag.Int("parallel", 0, "max concurrent simulations per job (0 = all CPUs)")
 		grace    = flag.Duration("grace", 30*time.Second, "graceful-shutdown budget for draining queued jobs before canceling them")
 		journal  = flag.String("journal", "", "job-journal directory; accepted jobs survive crashes and are requeued on restart (empty disables)")
+		withProf = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiling is opt-in; see EXPERIMENTS.md)")
+		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
+	logger := obs.NewLogger(*logJSON, obs.ParseLevel(*logLevel))
 	harness.SetWorkers(*parallel)
 	// One store serves both layers of reuse: whole experiment tables for
 	// the service, and individual simulations for harness.RunCached. The
@@ -93,7 +109,7 @@ func main() {
 	store := harness.SetResultStore(*storeDir)
 	pols := harness.SetPolicyStore(*polDir)
 
-	srv, err := serve.New(serve.Config{Store: store, Policies: pols, QueueDepth: *queue, JournalDir: *journal})
+	srv, err := serve.New(serve.Config{Store: store, Policies: pols, QueueDepth: *queue, JournalDir: *journal, Logger: logger})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -102,7 +118,20 @@ func main() {
 		fmt.Printf("recovered %d journaled job(s) from %s\n", n, *journal)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *withProf {
+		// Compose the API with the profiling endpoints: pprof stays opt-in
+		// because it exposes goroutine dumps and heap contents.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	polDesc := "disabled"

@@ -89,6 +89,12 @@ func (c *Core) MeasuredCycles() int64 {
 // Replays returns how many times the core wrapped its trace.
 func (c *Core) Replays() int { return c.replays }
 
+// Retired returns the total instructions the core has retired, warmup and
+// replays included — the raw work the kernel performed, as opposed to
+// MeasuredInstructions' measurement window. Throughput metrics
+// (simulated-instructions/sec) are computed from this.
+func (c *Core) Retired() int64 { return c.instret }
+
 // readerErr surfaces a delivery failure from readers that can fail
 // mid-stream (streaming readers implement Err, per stream.Reader); plain
 // in-memory readers cannot fail and report nil.

@@ -22,12 +22,14 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pythia/internal/cache"
 	"pythia/internal/core"
 	"pythia/internal/cpu"
 	"pythia/internal/dram"
 	"pythia/internal/flight"
+	"pythia/internal/obs"
 	"pythia/internal/policy"
 	"pythia/internal/prefetch"
 	"pythia/internal/stats"
@@ -535,6 +537,10 @@ func Run(ctx context.Context, spec RunSpec) (RunResult, error) {
 	}
 	defer simSlots.release()
 	simCount.Add(1)
+	// A serve job's timeline (if one rides the context) learns when its
+	// first worker reached each stage; Mark is a no-op outside serve.
+	tl := obs.TimelineFrom(ctx)
+	tl.Mark("streaming", time.Now())
 	cores := len(spec.Mix.Workloads)
 	cfg := spec.CacheCfg
 	cfg.Cores = cores
@@ -625,9 +631,16 @@ func Run(ctx context.Context, spec RunSpec) (RunResult, error) {
 	// Streaming readers own producer goroutines and file handles; release
 	// them once the simulation is done (a no-op for slice readers).
 	defer sys.Close()
+	tl.Mark("simulating", time.Now())
+	simStart := time.Now()
 	if err := sys.Run(ctx); err != nil {
 		return RunResult{}, fmt.Errorf("harness: %s/%s: %w", spec.Mix.Name, spec.PF.Name, err)
 	}
+	var retired int64
+	for _, c := range sys.Cores {
+		retired += c.Retired()
+	}
+	recordSimThroughput(retired, time.Since(simStart))
 
 	res := RunResult{Name: spec.Mix.Name, PFs: pfs}
 	for _, c := range sys.Cores {

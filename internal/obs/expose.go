@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): # HELP and # TYPE lines per family,
+// one sample line per labeled series, histogram families expanded into
+// cumulative _bucket series (le labels, +Inf last) plus _sum and _count.
+// Families are ordered by name, so output is deterministic for a given
+// registry state — the round-trip tests depend on that.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.Gather() {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+			return err
+		}
+		for _, m := range f.Metrics {
+			if m.Hist != nil {
+				if err := writeHist(w, f.Name, m.Labels, m.Hist); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, renderLabels(m.Labels), formatValue(m.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHist(w io.Writer, name string, labels Labels, h *HistSnapshot) error {
+	var cum int64
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		ls := append(append(Labels(nil), labels...), Label{Name: "le", Value: formatValue(b)})
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(ls), cum); err != nil {
+			return err
+		}
+	}
+	ls := append(append(Labels(nil), labels...), Label{Name: "le", Value: "+Inf"})
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(ls), h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(labels), formatValue(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(labels), h.Count)
+	return err
+}
+
+// renderLabels formats {a="b",c="d"}; empty label sets render as nothing.
+func renderLabels(ls Labels) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatValue renders a sample value the way Prometheus expects: shortest
+// round-trippable float, +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns the /metrics endpoint over this registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"os"
+)
+
+// NopLogger returns a logger that discards everything — the default for
+// library layers when the caller didn't wire one, so instrumentation can
+// log unconditionally without nil checks. (slog.DiscardHandler is a Go
+// 1.24 API; this module targets 1.22, hence the explicit io.Discard
+// handler.)
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// NewLogger builds the standard service logger: text or JSON handler to
+// stderr at the given level. pythia-serve's -log-json / -log-level flags
+// feed this.
+func NewLogger(json bool, level slog.Level) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if json {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts))
+}
+
+// ParseLevel maps a -log-level flag value onto a slog.Level, defaulting
+// to Info for anything unrecognized.
+func ParseLevel(s string) slog.Level {
+	switch s {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Timeline records the stages a job passes through — accepted, queued,
+// leased, streaming, simulating, persisting, and a terminal state — with
+// wall-clock timestamps, so a slow job is diagnosable from the status API
+// alone. It is carried through the stack inside a context (WithTimeline /
+// TimelineFrom); every method is safe on a nil receiver, so layers below
+// serve can Mark unconditionally and pay nothing when no timeline rides
+// the context (bench, CLI, and test paths).
+//
+// Mark records a stage only the first time it is seen since the last
+// Barrier: the harness fans a job out across workers, and only the first
+// worker to reach "simulating" defines when the job entered that stage.
+// Barrier always records and resets the seen set — serve uses it at
+// attempt boundaries ("leased") and terminal states, so a retried job's
+// timeline shows each attempt's stages in order.
+type Timeline struct {
+	mu     sync.Mutex
+	stages []Stage
+	seen   map[string]bool
+}
+
+// Stage is one recorded timeline entry.
+type Stage struct {
+	Name string
+	At   time.Time
+}
+
+// NewTimeline returns a timeline with an initial stage recorded at now.
+func NewTimeline(initial string, now time.Time) *Timeline {
+	t := &Timeline{seen: make(map[string]bool)}
+	t.Barrier(initial, now)
+	return t
+}
+
+// Mark records stage at now unless it was already recorded since the last
+// Barrier. Nil-safe.
+func (t *Timeline) Mark(stage string, now time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.seen[stage] {
+		return
+	}
+	t.seen[stage] = true
+	t.stages = append(t.stages, Stage{Name: stage, At: now})
+}
+
+// Barrier records stage unconditionally and clears the dedup set, opening
+// a new attempt window. Nil-safe.
+func (t *Timeline) Barrier(stage string, now time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seen = map[string]bool{stage: true}
+	t.stages = append(t.stages, Stage{Name: stage, At: now})
+}
+
+// StageView is one timeline entry as surfaced in job-status JSON: when the
+// stage began and how long until the next stage began (or until `until`
+// for the last entry — the job's terminal time for finished jobs, now for
+// live ones).
+type StageView struct {
+	Stage           string    `json:"stage"`
+	At              time.Time `json:"at"`
+	DurationSeconds float64   `json:"duration_seconds"`
+}
+
+// Snapshot returns the recorded stages with durations computed against the
+// next stage (the final stage's duration runs to `until`, clamped at >= 0).
+// Nil-safe: a nil timeline snapshots to nil.
+func (t *Timeline) Snapshot(until time.Time) []StageView {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	stages := append([]Stage(nil), t.stages...)
+	t.mu.Unlock()
+	out := make([]StageView, len(stages))
+	for i, s := range stages {
+		end := until
+		if i+1 < len(stages) {
+			end = stages[i+1].At
+		}
+		d := end.Sub(s.At).Seconds()
+		if d < 0 {
+			d = 0
+		}
+		out[i] = StageView{Stage: s.Name, At: s.At, DurationSeconds: d}
+	}
+	return out
+}
+
+type timelineKey struct{}
+
+// WithTimeline attaches t to the context for layers below to Mark.
+func WithTimeline(ctx context.Context, t *Timeline) context.Context {
+	return context.WithValue(ctx, timelineKey{}, t)
+}
+
+// TimelineFrom extracts the timeline riding ctx, or nil (whose methods are
+// all no-ops) when none was attached.
+func TimelineFrom(ctx context.Context) *Timeline {
+	t, _ := ctx.Value(timelineKey{}).(*Timeline)
+	return t
+}

@@ -13,6 +13,16 @@ import (
 	"pythia/internal/fault"
 	"pythia/internal/flight"
 	"pythia/internal/fsutil"
+	"pythia/internal/obs"
+)
+
+// Process-wide registry counters, shared by every Store instance (the
+// per-instance atomics remain the per-store source of truth for tests and
+// /healthz detail; these feed /metrics, labeled by store).
+var (
+	obsHits   = obs.GetCounter("pythia_store_hits_total", "Store lookups served from disk.", obs.L("store", "policies"))
+	obsMisses = obs.GetCounter("pythia_store_misses_total", "Store lookups that found no valid entry.", obs.L("store", "policies"))
+	obsWrites = obs.GetCounter("pythia_store_writes_total", "Store entries successfully persisted.", obs.L("store", "policies"))
 )
 
 // FPWrite is the failpoint at the head of every policy-store write;
@@ -73,6 +83,12 @@ func (s *Store) Misses() int64 { return s.misses.Load() }
 // Writes returns the number of envelopes successfully persisted.
 func (s *Store) Writes() int64 { return s.writes.Load() }
 
+// hit/miss/wrote bump the per-instance atomic and the shared registry
+// counter together so /metrics and the instance views cannot drift.
+func (s *Store) hit()   { s.hits.Add(1); obsHits.Inc() }
+func (s *Store) miss()  { s.misses.Add(1); obsMisses.Inc() }
+func (s *Store) wrote() { s.writes.Add(1); obsWrites.Inc() }
+
 // path maps a policy ID to its file. The config and workload names are
 // embedded (sanitized) for debuggability; the ID digest provides the
 // content addressing and is all Get needs.
@@ -86,10 +102,10 @@ func (s *Store) path(id string) string {
 func (s *Store) Get(id string) (Envelope, bool) {
 	env, ok := s.load(id)
 	if !ok {
-		s.misses.Add(1)
+		s.miss()
 		return Envelope{}, false
 	}
-	s.hits.Add(1)
+	s.hit()
 	return env, true
 }
 
@@ -136,7 +152,7 @@ func (s *Store) Put(env Envelope) error {
 	}); err != nil {
 		return fmt.Errorf("policy: %w", err)
 	}
-	s.writes.Add(1)
+	s.wrote()
 	return nil
 }
 
@@ -164,7 +180,7 @@ func (s *Store) GetOrTrain(id string, train func() (Envelope, error)) (env Envel
 		// process) may have landed the entry between our miss and taking
 		// leadership.
 		if env, ok := s.load(id); ok {
-			s.hits.Add(1)
+			s.hit()
 			return flightOut{env: env, hit: true}, nil
 		}
 		env, err := train()

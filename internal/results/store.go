@@ -33,7 +33,17 @@ import (
 	"pythia/internal/fault"
 	"pythia/internal/flight"
 	"pythia/internal/fsutil"
+	"pythia/internal/obs"
 	"pythia/internal/trace"
+)
+
+// Process-wide registry counters, shared by every Store instance (the
+// per-instance atomics remain the per-store source of truth for tests and
+// /healthz detail; these feed /metrics, labeled by store).
+var (
+	obsHits   = obs.GetCounter("pythia_store_hits_total", "Store lookups served from disk.", obs.L("store", "results"))
+	obsMisses = obs.GetCounter("pythia_store_misses_total", "Store lookups that found no valid entry.", obs.L("store", "results"))
+	obsWrites = obs.GetCounter("pythia_store_writes_total", "Store entries successfully persisted.", obs.L("store", "results"))
 )
 
 // FPWrite is the failpoint at the head of every store write; chaos tests
@@ -140,6 +150,12 @@ func (s *Store) Misses() int64 { return s.misses.Load() }
 // Writes returns the number of entries successfully persisted.
 func (s *Store) Writes() int64 { return s.writes.Load() }
 
+// hit/miss/wrote bump the per-instance atomic and the shared registry
+// counter together so /metrics and the instance views cannot drift.
+func (s *Store) hit()   { s.hits.Add(1); obsHits.Inc() }
+func (s *Store) miss()  { s.misses.Add(1); obsMisses.Inc() }
+func (s *Store) wrote() { s.writes.Add(1); obsWrites.Inc() }
+
 // path maps a key to its file. The name is embedded (sanitized) for
 // debuggability; the fingerprint digest provides the content addressing.
 func (s *Store) path(key Key) string {
@@ -156,14 +172,14 @@ func (s *Store) path(key Key) string {
 func (s *Store) Get(key Key, out any) bool {
 	env, ok := s.load(key)
 	if !ok {
-		s.misses.Add(1)
+		s.miss()
 		return false
 	}
 	if err := json.Unmarshal(env.Payload, out); err != nil {
-		s.misses.Add(1)
+		s.miss()
 		return false
 	}
-	s.hits.Add(1)
+	s.hit()
 	return true
 }
 
@@ -224,7 +240,7 @@ func (s *Store) write(key Key, payload json.RawMessage) error {
 	}); err != nil {
 		return fmt.Errorf("results: %w", err)
 	}
-	s.writes.Add(1)
+	s.wrote()
 	return nil
 }
 
@@ -260,7 +276,7 @@ func (s *Store) GetOrCompute(key Key, out any, compute func() (any, error)) (hit
 		// Re-check under the flight: an earlier flight (or another process)
 		// may have landed the entry between our miss and taking leadership.
 		if env, ok := s.load(key); ok {
-			s.hits.Add(1)
+			s.hit()
 			return flightOut{payload: env.Payload, hit: true}, nil
 		}
 		v, err := compute()

@@ -3,6 +3,8 @@ package serve
 import (
 	"sync"
 	"time"
+
+	"pythia/internal/obs"
 )
 
 // breaker is a per-store circuit breaker: consecutive persist failures
@@ -31,6 +33,27 @@ type breaker struct {
 
 func newBreaker(name string, threshold int, cooldown time.Duration) *breaker {
 	return &breaker{name: name, threshold: threshold, cooldown: cooldown}
+}
+
+// register exposes the breaker's state on the default registry
+// (func-backed, so a newer Server's breakers replace an older one's).
+func (b *breaker) register() {
+	lbl := obs.L("store", b.name)
+	obs.RegisterGaugeFunc("pythia_serve_breaker_open",
+		"1 while the store's circuit breaker is open (degraded read-only).", lbl,
+		func() float64 {
+			if b.open() {
+				return 1
+			}
+			return 0
+		})
+	obs.RegisterCounterFunc("pythia_serve_breaker_trips_total",
+		"Times the store's circuit breaker opened.", lbl,
+		func() float64 {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			return float64(b.trips)
+		})
 }
 
 // recordFailure counts a persist failure; reaching the threshold opens

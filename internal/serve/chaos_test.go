@@ -101,6 +101,7 @@ func TestChaosTransientStoreFaultRetries(t *testing.T) {
 		Err:   fault.Transient(errors.New("injected store outage")),
 		Count: 1,
 	})
+	retriesBefore := metricValue("pythia_serve_retries_total", nil)
 	job, code := postRun(t, ts, "fig14", "tiny")
 	if code != http.StatusAccepted {
 		t.Fatalf("POST = %d", code)
@@ -111,6 +112,9 @@ func TestChaosTransientStoreFaultRetries(t *testing.T) {
 	}
 	if done.Attempts != 2 {
 		t.Errorf("job took %d attempts, want 2 (one fault, one clean retry)", done.Attempts)
+	}
+	if d := metricValue("pythia_serve_retries_total", nil) - retriesBefore; d < 1 {
+		t.Errorf("pythia_serve_retries_total moved by %v, want >= 1", d)
 	}
 	if got := fault.Trips(results.FPWrite); got != 1 {
 		t.Errorf("failpoint tripped %d times, want 1", got)
@@ -402,8 +406,16 @@ func TestChaosAdmitCrashRecovered(t *testing.T) {
 		t.Fatalf("no journal record survived the admission crash (err %v)", err)
 	}
 
+	recoveredBefore := metricValue("pythia_serve_journal_recovered_total", nil)
+	requeuesBefore := metricValue("pythia_serve_requeues_total", nil)
 	srvB := mk()
 	tsB := newHTTPServer(t, srvB)
+	if d := metricValue("pythia_serve_journal_recovered_total", nil) - recoveredBefore; d < 1 {
+		t.Errorf("pythia_serve_journal_recovered_total moved by %v, want >= 1", d)
+	}
+	if d := metricValue("pythia_serve_requeues_total", nil) - requeuesBefore; d < 1 {
+		t.Errorf("pythia_serve_requeues_total moved by %v, want >= 1", d)
+	}
 	var list struct {
 		Jobs []serve.JobView `json:"jobs"`
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pythia/internal/harness"
+	"pythia/internal/obs"
 	"pythia/internal/policy"
 )
 
@@ -61,6 +62,11 @@ type job struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// tl is the job's stage timeline (accepted→queued→leased→streaming→
+	// simulating→persisting→terminal). It also rides ctx, so the harness
+	// marks the stages it owns; JobView surfaces the snapshot.
+	tl *obs.Timeline
 
 	// jl is the server's journal (nil = journaling disabled); set before
 	// the job is visible to any other goroutine. State transitions under
@@ -125,6 +131,10 @@ type JobView struct {
 	Policy *policy.Meta `json:"policy,omitempty"`
 	// Rendered is the table formatted as aligned text (terminal clients).
 	Rendered string `json:"rendered,omitempty"`
+	// Timeline is the job's stage history with per-stage durations; the
+	// last stage's duration runs to now for live jobs, to FinishedAt once
+	// terminal. Retried jobs show each attempt's leased→… sequence.
+	Timeline []obs.StageView `json:"timeline,omitempty"`
 }
 
 func newJob(base context.Context, id string, exp harness.Experiment, scaleName string, sc harness.Scale) *job {
@@ -144,7 +154,10 @@ func newTrainJob(base context.Context, id string, ts harness.TrainSpec, scaleNam
 }
 
 func blankJob(base context.Context, id, kind, scaleName string, sc harness.Scale) *job {
-	ctx, cancel := context.WithCancel(base)
+	now := time.Now().UTC()
+	tl := obs.NewTimeline("accepted", now)
+	tl.Mark("queued", now)
+	ctx, cancel := context.WithCancel(obs.WithTimeline(base, tl))
 	return &job{
 		id:        id,
 		kind:      kind,
@@ -152,8 +165,9 @@ func blankJob(base context.Context, id, kind, scaleName string, sc harness.Scale
 		scale:     sc,
 		ctx:       ctx,
 		cancel:    cancel,
+		tl:        tl,
 		status:    StatusQueued,
-		created:   time.Now().UTC(),
+		created:   now,
 		subs:      make(map[chan Event]struct{}),
 	}
 }
@@ -204,6 +218,11 @@ func (j *job) viewLocked() JobView {
 	if j.result != nil && j.result.Table != nil {
 		v.Rendered = j.result.Table.Render()
 	}
+	until := time.Now().UTC()
+	if !j.finished.IsZero() {
+		until = j.finished
+	}
+	v.Timeline = j.tl.Snapshot(until)
 	return v
 }
 
@@ -251,7 +270,14 @@ func (j *job) beginAttempt(ttl time.Duration) {
 		return
 	}
 	j.attempts++
-	j.leaseUntil = time.Now().UTC().Add(ttl)
+	now := time.Now().UTC()
+	if j.attempts == 1 {
+		mQueueWait.Observe(now.Sub(j.created).Seconds())
+	}
+	// Barrier, not Mark: each attempt opens a fresh dedup window, so a
+	// retried job's timeline shows every leased→streaming→… sequence.
+	j.tl.Barrier("leased", now)
+	j.leaseUntil = now.Add(ttl)
 	if j.status != StatusRunning {
 		j.status = StatusRunning
 		j.started = time.Now().UTC()
@@ -282,6 +308,7 @@ func (j *job) retrying(err error, wait time.Duration) {
 	if terminalStatus(j.status) {
 		return
 	}
+	mRetries.Inc()
 	j.publish("retry", map[string]any{
 		"id":         j.id,
 		"attempt":    j.attempts,
@@ -350,6 +377,7 @@ func (j *job) finishWith(setResult func(), cached bool, sims int64, err error) {
 	j.finished = time.Now().UTC()
 	j.cached = cached
 	j.sims = sims
+	mSSESubs.Add(-float64(len(j.subs)))
 	switch {
 	case err == nil:
 		j.status = StatusDone
@@ -360,6 +388,11 @@ func (j *job) finishWith(setResult func(), cached bool, sims int64, err error) {
 	default:
 		j.status = StatusError
 		j.errMsg = err.Error()
+	}
+	j.tl.Barrier(j.status, j.finished)
+	jobsFinished(j.status).Inc()
+	if !j.started.IsZero() {
+		jobDuration(j.kind).Observe(j.finished.Sub(j.started).Seconds())
 	}
 	// Journal the terminal state — except for cancellations the client
 	// did not ask for (shutdown, an aborted drain): those keep their
@@ -393,12 +426,14 @@ func (j *job) subscribe() (replay []Event, live <-chan Event, cancel func()) {
 		return replay, ch, func() {}
 	}
 	j.subs[ch] = struct{}{}
+	mSSESubs.Add(1)
 	return replay, ch, func() {
 		j.mu.Lock()
 		defer j.mu.Unlock()
 		if _, ok := j.subs[ch]; ok {
 			delete(j.subs, ch)
 			close(ch)
+			mSSESubs.Add(-1)
 		}
 	}
 }

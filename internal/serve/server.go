@@ -32,6 +32,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -42,6 +43,7 @@ import (
 	"pythia/internal/cache"
 	"pythia/internal/fault"
 	"pythia/internal/harness"
+	"pythia/internal/obs"
 	"pythia/internal/policy"
 	"pythia/internal/results"
 	"pythia/internal/trace"
@@ -100,6 +102,11 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker sheds write-needing
 	// work before letting a probe through; default 15s.
 	BreakerCooldown time.Duration
+
+	// Logger receives structured job-lifecycle logs (admission, dispatch,
+	// retries, terminal states, recovery) with job IDs on every record.
+	// Nil discards them — tests and embedders that don't care stay quiet.
+	Logger *slog.Logger
 }
 
 // Server is the pythia-serve HTTP service.
@@ -133,6 +140,8 @@ type Server struct {
 	// result and policy persistence respectively.
 	storeBrk *breaker
 	polBrk   *breaker
+
+	log *slog.Logger
 
 	started time.Time
 }
@@ -177,6 +186,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = 15 * time.Second
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
 	s := &Server{
 		cfg:      cfg,
 		store:    cfg.Store,
@@ -184,6 +197,7 @@ func New(cfg Config) (*Server, error) {
 		jobs:     make(map[string]*job),
 		storeBrk: newBreaker("results", cfg.BreakerThreshold, cfg.BreakerCooldown),
 		polBrk:   newBreaker("policies", cfg.BreakerThreshold, cfg.BreakerCooldown),
+		log:      log,
 		started:  time.Now().UTC(),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
@@ -211,12 +225,19 @@ func New(cfg Config) (*Server, error) {
 	s.queue = make(chan *job, cfg.QueueDepth+len(requeue)+len(pending))
 	for _, j := range requeue {
 		j.requeued() // re-land as queued before it can run
+		mRequeues.Inc()
 		s.queue <- j
+	}
+	if s.recovered > 0 {
+		mRecovered.Add(int64(s.recovered))
+		s.log.Info("journal recovery complete",
+			"recovered", s.recovered, "requeued", len(requeue), "pending_leases", len(pending))
 	}
 	if len(pending) > 0 {
 		s.wg.Add(1)
 		go s.reaper(pending)
 	}
+	s.registerMetrics()
 	s.wg.Add(1)
 	go s.executor()
 	return s, nil
@@ -338,6 +359,8 @@ func (s *Server) reaper(pending []*job) {
 			}
 		}
 		j.requeued() // journal the takeover point
+		mRequeues.Inc()
+		s.log.Info("lease expired, job requeued", "job", j.id)
 		select {
 		case s.queue <- j:
 		case <-s.baseCtx.Done():
@@ -437,13 +460,18 @@ func (s *Server) executor() {
 	}
 }
 
-// dispatch routes a popped job to its kind's runner.
+// dispatch routes a popped job to its kind's runner and logs its
+// terminal outcome — the one log line per job worth grepping for.
 func (s *Server) dispatch(j *job) {
+	s.log.Info("job dispatched", "job", j.id, "kind", j.kind, "scale", j.scaleName)
 	if j.kind == KindTrain {
 		s.runTrainJob(j)
-		return
+	} else {
+		s.runJob(j)
 	}
-	s.runJob(j)
+	v := j.view()
+	s.log.Info("job finished", "job", j.id, "kind", j.kind, "status", v.Status,
+		"cached", v.Cached, "sims", v.Sims, "attempts", v.Attempts, "error", v.Error)
 }
 
 // runJob executes one experiment, consulting the store first. Transient
@@ -522,6 +550,8 @@ func (s *Server) retry(j *job, err error) bool {
 		return false
 	}
 	wait := backoff(s.cfg.RetryBase, attempt)
+	s.log.Warn("transient failure, retrying", "job", j.id, "attempt", attempt,
+		"backoff_ms", wait.Milliseconds(), "error", err.Error())
 	j.retrying(err, wait)
 	select {
 	case <-time.After(wait):
@@ -653,6 +683,8 @@ func (s *Server) computeExperiment(j *job, startSims int64) (payload any, err er
 	if err != nil {
 		return nil, err
 	}
+	// The computed payload goes to the store the moment this returns.
+	j.tl.Mark("persisting", time.Now().UTC())
 	return harness.ExperimentPayload{
 		ID:      exp.ID,
 		Title:   exp.Title,
@@ -665,21 +697,36 @@ func (s *Server) computeExperiment(j *job, startSims int64) (payload any, err er
 
 // --- HTTP API ---
 
-// Handler returns the service's HTTP routes.
+// Handler returns the service's HTTP routes. Every route goes through
+// route(), which pairs the registration with a per-route request counter
+// — ci.sh gates direct mux.HandleFunc calls so a new endpoint cannot
+// ship unmetered.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/experiments", s.handleExperiments)
-	mux.HandleFunc("GET /api/runs", s.handleListRuns)
-	mux.HandleFunc("POST /api/runs", s.handleLaunch)
-	mux.HandleFunc("GET /api/runs/{id}", s.handleGetRun)
-	mux.HandleFunc("DELETE /api/runs/{id}", s.handleCancelRun)
-	mux.HandleFunc("GET /api/runs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /api/results/{exp}", s.handleResult)
-	mux.HandleFunc("GET /api/policies", s.handlePolicies)
-	mux.HandleFunc("GET /api/policies/{id}", s.handlePolicy)
-	mux.HandleFunc("GET /api/policies/{id}/snapshot", s.handlePolicySnapshot)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.route(mux, "GET /api/experiments", s.handleExperiments)
+	s.route(mux, "GET /api/runs", s.handleListRuns)
+	s.route(mux, "POST /api/runs", s.handleLaunch)
+	s.route(mux, "GET /api/runs/{id}", s.handleGetRun)
+	s.route(mux, "DELETE /api/runs/{id}", s.handleCancelRun)
+	s.route(mux, "GET /api/runs/{id}/events", s.handleEvents)
+	s.route(mux, "GET /api/results/{exp}", s.handleResult)
+	s.route(mux, "GET /api/policies", s.handlePolicies)
+	s.route(mux, "GET /api/policies/{id}", s.handlePolicy)
+	s.route(mux, "GET /api/policies/{id}/snapshot", s.handlePolicySnapshot)
+	s.route(mux, "GET /healthz", s.handleHealth)
+	s.route(mux, "GET /metrics", obs.Default().Handler().ServeHTTP)
 	return mux
+}
+
+// route registers pattern with a request counter wrapped around the
+// handler. The ci.sh route-metrics gate requires all registrations to go
+// through here (the one direct call below is the allow-listed wrapper).
+func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	c := routeCounter(pattern)
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) { // route-metrics-allow
+		c.Inc()
+		h(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -732,6 +779,7 @@ type trainRequest struct {
 
 func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 	if s.closing.Load() {
+		shedCounter("closing").Inc()
 		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
@@ -803,6 +851,7 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 	// swept (or executed) by shutdown's drain rather than stranded.
 	if s.closing.Load() {
 		s.mu.Unlock()
+		shedCounter("closing").Inc()
 		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
@@ -839,6 +888,7 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 			s.journal.remove(id)
 		}
 		j.cancel()
+		shedCounter("closing").Inc()
 		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
@@ -859,10 +909,14 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 			s.journal.remove(id)
 		}
 		j.cancel()
+		shedCounter("queue_full").Inc()
+		s.log.Warn("launch shed: queue full", "depth", s.cfg.QueueDepth)
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusServiceUnavailable, "job queue full (%d queued)", s.cfg.QueueDepth)
 		return
 	}
+	s.log.Info("job admitted", "job", id, "kind", j.kind,
+		"experiment", j.expID, "scale", scaleName)
 	writeJSON(w, http.StatusAccepted, map[string]any{"job": j.view()})
 }
 
@@ -870,6 +924,7 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 // Retry-After hint derived from the breaker's remaining cooldown, so
 // well-behaved clients back off instead of hammering a sick disk.
 func shedDegraded(w http.ResponseWriter, b *breaker, what string) {
+	shedCounter("degraded_" + b.name).Inc()
 	w.Header().Set("Retry-After", fmt.Sprintf("%d", b.retryAfter()))
 	writeErr(w, http.StatusServiceUnavailable,
 		"%s is degraded (circuit breaker open); only stored results are being served", what)
@@ -1118,22 +1173,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"closing":        s.closing.Load(),
 		"sims":           harness.SimCount(),
 		"workers":        harness.Workers(),
-		"store": map[string]any{
-			"dir":     s.store.Dir(),
-			"entries": s.store.Len(),
-			"hits":    s.store.Hits(),
-			"misses":  s.store.Misses(),
-			"writes":  s.store.Writes(),
-		},
-	}
-	if p := s.cfg.Policies; p != nil {
-		health["policies"] = map[string]any{
-			"dir":     p.Dir(),
-			"entries": p.Len(),
-			"hits":    p.Hits(),
-			"misses":  p.Misses(),
-			"writes":  p.Writes(),
-		}
+		"stores":         s.storesHealth(),
 	}
 	if s.journal != nil {
 		health["journal"] = map[string]any{
@@ -1143,6 +1183,49 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, health)
+}
+
+// storesHealth derives the per-store health section from the metrics
+// registry instead of hand-calling each store's counters: any store that
+// registers pythia_store_* series (results, policies, the trace cache —
+// and whatever comes next) appears here automatically, so a new store
+// can't silently go unreported. Directories are annotated for the
+// instances this server owns.
+func (s *Server) storesHealth() map[string]map[string]any {
+	fields := map[string]string{
+		"pythia_store_hits_total":   "hits",
+		"pythia_store_misses_total": "misses",
+		"pythia_store_writes_total": "writes",
+		"pythia_store_entries":      "entries",
+	}
+	stores := map[string]map[string]any{}
+	for _, f := range obs.Default().Gather() {
+		field, ok := fields[f.Name]
+		if !ok {
+			continue
+		}
+		for _, m := range f.Metrics {
+			name := m.Labels.Get("store")
+			if name == "" {
+				continue
+			}
+			ent := stores[name]
+			if ent == nil {
+				ent = map[string]any{}
+				stores[name] = ent
+			}
+			ent[field] = int64(m.Value)
+		}
+	}
+	if ent := stores["results"]; ent != nil {
+		ent["dir"] = s.store.Dir()
+	}
+	if p := s.cfg.Policies; p != nil {
+		if ent := stores["policies"]; ent != nil {
+			ent["dir"] = p.Dir()
+		}
+	}
+	return stores
 }
 
 // Scales lists the scale names this server accepts (presets plus extras),

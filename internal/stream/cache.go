@@ -8,10 +8,22 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"pythia/internal/flight"
 	"pythia/internal/fsutil"
+	"pythia/internal/obs"
 	"pythia/internal/trace"
+)
+
+// Process-wide registry counters, shared by every Cache instance. The
+// trace cache reports alongside the results/policy stores under the same
+// pythia_store_* families so /healthz and /metrics enumerate all three
+// content-addressed stores uniformly.
+var (
+	obsHits   = obs.GetCounter("pythia_store_hits_total", "Store lookups served from disk.", obs.L("store", "trace"))
+	obsMisses = obs.GetCounter("pythia_store_misses_total", "Store lookups that found no valid entry.", obs.L("store", "trace"))
+	obsWrites = obs.GetCounter("pythia_store_writes_total", "Store entries successfully persisted.", obs.L("store", "trace"))
 )
 
 // Cache is a content-addressed on-disk trace cache: files are keyed by
@@ -30,6 +42,8 @@ type Cache struct {
 	flight flight.Group[struct{}]
 
 	sweepOnce sync.Once
+
+	hits, misses, writes atomic.Int64
 }
 
 // NewCache returns a cache rooted at dir (created on first population).
@@ -49,6 +63,21 @@ func DefaultDir() string {
 
 // Dir returns the cache's root directory.
 func (c *Cache) Dir() string { return c.dir }
+
+// Hits returns the number of Ensure calls served by an existing file.
+func (c *Cache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns the number of Ensure calls that found no valid entry.
+func (c *Cache) Misses() int64 { return c.misses.Load() }
+
+// Writes returns the number of trace files successfully populated.
+func (c *Cache) Writes() int64 { return c.writes.Load() }
+
+// hit/miss/wrote bump the per-instance atomic and the shared registry
+// counter together so /metrics and the instance views cannot drift.
+func (c *Cache) hit()   { c.hits.Add(1); obsHits.Inc() }
+func (c *Cache) miss()  { c.misses.Add(1); obsMisses.Inc() }
+func (c *Cache) wrote() { c.writes.Add(1); obsWrites.Inc() }
 
 // Sweep reclaims temp files orphaned by crashed processes now, instead
 // of waiting for the first population (long-lived services sweep at
@@ -93,13 +122,16 @@ func (c *Cache) Ensure(ctx context.Context, w trace.Workload, n int) (string, er
 	}
 	path := c.path(w, n)
 	if c.valid(path, w, n) {
+		c.hit()
 		return path, nil
 	}
+	c.miss()
 	_, _, err := c.flight.Do(path, func() (struct{}, error) {
 		// Re-check under the flight: another process (or an earlier flight
 		// that completed between our check and joining) may have populated
 		// it.
 		if c.valid(path, w, n) {
+			c.hit()
 			return struct{}{}, nil
 		}
 		return struct{}{}, c.populate(ctx, path, w, n)
@@ -137,6 +169,7 @@ func (c *Cache) populate(ctx context.Context, path string, w trace.Workload, n i
 	if err != nil {
 		return fmt.Errorf("stream: cache populate: %w", err)
 	}
+	c.wrote()
 	return nil
 }
 

@@ -4,7 +4,24 @@ import (
 	"fmt"
 	"io"
 
+	"pythia/internal/obs"
 	"pythia/internal/trace"
+)
+
+// Pipeline metrics, shared across every reader in the process: ring
+// occupancy says whether producers are keeping ahead of the simulators;
+// the stall counters attribute any gap (producer stalls = simulation is
+// the bottleneck and the ring is full; consumer stalls = trace delivery
+// is the bottleneck and the ring ran dry).
+var (
+	obsChunks = obs.GetCounter("pythia_stream_chunks_total",
+		"Record chunks delivered to consumers.", nil)
+	obsRing = obs.GetGauge("pythia_stream_ring_occupancy",
+		"Chunks currently queued in pipeline rings, all readers combined.", nil)
+	obsProdStalls = obs.GetCounter("pythia_stream_producer_stalls_total",
+		"Producer blocked on a full ring (consumer is the bottleneck).", nil)
+	obsConsStalls = obs.GetCounter("pythia_stream_consumer_stalls_total",
+		"Consumer blocked on an empty ring (trace delivery is the bottleneck).", nil)
 )
 
 // chunkedReader is the pipelined core of the package: a producer goroutine
@@ -115,9 +132,18 @@ func (c *chunkedReader) produce(p *pipe, it trace.Iter, cl io.Closer) {
 		}
 		select {
 		case p.ch <- buf:
-		case <-p.stop:
-			c.free <- buf
-			return
+			obsRing.Add(1)
+		default:
+			// Ring full: the consumer is the bottleneck right now. Count the
+			// stall, then block until there is room (or the pass stops).
+			obsProdStalls.Inc()
+			select {
+			case p.ch <- buf:
+				obsRing.Add(1)
+			case <-p.stop:
+				c.free <- buf
+				return
+			}
 		}
 		if ended {
 			p.err = iterErr(it)
@@ -149,7 +175,16 @@ func (c *chunkedReader) Next() (trace.Record, bool) {
 		c.free <- c.cur
 		c.cur, c.pos = nil, 0
 	}
-	buf, ok := <-c.p.ch
+	var buf []trace.Record
+	var ok bool
+	select {
+	case buf, ok = <-c.p.ch:
+	default:
+		// Ring empty: trace delivery is the bottleneck right now. Count the
+		// stall, then block until the producer catches up.
+		obsConsStalls.Inc()
+		buf, ok = <-c.p.ch
+	}
 	if !ok {
 		// Producer finished; distinguish clean EOF from a delivery failure.
 		if c.p.err != nil {
@@ -157,6 +192,8 @@ func (c *chunkedReader) Next() (trace.Record, bool) {
 		}
 		return trace.Record{}, false
 	}
+	obsRing.Add(-1)
+	obsChunks.Inc()
 	c.cur, c.pos = buf, 1
 	return buf[0], true
 }
@@ -204,6 +241,7 @@ func (c *chunkedReader) stopPipe() {
 	// channel, recycling in-flight chunks.
 	for buf := range c.p.ch {
 		c.free <- buf
+		obsRing.Add(-1)
 	}
 	<-c.p.done
 	c.p = nil
