@@ -6,9 +6,11 @@
 #                 race detector: every failpoint armed, a worker process
 #                 SIGKILLed mid-job, journal recovery replayed
 #   ci.sh full    quick + chaos, plus the race detector over every
-#                 concurrent subsystem and a QVStore benchmark smoke so
+#                 concurrent subsystem, a QVStore benchmark smoke so
 #                 hot-path perf regressions fail loudly (the benchmark
-#                 run also executes the allocation-budget tests)
+#                 run also executes the allocation-budget tests), and a
+#                 load smoke: pythia-load drives a live pythia-serve
+#                 under SLOs and proves the store absorbs repeat traffic
 #
 # With no argument, full runs (unchanged historical behavior).
 set -eu
@@ -69,6 +71,19 @@ if [ -n "$private_fps" ]; then
     exit 1
 fi
 
+echo "== error-envelope gate (unified API errors) =="
+# Every non-2xx serve response is the api.Error JSON envelope, written
+# through writeError (DESIGN.md "API v1"). A raw http.Error reappearing
+# in the serving layer would hand clients an untyped text/plain error
+# with no code, no Retryable, no Retry-After contract.
+raw_errors=$(grep -rn 'http\.Error(' internal/serve --include='*.go' |
+    grep -v '_test\.go' || true)
+if [ -n "$raw_errors" ]; then
+    echo "http.Error() in internal/serve (use writeError + api.Errorf):" >&2
+    echo "$raw_errors" >&2
+    exit 1
+fi
+
 echo "== route-metrics gate (telemetry coverage) =="
 # Every serve route must flow through the Server.route() helper so it
 # gets a per-route pythia_http_requests_total counter (DESIGN.md
@@ -117,6 +132,34 @@ if [ "$tier" = full ]; then
 
     echo "== bench smoke (QVStore hot path) =="
     go test -run='AllocationFree' -bench='QVStore' -benchtime=100x -benchmem .
+
+    echo "== load smoke (pythia-load vs live pythia-serve) =="
+    # Boot a real pythia-serve subprocess, seed its result store, and
+    # drive a short constant-RPS mixed storm through cmd/pythia-load:
+    # zero SLO violations required, and the store must absorb repeat
+    # traffic (-min-store-hits proves hits climbed during the run).
+    smoke=$(mktemp -d)
+    go build -o "$smoke/pythia-serve" ./cmd/pythia-serve
+    go build -o "$smoke/pythia-load" ./cmd/pythia-load
+    "$smoke/pythia-serve" -addr 127.0.0.1:18741 \
+        -results "$smoke/results" -policies "$smoke/policies" \
+        >"$smoke/serve.log" 2>&1 &
+    serve_pid=$!
+    load_status=0
+    "$smoke/pythia-load" -addr http://127.0.0.1:18741 -wait-ready 15s \
+        -schedule constant -rps 25 -duration 5s -scale quick \
+        -experiments fig14,table2 -mix "read=0.7,meta=0.2,simulate=0.1" \
+        -slo "read:p95ms=1000,err=0;simulate:err=0" -min-store-hits 1 \
+        -json "$smoke/loadtest.json" || load_status=$?
+    kill "$serve_pid" 2>/dev/null || true
+    wait "$serve_pid" 2>/dev/null || true
+    if [ "$load_status" -ne 0 ]; then
+        echo "load smoke failed (exit $load_status); server log:" >&2
+        tail -20 "$smoke/serve.log" >&2
+        rm -rf "$smoke"
+        exit 1
+    fi
+    rm -rf "$smoke"
 fi
 
 echo "CI OK ($tier)"

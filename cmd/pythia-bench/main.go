@@ -22,7 +22,11 @@
 // trajectory PR over PR. -results points the
 // harness at a persistent result store shared with pythia-serve and
 // earlier invocations, so repeated simulations are read from disk instead
-// of re-run (-results-readonly consumes without writing).
+// of re-run (-results-readonly consumes without writing). -loadbench
+// additionally boots an in-process pythia-serve and drives a short mixed
+// load storm through internal/load, recording per-class latency
+// quantiles in the report's `loadtest` section (see pythia-load for the
+// standalone harness).
 package main
 
 import (
@@ -31,6 +35,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -39,10 +45,14 @@ import (
 	"syscall"
 	"time"
 
+	"pythia/internal/api"
 	"pythia/internal/cache"
 	"pythia/internal/core"
 	"pythia/internal/harness"
+	"pythia/internal/load"
 	"pythia/internal/policy"
+	"pythia/internal/results"
+	"pythia/internal/serve"
 	"pythia/internal/stream"
 	"pythia/internal/trace"
 )
@@ -56,6 +66,7 @@ type benchReport struct {
 	CPUs        int               `json:"cpus"`
 	Stream      *streamBench      `json:"stream,omitempty"`
 	Warmstart   *warmstartBench   `json:"warmstart,omitempty"`
+	Loadtest    *load.Report      `json:"loadtest,omitempty"`
 	Experiments []benchExperiment `json:"experiments"`
 	TotalSecs   float64           `json:"total_seconds"`
 }
@@ -212,6 +223,57 @@ func runWarmBench(ctx context.Context, sc harness.Scale) (*warmstartBench, error
 	return wb, nil
 }
 
+// runLoadBench measures serving behavior under load: it boots an
+// in-process pythia-serve on a loopback port with a throwaway result
+// store, seeds two hot keys at the bench scale, and drives a short
+// constant-RPS mixed storm (reads, metadata, re-launches) through the
+// same open-loop harness as cmd/pythia-load. The resulting per-class
+// latency quantiles land in the -json report's `loadtest` section, so
+// serving p95s ride the same regression trajectory as wall times.
+func runLoadBench(ctx context.Context, scaleName string) (*load.Report, error) {
+	dir, err := os.MkdirTemp("", "pythia-loadbench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	srv, err := serve.New(serve.Config{Store: results.Open(dir), QueueDepth: 64})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	base := "http://" + ln.Addr().String()
+	targets := load.Targets{Experiments: []string{"fig14", "table2"}, Scale: scaleName}
+	prepSims, err := load.Prepare(ctx, api.NewClient(base), targets)
+	if err != nil {
+		return nil, err
+	}
+	client := api.NewClient(base, api.WithRetries(0))
+	mix, err := load.BuildMix(client, "read=0.7,meta=0.15,simulate=0.15", targets, 1.2)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := load.Run(ctx, load.Config{
+		Client:   client,
+		Schedule: load.Constant{RPS: 40},
+		Duration: 5 * time.Second,
+		Mix:      mix,
+		Seed:     1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.PrepareSims = prepSims
+	return rep, nil
+}
+
 // humanCount renders an instruction count compactly (12.3M, 4.5G) for
 // the per-experiment progress line; the JSON report keeps exact values.
 func humanCount(n int64) string {
@@ -277,6 +339,7 @@ func main() {
 		resRO     = flag.Bool("results-readonly", false, "with -results, read stored simulations but never write new ones")
 		polDir    = flag.String("policies", "", "policy store directory: warm-start experiments reuse trained policies across invocations")
 		warmBench = flag.Bool("warmbench", false, "also measure warm-vs-cold convergence (instructions and wall time) into the -json report")
+		loadBench = flag.Bool("loadbench", false, "also drive a short mixed load storm at an in-process pythia-serve into the -json report's loadtest section")
 		list      = flag.Bool("list", false, "list available experiments and exit")
 	)
 	flag.Parse()
@@ -396,6 +459,21 @@ func main() {
 		}
 	}
 	report.TotalSecs = time.Since(wall).Seconds()
+
+	// Load-bench runs after the experiment loop on purpose: its hot-key
+	// seeding warms the in-process harness caches, and running it first
+	// would collapse the per-experiment wall times the diff tracks.
+	// (TotalSecs is already pinned, so the storm doesn't inflate it.)
+	if *loadBench {
+		lr, err := runLoadBench(ctx, *scaleFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		report.Loadtest = lr
+		fmt.Printf("[load test]\n%s\n", lr.Render())
+	}
+
 	if st := harness.ResultStore(); st != nil {
 		fmt.Printf("[result store %s: %d hits, %d misses, %d writes]\n",
 			st.Dir(), st.Hits(), st.Misses(), st.Writes())

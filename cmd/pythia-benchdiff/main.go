@@ -3,7 +3,10 @@
 // wall-time regressions past a threshold. When the reports carry
 // simulation-throughput figures (instr_per_sec, recorded by newer
 // pythia-bench builds), an informational instructions-per-second column
-// is shown alongside the timings.
+// is shown alongside the timings. Reports carrying a `loadtest` section
+// (pythia-bench -loadbench) additionally get a per-class serving-p95
+// comparison, so latency regressions in pythia-serve surface on the
+// same trajectory as wall-time regressions.
 //
 // Usage:
 //
@@ -41,6 +44,17 @@ type report struct {
 		WarmConvergeInstr int64   `json:"warm_converge_instr"`
 		ConvergeSpeedup   float64 `json:"converge_speedup"`
 	} `json:"warmstart,omitempty"`
+	Loadtest *struct {
+		Schedule string `json:"schedule"`
+		Classes  []struct {
+			Class  string  `json:"class"`
+			OK     int64   `json:"ok"`
+			Shed   int64   `json:"shed"`
+			Errors int64   `json:"errors"`
+			P95Ms  float64 `json:"p95_ms"`
+		} `json:"classes"`
+		Violations []string `json:"violations,omitempty"`
+	} `json:"loadtest,omitempty"`
 	Experiments []struct {
 		ID          string  `json:"id"`
 		Seconds     float64 `json:"seconds"`
@@ -149,6 +163,47 @@ func main() {
 		}
 		fmt.Printf("%-16s %10s %9s\n", "  converge instr",
 			fmt.Sprintf("warm %d", nw.WarmConvergeInstr), fmt.Sprintf("cold %d", nw.ColdConvergeInstr))
+	}
+
+	// Serving-latency trajectory: when both reports carry a loadtest
+	// section recorded under the same schedule, compare per-class p95.
+	// Sub-millisecond baselines are skipped the way minSeconds skips
+	// instant experiments — a ratio over scheduler jitter is noise. Any
+	// SLO violation baked into the fresh report is always a regression.
+	if nl := newRep.Loadtest; nl != nil {
+		fmt.Printf("\n%-16s %10s %10s %8s\n", "loadtest p95", "old (ms)", "new (ms)", "delta")
+		oldP95 := map[string]float64{}
+		sameShape := false
+		if ol := oldRep.Loadtest; ol != nil && ol.Schedule == nl.Schedule {
+			sameShape = true
+			for _, c := range ol.Classes {
+				oldP95[c.Class] = c.P95Ms
+			}
+		}
+		const minP95Ms = 1.0
+		for _, c := range nl.Classes {
+			old, ok := oldP95[c.Class]
+			if !ok || !sameShape {
+				fmt.Printf("%-16s %10s %10.2f %8s\n", c.Class, "-", c.P95Ms, "new")
+				continue
+			}
+			if old < minP95Ms {
+				fmt.Printf("%-16s %10.2f %10.2f %8s\n", c.Class, old, c.P95Ms, "(noise)")
+				continue
+			}
+			delta := (c.P95Ms - old) / old * 100
+			mark := ""
+			if delta > *threshold {
+				mark = "  <-- regression"
+				regressions = append(regressions, fmt.Sprintf("loadtest %s p95 rose %.0f%% (%.2fms -> %.2fms)",
+					c.Class, delta, old, c.P95Ms))
+			}
+			fmt.Printf("%-16s %10.2f %10.2f %+7.1f%%%s\n", c.Class, old, c.P95Ms, delta, mark)
+		}
+		for _, v := range nl.Violations {
+			regressions = append(regressions, "loadtest SLO violation: "+v)
+			fmt.Printf("  SLO VIOLATION: %s\n", v)
+		}
 	}
 
 	if len(regressions) == 0 {

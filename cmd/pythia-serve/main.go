@@ -9,30 +9,36 @@
 //	pythia-serve -addr :8080 -results /var/lib/pythia/results -queue 32 -parallel 8
 //	pythia-serve -addr :8080 -journal /var/lib/pythia/journal
 //
-// API:
+// API (v1; see DESIGN.md "API v1" and the typed client in internal/api):
 //
-//	GET    /api/experiments            list experiments (paper + extended)
-//	POST   /api/runs                   {"experiment":"fig9a","scale":"quick"}
-//	                                   or a policy-training job:
-//	                                   {"train":{"workload":"CC-100B",
-//	                                   "config":"pythia"},"scale":"default"}
-//	GET    /api/runs                   list jobs
-//	GET    /api/runs/{id}              job status + result
-//	DELETE /api/runs/{id}              cancel a queued or running job; its
-//	                                   SSE stream ends with a terminal
-//	                                   "canceled" event and in-flight
-//	                                   simulations abort at the next chunk
-//	                                   boundary
-//	GET    /api/runs/{id}/events       SSE progress stream (full replay)
-//	GET    /api/results/{exp}?scale=s  fetch a stored result directly
-//	GET    /api/policies               list trained policies (metadata)
-//	GET    /api/policies/{id}          one policy's envelope metadata
-//	GET    /api/policies/{id}/snapshot download the raw PYQV01 Q-table
-//	GET    /healthz                    service + store health
-//	GET    /metrics                    Prometheus text exposition (queue
-//	                                   depth, job latency histograms,
-//	                                   store hit/miss, retry/breaker
-//	                                   counters, instructions/sec)
+//	GET    /api/v1/experiments            list experiments (paper + extended)
+//	POST   /api/v1/runs                   {"experiment":"fig9a","scale":"quick"}
+//	                                      or a policy-training job:
+//	                                      {"train":{"workload":"CC-100B",
+//	                                      "config":"pythia"},"scale":"default"}
+//	GET    /api/v1/runs                   list jobs
+//	GET    /api/v1/runs/{id}              job status + result
+//	DELETE /api/v1/runs/{id}              cancel a queued or running job; its
+//	                                      SSE stream ends with a terminal
+//	                                      "canceled" event and in-flight
+//	                                      simulations abort at the next
+//	                                      chunk boundary
+//	GET    /api/v1/runs/{id}/events       SSE progress stream (full replay)
+//	GET    /api/v1/results/{exp}?scale=s  fetch a stored result directly
+//	GET    /api/v1/policies               list trained policies (metadata)
+//	GET    /api/v1/policies/{id}          one policy's envelope metadata
+//	GET    /api/v1/policies/{id}/snapshot download the raw PYQV01 Q-table
+//	GET    /healthz                       service + store health (unversioned)
+//	GET    /metrics                       Prometheus text exposition (queue
+//	                                      depth, job latency histograms,
+//	                                      store hit/miss, retry/breaker
+//	                                      counters, instructions/sec)
+//
+// The same routes also answer under the legacy unversioned /api/...
+// prefix for one release; legacy responses carry "Deprecation: true"
+// and a Link header pointing at /api/v1. Every non-2xx response is the
+// api.Error JSON envelope ({"error":{"code","message","retryable",
+// "retry_after_seconds"}}); 503s additionally set Retry-After.
 //
 // With -pprof, the net/http/pprof profiling endpoints are mounted under
 // /debug/pprof/ (see the EXPERIMENTS.md profiling recipe). Structured

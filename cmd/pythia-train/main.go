@@ -9,12 +9,20 @@
 //	pythia-train -workload CC-100B -config pythia-strict -store /var/lib/pythia/policies
 //	pythia-train -list
 //	pythia-train -workload CC-100B -export cc.policy.json
+//	pythia-train -server http://localhost:8080 -workload CC-100B -scale quick
+//	pythia-train -server http://localhost:8080 -list
 //
 // Training is idempotent: the policy's content address is derived from
 // the configuration, workload, scale and seed, so re-running a command
 // against a populated store is a hit that performs zero simulations (the
 // printed sims counter proves it). The same store feeds pythia-serve's
 // policy endpoints and the harness's warm-start experiments.
+//
+// With -server, the same commands run against a live pythia-serve
+// through the typed v1 API client instead of the in-process harness:
+// training submits a job and follows it to completion, -list reads the
+// server's policy store, and -export downloads the snapshot bytes and
+// reassembles the envelope locally.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"pythia/internal/api"
 	"pythia/internal/cache"
 	"pythia/internal/harness"
 	"pythia/internal/policy"
@@ -41,8 +50,13 @@ func main() {
 		export    = flag.String("export", "", "also write the trained envelope to this file (pythia-sim -load-policy)")
 		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = all CPUs)")
 		list      = flag.Bool("list", false, "list stored policies and exit")
+		server    = flag.String("server", "", "pythia-serve base URL: run the command against a live server via the v1 API instead of in-process")
 	)
 	flag.Parse()
+
+	if *server != "" {
+		os.Exit(runRemote(*server, *workload, *cfgName, *scaleName, *export, *list))
+	}
 
 	st := policy.Open(*storeDir)
 	if *list {
@@ -108,4 +122,82 @@ func main() {
 		}
 		fmt.Printf("  exported  %s\n", *export)
 	}
+}
+
+// runRemote executes the command against a live pythia-serve through the
+// typed API client. Training submits a job and follows its event stream
+// to a terminal state; the server's sims counter carries the same
+// idempotency proof the local path prints (a repeat train is a policy
+// store hit with zero simulations).
+func runRemote(base, workload, cfgName, scaleName, export string, list bool) int {
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	client := api.NewClient(base)
+
+	if list {
+		metas, err := client.Policies(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if len(metas) == 0 {
+			fmt.Printf("no policies on %s\n", client.Base())
+			return 0
+		}
+		fmt.Printf("%-22s %-14s %-22s %6s %8s  %s\n", "id", "config", "workload", "seed", "bytes", "created")
+		for _, m := range metas {
+			fmt.Printf("%-22s %-14s %-22s %6d %8d  %s\n",
+				m.ID, m.Config, m.TrainedOn.Workload, m.TrainedOn.Seed, m.SnapshotBytes,
+				m.CreatedAt.Format(time.RFC3339))
+		}
+		return 0
+	}
+
+	start := time.Now()
+	j, err := client.Launch(ctx, api.LaunchRequest{
+		Scale: scaleName,
+		Train: &api.TrainRequest{Workload: workload, Config: cfgName},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("submitted %s to %s\n", j.ID, client.Base())
+	done, err := client.Events(ctx, j.ID, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if done.Status != api.StatusDone {
+		fmt.Fprintf(os.Stderr, "job %s %s: %s\n", done.ID, done.Status, done.Error)
+		return 1
+	}
+	if done.Policy == nil {
+		fmt.Fprintf(os.Stderr, "job %s finished without policy metadata\n", done.ID)
+		return 1
+	}
+	m := *done.Policy
+
+	source := "trained"
+	if done.Cached {
+		source = "store hit"
+	}
+	fmt.Printf("policy %s (%s in %v, %d simulations)\n", m.ID, source, time.Since(start).Round(time.Millisecond), done.Sims)
+	fmt.Printf("  config    %s (fingerprint %s)\n", m.Config, m.ConfigFingerprint)
+	fmt.Printf("  trained   %s @ scale %s, seed %d\n", m.TrainedOn.Workload, m.TrainedOn.Scale, m.TrainedOn.Seed)
+	fmt.Printf("  snapshot  %d bytes (gen v%d, schema v%d)\n", m.SnapshotBytes, m.GenVersion, m.SchemaVersion)
+
+	if export != "" {
+		snap, err := client.PolicySnapshot(ctx, m.ID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := policy.WriteFile(export, policy.Envelope{Meta: m, Snapshot: snap}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("  exported  %s\n", export)
+	}
+	return 0
 }

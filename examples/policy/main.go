@@ -5,26 +5,34 @@
 // shareable artifacts: a repeat training request is a store hit with zero
 // simulations, a warm-started agent is converged from its first
 // instructions, and a policy refuses to load into a mismatched
-// configuration.
+// configuration. The final act serves the same store over pythia-serve's
+// v1 API and downloads a snapshot through the typed client — trained
+// policies as shippable network artifacts.
 //
 //	go run ./examples/policy
 //	go run ./examples/policy -store /var/lib/pythia/policies -scale default
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"pythia/internal/api"
 	"pythia/internal/cache"
 	"pythia/internal/core"
 	"pythia/internal/harness"
 	"pythia/internal/policy"
+	"pythia/internal/results"
+	"pythia/internal/serve"
 	"pythia/internal/trace"
 )
 
@@ -107,7 +115,34 @@ func main() {
 	strict := core.MustNew(core.StrictConfig(), nil)
 	err = env.Restore(strict)
 	fmt.Printf("5. restoring into pythia-strict: %v\n", err)
-	fmt.Printf("   typed mismatch: errors.Is(err, policy.ErrMismatch) = %v\n", errors.Is(err, policy.ErrMismatch))
+	fmt.Printf("   typed mismatch: errors.Is(err, policy.ErrMismatch) = %v\n\n", errors.Is(err, policy.ErrMismatch))
+
+	// --- 6. The same store served over the v1 API ---
+	// pythia-serve mounts the policy store behind /api/v1/policies; the
+	// typed client lists metadata and downloads the raw snapshot bytes —
+	// the "ship the learned tables to another machine" path, byte-for-byte
+	// identical to what training persisted locally.
+	resDir, err := os.MkdirTemp("", "pythia-policy-example-results")
+	check(err)
+	defer os.RemoveAll(resDir)
+	srv, err := serve.New(serve.Config{Store: results.Open(resDir), Policies: st})
+	check(err)
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	go http.Serve(ln, srv.Handler())
+	client := api.NewClient("http://" + ln.Addr().String())
+
+	metas, err := client.Policies(ctx)
+	check(err)
+	fmt.Printf("6. GET /api/v1/policies on %s: %d stored\n", client.Base(), len(metas))
+	for _, m := range metas {
+		fmt.Printf("   %s  %s on %s (%d bytes)\n", m.ID, m.Config, m.TrainedOn.Workload, m.SnapshotBytes)
+	}
+	snap, err := client.PolicySnapshot(ctx, env.ID)
+	check(err)
+	fmt.Printf("   snapshot download: %d bytes, identical to local copy: %v\n",
+		len(snap), bytes.Equal(snap, env.Snapshot))
 }
 
 func check(err error) {

@@ -1,37 +1,39 @@
 // Serving demo: run the experiment harness as an HTTP service with a
-// persistent result store, launch an experiment over the API, stream its
-// progress, then show an identical repeat request being answered from the
-// store with zero additional simulation — the path from batch
+// persistent result store, launch an experiment over the v1 API, stream
+// its progress, then show an identical repeat request being answered
+// from the store with zero additional simulation — the path from batch
 // reproduction to a result-serving system. The next act launches a
-// heavier run and cancels it with DELETE /api/runs/{id}: the SSE stream
-// ends with a terminal "canceled" event while the service stays healthy.
-// The final act overloads a deliberately tiny service until it sheds a
-// launch with 503 + Retry-After, and shows the polite client response:
-// jittered backoff driven by the server's own hint until the request is
-// accepted.
+// heavier run and cancels it: the SSE stream ends with a terminal
+// "canceled" event while the service stays healthy. The final act
+// overloads a deliberately tiny service until it sheds a launch with a
+// typed queue_full error (503 + Retry-After), and shows the polite
+// client response: the api.Client's built-in jittered backoff, driven
+// by the server's own hint, gets the request in as soon as capacity
+// frees up.
+//
+// Every HTTP interaction goes through the typed api.Client — no
+// hand-rolled request bodies, status switches, or SSE parsing.
 //
 //	go run ./examples/serve
 package main
 
 import (
-	"bufio"
-	"bytes"
-	"encoding/json"
+	"context"
+	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"net/http"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
+	"pythia/internal/api"
 	"pythia/internal/harness"
 	"pythia/internal/results"
 	"pythia/internal/serve"
 )
 
 func main() {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "pythia-serve-demo")
 	check(err)
 	defer os.RemoveAll(dir)
@@ -43,13 +45,14 @@ func main() {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	check(err)
 	go http.Serve(ln, srv.Handler())
-	base := "http://" + ln.Addr().String()
-	fmt.Printf("pythia-serve on %s (store %s)\n\n", base, dir)
+	client := api.NewClient("http://" + ln.Addr().String())
+	fmt.Printf("pythia-serve on %s (store %s)\n\n", client.Base(), dir)
 
 	// 1. Launch Fig. 14 at quick scale and follow the SSE progress stream.
-	fmt.Println("== first request: POST /api/runs {experiment: fig14, scale: quick} ==")
-	job := launch(base, "fig14", "quick")
-	final := follow(base, job.ID)
+	fmt.Println("== first request: launch {experiment: fig14, scale: quick} ==")
+	job, err := client.Launch(ctx, api.LaunchRequest{Experiment: "fig14", Scale: "quick"})
+	check(err)
+	final := follow(ctx, client, job.ID)
 	fmt.Printf("\n%s\n", final.Rendered)
 	fmt.Printf("first run: cached=%v, %d simulations executed\n\n", final.Cached, final.Sims)
 
@@ -59,42 +62,41 @@ func main() {
 
 	fmt.Println("== repeat request after cache wipe (only the store survives) ==")
 	before := harness.SimCount()
-	job2 := launch(base, "fig14", "quick")
-	final2 := follow(base, job2.ID)
+	job2, err := client.Launch(ctx, api.LaunchRequest{Experiment: "fig14", Scale: "quick"})
+	check(err)
+	final2 := follow(ctx, client, job2.ID)
 	fmt.Printf("repeat run: cached=%v, %d simulations executed (process counter delta %d)\n\n",
 		final2.Cached, final2.Sims, harness.SimCount()-before)
 
 	// 3. The stored table is also directly fetchable, no job needed.
-	resp, err := http.Get(base + "/api/results/fig14?scale=quick")
+	res, err := client.Result(ctx, "fig14", "quick")
 	check(err)
-	resp.Body.Close()
-	fmt.Printf("GET /api/results/fig14?scale=quick -> %s\n\n", resp.Status)
+	fmt.Printf("GET result fig14@quick -> %q (%d data rows)\n\n", res.Result.Title, len(res.Result.Table.Rows))
 
-	// 4. Cancellation: launch a heavier experiment, then DELETE the run.
+	// 4. Cancellation: launch a heavier experiment, then cancel the run.
 	// The job's context aborts in-flight simulations at the next chunk
 	// boundary and the SSE stream ends with a terminal "canceled" event.
-	fmt.Println("== cancellation: POST fig9a at default scale, then DELETE the run ==")
-	job3 := launch(base, "fig9a", "")
+	fmt.Println("== cancellation: launch fig9a at default scale, then cancel ==")
+	job3, err := client.Launch(ctx, api.LaunchRequest{Experiment: "fig9a"})
+	check(err)
 	go func() {
 		time.Sleep(300 * time.Millisecond)
-		req, err := http.NewRequest(http.MethodDelete, base+"/api/runs/"+job3.ID, nil)
+		j, err := client.Cancel(ctx, job3.ID)
 		check(err)
-		resp, err := http.DefaultClient.Do(req)
-		check(err)
-		resp.Body.Close()
-		fmt.Printf("DELETE /api/runs/%s -> %s\n", job3.ID, resp.Status)
+		fmt.Printf("canceled %s (status now %q)\n", j.ID, j.Status)
 	}()
-	final3 := follow(base, job3.ID)
+	final3 := follow(ctx, client, job3.ID)
 	fmt.Printf("canceled run ended with status %q (error %q)\n", final3.Status, final3.Error)
-	resp, err = http.Get(base + "/healthz")
+	h, err := client.Health(ctx)
 	check(err)
-	resp.Body.Close()
-	fmt.Printf("GET /healthz after cancellation -> %s\n\n", resp.Status)
+	fmt.Printf("healthz after cancellation: ok=%v, jobs=%d\n\n", h.OK, h.Jobs)
 
 	// 5. Overload and polite retry: a service with a single queue slot
-	// sheds excess launches with 503 + Retry-After, and a client that
-	// honors the hint (with jitter, so a thundering herd spreads out)
-	// gets in as soon as capacity frees up.
+	// sheds excess launches with a typed queue_full error carrying the
+	// server's Retry-After hint. A no-retry client surfaces the shed so
+	// we can inspect it; the default client honors the hint (with
+	// jitter, so a thundering herd spreads out) and gets in as soon as
+	// capacity frees up.
 	fmt.Println("== overload: queue depth 1, then retry with jittered backoff ==")
 	small, err := serve.New(serve.Config{Store: results.Open(dir), QueueDepth: 1})
 	check(err)
@@ -103,120 +105,65 @@ func main() {
 	check(err)
 	go http.Serve(ln2, small.Handler())
 	base2 := "http://" + ln2.Addr().String()
+	impatient := api.NewClient(base2, api.WithRetries(0))
+	patient := api.NewClient(base2)
 
-	blocker := launch(base2, "fig9a", "") // occupies the executor
-	waitRunning(base2, blocker.ID)
-	filler := launch(base2, "fig14", "quick") // occupies the one queue slot
+	blocker, err := impatient.Launch(ctx, api.LaunchRequest{Experiment: "fig9a"})
+	check(err)
+	waitRunning(ctx, impatient, blocker.ID) // occupies the executor
+	filler, err := impatient.Launch(ctx, api.LaunchRequest{Experiment: "fig14", Scale: "quick"})
+	check(err) // occupies the one queue slot
 	fmt.Printf("executor busy with %s, queue holds %s\n", blocker.ID, filler.ID)
 
-	// Free capacity shortly after the first rejection so the retry loop
+	// The no-retry client sees the raw shed: a typed, retryable error.
+	_, err = impatient.Launch(ctx, api.LaunchRequest{Experiment: "fig1", Scale: "quick"})
+	var shed *api.Error
+	if errors.As(err, &shed) {
+		fmt.Printf("no-retry client shed: code=%s retryable=%v retry-after=%ds (%s)\n",
+			shed.Code, shed.Retryable, shed.RetryAfterSec, shed.Message)
+	}
+
+	// Free capacity shortly after the rejection so the retrying client
 	// has something to succeed against.
 	go func() {
 		time.Sleep(700 * time.Millisecond)
-		req, err := http.NewRequest(http.MethodDelete, base2+"/api/runs/"+blocker.ID, nil)
+		j, err := patient.Cancel(ctx, blocker.ID)
 		check(err)
-		resp, err := http.DefaultClient.Do(req)
-		check(err)
-		resp.Body.Close()
-		fmt.Printf("  (freed capacity: DELETE /api/runs/%s -> %s)\n", blocker.ID, resp.Status)
+		fmt.Printf("  (freed capacity: canceled %s, status %q)\n", j.ID, j.Status)
 	}()
 
-	accepted := launchWithRetry(base2, "fig1", "quick")
-	final5 := follow(base2, accepted.ID)
+	accepted, err := patient.Launch(ctx, api.LaunchRequest{Experiment: "fig1", Scale: "quick"})
+	check(err)
+	fmt.Printf("retrying client got %s accepted\n", accepted.ID)
+	final5 := follow(ctx, patient, accepted.ID)
 	fmt.Printf("retried launch %s finished with status %q, cached=%v\n", accepted.ID, final5.Status, final5.Cached)
 }
 
-// launchWithRetry POSTs a run and, on 503, backs off by the server's
-// Retry-After hint with added jitter before trying again — the client
-// half of the service's load-shedding contract.
-func launchWithRetry(base, exp, scale string) serve.JobView {
-	body, _ := json.Marshal(map[string]string{"experiment": exp, "scale": scale})
-	for attempt := 1; ; attempt++ {
-		resp, err := http.Post(base+"/api/runs", "application/json", bytes.NewReader(body))
-		check(err)
-		if resp.StatusCode != http.StatusServiceUnavailable {
-			var out struct {
-				Job serve.JobView `json:"job"`
+// follow streams a job's SSE events through the client, printing
+// progress, and returns the terminal view.
+func follow(ctx context.Context, c *api.Client, id string) api.Job {
+	final, err := c.Events(ctx, id, func(ev api.Event) {
+		if ev.Type == "progress" {
+			if p, err := ev.AsProgress(); err == nil {
+				fmt.Printf("  progress: %d simulations\r", p.Sims)
 			}
-			check(json.NewDecoder(resp.Body).Decode(&out))
-			resp.Body.Close()
-			fmt.Printf("attempt %d: %s -> job %s accepted\n", attempt, resp.Status, out.Job.ID)
-			return out.Job
 		}
-		resp.Body.Close()
-		hint, err := strconv.Atoi(resp.Header.Get("Retry-After"))
-		if err != nil || hint < 1 {
-			hint = 1
-		}
-		// Jitter uniformly over (0, hint]: honoring the hint exactly would
-		// re-synchronize every shed client onto the same instant.
-		wait := time.Duration(rand.Int63n(int64(time.Duration(hint) * time.Second)))
-		fmt.Printf("attempt %d: 503 Service Unavailable, Retry-After %ds -> backing off %v\n",
-			attempt, hint, wait.Round(time.Millisecond))
-		time.Sleep(wait)
-	}
+	})
+	check(err)
+	fmt.Println()
+	return final
 }
 
 // waitRunning polls a job until it leaves the queued state.
-func waitRunning(base, id string) {
+func waitRunning(ctx context.Context, c *api.Client, id string) {
 	for {
-		resp, err := http.Get(base + "/api/runs/" + id)
+		j, err := c.Job(ctx, id)
 		check(err)
-		var out struct {
-			Job serve.JobView `json:"job"`
-		}
-		check(json.NewDecoder(resp.Body).Decode(&out))
-		resp.Body.Close()
-		if out.Job.Status != serve.StatusQueued {
+		if j.Status != api.StatusQueued {
 			return
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-}
-
-func launch(base, exp, scale string) serve.JobView {
-	body, _ := json.Marshal(map[string]string{"experiment": exp, "scale": scale})
-	resp, err := http.Post(base+"/api/runs", "application/json", bytes.NewReader(body))
-	check(err)
-	defer resp.Body.Close()
-	var out struct {
-		Job serve.JobView `json:"job"`
-	}
-	check(json.NewDecoder(resp.Body).Decode(&out))
-	return out.Job
-}
-
-// follow streams a job's SSE events, printing progress, and returns the
-// terminal view.
-func follow(base, id string) serve.JobView {
-	resp, err := http.Get(base + "/api/runs/" + id + "/events")
-	check(err)
-	defer resp.Body.Close()
-	var final serve.JobView
-	var evType string
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "event: "):
-			evType = strings.TrimPrefix(line, "event: ")
-		case strings.HasPrefix(line, "data: "):
-			data := strings.TrimPrefix(line, "data: ")
-			switch evType {
-			case "progress":
-				var p struct {
-					Sims int64 `json:"sims"`
-				}
-				json.Unmarshal([]byte(data), &p)
-				fmt.Printf("  progress: %d simulations\r", p.Sims)
-			case serve.StatusDone, serve.StatusError, serve.StatusCanceled:
-				json.Unmarshal([]byte(data), &final)
-			}
-		}
-	}
-	fmt.Println()
-	return final
 }
 
 func check(err error) {

@@ -1,0 +1,117 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Error codes. Every non-2xx serve response carries exactly one of
+// these in its error envelope; the code, not the human-readable
+// message, is the contract clients may switch on.
+const (
+	// CodeBadRequest: the request body or parameters were malformed
+	// (unknown scale, bad JSON).
+	CodeBadRequest = "bad_request"
+	// CodeNotFound: the referenced experiment, job, workload, policy or
+	// stored result does not exist.
+	CodeNotFound = "not_found"
+	// CodeConflict: the requested transition is impossible (canceling an
+	// already-terminal job).
+	CodeConflict = "conflict"
+	// CodeQueueFull: the bounded job queue is full; retry after backoff.
+	CodeQueueFull = "queue_full"
+	// CodeDegraded: a store's circuit breaker is open; only work the
+	// store can already answer is admitted. Retry after the cooldown.
+	CodeDegraded = "degraded"
+	// CodeShuttingDown: the server is draining; launches are closed.
+	CodeShuttingDown = "shutting_down"
+	// CodeUnavailable: a required subsystem is not configured on this
+	// server (e.g. no policy store).
+	CodeUnavailable = "unavailable"
+	// CodeInternal: the server failed in a way the client cannot fix.
+	CodeInternal = "internal"
+)
+
+// Error is the unified JSON error envelope: every non-2xx serve
+// response body is {"error": {...}} wrapping one of these. It
+// implements error, so the typed client returns it directly.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Retryable marks transient conditions (load shedding, degradation,
+	// shutdown) a client may retry after backing off.
+	Retryable bool `json:"retryable,omitempty"`
+	// RetryAfterSec is the server's backoff hint, mirroring the
+	// Retry-After header on 503 responses.
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
+
+	// HTTPStatus is the response status the envelope arrived with.
+	// Client-side only; never serialized.
+	HTTPStatus int `json:"-"`
+}
+
+// ErrorResponse is the wire shape of a non-2xx body.
+type ErrorResponse struct {
+	Error Error `json:"error"`
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// Errorf builds an Error with a formatted message.
+func Errorf(code, format string, args ...any) Error {
+	return Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// StatusFor maps an error code to its HTTP status.
+func StatusFor(code string) int {
+	switch code {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeConflict:
+		return http.StatusConflict
+	case CodeQueueFull, CodeDegraded, CodeShuttingDown, CodeUnavailable:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// IsShed reports whether err is a 503 load-shedding response (queue
+// full, degraded store, or shutdown) — the server protecting itself, as
+// opposed to the request being wrong or the job failing. Load tools
+// account sheds separately from errors.
+func IsShed(err error) bool {
+	var ae *Error
+	if !errors.As(err, &ae) {
+		return false
+	}
+	switch ae.Code {
+	case CodeQueueFull, CodeDegraded, CodeShuttingDown:
+		return true
+	}
+	return false
+}
+
+// IsNotFound reports whether err is a typed not-found response.
+func IsNotFound(err error) bool {
+	var ae *Error
+	return errors.As(err, &ae) && ae.Code == CodeNotFound
+}
+
+// RetryAfter extracts the server's backoff hint in seconds (minimum 1)
+// from a retryable error, or 0 when err carries none.
+func RetryAfter(err error) int {
+	var ae *Error
+	if !errors.As(err, &ae) || !ae.Retryable {
+		return 0
+	}
+	if ae.RetryAfterSec < 1 {
+		return 1
+	}
+	return ae.RetryAfterSec
+}

@@ -1,0 +1,196 @@
+package load
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pythia/internal/api"
+)
+
+func TestSchedules(t *testing.T) {
+	cases := []struct {
+		sched Schedule
+		at    time.Duration
+		want  float64
+	}{
+		{Constant{RPS: 25}, 0, 25},
+		{Constant{RPS: 25}, time.Hour, 25},
+		{Ramp{From: 0, To: 100, Over: 10 * time.Second}, 0, 0},
+		{Ramp{From: 0, To: 100, Over: 10 * time.Second}, 5 * time.Second, 50},
+		{Ramp{From: 0, To: 100, Over: 10 * time.Second}, 20 * time.Second, 100},
+		{Burst{Base: 10, Peak: 200, At: 5 * time.Second, For: time.Second}, 0, 10},
+		{Burst{Base: 10, Peak: 200, At: 5 * time.Second, For: time.Second}, 5500 * time.Millisecond, 200},
+		{Burst{Base: 10, Peak: 200, At: 5 * time.Second, For: time.Second}, 7 * time.Second, 10},
+		{Diurnal{Base: 50, Amplitude: 30, Period: 20 * time.Second}, 5 * time.Second, 80},
+		{Diurnal{Base: 10, Amplitude: 30, Period: 20 * time.Second}, 15 * time.Second, 0}, // clamped
+		{Replay{Points: []Point{{0, 5}, {2, 50}}}, time.Second, 5},
+		{Replay{Points: []Point{{0, 5}, {2, 50}}}, 3 * time.Second, 50},
+	}
+	for _, c := range cases {
+		if got := c.sched.RateAt(c.at); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s.RateAt(%s) = %g, want %g", c.sched.Name(), c.at, got, c.want)
+		}
+	}
+}
+
+func TestReadReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sched.json")
+	os.WriteFile(path, []byte(`[{"at_sec":5,"rps":50},{"at_sec":0,"rps":10}]`), 0o644)
+	r, err := ReadReplay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Points sort by time; before the first point the rate is zero.
+	if got := r.RateAt(time.Second); got != 10 {
+		t.Errorf("RateAt(1s) = %g, want 10", got)
+	}
+	if got := r.RateAt(6 * time.Second); got != 50 {
+		t.Errorf("RateAt(6s) = %g, want 50", got)
+	}
+	if _, err := ReadReplay(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing schedule file should error")
+	}
+}
+
+func TestParseSLOs(t *testing.T) {
+	slos, err := ParseSLOs("read:p95ms=50,p99ms=200,err=0; simulate:shed=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := slos["read"]
+	if r.P95Ms != 50 || r.P99Ms != 200 || r.Err != 0 || r.Shed != -1 || r.P50Ms != -1 {
+		t.Errorf("read SLO = %+v", r)
+	}
+	if s := slos["simulate"]; s.Shed != 0.2 || s.P95Ms != -1 {
+		t.Errorf("simulate SLO = %+v", s)
+	}
+	for _, bad := range []string{"", "read", "read:p95=50", "read:p95ms=x", "read:p95ms=-1"} {
+		if _, err := ParseSLOs(bad); err == nil {
+			t.Errorf("ParseSLOs(%q) should fail", bad)
+		}
+	}
+}
+
+func TestCheckSLOs(t *testing.T) {
+	rep := &Report{Classes: []ClassReport{
+		{Class: "read", Requests: 100, OK: 98, Shed: 1, Errors: 1, P95Ms: 40},
+		{Class: "simulate", Requests: 10, OK: 5, Shed: 5},
+	}}
+	slos := map[string]SLO{
+		"read":     {P50Ms: -1, P95Ms: 50, P99Ms: -1, Err: 0.05, Shed: -1},
+		"simulate": {P50Ms: -1, P95Ms: -1, P99Ms: -1, Err: -1, Shed: 0.2},
+		"train":    {P50Ms: -1, P95Ms: -1, P99Ms: -1, Err: 0, Shed: -1},
+	}
+	v := rep.CheckSLOs(slos)
+	// read passes; simulate shed rate 0.5 > 0.2; train saw no traffic.
+	if len(v) != 2 {
+		t.Fatalf("violations = %v, want 2", v)
+	}
+	if rep.Violations == nil {
+		t.Error("violations not recorded on report")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	c := &collector{}
+	for i := 1; i <= 100; i++ {
+		c.record(time.Duration(i)*time.Millisecond, nil)
+	}
+	c.record(time.Millisecond, &api.Error{Code: api.CodeQueueFull, Retryable: true})
+	c.record(time.Millisecond, context.DeadlineExceeded)
+	r := c.report("read", 10*time.Second)
+	if r.OK != 100 || r.Shed != 1 || r.Errors != 1 || r.Requests != 102 {
+		t.Errorf("counts = %+v", r)
+	}
+	if r.P50Ms < 50 || r.P50Ms > 52 {
+		t.Errorf("p50 = %g", r.P50Ms)
+	}
+	if r.P99Ms < 99 || r.P99Ms > 100 {
+		t.Errorf("p99 = %g", r.P99Ms)
+	}
+	if r.MaxMs != 100 {
+		t.Errorf("max = %g", r.MaxMs)
+	}
+}
+
+func TestBuildMix(t *testing.T) {
+	c := api.NewClient("http://127.0.0.1:0", api.WithRetries(0))
+	tg := Targets{Experiments: []string{"fig14"}, Scale: "tiny"}
+	mix, err := BuildMix(c, "read=0.6, simulate=0.2,meta=0.2,train=0", tg, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero-weight classes drop out; survivors sort by name.
+	if len(mix) != 3 {
+		t.Fatalf("mix has %d classes, want 3", len(mix))
+	}
+	for i, want := range []string{"meta", "read", "simulate"} {
+		if mix[i].Class.Name() != want {
+			t.Errorf("mix[%d] = %s, want %s", i, mix[i].Class.Name(), want)
+		}
+	}
+	for _, bad := range []string{"", "bogus=1", "read", "read=x", "read=-1"} {
+		if _, err := BuildMix(c, bad, tg, 0); err == nil {
+			t.Errorf("BuildMix(%q) should fail", bad)
+		}
+	}
+}
+
+// TestOpenLoopDispatchAgainstStub drives the runner against a stub that
+// is instant, checking arrival accounting, per-class partitioning, and
+// reproducibility of the offered count from the seed.
+func TestOpenLoopDispatchAgainstStub(t *testing.T) {
+	run := func(seed int64) *Report {
+		cfg := Config{
+			Client:          api.NewClient("http://127.0.0.1:0", api.WithRetries(0)),
+			Schedule:        Constant{RPS: 200},
+			Duration:        500 * time.Millisecond,
+			Seed:            seed,
+			SkipServerDelta: true,
+			Mix: []WeightedClass{
+				{Class: stubClass{name: "a"}, Weight: 3},
+				{Class: stubClass{name: "b"}, Weight: 1},
+			},
+		}
+		rep, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep := run(7)
+	if rep.Offered < 50 || rep.Offered > 200 {
+		t.Errorf("offered = %d, want ≈100 (200rps × 0.5s)", rep.Offered)
+	}
+	var total, aCount int64
+	for _, c := range rep.Classes {
+		total += c.Requests + c.Dropped
+		if c.Class == "a" {
+			aCount = c.Requests
+		}
+		if c.Errors != 0 || c.Shed != 0 {
+			t.Errorf("stub class %s saw errors: %+v", c.Class, c)
+		}
+	}
+	if total != rep.Offered {
+		t.Errorf("class totals %d != offered %d", total, rep.Offered)
+	}
+	if frac := float64(aCount) / float64(rep.Offered); frac < 0.5 || frac > 0.95 {
+		t.Errorf("class a got %.0f%% of traffic, want ≈75%%", frac*100)
+	}
+	if again := run(7); again.Offered != rep.Offered {
+		t.Errorf("same seed offered %d then %d arrivals", rep.Offered, again.Offered)
+	}
+}
+
+type stubClass struct{ name string }
+
+func (s stubClass) Name() string { return s.name }
+func (s stubClass) Pick(rng *rand.Rand) func(ctx context.Context) error {
+	return func(ctx context.Context) error { return nil }
+}

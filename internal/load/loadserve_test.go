@@ -1,0 +1,116 @@
+package load_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pythia/internal/api"
+	"pythia/internal/harness"
+	"pythia/internal/load"
+	"pythia/internal/results"
+	"pythia/internal/serve"
+)
+
+var tinyScale = harness.Scale{Warmup: 50_000, Sim: 200_000, TraceLen: 40_000, WorkloadsPerSuite: 1, HeteroMixes: 1}
+
+// TestLoadAgainstLiveServe is the harness acceptance test: prepare hot
+// keys on a real serve instance, run a constant-RPS mixed read/meta/
+// simulate storm, and verify (a) the per-class report is coherent,
+// (b) declared SLOs evaluate, and (c) the result store absorbed the
+// repeat traffic — store hits climbed while the run caused zero new
+// simulations (the cache-hit-storm proof).
+func TestLoadAgainstLiveServe(t *testing.T) {
+	harness.ResetCaches()
+	defer harness.ResetCaches()
+	srv, err := serve.New(serve.Config{
+		Store:       results.Open(t.TempDir()),
+		QueueDepth:  64,
+		ExtraScales: map[string]harness.Scale{"tiny": tinyScale},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	targets := load.Targets{Experiments: []string{"fig14", "table2"}, Scale: "tiny"}
+	prepClient := api.NewClient(ts.URL) // retrying: seeding must succeed
+	prepSims, err := load.Prepare(ctx, prepClient, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prepSims == 0 {
+		t.Fatal("prepare ran no simulations — hot keys were not seeded")
+	}
+
+	loadClient := api.NewClient(ts.URL, api.WithRetries(0))
+	mix, err := load.BuildMix(loadClient, "read=0.7,meta=0.15,simulate=0.15", targets, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := load.Run(ctx, load.Config{
+		Client:   loadClient,
+		Schedule: load.Constant{RPS: 80},
+		Duration: 2 * time.Second,
+		Mix:      mix,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.PrepareSims = prepSims
+
+	var read, sim load.ClassReport
+	for _, c := range rep.Classes {
+		switch c.Class {
+		case "read":
+			read = c
+		case "simulate":
+			sim = c
+		}
+	}
+	if read.OK == 0 {
+		t.Fatalf("no successful reads: %+v\n%s", read, rep.Render())
+	}
+	if read.Errors > 0 {
+		t.Errorf("read errors against seeded keys: %+v", read)
+	}
+	if read.P50Ms <= 0 || read.P95Ms < read.P50Ms || read.P99Ms < read.P95Ms {
+		t.Errorf("incoherent quantiles: %+v", read)
+	}
+	if sim.OK == 0 {
+		t.Errorf("no successful simulate launches: %+v", sim)
+	}
+
+	// The storm must be absorbed by the store: hits climbed, and the
+	// repeat traffic (reads + re-launches of seeded experiments) caused
+	// zero new simulation work.
+	if rep.Server == nil {
+		t.Fatal("no server delta recorded")
+	}
+	if rep.Server.StoreHits == 0 {
+		t.Errorf("store hits did not climb during hit storm: %+v", rep.Server)
+	}
+	if rep.Server.Sims != 0 {
+		t.Errorf("hit storm caused %d simulations, want 0", rep.Server.Sims)
+	}
+
+	// SLO machinery end to end: generous bounds pass, absurd ones fail.
+	pass, err := load.ParseSLOs("read:p95ms=10000,err=0;simulate:err=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.CheckSLOs(pass); len(v) != 0 {
+		t.Errorf("generous SLOs violated: %v\n%s", v, rep.Render())
+	}
+	strict, _ := load.ParseSLOs("read:p99ms=0.000001")
+	if v := rep.CheckSLOs(strict); len(v) == 0 {
+		t.Error("absurd SLO not flagged")
+	}
+}

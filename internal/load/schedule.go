@@ -1,0 +1,155 @@
+// Package load is an open-loop load harness for pythia-serve: it
+// synthesizes request arrivals from a schedule (constant RPS, ramps,
+// bursts, diurnal curves, or a replayed schedule file) over a weighted
+// mix of request classes, fires them at a live server through the typed
+// api.Client, and reports client-side latency quantiles, throughput,
+// and error/shed rates per class against declared SLOs.
+//
+// Open-loop means arrivals are generated on their own clock — a slow
+// server does not slow the generator down, it just accumulates
+// in-flight requests (bounded by MaxInFlight) and sheds. That is the
+// regime a serving system actually faces: users do not politely wait
+// for each other. Arrival gaps are sampled from an exponential
+// distribution around the schedule's instantaneous rate, i.e. a
+// (nonhomogeneous) Poisson process, matching how trace synthesizers in
+// serving research model request streams.
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+)
+
+// Schedule is an arrival-rate curve: the offered load in requests per
+// second as a function of elapsed test time.
+type Schedule interface {
+	// RateAt returns the instantaneous arrival rate (req/s) at elapsed.
+	RateAt(elapsed time.Duration) float64
+	// Name identifies the schedule in reports ("constant(25rps)").
+	Name() string
+}
+
+// Constant offers a fixed rate for the whole run.
+type Constant struct {
+	RPS float64
+}
+
+func (c Constant) RateAt(time.Duration) float64 { return c.RPS }
+func (c Constant) Name() string                 { return fmt.Sprintf("constant(%grps)", c.RPS) }
+
+// Ramp rises (or falls) linearly from From to To over Over, then holds
+// at To.
+type Ramp struct {
+	From, To float64
+	Over     time.Duration
+}
+
+func (r Ramp) RateAt(elapsed time.Duration) float64 {
+	if r.Over <= 0 || elapsed >= r.Over {
+		return r.To
+	}
+	frac := float64(elapsed) / float64(r.Over)
+	return r.From + (r.To-r.From)*frac
+}
+
+func (r Ramp) Name() string {
+	return fmt.Sprintf("ramp(%g→%grps/%s)", r.From, r.To, r.Over)
+}
+
+// Burst offers Base except for a spike window of Peak starting at At
+// for For — the thundering-herd shape.
+type Burst struct {
+	Base, Peak float64
+	At, For    time.Duration
+}
+
+func (b Burst) RateAt(elapsed time.Duration) float64 {
+	if elapsed >= b.At && elapsed < b.At+b.For {
+		return b.Peak
+	}
+	return b.Base
+}
+
+func (b Burst) Name() string {
+	return fmt.Sprintf("burst(%g/%grps@%s+%s)", b.Base, b.Peak, b.At, b.For)
+}
+
+// Diurnal is a clamped sine around Base with the given Amplitude and
+// Period — the day/night traffic curve, compressed to test length.
+type Diurnal struct {
+	Base, Amplitude float64
+	Period          time.Duration
+}
+
+func (d Diurnal) RateAt(elapsed time.Duration) float64 {
+	if d.Period <= 0 {
+		return d.Base
+	}
+	phase := 2 * math.Pi * float64(elapsed) / float64(d.Period)
+	r := d.Base + d.Amplitude*math.Sin(phase)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+func (d Diurnal) Name() string {
+	return fmt.Sprintf("diurnal(%g±%grps/%s)", d.Base, d.Amplitude, d.Period)
+}
+
+// Point is one step of a replayed schedule: from AtSec onward, offer
+// RPS (until the next point takes over).
+type Point struct {
+	AtSec float64 `json:"at_sec"`
+	RPS   float64 `json:"rps"`
+}
+
+// Replay is a piecewise-constant schedule read from recorded points —
+// the "replayed trace" mode for driving the server with a shape taken
+// from a production RPS log.
+type Replay struct {
+	Points []Point
+	Source string
+}
+
+func (r Replay) RateAt(elapsed time.Duration) float64 {
+	sec := elapsed.Seconds()
+	rate := 0.0
+	for _, p := range r.Points {
+		if p.AtSec > sec {
+			break
+		}
+		rate = p.RPS
+	}
+	return rate
+}
+
+func (r Replay) Name() string {
+	if r.Source != "" {
+		return fmt.Sprintf("replay(%s,%d points)", r.Source, len(r.Points))
+	}
+	return fmt.Sprintf("replay(%d points)", len(r.Points))
+}
+
+// ReadReplay loads a schedule file: a JSON array of {"at_sec","rps"}
+// points. Points are sorted by AtSec; the rate before the first point
+// is zero.
+func ReadReplay(path string) (Replay, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return Replay{}, fmt.Errorf("load: read schedule: %w", err)
+	}
+	var pts []Point
+	if err := json.Unmarshal(buf, &pts); err != nil {
+		return Replay{}, fmt.Errorf("load: parse schedule %s: %w", path, err)
+	}
+	if len(pts) == 0 {
+		return Replay{}, fmt.Errorf("load: schedule %s has no points", path)
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].AtSec < pts[j].AtSec })
+	return Replay{Points: pts, Source: path}, nil
+}

@@ -1,0 +1,206 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"pythia/internal/api"
+	"pythia/internal/harness"
+	"pythia/internal/results"
+)
+
+// fetch returns status, headers and decoded error envelope (if any) for
+// a raw request against the test server — wire-level on purpose: these
+// tests pin the HTTP contract the typed client builds on.
+func fetch(t *testing.T, method, url string, body io.Reader) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf, _ := io.ReadAll(resp.Body)
+	return resp, buf
+}
+
+// TestEveryShedPathSetsRetryAfter is the regression test for the "all
+// 503s carry Retry-After + a retryable envelope" guarantee. Historically
+// only some shed paths set the header (queue-full and breaker-degraded
+// did, shutdown-drain and missing-subsystem didn't); writeError now
+// enforces it centrally, and this test locks each path in.
+func TestEveryShedPathSetsRetryAfter(t *testing.T) {
+	harness.ResetCaches()
+	defer harness.ResetCaches()
+
+	assert503 := func(t *testing.T, resp *http.Response, body []byte, wantCode string) {
+		t.Helper()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d, want 503 (body %s)", resp.StatusCode, body)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("%s 503 carries no Retry-After header", wantCode)
+		}
+		var env api.ErrorResponse
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Fatalf("503 body is not an error envelope: %v (%s)", err, body)
+		}
+		if env.Error.Code != wantCode {
+			t.Errorf("error code = %q, want %q", env.Error.Code, wantCode)
+		}
+		if !env.Error.Retryable {
+			t.Errorf("%s envelope not marked retryable", wantCode)
+		}
+		if env.Error.RetryAfterSec < 1 {
+			t.Errorf("%s envelope retry_after_sec = %d, want >= 1", wantCode, env.Error.RetryAfterSec)
+		}
+	}
+
+	t.Run("unavailable_no_policy_store", func(t *testing.T) {
+		_, ts := newTestServer(t, results.Open(t.TempDir()), 4)
+		resp, body := fetch(t, http.MethodGet, ts.URL+api.Prefix+"/policies", nil)
+		assert503(t, resp, body, api.CodeUnavailable)
+	})
+
+	t.Run("shutting_down", func(t *testing.T) {
+		srv, ts := newTestServer(t, results.Open(t.TempDir()), 4)
+		// Park a slow job on the executor so the drain lingers with
+		// closing=true, then observe the launch shed during it.
+		blocker, code := postRun(t, ts.URL, "fig7", "slow")
+		if code != http.StatusAccepted {
+			t.Fatalf("blocker not accepted: %d", code)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+		deadline := time.Now().Add(30 * time.Second)
+		var resp *http.Response
+		var body []byte
+		for {
+			launch, _ := json.Marshal(api.LaunchRequest{Experiment: "fig14", Scale: "tiny"})
+			resp, body = fetch(t, http.MethodPost, ts.URL+api.Prefix+"/runs", bytes.NewReader(launch))
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("launch never shed during drain (last status %d)", resp.StatusCode)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		assert503(t, resp, body, api.CodeShuttingDown)
+		waitDone(t, ts.URL, blocker.ID)
+		<-done
+	})
+
+	t.Run("queue_full", func(t *testing.T) {
+		// The shutting_down subtest just ran the same slow experiment; wipe
+		// the in-process caches so the blocker actually occupies the
+		// executor instead of finishing instantly from memory.
+		harness.ResetCaches()
+		_, ts := newTestServer(t, results.Open(t.TempDir()), 1)
+		if _, code := postRun(t, ts.URL, "fig7", "slow"); code != http.StatusAccepted {
+			t.Fatal("blocker not accepted")
+		}
+		// Fill the queue, then overflow it; the running blocker may pop the
+		// first queued job at any moment, so keep launching until a 503.
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			launch, _ := json.Marshal(api.LaunchRequest{Experiment: "fig14", Scale: "tiny"})
+			resp, body := fetch(t, http.MethodPost, ts.URL+api.Prefix+"/runs", bytes.NewReader(launch))
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				assert503(t, resp, body, api.CodeQueueFull)
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("queue never overflowed")
+			}
+		}
+	})
+}
+
+// TestLegacyAliasesServeV1Payloads: every /api/... route from before
+// versioning still answers — same handler, same body as its /api/v1
+// twin — and advertises its deprecation so clients can migrate before
+// the aliases are dropped.
+func TestLegacyAliasesServeV1Payloads(t *testing.T) {
+	harness.ResetCaches()
+	defer harness.ResetCaches()
+	_, ts := newTestServer(t, results.Open(t.TempDir()), 4)
+
+	job, code := postRun(t, ts.URL, "fig14", "tiny")
+	if code != http.StatusAccepted {
+		t.Fatalf("launch = %d", code)
+	}
+	waitDone(t, ts.URL, job.ID)
+
+	for _, path := range []string{"/experiments", "/runs", "/runs/" + job.ID, "/results/fig14?scale=tiny"} {
+		v1, v1Body := fetch(t, http.MethodGet, ts.URL+api.Prefix+path, nil)
+		legacy, legacyBody := fetch(t, http.MethodGet, ts.URL+"/api"+path, nil)
+		if v1.StatusCode != http.StatusOK || legacy.StatusCode != http.StatusOK {
+			t.Fatalf("%s: v1=%d legacy=%d", path, v1.StatusCode, legacy.StatusCode)
+		}
+		if string(v1Body) != string(legacyBody) {
+			// Timelines include live durations, so tolerate byte drift only
+			// for the job-status route; everything else must match exactly.
+			if path != "/runs/"+job.ID && path != "/runs" {
+				t.Errorf("%s: legacy alias body differs from v1", path)
+			}
+		}
+		if v1.Header.Get("Deprecation") != "" {
+			t.Errorf("%s: canonical v1 route marked deprecated", path)
+		}
+		if legacy.Header.Get("Deprecation") != "true" {
+			t.Errorf("%s: legacy alias missing Deprecation header", path)
+		}
+		if legacy.Header.Get("Link") == "" {
+			t.Errorf("%s: legacy alias missing successor-version Link", path)
+		}
+	}
+
+	// Legacy launch still works end to end (POST body unchanged).
+	launch, _ := json.Marshal(api.LaunchRequest{Experiment: "fig14", Scale: "tiny"})
+	resp, body := fetch(t, http.MethodPost, ts.URL+"/api/runs", bytes.NewReader(launch))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("legacy launch = %d (%s)", resp.StatusCode, body)
+	}
+	var out api.JobResponse
+	if err := json.Unmarshal(body, &out); err != nil || out.Job.ID == "" {
+		t.Fatalf("legacy launch body not a JobResponse: %v (%s)", err, body)
+	}
+	waitDone(t, ts.URL, out.Job.ID)
+}
+
+// TestCancelConflictUsesEnvelope: canceling a terminal job answers 409
+// with the unified error envelope, not the legacy {"job": ...} body.
+func TestCancelConflictUsesEnvelope(t *testing.T) {
+	harness.ResetCaches()
+	defer harness.ResetCaches()
+	_, ts := newTestServer(t, results.Open(t.TempDir()), 4)
+
+	job, code := postRun(t, ts.URL, "fig14", "tiny")
+	if code != http.StatusAccepted {
+		t.Fatalf("launch = %d", code)
+	}
+	waitDone(t, ts.URL, job.ID)
+
+	_, err := apiClient(ts.URL).Cancel(context.Background(), job.ID)
+	ae, ok := err.(*api.Error)
+	if !ok {
+		t.Fatalf("cancel of terminal job: want *api.Error, got %v", err)
+	}
+	if ae.Code != api.CodeConflict || ae.HTTPStatus != http.StatusConflict {
+		t.Errorf("got code=%s status=%d, want conflict/409", ae.Code, ae.HTTPStatus)
+	}
+}

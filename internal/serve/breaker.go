@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"pythia/internal/api"
 	"pythia/internal/obs"
 )
 
@@ -118,7 +119,7 @@ func (b *breaker) retryAfter() int {
 }
 
 // view snapshots the breaker for /healthz.
-func (b *breaker) view() map[string]any {
+func (b *breaker) view() api.BreakerState {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	state := "closed"
@@ -128,13 +129,10 @@ func (b *breaker) view() map[string]any {
 			state = "half-open"
 		}
 	}
-	v := map[string]any{
-		"state":                state,
-		"consecutive_failures": b.fails,
-		"trips":                b.trips,
+	return api.BreakerState{
+		State:               state,
+		ConsecutiveFailures: b.fails,
+		Trips:               b.trips,
+		LastError:           b.lastErr,
 	}
-	if b.lastErr != "" {
-		v["last_error"] = b.lastErr
-	}
-	return v
 }

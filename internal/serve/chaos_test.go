@@ -69,7 +69,7 @@ func health(t *testing.T, base string) map[string]any {
 func sseTypes(t *testing.T, base, id string) []string {
 	t.Helper()
 	var types []string
-	for _, ev := range readSSE(t, base+"/api/runs/"+id+"/events") {
+	for _, ev := range readSSE(t, base, id) {
 		types = append(types, ev.Type)
 	}
 	return types

@@ -7,39 +7,32 @@ import (
 	"sync"
 	"time"
 
+	"pythia/internal/api"
 	"pythia/internal/harness"
 	"pythia/internal/obs"
 	"pythia/internal/policy"
 )
 
-// Job kinds: an experiment render, or a policy-training run. Both flow
+// Job kinds and statuses are defined by the wire contract in
+// internal/api; serve re-exports them so internal code (and the journal,
+// which persists status strings) reads naturally. Both kinds flow
 // through the same queue, executor and SSE machinery.
 const (
-	KindExperiment = "experiment"
-	KindTrain      = "train"
-)
+	KindExperiment = api.KindExperiment
+	KindTrain      = api.KindTrain
 
-// Job statuses, in lifecycle order. Done, error and canceled are the
-// terminal states; each is also the SSE event type of the job's final
-// event.
-const (
-	StatusQueued   = "queued"
-	StatusRunning  = "running"
-	StatusDone     = "done"
-	StatusError    = "error"
-	StatusCanceled = "canceled"
+	StatusQueued   = api.StatusQueued
+	StatusRunning  = api.StatusRunning
+	StatusDone     = api.StatusDone
+	StatusError    = api.StatusError
+	StatusCanceled = api.StatusCanceled
 )
 
 // terminalStatus reports whether s is a terminal job status.
-func terminalStatus(s string) bool {
-	return s == StatusDone || s == StatusError || s == StatusCanceled
-}
+func terminalStatus(s string) bool { return api.TerminalStatus(s) }
 
 // Event is one server-sent event: a type tag plus a JSON payload.
-type Event struct {
-	Type string
-	Data json.RawMessage
-}
+type Event = api.Event
 
 // job is one queued experiment run. All mutable state is behind mu; the
 // executor writes, HTTP handlers read, SSE subscribers receive a replay of
@@ -47,7 +40,7 @@ type Event struct {
 // that arrives after completion still sees the full history.
 //
 // Each job owns a context derived from the server's base context; cancel
-// (DELETE /api/runs/{id}) aborts an in-flight simulation at the next chunk
+// (DELETE /api/v1/runs/{id}) aborts an in-flight simulation at the next chunk
 // boundary and turns a queued job into a no-op. Server shutdown cancels
 // the base context, which reaches every job the same way.
 type job struct {
@@ -99,43 +92,10 @@ type job struct {
 	closed bool
 }
 
-// JobView is the JSON representation of a job exposed by the API.
-type JobView struct {
-	ID string `json:"id"`
-	// Kind is "experiment" or "train".
-	Kind       string `json:"kind"`
-	Experiment string `json:"experiment,omitempty"`
-	// Workload and Config describe a training job's target.
-	Workload string `json:"workload,omitempty"`
-	Config   string `json:"config,omitempty"`
-	Title    string `json:"title"`
-	Scale    string `json:"scale"`
-	Status   string `json:"status"`
-	Error    string `json:"error,omitempty"`
-	// Cached reports that the result came from the persistent store.
-	Cached bool `json:"cached"`
-	// Sims is the number of simulations this job executed (0 on a store
-	// hit: the zero-additional-work guarantee, measurable by clients).
-	Sims int64 `json:"sims"`
-	// Attempts is how many times the job entered execution (> 1 after
-	// transient-failure retries or crash recovery).
-	Attempts int `json:"attempts,omitempty"`
-	// Recovered marks a job requeued from the journal after a restart.
-	Recovered  bool                       `json:"recovered,omitempty"`
-	CreatedAt  time.Time                  `json:"created_at"`
-	StartedAt  *time.Time                 `json:"started_at,omitempty"`
-	FinishedAt *time.Time                 `json:"finished_at,omitempty"`
-	Result     *harness.ExperimentPayload `json:"result,omitempty"`
-	// Policy is a finished training job's artifact (metadata only; the
-	// snapshot downloads from /api/policies/{id}/snapshot).
-	Policy *policy.Meta `json:"policy,omitempty"`
-	// Rendered is the table formatted as aligned text (terminal clients).
-	Rendered string `json:"rendered,omitempty"`
-	// Timeline is the job's stage history with per-stage durations; the
-	// last stage's duration runs to now for live jobs, to FinishedAt once
-	// terminal. Retried jobs show each attempt's leased→… sequence.
-	Timeline []obs.StageView `json:"timeline,omitempty"`
-}
+// JobView is the JSON representation of a job exposed by the API — an
+// alias for api.Job, the single source of truth for the v1 wire format
+// (golden-pinned in internal/api).
+type JobView = api.Job
 
 func newJob(base context.Context, id string, exp harness.Experiment, scaleName string, sc harness.Scale) *job {
 	j := blankJob(base, id, KindExperiment, scaleName, sc)

@@ -138,7 +138,7 @@ func TestJobTimeline(t *testing.T) {
 
 	// The terminal SSE event carries the same timeline (the stream is the
 	// push-side mirror of the status JSON).
-	evs := readSSE(t, ts.URL+"/api/runs/"+job.ID+"/events")
+	evs := readSSE(t, ts.URL, job.ID)
 	if len(evs) == 0 {
 		t.Fatal("no SSE events")
 	}

@@ -130,7 +130,7 @@ func TestServeSurvivesTraceCacheCorruption(t *testing.T) {
 	}
 
 	// The SSE stream of the failed job ends with a terminal error event.
-	evs := readSSE(t, ts+"/api/runs/"+job.ID+"/events")
+	evs := readSSE(t, ts, job.ID)
 	if lastType(evs) != serve.StatusError {
 		t.Errorf("SSE stream of failed job ends with %q", lastType(evs))
 	}
@@ -182,7 +182,7 @@ func TestServeCancelRunningJob(t *testing.T) {
 	if d := time.Since(start); d > 30*time.Second {
 		t.Errorf("cancellation took %v", d)
 	}
-	evs := readSSE(t, ts+"/api/runs/"+job.ID+"/events")
+	evs := readSSE(t, ts, job.ID)
 	if lastType(evs) != serve.StatusCanceled {
 		t.Errorf("SSE stream ends with %q, want canceled", lastType(evs))
 	}

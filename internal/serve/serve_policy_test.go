@@ -76,7 +76,7 @@ func TestServeTrainEndToEnd(t *testing.T) {
 
 	// The SSE stream carries the full lifecycle and the terminal event
 	// includes the policy artifact.
-	evs := readSSE(t, ts.URL+"/api/runs/"+job.ID+"/events")
+	evs := readSSE(t, ts.URL, job.ID)
 	var final serve.JobView
 	for _, ev := range evs {
 		if ev.Type == serve.StatusDone || ev.Type == serve.StatusError {

@@ -1,15 +1,16 @@
 package serve_test
 
 import (
-	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
-	"strings"
 	"testing"
 	"time"
 
+	"pythia/internal/api"
 	"pythia/internal/harness"
 	"pythia/internal/results"
 	"pythia/internal/serve"
@@ -42,19 +43,23 @@ func newTestServer(t *testing.T, store *results.Store, queueDepth int) (*serve.S
 	return srv, ts
 }
 
+// apiClient returns a no-retry typed client for a test server: sheds
+// and rejections must surface to the assertion, not be retried away.
+func apiClient(base string) *api.Client {
+	return api.NewClient(base, api.WithRetries(0))
+}
+
 func postRun(t *testing.T, base, exp, scale string) (serve.JobView, int) {
 	t.Helper()
-	body, _ := json.Marshal(map[string]string{"experiment": exp, "scale": scale})
-	resp, err := http.Post(base+"/api/runs", "application/json", bytes.NewReader(body))
+	j, err := apiClient(base).Launch(context.Background(), api.LaunchRequest{Experiment: exp, Scale: scale})
 	if err != nil {
+		var ae *api.Error
+		if errors.As(err, &ae) {
+			return serve.JobView{}, ae.HTTPStatus
+		}
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	var out struct {
-		Job serve.JobView `json:"job"`
-	}
-	json.NewDecoder(resp.Body).Decode(&out)
-	return out.Job, resp.StatusCode
+	return j, http.StatusAccepted
 }
 
 func getJSON(t *testing.T, url string, out any) int {
@@ -70,35 +75,17 @@ func getJSON(t *testing.T, url string, out any) int {
 	return resp.StatusCode
 }
 
-// readSSE consumes a job's event stream to completion and returns the
-// events in order.
-func readSSE(t *testing.T, url string) []serve.Event {
+// readSSE consumes a job's event stream to completion via the typed
+// client's SSE subscription and returns the events in order.
+func readSSE(t *testing.T, base, id string) []serve.Event {
 	t.Helper()
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
-		t.Fatalf("events content type = %q", ct)
-	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
 	var evs []serve.Event
-	var cur serve.Event
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "event: "):
-			cur.Type = strings.TrimPrefix(line, "event: ")
-		case strings.HasPrefix(line, "data: "):
-			cur.Data = []byte(strings.TrimPrefix(line, "data: "))
-		case line == "":
-			if cur.Type != "" {
-				evs = append(evs, cur)
-			}
-			cur = serve.Event{}
-		}
+	if _, err := apiClient(base).Events(ctx, id, func(ev serve.Event) {
+		evs = append(evs, ev)
+	}); err != nil {
+		t.Fatalf("events stream for %s: %v", id, err)
 	}
 	return evs
 }
@@ -106,22 +93,13 @@ func readSSE(t *testing.T, url string) []serve.Event {
 // waitDone polls a job until it reaches a terminal state.
 func waitDone(t *testing.T, base, id string) serve.JobView {
 	t.Helper()
-	deadline := time.Now().Add(2 * time.Minute)
-	for time.Now().Before(deadline) {
-		var out struct {
-			Job serve.JobView `json:"job"`
-		}
-		if code := getJSON(t, base+"/api/runs/"+id, &out); code != http.StatusOK {
-			t.Fatalf("GET run %s = %d", id, code)
-		}
-		switch out.Job.Status {
-		case serve.StatusDone, serve.StatusError, serve.StatusCanceled:
-			return out.Job
-		}
-		time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	j, err := apiClient(base).Wait(ctx, id, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("job %s never finished: %v", id, err)
 	}
-	t.Fatalf("job %s never finished", id)
-	return serve.JobView{}
+	return j
 }
 
 // TestServeEndToEnd is the acceptance test: an experiment launched over
@@ -158,7 +136,7 @@ func TestServeEndToEnd(t *testing.T) {
 	if code != http.StatusAccepted {
 		t.Fatalf("POST run = %d", code)
 	}
-	evs := readSSE(t, ts.URL+"/api/runs/"+job.ID+"/events")
+	evs := readSSE(t, ts.URL, job.ID)
 	var sawQueued, sawRunning, sawProgress bool
 	var final serve.JobView
 	for _, ev := range evs {
@@ -230,7 +208,7 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 
 	// A late SSE subscriber to the finished job still sees full history.
-	evs2 := readSSE(t, ts2.URL+"/api/runs/"+job2.ID+"/events")
+	evs2 := readSSE(t, ts2.URL, job2.ID)
 	if len(evs2) == 0 || evs2[len(evs2)-1].Type != serve.StatusDone {
 		t.Errorf("late subscriber got %d events, final %q", len(evs2), lastType(evs2))
 	}
@@ -293,17 +271,22 @@ func TestServeBoundedQueue(t *testing.T) {
 	if _, code := postRun(t, ts.URL, "fig14", "tiny"); code != http.StatusAccepted {
 		t.Fatalf("second run not queued: %d", code)
 	}
-	body, _ := json.Marshal(map[string]string{"experiment": "fig1", "scale": "tiny"})
+	body, _ := json.Marshal(api.LaunchRequest{Experiment: "fig1", Scale: "tiny"})
 	resp, err := http.Post(ts.URL+"/api/runs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
+	var envelope api.ErrorResponse
+	json.NewDecoder(resp.Body).Decode(&envelope)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("third run got %d, want 503 queue-full", resp.StatusCode)
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("queue-full 503 carries no Retry-After header")
+	}
+	if envelope.Error.Code != api.CodeQueueFull || !envelope.Error.Retryable {
+		t.Errorf("queue-full envelope = %+v, want retryable %s", envelope.Error, api.CodeQueueFull)
 	}
 
 	var listing struct {

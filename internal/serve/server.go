@@ -17,12 +17,12 @@
 // machinery: a POST with a "train" body trains a Pythia policy and
 // persists it in the policy.Store, a repeat training request is a store
 // hit with zero simulations (same sims-counter proof), and stored
-// policies are listable and downloadable under /api/policies.
+// policies are listable and downloadable under /api/v1/policies.
 //
 // Failure and cancellation are first-class: the harness returns errors as
 // values (a corrupted trace-cache file fails only the job that touched
 // it, with a terminal "error" SSE event, while the service keeps serving),
-// every job carries a context that DELETE /api/runs/{id} cancels (terminal
+// every job carries a context that DELETE /api/v1/runs/{id} cancels (terminal
 // "canceled" event, in-flight simulations abort at the next chunk
 // boundary and release their worker slots), and Shutdown drains the queue
 // before stopping.
@@ -36,10 +36,12 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"pythia/internal/api"
 	"pythia/internal/cache"
 	"pythia/internal/fault"
 	"pythia/internal/harness"
@@ -54,7 +56,7 @@ type Config struct {
 	// Store is the persistent result store (required).
 	Store *results.Store
 	// Policies is the trained-policy store backing the policy lifecycle
-	// endpoints (/api/policies, POST-able training jobs). Optional: when
+	// endpoints (/api/v1/policies, POST-able training jobs). Optional: when
 	// nil those endpoints answer 503 and everything else works unchanged.
 	Policies *policy.Store
 	// QueueDepth bounds the number of jobs waiting to execute (admitted
@@ -69,7 +71,7 @@ type Config struct {
 	// never evicted; beyond the cap, the oldest finished jobs are dropped
 	// at admission time, so server memory is bounded by admitted + capped
 	// work, not by lifetime request count. Stored results are unaffected
-	// — evicted tables remain fetchable via /api/results.
+	// — evicted tables remain fetchable via /api/v1/results.
 	JobHistory int
 	// ExtraScales registers additional named scales beyond the harness
 	// presets (tests register tiny ones; deployments can pin custom
@@ -697,25 +699,50 @@ func (s *Server) computeExperiment(j *job, startSims int64) (payload any, err er
 
 // --- HTTP API ---
 
-// Handler returns the service's HTTP routes. Every route goes through
-// route(), which pairs the registration with a per-route request counter
-// — ci.sh gates direct mux.HandleFunc calls so a new endpoint cannot
-// ship unmetered.
+// Handler returns the service's HTTP routes. API resources are
+// registered twice from one table: canonically under api.Prefix
+// ("/api/v1"), and under the unversioned legacy "/api" prefix as thin
+// deprecated aliases kept for one release window (DESIGN.md "API v1").
+// /healthz and /metrics are operational endpoints, not API resources,
+// and stay unversioned. Every route goes through route(), which pairs
+// the registration with a per-route request counter — ci.sh gates
+// direct mux.HandleFunc calls so a new endpoint cannot ship unmetered.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	s.route(mux, "GET /api/experiments", s.handleExperiments)
-	s.route(mux, "GET /api/runs", s.handleListRuns)
-	s.route(mux, "POST /api/runs", s.handleLaunch)
-	s.route(mux, "GET /api/runs/{id}", s.handleGetRun)
-	s.route(mux, "DELETE /api/runs/{id}", s.handleCancelRun)
-	s.route(mux, "GET /api/runs/{id}/events", s.handleEvents)
-	s.route(mux, "GET /api/results/{exp}", s.handleResult)
-	s.route(mux, "GET /api/policies", s.handlePolicies)
-	s.route(mux, "GET /api/policies/{id}", s.handlePolicy)
-	s.route(mux, "GET /api/policies/{id}/snapshot", s.handlePolicySnapshot)
+	routes := []struct {
+		method, path string
+		h            http.HandlerFunc
+	}{
+		{http.MethodGet, "/experiments", s.handleExperiments},
+		{http.MethodGet, "/runs", s.handleListRuns},
+		{http.MethodPost, "/runs", s.handleLaunch},
+		{http.MethodGet, "/runs/{id}", s.handleGetRun},
+		{http.MethodDelete, "/runs/{id}", s.handleCancelRun},
+		{http.MethodGet, "/runs/{id}/events", s.handleEvents},
+		{http.MethodGet, "/results/{exp}", s.handleResult},
+		{http.MethodGet, "/policies", s.handlePolicies},
+		{http.MethodGet, "/policies/{id}", s.handlePolicy},
+		{http.MethodGet, "/policies/{id}/snapshot", s.handlePolicySnapshot},
+	}
+	for _, rt := range routes {
+		s.route(mux, rt.method+" "+api.Prefix+rt.path, rt.h)
+		s.route(mux, rt.method+" /api"+rt.path, deprecated(rt.h))
+	}
 	s.route(mux, "GET /healthz", s.handleHealth)
 	s.route(mux, "GET /metrics", obs.Default().Handler().ServeHTTP)
 	return mux
+}
+
+// deprecated wraps a legacy unversioned alias: same handler, plus the
+// RFC 8594-style headers steering clients to the versioned route. The
+// aliases get their own route counters, so /metrics shows exactly how
+// much pre-v1 traffic still arrives before the aliases are dropped.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+api.Prefix+">; rel=\"successor-version\"")
+		h(w, r)
+	}
 }
 
 // route registers pattern with a request counter wrapped around the
@@ -737,60 +764,51 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-// experimentInfo is one row of the experiment listing.
-type experimentInfo struct {
-	ID    string `json:"id"`
-	Title string `json:"title"`
-	// Extended marks studies beyond the paper's figures.
-	Extended bool `json:"extended"`
+// writeError emits the unified v1 error envelope ({"error": {...}}) for
+// every non-2xx response. The HTTP status derives from the error code.
+// Any 503 — queue full, degraded store, shutdown, missing subsystem —
+// is forced Retryable with a Retry-After header of at least one second,
+// so every shed path gives clients an honest backoff hint by
+// construction rather than by each call site remembering to.
+func writeError(w http.ResponseWriter, e api.Error) {
+	status := api.StatusFor(e.Code)
+	if status == http.StatusServiceUnavailable {
+		e.Retryable = true
+		if e.RetryAfterSec < 1 {
+			e.RetryAfterSec = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterSec))
+	}
+	writeJSON(w, status, api.ErrorResponse{Error: e})
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
-	var out []experimentInfo
+	var out []api.ExperimentInfo
 	for _, e := range harness.Experiments() {
-		out = append(out, experimentInfo{ID: e.ID, Title: e.Title})
+		out = append(out, api.ExperimentInfo{ID: e.ID, Title: e.Title})
 	}
 	for _, e := range harness.ExtendedExperiments() {
-		out = append(out, experimentInfo{ID: e.ID, Title: e.Title, Extended: true})
+		out = append(out, api.ExperimentInfo{ID: e.ID, Title: e.Title, Extended: true})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
-}
-
-// launchRequest is the POST /api/runs body: either an experiment render
-// or, with Train set, a policy-training job.
-type launchRequest struct {
-	Experiment string `json:"experiment"`
-	Scale      string `json:"scale"`
-	// Train requests a policy-training job instead of an experiment.
-	Train *trainRequest `json:"train,omitempty"`
-}
-
-// trainRequest describes a POST-able training job.
-type trainRequest struct {
-	// Workload is the training trace name (see pythia-sim -workloads).
-	Workload string `json:"workload"`
-	// Config is the Pythia configuration name; empty means "pythia".
-	Config string `json:"config"`
+	writeJSON(w, http.StatusOK, api.ExperimentsResponse{Experiments: out})
 }
 
 func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 	if s.closing.Load() {
 		shedCounter("closing").Inc()
-		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		writeError(w, api.Errorf(api.CodeShuttingDown, "server is shutting down"))
 		return
 	}
-	var req launchRequest
+	// The POST body is the shared api.LaunchRequest DTO: an experiment
+	// render or, with Train set, a policy-training job.
+	var req api.LaunchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, api.Errorf(api.CodeBadRequest, "bad request body: %v", err))
 		return
 	}
 	sc, err := s.resolveScale(req.Scale)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeError(w, api.Errorf(api.CodeBadRequest, "%v", err))
 		return
 	}
 	scaleName := req.Scale
@@ -802,12 +820,12 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 	var train harness.TrainSpec
 	if req.Train != nil {
 		if s.cfg.Policies == nil {
-			writeErr(w, http.StatusServiceUnavailable, "no policy store configured")
+			writeError(w, api.Errorf(api.CodeUnavailable, "no policy store configured"))
 			return
 		}
 		wl, ok := trace.ByName(req.Train.Workload)
 		if !ok {
-			writeErr(w, http.StatusNotFound, "unknown workload %q", req.Train.Workload)
+			writeError(w, api.Errorf(api.CodeNotFound, "unknown workload %q", req.Train.Workload))
 			return
 		}
 		cfgName := req.Train.Config
@@ -816,7 +834,7 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 		}
 		cfg, err := harness.PythiaConfigByName(cfgName)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
+			writeError(w, api.Errorf(api.CodeBadRequest, "%v", err))
 			return
 		}
 		train = harness.TrainSpec{Workload: wl, CacheCfg: cache.DefaultConfig(1), Scale: sc, Config: cfg}
@@ -830,7 +848,7 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 		var ok bool
 		exp, ok = harness.ExperimentByID(req.Experiment)
 		if !ok {
-			writeErr(w, http.StatusNotFound, "unknown experiment %q", req.Experiment)
+			writeError(w, api.Errorf(api.CodeNotFound, "unknown experiment %q", req.Experiment))
 			return
 		}
 		// Degraded mode: with the result-store breaker open, only requests
@@ -852,7 +870,7 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 	if s.closing.Load() {
 		s.mu.Unlock()
 		shedCounter("closing").Inc()
-		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		writeError(w, api.Errorf(api.CodeShuttingDown, "server is shutting down"))
 		return
 	}
 	s.nextID++
@@ -877,7 +895,7 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 			s.journal.remove(id)
 		}
 		j.cancel()
-		writeErr(w, http.StatusInternalServerError, "admission failed: %v", err)
+		writeError(w, api.Errorf(api.CodeInternal, "admission failed: %v", err))
 		return
 	}
 
@@ -889,7 +907,7 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 		}
 		j.cancel()
 		shedCounter("closing").Inc()
-		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		writeError(w, api.Errorf(api.CodeShuttingDown, "server is shutting down"))
 		return
 	}
 	// The enqueue attempt is non-blocking, so holding mu across it keeps
@@ -911,13 +929,16 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 		j.cancel()
 		shedCounter("queue_full").Inc()
 		s.log.Warn("launch shed: queue full", "depth", s.cfg.QueueDepth)
-		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusServiceUnavailable, "job queue full (%d queued)", s.cfg.QueueDepth)
+		writeError(w, api.Error{
+			Code:          api.CodeQueueFull,
+			Message:       fmt.Sprintf("job queue full (%d queued)", s.cfg.QueueDepth),
+			RetryAfterSec: 1,
+		})
 		return
 	}
 	s.log.Info("job admitted", "job", id, "kind", j.kind,
 		"experiment", j.expID, "scale", scaleName)
-	writeJSON(w, http.StatusAccepted, map[string]any{"job": j.view()})
+	writeJSON(w, http.StatusAccepted, api.JobResponse{Job: j.view()})
 }
 
 // shedDegraded answers a launch that needs a degraded store: 503 with a
@@ -925,9 +946,12 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 // well-behaved clients back off instead of hammering a sick disk.
 func shedDegraded(w http.ResponseWriter, b *breaker, what string) {
 	shedCounter("degraded_" + b.name).Inc()
-	w.Header().Set("Retry-After", fmt.Sprintf("%d", b.retryAfter()))
-	writeErr(w, http.StatusServiceUnavailable,
-		"%s is degraded (circuit breaker open); only stored results are being served", what)
+	writeError(w, api.Error{
+		Code: api.CodeDegraded,
+		Message: fmt.Sprintf(
+			"%s is degraded (circuit breaker open); only stored results are being served", what),
+		RetryAfterSec: b.retryAfter(),
+	})
 }
 
 // pruneLocked evicts the oldest finished jobs past the history cap.
@@ -972,19 +996,19 @@ func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
 		views = append(views, s.jobs[id].view())
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+	writeJSON(w, http.StatusOK, api.JobsResponse{Jobs: views})
 }
 
 func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobByID(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, api.Errorf(api.CodeNotFound, "unknown job %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"job": j.view()})
+	writeJSON(w, http.StatusOK, api.JobResponse{Job: j.view()})
 }
 
-// handleCancelRun is DELETE /api/runs/{id}: cancel a queued or running
+// handleCancelRun is DELETE /api/v1/runs/{id}: cancel a queued or running
 // job. A queued job turns terminal immediately; a running one has its
 // context canceled, which the harness observes at the next chunk boundary
 // — either way the job's SSE stream ends with a terminal "canceled"
@@ -993,11 +1017,12 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancelRun(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobByID(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, api.Errorf(api.CodeNotFound, "unknown job %q", r.PathValue("id")))
 		return
 	}
 	if j.terminal() {
-		writeJSON(w, http.StatusConflict, map[string]any{"job": j.view()})
+		writeError(w, api.Errorf(api.CodeConflict,
+			"job %q is already %s; nothing to cancel", j.id, j.view().Status))
 		return
 	}
 	// A DELETE is an explicit client decision: the terminal state it
@@ -1012,7 +1037,7 @@ func (s *Server) handleCancelRun(w http.ResponseWriter, r *http.Request) {
 	if v := j.view(); v.Status == StatusQueued {
 		j.finish(nil, false, 0, context.Canceled)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"job": j.view()})
+	writeJSON(w, http.StatusOK, api.JobResponse{Job: j.view()})
 }
 
 // handleEvents streams a job's progress as server-sent events: the full
@@ -1021,12 +1046,12 @@ func (s *Server) handleCancelRun(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobByID(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, api.Errorf(api.CodeNotFound, "unknown job %q", r.PathValue("id")))
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		writeError(w, api.Errorf(api.CodeInternal, "streaming unsupported"))
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -1081,20 +1106,20 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	expID := r.PathValue("exp")
 	if _, ok := harness.ExperimentByID(expID); !ok {
-		writeErr(w, http.StatusNotFound, "unknown experiment %q", expID)
+		writeError(w, api.Errorf(api.CodeNotFound, "unknown experiment %q", expID))
 		return
 	}
 	sc, err := s.resolveScale(r.URL.Query().Get("scale"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeError(w, api.Errorf(api.CodeBadRequest, "%v", err))
 		return
 	}
 	var payload harness.ExperimentPayload
 	if !s.store.Get(harness.ExperimentKey(expID, sc), &payload) {
-		writeErr(w, http.StatusNotFound, "no stored result for %s at this scale (launch a run first)", expID)
+		writeError(w, api.Errorf(api.CodeNotFound, "no stored result for %s at this scale (launch a run first)", expID))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"result": payload, "rendered": payload.Table.Render()})
+	writeJSON(w, http.StatusOK, api.ResultResponse{Result: payload, Rendered: payload.Table.Render()})
 }
 
 // --- Policy lifecycle endpoints ---
@@ -1102,7 +1127,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 // policyStore returns the configured policy store or answers 503.
 func (s *Server) policyStore(w http.ResponseWriter) (*policy.Store, bool) {
 	if s.cfg.Policies == nil {
-		writeErr(w, http.StatusServiceUnavailable, "no policy store configured")
+		writeError(w, api.Errorf(api.CodeUnavailable, "no policy store configured"))
 		return nil, false
 	}
 	return s.cfg.Policies, true
@@ -1119,7 +1144,7 @@ func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 	if metas == nil {
 		metas = []policy.Meta{}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"policies": metas})
+	writeJSON(w, http.StatusOK, api.PoliciesResponse{Policies: metas})
 }
 
 func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
@@ -1129,10 +1154,10 @@ func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
 	}
 	env, ok := st.Get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown policy %q", r.PathValue("id"))
+		writeError(w, api.Errorf(api.CodeNotFound, "unknown policy %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"policy": env.Meta})
+	writeJSON(w, http.StatusOK, api.PolicyResponse{Policy: env.Meta})
 }
 
 // handlePolicySnapshot downloads a policy's raw PYQV01 snapshot bytes —
@@ -1144,7 +1169,7 @@ func (s *Server) handlePolicySnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	env, ok := st.Get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown policy %q", r.PathValue("id"))
+		writeError(w, api.Errorf(api.CodeNotFound, "unknown policy %q", r.PathValue("id")))
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -1162,24 +1187,24 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	// see "degraded read-only", not a lying green light. The endpoint
 	// still answers 200 — the process is alive and serving store hits.
 	degraded := s.storeBrk.open() || s.polBrk.open()
-	health := map[string]any{
-		"ok":             !degraded,
-		"degraded":       degraded,
-		"breakers":       map[string]any{"results": s.storeBrk.view(), "policies": s.polBrk.view()},
-		"uptime_seconds": time.Since(s.started).Seconds(),
-		"jobs":           jobs,
-		"queue_depth":    s.cfg.QueueDepth,
-		"queued":         len(s.queue),
-		"closing":        s.closing.Load(),
-		"sims":           harness.SimCount(),
-		"workers":        harness.Workers(),
-		"stores":         s.storesHealth(),
+	health := api.Health{
+		OK:            !degraded,
+		Degraded:      degraded,
+		Breakers:      map[string]api.BreakerState{"results": s.storeBrk.view(), "policies": s.polBrk.view()},
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Jobs:          jobs,
+		QueueDepth:    s.cfg.QueueDepth,
+		Queued:        len(s.queue),
+		Closing:       s.closing.Load(),
+		Sims:          harness.SimCount(),
+		Workers:       harness.Workers(),
+		Stores:        s.storesHealth(),
 	}
 	if s.journal != nil {
-		health["journal"] = map[string]any{
-			"dir":          s.journal.dir,
-			"recovered":    s.recovered,
-			"write_errors": s.journal.writeErrs.Load(),
+		health.Journal = &api.JournalHealth{
+			Dir:         s.journal.dir,
+			Recovered:   s.recovered,
+			WriteErrors: s.journal.writeErrs.Load(),
 		}
 	}
 	writeJSON(w, http.StatusOK, health)
@@ -1191,17 +1216,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // and whatever comes next) appears here automatically, so a new store
 // can't silently go unreported. Directories are annotated for the
 // instances this server owns.
-func (s *Server) storesHealth() map[string]map[string]any {
-	fields := map[string]string{
-		"pythia_store_hits_total":   "hits",
-		"pythia_store_misses_total": "misses",
-		"pythia_store_writes_total": "writes",
-		"pythia_store_entries":      "entries",
-	}
-	stores := map[string]map[string]any{}
+func (s *Server) storesHealth() map[string]api.StoreHealth {
+	stores := map[string]api.StoreHealth{}
 	for _, f := range obs.Default().Gather() {
-		field, ok := fields[f.Name]
-		if !ok {
+		var set func(*api.StoreHealth, int64)
+		switch f.Name {
+		case "pythia_store_hits_total":
+			set = func(h *api.StoreHealth, v int64) { h.Hits = v }
+		case "pythia_store_misses_total":
+			set = func(h *api.StoreHealth, v int64) { h.Misses = v }
+		case "pythia_store_writes_total":
+			set = func(h *api.StoreHealth, v int64) { h.Writes = v }
+		case "pythia_store_entries":
+			set = func(h *api.StoreHealth, v int64) { h.Entries = v }
+		default:
 			continue
 		}
 		for _, m := range f.Metrics {
@@ -1210,19 +1238,18 @@ func (s *Server) storesHealth() map[string]map[string]any {
 				continue
 			}
 			ent := stores[name]
-			if ent == nil {
-				ent = map[string]any{}
-				stores[name] = ent
-			}
-			ent[field] = int64(m.Value)
+			set(&ent, int64(m.Value))
+			stores[name] = ent
 		}
 	}
-	if ent := stores["results"]; ent != nil {
-		ent["dir"] = s.store.Dir()
+	if ent, ok := stores["results"]; ok {
+		ent.Dir = s.store.Dir()
+		stores["results"] = ent
 	}
 	if p := s.cfg.Policies; p != nil {
-		if ent := stores["policies"]; ent != nil {
-			ent["dir"] = p.Dir()
+		if ent, ok := stores["policies"]; ok {
+			ent.Dir = p.Dir()
+			stores["policies"] = ent
 		}
 	}
 	return stores
