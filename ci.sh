@@ -71,6 +71,20 @@ if [ -n "$private_fps" ]; then
     exit 1
 fi
 
+echo "== fused-kernel gate (no per-record reader calls) =="
+# The hot loop consumes trace columns via Reader.NextChunk; the only
+# per-record reader.Next() caller in internal/cpu is the compatibility
+# shim (shim.go), kept for bit-identity cross-checks. A Next() call
+# reappearing elsewhere means the fused SoA path regressed to
+# record-at-a-time consumption (PERF.md "Batched SoA kernel").
+per_record=$(grep -rn '\.Next(' internal/cpu --include='*.go' |
+    grep -v '_test\.go' | grep -v '^internal/cpu/shim\.go:' || true)
+if [ -n "$per_record" ]; then
+    echo "per-record reader.Next() outside the shim in internal/cpu:" >&2
+    echo "$per_record" >&2
+    exit 1
+fi
+
 echo "== error-envelope gate (unified API errors) =="
 # Every non-2xx serve response is the api.Error JSON envelope, written
 # through writeError (DESIGN.md "API v1"). A raw http.Error reappearing
@@ -129,6 +143,15 @@ if [ "$tier" = full ]; then
     go test -race ./internal/harness/... ./internal/stream/... ./internal/trace/... \
         ./internal/results/... ./internal/policy/... ./internal/serve/... \
         ./internal/flight/... ./internal/cpu/...
+
+    echo "== batch bit-identity under -race (fused kernel vs shim, worker counts) =="
+    # The fused SoA kernel must stay bit-identical to the record-at-a-time
+    # shim at every chunk edge and chunk size, and experiment results must
+    # not depend on worker count. These run inside the package sweeps above
+    # too; the explicit invocation keeps the invariant visible and failing
+    # on its own line.
+    go test -race -run 'BatchedMatchesShim|BatchedChunkSizeInvariance|DeterministicAcrossWorkerCounts' \
+        ./internal/cpu/... ./internal/harness/...
 
     echo "== bench smoke (QVStore hot path) =="
     go test -run='AllocationFree' -bench='QVStore' -benchtime=100x -benchmem .

@@ -35,6 +35,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -48,6 +49,7 @@ import (
 	"pythia/internal/api"
 	"pythia/internal/cache"
 	"pythia/internal/core"
+	"pythia/internal/cpu"
 	"pythia/internal/harness"
 	"pythia/internal/load"
 	"pythia/internal/policy"
@@ -65,6 +67,7 @@ type benchReport struct {
 	GOARCH      string            `json:"goarch"`
 	CPUs        int               `json:"cpus"`
 	Stream      *streamBench      `json:"stream,omitempty"`
+	Kernel      *kernelBench      `json:"kernel,omitempty"`
 	Warmstart   *warmstartBench   `json:"warmstart,omitempty"`
 	Loadtest    *load.Report      `json:"loadtest,omitempty"`
 	Experiments []benchExperiment `json:"experiments"`
@@ -152,6 +155,132 @@ func runStreamBench(records int) (*streamBench, error) {
 		return nil, err
 	}
 	return sb, nil
+}
+
+// kernelBench measures the raw simulation kernel on a single core with no
+// prefetcher attached — pure record-path throughput, the denominator of
+// every experiment's wall time. Both arms run the same trace and produce
+// bit-identical simulation results (internal/cpu batch_test.go); the only
+// difference is the fused SoA chunk loop vs the record-at-a-time shim.
+// Speedup (batched over shim instructions/sec) is the headline column
+// pythia-benchdiff tracks; PERF.md "Batched SoA kernel" records the
+// trajectory.
+type kernelBench struct {
+	Workloads []kernelWorkload `json:"workloads"`
+}
+
+// kernelWorkload is one workload's arm timings, best-of-kernelReps each.
+type kernelWorkload struct {
+	Workload           string  `json:"workload"`
+	Records            int64   `json:"records"` // records consumed per arm
+	BatchedRecsPerSec  float64 `json:"batched_recs_per_sec"`
+	BatchedInstrPerSec float64 `json:"batched_instr_per_sec"`
+	ShimRecsPerSec     float64 `json:"shim_recs_per_sec"`
+	ShimInstrPerSec    float64 `json:"shim_instr_per_sec"`
+	Speedup            float64 `json:"speedup"`
+}
+
+// kernelReps is the repetitions per arm; arms are interleaved
+// (shim, batched, shim, batched, ...) and each takes its best rep, so a
+// load spike on the host machine penalizes both arms rather than one.
+const kernelReps = 3
+
+// computeTrace synthesizes a record-path-bound workload: an L1-resident
+// 16KB footprint with 32-48 non-memory instructions per record, so nearly
+// all wall time is the issue/retire machinery rather than the memory
+// hierarchy. It isolates the fused-loop half of the kernel the way the
+// GemsFDTD smoke workload exercises the miss path.
+func computeTrace(n int, seed int64) []trace.Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		recs[i] = trace.Record{
+			PC:     uint64(0x400 + rng.Intn(8)*4),
+			Addr:   uint64(rng.Intn(256))*64 + 1<<20,
+			NonMem: uint16(32 + rng.Intn(17)),
+			Store:  rng.Intn(8) == 0,
+		}
+	}
+	return recs
+}
+
+// runKernelBench times both kernel paths over the canonical GemsFDTD-like
+// smoke workload (memory-bound) and a synthetic compute-dense workload
+// (record-path-bound). Each trace is materialized once and shared; every
+// rep gets its own hierarchy, so neither arm borrows cache warmth.
+func runKernelBench() (*kernelBench, error) {
+	gems, ok := trace.ByName("459.GemsFDTD-100B")
+	if !ok {
+		return nil, fmt.Errorf("kernel bench workload missing")
+	}
+	const traceLen = 2_000_000
+	workloads := []struct {
+		name string
+		recs []trace.Record
+	}{
+		{gems.Name, gems.Generate(traceLen).Records},
+		{"synthetic-compute-l1", computeTrace(1_000_000, 42)},
+	}
+	kb := &kernelBench{}
+	for _, wl := range workloads {
+		arm := func(shim bool) (recs, instr int64, secs float64, err error) {
+			hier, err := cache.NewHierarchy(cache.DefaultConfig(1))
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			cfg := cpu.SystemConfig{
+				Core:               cpu.DefaultCoreConfig(),
+				WarmupInstructions: 2_000_000,
+				SimInstructions:    30_000_000,
+				RecordShim:         shim,
+			}
+			sys, err := cpu.NewSystem(cfg, hier, []trace.Reader{trace.NewSliceReader(wl.recs)})
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			start := time.Now()
+			if err := sys.Run(context.Background()); err != nil {
+				return 0, 0, 0, err
+			}
+			secs = time.Since(start).Seconds()
+			c := sys.Cores[0]
+			return c.Records(), c.Retired(), secs, nil
+		}
+		var recs, instr int64
+		var shimBest, batchBest float64
+		for rep := 0; rep < kernelReps; rep++ {
+			sr, si, ss, err := arm(true)
+			if err != nil {
+				return nil, err
+			}
+			br, bi, bs, err := arm(false)
+			if err != nil {
+				return nil, err
+			}
+			if br != sr || bi != si {
+				return nil, fmt.Errorf("kernel arms diverged on %s: batched %d recs/%d instr, shim %d recs/%d instr",
+					wl.name, br, bi, sr, si)
+			}
+			recs, instr = br, bi
+			if rep == 0 || ss < shimBest {
+				shimBest = ss
+			}
+			if rep == 0 || bs < batchBest {
+				batchBest = bs
+			}
+		}
+		kw := kernelWorkload{
+			Workload:           wl.name,
+			Records:            recs,
+			BatchedRecsPerSec:  float64(recs) / batchBest,
+			BatchedInstrPerSec: float64(instr) / batchBest,
+			ShimRecsPerSec:     float64(recs) / shimBest,
+			ShimInstrPerSec:    float64(instr) / shimBest,
+		}
+		kw.Speedup = kw.BatchedInstrPerSec / kw.ShimInstrPerSec
+		kb.Workloads = append(kb.Workloads, kw)
+	}
+	return kb, nil
 }
 
 // warmstartBench records what warm-starting buys on one workload: the
@@ -335,6 +464,7 @@ func main() {
 		jsonPath  = flag.String("json", "", "write per-experiment wall times as a BENCH_*.json report")
 		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = all CPUs, 1 = sequential)")
 		strBench  = flag.Bool("streambench", false, "also measure trace-delivery throughput (materialized vs streamed) into the -json report")
+		kernBench = flag.Bool("kernelbench", false, "also measure single-core kernel throughput (fused SoA batches vs record-at-a-time shim) into the -json report")
 		resDir    = flag.String("results", "", "persistent result store directory: simulations are read from and written to it, surviving restarts")
 		resRO     = flag.Bool("results-readonly", false, "with -results, read stored simulations but never write new ones")
 		polDir    = flag.String("policies", "", "policy store directory: warm-start experiments reuse trained policies across invocations")
@@ -396,6 +526,20 @@ func main() {
 		report.Stream = sb
 		fmt.Printf("[trace delivery, %d records: materialized %.1f Mrec/s, gen-stream %.1f Mrec/s, file-stream %.1f Mrec/s]\n\n",
 			sb.Records, sb.MaterializedMrecS, sb.GenStreamMrecS, sb.FileStreamMrecS)
+	}
+	if *kernBench {
+		kb, err := runKernelBench()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		report.Kernel = kb
+		for _, kw := range kb.Workloads {
+			fmt.Printf("[kernel %s, %s records: batched %s instr/s (%s rec/s) vs shim %s instr/s (%s rec/s), %.2fx]\n",
+				kw.Workload, humanCount(kw.Records), humanCount(int64(kw.BatchedInstrPerSec)), humanCount(int64(kw.BatchedRecsPerSec)),
+				humanCount(int64(kw.ShimInstrPerSec)), humanCount(int64(kw.ShimRecsPerSec)), kw.Speedup)
+		}
+		fmt.Println()
 	}
 	// SIGINT/SIGTERM cancel the experiment context: in-flight simulations
 	// abort at the next chunk boundary and the process exits cleanly

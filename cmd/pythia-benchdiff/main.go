@@ -6,7 +6,11 @@
 // is shown alongside the timings. Reports carrying a `loadtest` section
 // (pythia-bench -loadbench) additionally get a per-class serving-p95
 // comparison, so latency regressions in pythia-serve surface on the
-// same trajectory as wall-time regressions.
+// same trajectory as wall-time regressions. A `kernel` section
+// (pythia-bench -kernelbench) gets a per-workload batched-throughput
+// comparison where drops past 5% are flagged — the kernel numbers are
+// best-of-N interleaved arms in one process, so they do not get the
+// wide noise allowance wall times do.
 //
 // Usage:
 //
@@ -44,6 +48,9 @@ type report struct {
 		WarmConvergeInstr int64   `json:"warm_converge_instr"`
 		ConvergeSpeedup   float64 `json:"converge_speedup"`
 	} `json:"warmstart,omitempty"`
+	Kernel *struct {
+		Workloads []kernelWorkload `json:"workloads"`
+	} `json:"kernel,omitempty"`
 	Loadtest *struct {
 		Schedule string `json:"schedule"`
 		Classes  []struct {
@@ -62,6 +69,21 @@ type report struct {
 	} `json:"experiments"`
 	TotalSecs float64 `json:"total_seconds"`
 }
+
+// kernelWorkload mirrors one entry of the report's kernel section
+// (pythia-bench -kernelbench).
+type kernelWorkload struct {
+	Workload           string  `json:"workload"`
+	BatchedInstrPerSec float64 `json:"batched_instr_per_sec"`
+	ShimInstrPerSec    float64 `json:"shim_instr_per_sec"`
+	Speedup            float64 `json:"speedup"`
+}
+
+// kernelDropPct is the tolerated drop in batched kernel throughput. The
+// kernel is the denominator of every experiment's wall time and both arms
+// run on the same machine in the same process, so the usual
+// noisy-runner slack does not apply; anything past 5% is flagged.
+const kernelDropPct = 5.0
 
 // minSeconds filters out experiments whose baseline time is pure noise
 // (config-table renders finish in microseconds; a ratio there is
@@ -163,6 +185,38 @@ func main() {
 		}
 		fmt.Printf("%-16s %10s %9s\n", "  converge instr",
 			fmt.Sprintf("warm %d", nw.WarmConvergeInstr), fmt.Sprintf("cold %d", nw.ColdConvergeInstr))
+	}
+
+	// Kernel-throughput trajectory: batched-over-shim speedup and the
+	// batched arm's absolute instructions/sec per workload. A drop in
+	// batched throughput past kernelDropPct is flagged (and fails under
+	// -strict like any other regression): pythia-bench interleaves
+	// best-of-N arms in one process, so the wide noise allowance wall
+	// times get does not apply here.
+	if nk := newRep.Kernel; nk != nil {
+		fmt.Printf("\n%-24s %12s %12s %8s %9s\n", "kernel batched instr/s", "old", "new", "delta", "speedup")
+		oldKW := map[string]kernelWorkload{}
+		if okr := oldRep.Kernel; okr != nil {
+			for _, kw := range okr.Workloads {
+				oldKW[kw.Workload] = kw
+			}
+		}
+		for _, kw := range nk.Workloads {
+			prev, seen := oldKW[kw.Workload]
+			if !seen || prev.BatchedInstrPerSec <= 0 {
+				fmt.Printf("%-24s %12s %12s %8s %8.2fx\n", kw.Workload, "-", humanRate(kw.BatchedInstrPerSec), "new", kw.Speedup)
+				continue
+			}
+			delta := (kw.BatchedInstrPerSec - prev.BatchedInstrPerSec) / prev.BatchedInstrPerSec * 100
+			mark := ""
+			if delta < -kernelDropPct {
+				mark = "  <-- regression"
+				regressions = append(regressions, fmt.Sprintf("kernel batched throughput on %s fell %.0f%% (%s -> %s instr/s)",
+					kw.Workload, -delta, humanRate(prev.BatchedInstrPerSec), humanRate(kw.BatchedInstrPerSec)))
+			}
+			fmt.Printf("%-24s %12s %12s %+7.1f%% %8.2fx%s\n", kw.Workload,
+				humanRate(prev.BatchedInstrPerSec), humanRate(kw.BatchedInstrPerSec), delta, kw.Speedup, mark)
+		}
 	}
 
 	// Serving-latency trajectory: when both reports carry a loadtest

@@ -7,13 +7,28 @@ package cache
 
 import "fmt"
 
-// line is one cache line's metadata.
+// tagValid marks a resident way in the packed tag array. Line addresses are
+// byte addresses shifted right by 6, so they always fit below bit 63 and the
+// valid bit can ride in the tag word itself: an 8-way set's hit scan compares
+// eight contiguous uint64s — a single 64-byte cache line — with no branches
+// on a separate valid flag.
+const tagValid = 1 << 63
+
+// lineMeta holds the per-line state that the hit scan does not need. Keeping
+// it in a parallel array keeps the scan's footprint to the tag words alone;
+// metadata is touched only on hits, fills, and evictions.
+type lineMeta struct {
+	dirty    bool
+	prefetch bool // filled by a prefetch and not yet demanded
+}
+
+// line is a reconstructed per-way view used by tests and debugging; the
+// cache itself stores columns (tags, meta), not an array of these.
 type line struct {
 	tag      uint64
 	valid    bool
 	dirty    bool
-	prefetch bool // filled by a prefetch and not yet demanded
-	pc       uint64
+	prefetch bool
 }
 
 // Replacement chooses victims and reacts to hits/fills. Implementations:
@@ -31,16 +46,31 @@ type Replacement interface {
 	Evict(set, way int, reused bool)
 }
 
-// Cache is a single set-associative cache level.
+// Cache is a single set-associative cache level. Storage is structure-of-
+// arrays: tags (with the valid bit packed in) separate from metadata, so the
+// dominant operation — the tag scan — reads one contiguous run of words.
 type Cache struct {
-	name  string
-	sets  int
-	ways  int
-	lines []line
-	repl  Replacement
+	// Hot fields first so the scan's working state (tag slice header, set
+	// mask, counters, fast replacement pointer) shares a cache line.
+	tags []uint64
+	sets int
+	ways int
+	// wayShift is log2(ways) when ways is a power of two (always, for the
+	// Table 5 geometries), letting rowBase compute set*ways as a shift off
+	// the probe's critical path; -1 selects the multiply fallback.
+	wayShift int
+	// lruFast devirtualizes the replacement policy when it is the built-in
+	// LRU (L1 and L2 always are): Access/Fill bump the stamp directly
+	// instead of paying an interface dispatch per hit. Behaviour is
+	// identical to calling repl.Hit/repl.Fill.
+	lruFast *lru
 
 	// Hits and Misses count demand lookups.
 	Hits, Misses int64
+
+	meta []lineMeta
+	repl Replacement
+	name string
 }
 
 // NewCache builds a cache of sizeKB with the given associativity and
@@ -50,13 +80,26 @@ func NewCache(name string, sizeKB, ways int, repl func(sets, ways int) Replaceme
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache %s: %dKB/%d-way yields non-power-of-two sets %d", name, sizeKB, ways, sets))
 	}
-	return &Cache{
-		name:  name,
-		sets:  sets,
-		ways:  ways,
-		lines: make([]line, sets*ways),
-		repl:  repl(sets, ways),
+	c := &Cache{
+		name:     name,
+		sets:     sets,
+		ways:     ways,
+		wayShift: -1,
+		tags:     make([]uint64, sets*ways),
+		meta:     make([]lineMeta, sets*ways),
+		repl:     repl(sets, ways),
 	}
+	if ways&(ways-1) == 0 {
+		for s := 0; 1<<s <= ways; s++ {
+			if 1<<s == ways {
+				c.wayShift = s
+			}
+		}
+	}
+	if p, ok := c.repl.(*lru); ok {
+		c.lruFast = p
+	}
+	return c
 }
 
 // Name returns the cache's name.
@@ -70,17 +113,29 @@ func (c *Cache) Ways() int { return c.ways }
 
 func (c *Cache) setOf(lineAddr uint64) int { return int(lineAddr & uint64(c.sets-1)) }
 
-func (c *Cache) at(set, way int) *line { return &c.lines[set*c.ways+way] }
+// rowBase returns the index of a set's first way in the tags/meta columns.
+func (c *Cache) rowBase(set int) int {
+	if c.wayShift >= 0 {
+		return set << uint(c.wayShift)
+	}
+	return set * c.ways
+}
+
+// at reconstructs one way's state (test hook).
+func (c *Cache) at(set, way int) line {
+	idx := set*c.ways + way
+	t, m := c.tags[idx], c.meta[idx]
+	return line{tag: t &^ tagValid, valid: t&tagValid != 0, dirty: m.dirty, prefetch: m.prefetch}
+}
 
 // Lookup probes for lineAddr without updating replacement state.
 // It returns the way and whether it hit.
 func (c *Cache) Lookup(lineAddr uint64) (way int, hit bool) {
-	set := c.setOf(lineAddr)
-	tag := lineAddr >> 1 // full tag minus nothing meaningful; keep whole address
-	_ = tag
-	for w := 0; w < c.ways; w++ {
-		l := c.at(set, w)
-		if l.valid && l.tag == lineAddr {
+	base := c.rowBase(c.setOf(lineAddr))
+	tags := c.tags[base : base+c.ways]
+	want := lineAddr | tagValid
+	for w := range tags {
+		if tags[w] == want {
 			return w, true
 		}
 	}
@@ -93,21 +148,35 @@ func (c *Cache) Lookup(lineAddr uint64) (way int, hit bool) {
 // is cleared so each prefetched line counts once.
 func (c *Cache) Access(lineAddr, pc uint64, store bool) (hit, wasPrefetch bool) {
 	set := c.setOf(lineAddr)
-	for w := 0; w < c.ways; w++ {
-		l := c.at(set, w)
-		if l.valid && l.tag == lineAddr {
-			c.Hits++
-			c.repl.Hit(set, w, pc)
-			wasPrefetch = l.prefetch
-			l.prefetch = false
-			if store {
-				l.dirty = true
-			}
-			return true, wasPrefetch
+	base := c.rowBase(set)
+	tags := c.tags[base : base+c.ways]
+	want := lineAddr | tagValid
+	way := -1
+	for w := range tags {
+		if tags[w] == want {
+			way = w
+			break
 		}
 	}
-	c.Misses++
-	return false, false
+	if way < 0 {
+		c.Misses++
+		return false, false
+	}
+	c.Hits++
+	idx := base + way
+	if p := c.lruFast; p != nil {
+		p.clock++
+		p.stamp[idx] = p.clock
+	} else {
+		c.repl.Hit(set, way, pc)
+	}
+	m := &c.meta[idx]
+	wasPrefetch = m.prefetch
+	m.prefetch = false
+	if store {
+		m.dirty = true
+	}
+	return true, wasPrefetch
 }
 
 // Evicted describes a line pushed out by a fill.
@@ -121,43 +190,53 @@ type Evicted struct {
 // only if a resident line was displaced.
 func (c *Cache) Fill(lineAddr, pc uint64, isPrefetch, dirty bool) Evicted {
 	set := c.setOf(lineAddr)
-	// Already present (e.g. a racing fill): refresh and return.
-	for w := 0; w < c.ways; w++ {
-		l := c.at(set, w)
-		if l.valid && l.tag == lineAddr {
+	base := c.rowBase(set)
+	tags := c.tags[base : base+c.ways]
+	want := lineAddr | tagValid
+	// One pass finds both a resident copy (e.g. a racing fill: refresh and
+	// return) and the first invalid way.
+	way := -1
+	for w := range tags {
+		t := tags[w]
+		if t == want {
 			if dirty {
-				l.dirty = true
+				c.meta[base+w].dirty = true
 			}
 			return Evicted{}
 		}
-	}
-	way := -1
-	for w := 0; w < c.ways; w++ {
-		if !c.at(set, w).valid {
+		if t&tagValid == 0 && way < 0 {
 			way = w
-			break
 		}
 	}
 	var out Evicted
 	if way < 0 {
 		way = c.repl.Victim(set)
-		v := c.at(set, way)
-		out = Evicted{Line: v.tag, Dirty: v.dirty, Valid: true}
-		c.repl.Evict(set, way, !v.prefetch) // untouched prefetch counts as dead on arrival
+		idx := base + way
+		m := c.meta[idx]
+		out = Evicted{Line: c.tags[idx] &^ tagValid, Dirty: m.dirty, Valid: true}
+		c.repl.Evict(set, way, !m.prefetch) // untouched prefetch counts as dead on arrival
 	}
-	*c.at(set, way) = line{tag: lineAddr, valid: true, dirty: dirty, prefetch: isPrefetch, pc: pc}
-	c.repl.Fill(set, way, pc, isPrefetch)
+	idx := base + way
+	c.tags[idx] = want
+	c.meta[idx] = lineMeta{dirty: dirty, prefetch: isPrefetch}
+	if p := c.lruFast; p != nil {
+		p.clock++
+		p.stamp[idx] = p.clock
+	} else {
+		c.repl.Fill(set, way, pc, isPrefetch)
+	}
 	return out
 }
 
 // Invalidate removes lineAddr if present and returns whether it was dirty.
 func (c *Cache) Invalidate(lineAddr uint64) (present, dirty bool) {
-	set := c.setOf(lineAddr)
-	for w := 0; w < c.ways; w++ {
-		l := c.at(set, w)
-		if l.valid && l.tag == lineAddr {
-			l.valid = false
-			return true, l.dirty
+	base := c.rowBase(c.setOf(lineAddr))
+	tags := c.tags[base : base+c.ways]
+	want := lineAddr | tagValid
+	for w := range tags {
+		if tags[w] == want {
+			c.tags[base+w] = 0
+			return true, c.meta[base+w].dirty
 		}
 	}
 	return false, false
@@ -191,10 +270,12 @@ func (p *lru) Fill(set, way int, pc uint64, prefetch bool) { p.touch(set, way) }
 
 // Victim implements Replacement.
 func (p *lru) Victim(set int) int {
-	best, bestStamp := 0, int64(1<<62)
-	for w := 0; w < p.ways; w++ {
-		if s := p.stamp[set*p.ways+w]; s < bestStamp {
-			best, bestStamp = w, s
+	base := set * p.ways
+	st := p.stamp[base : base+p.ways]
+	best, bestStamp := 0, st[0]
+	for w := 1; w < len(st); w++ {
+		if st[w] < bestStamp {
+			best, bestStamp = w, st[w]
 		}
 	}
 	return best

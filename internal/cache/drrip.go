@@ -81,17 +81,20 @@ func (d *drrip) Fill(set, way int, pc uint64, prefetch bool) {
 
 // Victim implements Replacement.
 func (d *drrip) Victim(set int) int {
-	base := set * d.ways
-	for {
-		for w := 0; w < d.ways; w++ {
-			if d.rrpv[base+w] >= drripMaxRRPV {
-				return w
-			}
-		}
-		for w := 0; w < d.ways; w++ {
-			d.rrpv[base+w]++
+	// Closed form of the rescan-and-age reference loop; see ship.Victim.
+	rr := d.rrpv[set*d.ways : set*d.ways+d.ways]
+	victim, maxR := 0, rr[0]
+	for w := 1; w < len(rr); w++ {
+		if r := rr[w]; r > maxR {
+			victim, maxR = w, r
 		}
 	}
+	if age := drripMaxRRPV - maxR; age > 0 {
+		for w := range rr {
+			rr[w] += age
+		}
+	}
+	return victim
 }
 
 // Evict implements Replacement.

@@ -1,7 +1,6 @@
 package cache
 
 import (
-	"container/heap"
 	"fmt"
 
 	"pythia/internal/dram"
@@ -130,35 +129,93 @@ type missEntry struct {
 	pc       uint64
 	store    bool
 	demanded bool // a demand merged while in flight
-	heapIdx  int
 }
 
-type missHeap []*missEntry
+// heapNode pairs an entry with a copy of its completion cycle. complete is
+// immutable once an entry is in flight (merges only flip demanded/store),
+// so caching it in the node keeps the sift comparisons on contiguous memory
+// instead of chasing a pointer per compare.
+type heapNode struct {
+	complete int64
+	e        *missEntry
+}
 
-func (h missHeap) Len() int            { return len(h) }
-func (h missHeap) Less(i, j int) bool  { return h[i].complete < h[j].complete }
-func (h missHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].heapIdx = i; h[j].heapIdx = j }
-func (h *missHeap) Push(x interface{}) { e := x.(*missEntry); e.heapIdx = len(*h); *h = append(*h, e) }
-func (h *missHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+// missHeap is a binary min-heap on complete. The sift loops replicate
+// container/heap's algorithm exactly — same comparisons, same swap choices
+// — so the pop order of equal-complete entries (which feeds replacement
+// state through fill order) is unchanged from when this was driven through
+// heap.Push/heap.Pop; the concrete methods just drop the interface
+// dispatch and per-op allocation of the boxed API.
+type missHeap []heapNode
+
+func (h *missHeap) pushEntry(e *missEntry) {
+	s := append(*h, heapNode{e.complete, e})
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if s[j].complete >= s[i].complete {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+	*h = s
+}
+
+func (h *missHeap) popEntry() *missEntry {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && s[j2].complete < s[j].complete {
+			j = j2
+		}
+		if s[j].complete >= s[i].complete {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	e := s[n].e
+	s[n] = heapNode{}
+	*h = s[:n]
 	return e
 }
 
 type corePipes struct {
+	// Ordered so the per-access working set (L1 pointer, pending peek,
+	// mmu/l1pf nil checks, leading stats counters) packs into the first
+	// cache lines of the struct.
 	l1, l2      *Cache
-	l2pf        prefetch.Prefetcher
-	l1pf        prefetch.Prefetcher
-	mmu         *xlat.MMU
-	outstanding map[uint64]*missEntry
 	pending     missHeap
-	demandOut   int // outstanding demand misses
-	pfOut       int // outstanding prefetch misses
+	mmu         *xlat.MMU
+	l1pf        prefetch.Prefetcher
 	stats       CoreStats
+	l2pf        prefetch.Prefetcher
+	outstanding *missTable
+	free        []*missEntry // retired entries recycled by newEntry
+	demandOut   int          // outstanding demand misses
+	pfOut       int          // outstanding prefetch misses
 }
+
+// newEntry takes an entry from the free pool, or allocates one. Occupancy
+// is bounded by MSHRs+PrefetchBudget, so the pool stays small and steady
+// state allocates nothing.
+func (cp *corePipes) newEntry() *missEntry {
+	if n := len(cp.free); n > 0 {
+		e := cp.free[n-1]
+		cp.free = cp.free[:n-1]
+		return e
+	}
+	return &missEntry{}
+}
+
+func (cp *corePipes) recycle(e *missEntry) { cp.free = append(cp.free, e) }
 
 // Hierarchy is the full memory system below the cores: per-core L1D and L2,
 // a shared LLC, prefetchers at the L2 (and optionally L1), and DRAM.
@@ -193,7 +250,7 @@ func NewHierarchy(cfg Config) (*Hierarchy, error) {
 			l1:          NewCache(fmt.Sprintf("L1D%d", i), cfg.L1SizeKB, cfg.L1Ways, NewLRU),
 			l2:          NewCache(fmt.Sprintf("L2_%d", i), cfg.L2SizeKB, cfg.L2Ways, NewLRU),
 			l2pf:        prefetch.None{},
-			outstanding: make(map[uint64]*missEntry),
+			outstanding: newMissTable(cfg.MSHRs + cfg.PrefetchBudget),
 		}
 		if cfg.Translate {
 			h.cores[i].mmu = xlat.NewMMU(uint64(i) + 1)
@@ -243,16 +300,17 @@ func (h *Hierarchy) ResetStats() {
 func (h *Hierarchy) drain(core int, cycle int64) {
 	cp := &h.cores[core]
 	for len(cp.pending) > 0 && cp.pending[0].complete <= cycle {
-		e := heap.Pop(&cp.pending).(*missEntry)
+		e := cp.pending.popEntry()
 		h.remove(core, e)
 		h.finishMiss(core, e)
+		cp.recycle(e)
 	}
 }
 
 // remove drops an entry from the outstanding bookkeeping.
 func (h *Hierarchy) remove(core int, e *missEntry) {
 	cp := &h.cores[core]
-	delete(cp.outstanding, e.line)
+	cp.outstanding.del(e.line)
 	if e.prefetch {
 		cp.pfOut--
 	} else {
@@ -294,7 +352,9 @@ func (h *Hierarchy) fillL2(core int, lineAddr, pc uint64, pfBit, dirty bool) {
 // traffic.
 func (h *Hierarchy) Access(core int, pc, addr uint64, store bool, cycle int64) int64 {
 	cp := &h.cores[core]
-	h.drain(core, cycle)
+	if len(cp.pending) > 0 && cp.pending[0].complete <= cycle {
+		h.drain(core, cycle)
+	}
 	if cp.mmu != nil {
 		addr = cp.mmu.Translate(addr)
 	}
@@ -304,8 +364,40 @@ func (h *Hierarchy) Access(core int, pc, addr uint64, store bool, cycle int64) i
 		cp.stats.Loads++
 	}
 
-	// Optional L1 prefetcher trains on every L1 access.
-	l1Hit, l1WasPf := cp.l1.Access(lineAddr, pc, store)
+	// Optional L1 prefetcher trains on every L1 access. The L1 probe is
+	// cache.Access hand-inlined (same package): one call boundary per
+	// record matters at this loop's rate, and the L1 always runs the
+	// devirtualized LRU. Behaviour is identical to cp.l1.Access.
+	l1 := cp.l1
+	l1Hit, l1WasPf := false, false
+	{
+		base := int(lineAddr&uint64(l1.sets-1)) * l1.ways
+		tags := l1.tags[base : base+l1.ways]
+		want := lineAddr | tagValid
+		for w := range tags {
+			if tags[w] == want {
+				l1.Hits++
+				idx := base + w
+				if p := l1.lruFast; p != nil {
+					p.clock++
+					p.stamp[idx] = p.clock
+				} else {
+					l1.repl.Hit(base/l1.ways, w, pc)
+				}
+				m := &l1.meta[idx]
+				l1WasPf = m.prefetch
+				m.prefetch = false
+				if store {
+					m.dirty = true
+				}
+				l1Hit = true
+				break
+			}
+		}
+		if !l1Hit {
+			l1.Misses++
+		}
+	}
 	if cp.l1pf != nil {
 		for _, cand := range cp.l1pf.Train(prefetch.Access{
 			PC: pc, Line: lineAddr, Cycle: cycle, Hit: l1Hit, Store: store,
@@ -321,13 +413,24 @@ func (h *Hierarchy) Access(core int, pc, addr uint64, store bool, cycle int64) i
 	arr := cycle + h.cfg.L1Latency
 
 	// The L2 prefetcher observes every L1 miss (paper methodology §5.2).
-	_, l2Probe := cp.l2.Lookup(lineAddr)
-	_, inFlight := cp.outstanding[lineAddr]
+	// The outstanding entry (if any) doubles as demandLookup's merge target,
+	// saving a second table probe of the same key; likewise the L2 demand
+	// access happens here, once, and its result feeds both the training
+	// hit signal and demandLookup. A line with an in-flight miss cannot be
+	// L2-resident (it missed L2 to go outstanding, and nothing fills it
+	// until the miss completes), so skipping the L2 access on a merge
+	// leaves L2 stats and replacement state exactly as the
+	// probe-then-access sequence did.
+	inFlight := cp.outstanding.get(lineAddr)
+	var l2Hit, l2WasPf bool
+	if inFlight == nil {
+		l2Hit, l2WasPf = cp.l2.Access(lineAddr, pc, store)
+	}
 	cands := cp.l2pf.Train(prefetch.Access{
-		PC: pc, Line: lineAddr, Cycle: cycle, Hit: l2Probe || inFlight, Store: store,
+		PC: pc, Line: lineAddr, Cycle: cycle, Hit: l2Hit || inFlight != nil, Store: store,
 	})
 
-	done := h.demandLookup(core, pc, lineAddr, store, arr)
+	done := h.demandLookup(core, pc, lineAddr, store, arr, inFlight, l2Hit, l2WasPf)
 
 	for _, cand := range cands {
 		h.issuePrefetch(core, pc, cand, cycle, false)
@@ -336,11 +439,14 @@ func (h *Hierarchy) Access(core int, pc, addr uint64, store bool, cycle int64) i
 }
 
 // demandLookup resolves a demand L1 miss through L2, LLC and DRAM.
-func (h *Hierarchy) demandLookup(core int, pc, lineAddr uint64, store bool, arr int64) int64 {
+// inFlight is the line's outstanding entry, nil if none; l2Hit/l2WasPf are
+// the result of the single L2 demand access the caller already performed
+// (meaningful only when inFlight is nil).
+func (h *Hierarchy) demandLookup(core int, pc, lineAddr uint64, store bool, arr int64, inFlight *missEntry, l2Hit, l2WasPf bool) int64 {
 	cp := &h.cores[core]
 
 	// Merge with an in-flight miss.
-	if e, ok := cp.outstanding[lineAddr]; ok {
+	if e := inFlight; e != nil {
 		if e.prefetch && !e.demanded {
 			cp.stats.PfLate++
 			cp.stats.PfUseful++
@@ -358,8 +464,8 @@ func (h *Hierarchy) demandLookup(core int, pc, lineAddr uint64, store bool, arr 
 		return arr
 	}
 
-	if hit, wasPf := cp.l2.Access(lineAddr, pc, store); hit {
-		if wasPf {
+	if l2Hit {
+		if l2WasPf {
 			cp.stats.PfUseful++
 		}
 		cp.l1.Fill(lineAddr, pc, false, store)
@@ -384,19 +490,21 @@ func (h *Hierarchy) demandLookup(core int, pc, lineAddr uint64, store bool, arr 
 	// Miss to DRAM: take a demand MSHR, stalling until one frees if needed.
 	issueAt := arrLLC + h.cfg.LLCLatency
 	for cp.demandOut >= h.cfg.MSHRs {
-		e := heap.Pop(&cp.pending).(*missEntry)
+		e := cp.pending.popEntry()
 		h.remove(core, e)
 		h.finishMiss(core, e)
 		if e.complete > issueAt {
 			issueAt = e.complete
 		}
+		cp.recycle(e)
 	}
 	cp.stats.DRAMReads++
 	done := h.dram.Read(lineAddr, issueAt)
-	e := &missEntry{line: lineAddr, complete: done, pc: pc, store: store}
-	cp.outstanding[lineAddr] = e
+	e := cp.newEntry()
+	*e = missEntry{line: lineAddr, complete: done, pc: pc, store: store}
+	cp.outstanding.put(lineAddr, e)
 	cp.demandOut++
-	heap.Push(&cp.pending, e)
+	cp.pending.pushEntry(e)
 	return done
 }
 
@@ -406,7 +514,7 @@ func (h *Hierarchy) demandLookup(core int, pc, lineAddr uint64, store bool, arr 
 // fills, which the 4-cycle L1 latency makes near-equivalent.
 func (h *Hierarchy) issuePrefetch(core int, pc, lineAddr uint64, cycle int64, fillL1 bool) {
 	cp := &h.cores[core]
-	if _, ok := cp.outstanding[lineAddr]; ok {
+	if cp.outstanding.get(lineAddr) != nil {
 		cp.stats.PfDropped++
 		return
 	}
@@ -439,10 +547,11 @@ func (h *Hierarchy) issuePrefetch(core int, pc, lineAddr uint64, cycle int64, fi
 	cp.stats.DRAMReads++
 	issueAt := cycle + h.cfg.L2Latency + h.cfg.LLCLatency
 	done := h.dram.Read(lineAddr, issueAt)
-	e := &missEntry{line: lineAddr, complete: done, prefetch: true, pc: pc}
-	cp.outstanding[lineAddr] = e
+	e := cp.newEntry()
+	*e = missEntry{line: lineAddr, complete: done, prefetch: true, pc: pc}
+	cp.outstanding.put(lineAddr, e)
 	cp.pfOut++
-	heap.Push(&cp.pending, e)
+	cp.pending.pushEntry(e)
 	_ = fillL1
 }
 

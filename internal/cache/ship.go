@@ -76,19 +76,26 @@ func (s *ship) Fill(set, way int, pc uint64, prefetch bool) {
 	}
 }
 
-// Victim implements Replacement.
+// Victim implements Replacement. The reference algorithm rescans the set,
+// aging every line by one, until some way reaches max RRPV; that selects
+// the lowest-indexed way with the maximal RRPV and ages everyone by
+// (max - maxRRPV) rounds. The closed form below computes exactly that in a
+// single scan plus one conditional aging pass.
 func (s *ship) Victim(set int) int {
 	base := set * s.ways
-	for {
-		for w := 0; w < s.ways; w++ {
-			if s.lines[base+w].rrpv >= shipMaxRRPV {
-				return w
-			}
-		}
-		for w := 0; w < s.ways; w++ {
-			s.lines[base+w].rrpv++
+	ls := s.lines[base : base+s.ways]
+	victim, maxR := 0, ls[0].rrpv
+	for w := 1; w < len(ls); w++ {
+		if r := ls[w].rrpv; r > maxR {
+			victim, maxR = w, r
 		}
 	}
+	if age := shipMaxRRPV - maxR; age > 0 {
+		for w := range ls {
+			ls[w].rrpv += age
+		}
+	}
+	return victim
 }
 
 // Evict implements Replacement.

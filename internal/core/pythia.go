@@ -130,15 +130,19 @@ func (p *Pythia) Train(a prefetch.Access) []uint64 {
 	sig := &p.sigRS
 	p.qv.ResolveState(&st, sig)
 
-	// (3) ε-greedy action selection.
+	// (3) ε-greedy action selection. An exploit-path scan leaves every
+	// action's Q-value for sig's rows in the store's scan buffer; step (6)
+	// reuses it when the SARSA target needs those same rows.
 	var action int
 	var q float64
+	scanned := false
 	if p.rng.Float64() <= p.cfg.Epsilon {
 		action = p.rng.Intn(len(p.cfg.Actions))
 		q = p.qv.QResolved(sig, action)
 		p.stats.Explored++
 	} else {
 		action, q = p.qv.ArgmaxQResolved(sig)
+		scanned = true
 	}
 	p.stats.ActionCounts[action]++
 	offset := p.cfg.Actions[action]
@@ -195,7 +199,18 @@ func (p *Pythia) Train(a prefetch.Access) []uint64 {
 			}
 		}
 		if sig2, a2, ok := p.eq.HeadResolved(); ok {
-			p.qv.UpdateResolved(evicted.rs, evicted.Action, reward, sig2, a2, p.cfg.Alpha, p.cfg.Gamma)
+			if scanned && SameRows(sig2, sig) {
+				// S2 resolves to the rows the action-selection scan just
+				// walked, and no update has run since, so the target's
+				// Q(S2, A2) comes off the scan buffer bitwise (ScanQ)
+				// instead of re-walking the tables. On repetitive demand
+				// streams — a striding PC re-observing the same state —
+				// this folds most SARSA targets into the selection scan.
+				target := reward + p.cfg.Gamma*p.qv.ScanQ(a2)
+				p.qv.UpdateResolvedTarget(evicted.rs, evicted.Action, target, p.cfg.Alpha)
+			} else {
+				p.qv.UpdateResolved(evicted.rs, evicted.Action, reward, sig2, a2, p.cfg.Alpha, p.cfg.Gamma)
+			}
 			p.stats.QUpdates++
 			if p.watch != nil {
 				p.watch.observe(p.qv, evicted.Sig)

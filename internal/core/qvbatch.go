@@ -1,0 +1,111 @@
+package core
+
+// Batch faces of the QVStore search, used over windows of in-flight
+// demands. Demand streams are heavily repetitive — consecutive demands
+// from a striding PC resolve to the same (vault, plane) rows — so a batch
+// scan can reuse the plane-row loads of the previous element instead of
+// re-walking the tables. Every reuse below is bit-exact, not approximate:
+// a reused result is returned only when the resolved row offsets are
+// identical, in which case the fresh scan would have loaded exactly the
+// same table entries in the same order (qvbatch_test.go pins this against
+// the one-at-a-time path).
+
+// equalVals reports whether two raw signatures carry identical per-vault
+// feature values.
+func equalVals(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if b[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// SameRows reports whether two resolved signatures index exactly the same
+// plane rows — the condition under which one signature's scan results are
+// bitwise valid for the other.
+func SameRows(a, b *ResolvedSig) bool {
+	if len(a.offs) != len(b.offs) {
+		return false
+	}
+	for i, o := range a.offs {
+		if b.offs[i] != o {
+			return false
+		}
+	}
+	return true
+}
+
+// ResolveStateBatch resolves a window of states into out (len(out) must be
+// at least len(sts); entries come from NewResolvedSig for reuse). A state
+// whose raw feature values match the previous element's copies its row
+// offsets instead of re-hashing every (vault, plane) pair, so a run of
+// same-state demands costs one resolution.
+func (s *QVStore) ResolveStateBatch(sts []State, out []ResolvedSig) {
+	for i := range sts {
+		r := &out[i]
+		r.vals = r.vals[:0]
+		for vi := range s.vaults {
+			r.vals = append(r.vals, s.vaults[vi].feature.Value(&sts[i]))
+		}
+		if i > 0 && equalVals(r.vals, out[i-1].vals) {
+			r.offs = append(r.offs[:0], out[i-1].offs...)
+			continue
+		}
+		r.offs = r.offs[:0]
+		for vi := range s.vaults {
+			v := &s.vaults[vi]
+			for p, shift := range v.shifts {
+				r.offs = append(r.offs, s.rowBase(shift, p, r.vals[vi]))
+			}
+		}
+	}
+}
+
+// ArgmaxQBatch runs the pipelined search over a window of resolved
+// signatures, writing the best action and its Q-value per element
+// (actions and qs must be at least len(rs) long). Adjacent elements that
+// resolve to the same plane rows carry the previous result over without
+// touching the tables. The batch must not interleave with updates: a
+// carried-over result reflects the tables as of its first scan.
+func (s *QVStore) ArgmaxQBatch(rs []ResolvedSig, actions []int, qs []float64) {
+	for i := range rs {
+		if i > 0 && SameRows(&rs[i], &rs[i-1]) {
+			actions[i], qs[i] = actions[i-1], qs[i-1]
+			continue
+		}
+		actions[i], qs[i] = s.ArgmaxQResolved(&rs[i])
+	}
+}
+
+// ScanQ returns the Q-value of an action as computed by the most recent
+// ArgmaxQResolved scan, without touching the tables. It equals
+// QResolved(r, action) bitwise for any signature r that resolves to the
+// same rows as the scanned one (SameRows) — the scan accumulates each
+// action's value in exactly QResolved's order, and the max buffer holds
+// all of them, not just the winner's. Valid only while no update has run
+// since the scan; Pythia.Train uses it to fold the SARSA target's
+// Q(S2, A2) lookup into the action-selection scan it just performed.
+func (s *QVStore) ScanQ(action int) float64 { return s.maxbuf[action] }
+
+// UpdateResolvedTarget applies the SARSA step toward an already-computed
+// target value: UpdateResolved with the Q(S2, A2) lookup factored out, for
+// callers that can supply it from a prior scan (ScanQ).
+func (s *QVStore) UpdateResolvedTarget(r1 *ResolvedSig, a1 int, target, alpha float64) {
+	for vi := range s.vaults {
+		data := s.vaults[vi].data
+		base := vi * s.numPlanes
+		var qOld float64
+		for p := 0; p < s.numPlanes; p++ {
+			qOld += data[int(r1.offs[base+p])+a1]
+		}
+		adj := alpha * (target - qOld) / float64(s.numPlanes)
+		for p := 0; p < s.numPlanes; p++ {
+			idx := int(r1.offs[base+p]) + a1
+			data[idx] = s.quantize(data[idx] + adj)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randState returns a plausible tracker state; adjacent duplicates are
+// common in real demand streams, so the batch tests inject them.
+func randState(rng *rand.Rand) State {
+	return State{
+		PC:     uint64(rng.Intn(64) * 4),
+		Delta:  rng.Intn(17) - 8,
+		Offset: rng.Intn(64),
+		PCPath: rng.Uint64() & 0xffff,
+	}
+}
+
+// churn applies a stream of random updates so tables hold non-trivial
+// values.
+func churn(qv *QVStore, rng *rand.Rand, n int) {
+	prev := qv.Signature(&State{PC: 4})
+	prevA := 0
+	for i := 0; i < n; i++ {
+		st := randState(rng)
+		sig := qv.Signature(&st)
+		a := rng.Intn(16)
+		qv.Update(sig, a, float64(rng.Intn(35)-14), prev, prevA, 0.1, 0.556)
+		prev, prevA = sig, a
+	}
+}
+
+func TestResolveStateBatchMatchesSingle(t *testing.T) {
+	qv := testStore()
+	rng := rand.New(rand.NewSource(1))
+	sts := make([]State, 64)
+	for i := range sts {
+		if i > 0 && rng.Intn(3) == 0 {
+			sts[i] = sts[i-1] // adjacent duplicate: exercises the offs reuse
+		} else {
+			sts[i] = randState(rng)
+		}
+	}
+	out := make([]ResolvedSig, len(sts))
+	for i := range out {
+		out[i] = qv.NewResolvedSig()
+	}
+	qv.ResolveStateBatch(sts, out)
+
+	single := qv.NewResolvedSig()
+	for i := range sts {
+		qv.ResolveState(&sts[i], &single)
+		if !equalVals(out[i].vals, single.vals) {
+			t.Fatalf("state %d: batch vals %v, single %v", i, out[i].vals, single.vals)
+		}
+		if !SameRows(&out[i], &single) {
+			t.Fatalf("state %d: batch offs %v, single %v", i, out[i].offs, single.offs)
+		}
+	}
+}
+
+func TestArgmaxQBatchMatchesSingle(t *testing.T) {
+	qv := testStore()
+	rng := rand.New(rand.NewSource(2))
+	churn(qv, rng, 2000)
+
+	sts := make([]State, 48)
+	for i := range sts {
+		if i > 0 && rng.Intn(3) == 0 {
+			sts[i] = sts[i-1]
+		} else {
+			sts[i] = randState(rng)
+		}
+	}
+	rs := make([]ResolvedSig, len(sts))
+	for i := range rs {
+		rs[i] = qv.NewResolvedSig()
+	}
+	qv.ResolveStateBatch(sts, rs)
+
+	actions := make([]int, len(rs))
+	qs := make([]float64, len(rs))
+	qv.ArgmaxQBatch(rs, actions, qs)
+	for i := range rs {
+		wantA, wantQ := qv.ArgmaxQResolved(&rs[i])
+		if actions[i] != wantA || math.Float64bits(qs[i]) != math.Float64bits(wantQ) {
+			t.Fatalf("element %d: batch (%d, %v), single (%d, %v)", i, actions[i], qs[i], wantA, wantQ)
+		}
+	}
+}
+
+// TestScanQMatchesQResolved pins the invariant Pythia.Train leans on: the
+// scan buffer left behind by ArgmaxQResolved holds every action's
+// Q-value, bitwise equal to a fresh QResolved on the same rows.
+func TestScanQMatchesQResolved(t *testing.T) {
+	for _, quant := range []float64{0, 1.0 / 256} {
+		qv := testStore()
+		qv.SetQuantization(quant)
+		rng := rand.New(rand.NewSource(3))
+		churn(qv, rng, 2000)
+		rs := qv.NewResolvedSig()
+		for i := 0; i < 200; i++ {
+			st := randState(rng)
+			qv.ResolveState(&st, &rs)
+			qv.ArgmaxQResolved(&rs)
+			for a := 0; a < 16; a++ {
+				if got, want := qv.ScanQ(a), qv.QResolved(&rs, a); math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("state %d action %d: ScanQ %v, QResolved %v", i, a, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestUpdateResolvedTargetMatchesUpdateResolved drives two stores through
+// the same update stream — one through UpdateResolved, one through an
+// explicit target plus UpdateResolvedTarget — and requires bitwise equal
+// tables throughout.
+func TestUpdateResolvedTargetMatchesUpdateResolved(t *testing.T) {
+	a, b := testStore(), testStore()
+	rng := rand.New(rand.NewSource(4))
+	ra1, ra2 := a.NewResolvedSig(), a.NewResolvedSig()
+	rb1, rb2 := b.NewResolvedSig(), b.NewResolvedSig()
+	prev := randState(rng)
+	for i := 0; i < 1000; i++ {
+		st := randState(rng)
+		act, nextAct := rng.Intn(16), rng.Intn(16)
+		reward := float64(rng.Intn(35) - 14)
+
+		a.ResolveState(&st, &ra1)
+		a.ResolveState(&prev, &ra2)
+		a.UpdateResolved(&ra1, act, reward, &ra2, nextAct, 0.1, 0.556)
+
+		b.ResolveState(&st, &rb1)
+		b.ResolveState(&prev, &rb2)
+		b.UpdateResolvedTarget(&rb1, act, reward+0.556*b.QResolved(&rb2, nextAct), 0.1)
+
+		prev = st
+	}
+	for vi := range a.vaults {
+		for j, v := range a.vaults[vi].data {
+			if math.Float64bits(v) != math.Float64bits(b.vaults[vi].data[j]) {
+				t.Fatalf("vault %d entry %d: UpdateResolved %v, UpdateResolvedTarget %v",
+					vi, j, v, b.vaults[vi].data[j])
+			}
+		}
+	}
+}

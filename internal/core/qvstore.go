@@ -19,6 +19,14 @@ package core
 // live in one flat plane-major table for cache locality. PERF.md describes
 // the design and its measured effect.
 
+// padCap rounds a scratch buffer's element count up so its allocation
+// fills whole 64-byte cache lines. Each simulated core runs its own agent,
+// and harness.RunAll runs many concurrently; Go places allocations whose
+// size class is a multiple of 64 on line boundaries, so padded scratch
+// buffers from different cores never share a cache line (no false
+// sharing). Slice lengths are unchanged — only capacity is padded.
+func padCap(n, elemSize int) int { return ((n*elemSize + 63) &^ 63) / elemSize }
+
 // qvMix is a 64-bit finalizer (splitmix64-style) used to hash feature
 // values into plane indices.
 func qvMix(x uint64) uint64 {
@@ -78,8 +86,8 @@ func NewQVStore(features []Feature, featureDim, numActions, numPlanes int, initQ
 		initQ:      initQ,
 		mask:       uint64(featureDim - 1),
 		planeSize:  featureDim * numActions,
-		vbuf:       make([]float64, numActions),
-		maxbuf:     make([]float64, numActions),
+		vbuf:       make([]float64, numActions, padCap(numActions, 8)),
+		maxbuf:     make([]float64, numActions, padCap(numActions, 8)),
 	}
 	perPlane := initQ / float64(numPlanes)
 	for vi, f := range features {
@@ -154,8 +162,8 @@ func (r *ResolvedSig) copyFrom(vals []uint64, offs []int32) {
 // ResolveState / ResolveSig.
 func (s *QVStore) NewResolvedSig() ResolvedSig {
 	return ResolvedSig{
-		vals: make([]uint64, len(s.vaults)),
-		offs: make([]int32, len(s.vaults)*s.numPlanes),
+		vals: make([]uint64, len(s.vaults), padCap(len(s.vaults), 8)),
+		offs: make([]int32, len(s.vaults)*s.numPlanes, padCap(len(s.vaults)*s.numPlanes, 4)),
 	}
 }
 
@@ -268,20 +276,7 @@ func (s *QVStore) ArgmaxQResolved(r *ResolvedSig) (action int, q float64) {
 // per-vault sum moves by the full α-scaled TD error. Both signatures must
 // carry resolved offsets.
 func (s *QVStore) UpdateResolved(r1 *ResolvedSig, a1 int, reward float64, r2 *ResolvedSig, a2 int, alpha, gamma float64) {
-	target := reward + gamma*s.QResolved(r2, a2)
-	for vi := range s.vaults {
-		data := s.vaults[vi].data
-		base := vi * s.numPlanes
-		var qOld float64
-		for p := 0; p < s.numPlanes; p++ {
-			qOld += data[int(r1.offs[base+p])+a1]
-		}
-		adj := alpha * (target - qOld) / float64(s.numPlanes)
-		for p := 0; p < s.numPlanes; p++ {
-			idx := int(r1.offs[base+p]) + a1
-			data[idx] = s.quantize(data[idx] + adj)
-		}
-	}
+	s.UpdateResolvedTarget(r1, a1, reward+gamma*s.QResolved(r2, a2), alpha)
 }
 
 // Q returns the state-action value for a raw signature (Eqn. 3). It

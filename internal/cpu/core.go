@@ -3,12 +3,21 @@
 // 4-wide out-of-order cores with a 256-entry ROB and 72-entry load queue,
 // per-workload warmup then measurement, and trace replay for cores that
 // finish early in multi-programmed runs.
+//
+// The hot loop is batched: cores consume records as column chunks
+// (trace.Chunk) through the trace.ChunkReader fast path and fuse a whole
+// batch per driver step (stepChunk), keeping clock and retirement state
+// in registers instead of paying an interface call per record. The
+// record-at-a-time path survives as a compatibility shim (shim.go) whose
+// results the batched kernel must match bit for bit — batch_test.go pins
+// that across chunk-boundary edge cases, replays and multi-core runs.
 package cpu
 
 import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 
 	"pythia/internal/cache"
 	"pythia/internal/trace"
@@ -32,18 +41,57 @@ type inflightLoad struct {
 	complete int64
 }
 
+// loadRing is a fixed-capacity FIFO of in-flight loads. The LQ limit
+// guarantees occupancy never exceeds cfg.LQ, so the buffer is sized once
+// at LQ entries and never grows; head pops are O(1) index moves. (The
+// previous []inflightLoad head-pop reslice pinned the backing array and
+// re-grew it on every wrap of the append cursor.)
+type loadRing struct {
+	buf  []inflightLoad
+	head int
+	n    int
+}
+
+func newLoadRing(capacity int) loadRing { return loadRing{buf: make([]inflightLoad, capacity)} }
+
+// front returns the oldest in-flight load; valid only when n > 0.
+func (r *loadRing) front() inflightLoad { return r.buf[r.head] }
+
+func (r *loadRing) pop() {
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+}
+
+func (r *loadRing) push(v inflightLoad) {
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = v
+	r.n++
+}
+
 // Core executes one trace stream against the shared hierarchy.
 type Core struct {
 	id     int
 	cfg    CoreConfig
-	reader trace.Reader
+	reader trace.Reader      // the caller's reader: Close target, shim path
+	cr     trace.ChunkReader // batched fast path (reader itself, or an adapter)
 	hier   *cache.Hierarchy
 
 	cycle    int64
 	instret  int64
-	issueRem int            // leftover issue slots in the current cycle
-	inflight []inflightLoad // FIFO of outstanding loads
+	records  int64
+	issueRem int      // leftover issue slots in the current cycle
+	inflight loadRing // FIFO of outstanding loads, capacity LQ
 	replays  int
+
+	// cur/pos is the column batch being consumed by the fused kernel.
+	cur trace.Chunk
+	pos int
 
 	// measurement window
 	measuring    bool
@@ -95,6 +143,11 @@ func (c *Core) Replays() int { return c.replays }
 // (simulated-instructions/sec) are computed from this.
 func (c *Core) Retired() int64 { return c.instret }
 
+// Records returns the total trace records the core has consumed, warmup
+// and replays included; with Retired it gives the kernel microbenches
+// both records/sec and instructions/sec.
+func (c *Core) Records() int64 { return c.records }
+
 // readerErr surfaces a delivery failure from readers that can fail
 // mid-stream (streaming readers implement Err, per stream.Reader); plain
 // in-memory readers cannot fail and report nil.
@@ -105,76 +158,150 @@ func readerErr(r trace.Reader) error {
 	return nil
 }
 
-// step consumes one trace record, advancing the core's local clock. A
-// reader that stops delivering because of an error (not EOF) aborts the
-// step: the record sequence can no longer be trusted, so the simulation
-// must fail rather than silently truncate or replay early.
-func (c *Core) step() error {
-	rec, ok := c.reader.Next()
+// nextBatch pulls the next column batch from the fast-path reader,
+// replaying the trace once on a clean EOF (the paper's methodology for
+// cores that finish early). Returning with an empty cur means the trace
+// itself is empty; the caller spins the clock, as the shim does. A
+// delivery failure aborts: the record sequence can no longer be trusted,
+// so the simulation must fail rather than silently truncate or replay.
+func (c *Core) nextBatch() error {
+	ch, ok := c.cr.NextChunk()
 	if !ok {
 		if err := readerErr(c.reader); err != nil {
 			return fmt.Errorf("cpu: core %d: trace delivery: %w", c.id, err)
 		}
-		c.reader.Reset()
+		c.cr.Reset()
 		c.replays++
-		rec, ok = c.reader.Next()
+		ch, ok = c.cr.NextChunk()
 		if !ok {
 			if err := readerErr(c.reader); err != nil {
 				return fmt.Errorf("cpu: core %d: trace replay: %w", c.id, err)
 			}
-			// Empty trace: spin the clock forward so the driver terminates.
+			c.cur, c.pos = trace.Chunk{}, 0
+			return nil
+		}
+	}
+	c.cur, c.pos = ch, 0
+	return nil
+}
+
+// stepChunk is the fused hot loop: it advances the core through the
+// current column batch until the batch is exhausted, retired instructions
+// reach instrLimit, or the local clock passes cycleCap (the scheduling
+// bound capFor computes). Per record it performs exactly the arithmetic
+// of the record-at-a-time shim — issue-width clocking (in closed form),
+// load retirement, ROB/LQ stalls, one hierarchy access — in the same
+// order, so the two paths are bit-identical (batch_test.go). The fusion
+// wins come from keeping clock state in locals, indexing dense columns
+// instead of an interface call per record, and O(1) ring pops.
+func (c *Core) stepChunk(instrLimit, cycleCap int64) error {
+	if c.pos >= c.cur.Len() {
+		if err := c.nextBatch(); err != nil {
+			return err
+		}
+		if c.cur.Len() == 0 {
+			// Empty trace: spin the clock forward so the driver terminates,
+			// one spin per driver step, exactly as the shim's step() does.
 			c.cycle += 1000
 			return nil
 		}
 	}
 
-	// Issue the non-memory instructions plus the memory op at Width/cycle.
-	n := int(rec.NonMem) + 1
-	c.instret += int64(n)
-	for n > 0 {
-		if c.issueRem == 0 {
-			c.cycle++
-			c.issueRem = c.cfg.Width
+	var (
+		cycle    = c.cycle
+		instret  = c.instret
+		issueRem = c.issueRem
+		width    = c.cfg.Width
+		rob      = int64(c.cfg.ROB)
+		lq       = c.cfg.LQ
+		hier     = c.hier
+		id       = c.id
+		addrOff  = c.addrOffset
+	)
+	// The refill division runs once per record on the issue-clock critical
+	// path; for power-of-two widths (the Table 5 core is 4-wide) a shift
+	// computes the identical quotient.
+	widthShift := -1
+	if width&(width-1) == 0 {
+		for s := 0; s < 32; s++ {
+			if 1<<s == width {
+				widthShift = s
+				break
+			}
 		}
-		take := n
-		if take > c.issueRem {
-			take = c.issueRem
+	}
+	// The load ring runs on locals too; ringLen never changes, so the wrap
+	// arithmetic compiles to straight-line code.
+	buf := c.inflight.buf
+	head, m := c.inflight.head, c.inflight.n
+	ringLen := len(buf)
+
+	pcs := c.cur.PC
+	n := len(pcs)
+	// Columns are equal-length by the Chunk invariant; reslicing to n lets
+	// the compiler drop the per-record bounds checks.
+	addrs := c.cur.Addr[:n]
+	gaps := c.cur.NonMem[:n]
+	stores := c.cur.Store[:n]
+	i := c.pos
+	for i < n && instret < instrLimit && cycle <= cycleCap {
+		// Issue the non-memory instructions plus the memory op at
+		// Width/cycle. This is the closed form of the shim's refill loop:
+		// identical integer sequence, no iteration (TestIssueClockClosedForm).
+		k := int(gaps[i]) + 1
+		instret += int64(k)
+		if k <= issueRem {
+			issueRem -= k
+		} else {
+			k -= issueRem
+			var refills int
+			if widthShift >= 0 {
+				refills = (k + width - 1) >> widthShift
+			} else {
+				refills = (k + width - 1) / width
+			}
+			cycle += int64(refills)
+			issueRem = refills*width - k
 		}
-		c.issueRem -= take
-		n -= take
-	}
 
-	// Retire completed loads.
-	for len(c.inflight) > 0 && c.inflight[0].complete <= c.cycle {
-		c.inflight = c.inflight[1:]
-	}
-	// ROB limit: the core cannot run more than ROB instructions past the
-	// oldest incomplete load.
-	for len(c.inflight) > 0 && c.instret-c.inflight[0].idx >= int64(c.cfg.ROB) {
-		c.waitOldest()
-	}
-	// LQ limit.
-	for len(c.inflight) >= c.cfg.LQ {
-		c.waitOldest()
-	}
+		// Retire completed loads.
+		for m > 0 && buf[head].complete <= cycle {
+			head++
+			if head == ringLen {
+				head = 0
+			}
+			m--
+		}
+		// ROB limit: the core cannot run more than ROB instructions past
+		// the oldest incomplete load. LQ limit follows. Both wait on the
+		// oldest load exactly as the shim's waitOldest does.
+		for (m > 0 && instret-buf[head].idx >= rob) || m >= lq {
+			if f := buf[head]; f.complete > cycle {
+				cycle = f.complete
+				issueRem = width
+			}
+			head++
+			if head == ringLen {
+				head = 0
+			}
+			m--
+		}
 
-	done := c.hier.Access(c.id, rec.PC, rec.Addr+c.addrOffset, rec.Store, c.cycle)
-	if !rec.Store && done > c.cycle {
-		c.inflight = append(c.inflight, inflightLoad{idx: c.instret, complete: done})
+		done := hier.Access(id, pcs[i], addrs[i]+addrOff, stores[i], cycle)
+		if !stores[i] && done > cycle {
+			j := head + m
+			if j >= ringLen {
+				j -= ringLen
+			}
+			buf[j] = inflightLoad{idx: instret, complete: done}
+			m++
+		}
+		i++
 	}
+	c.inflight.head, c.inflight.n = head, m
+	c.records += int64(i - c.pos)
+	c.cycle, c.instret, c.issueRem, c.pos = cycle, instret, issueRem, i
 	return nil
-}
-
-// waitOldest advances the clock to the oldest in-flight load's completion.
-func (c *Core) waitOldest() {
-	if len(c.inflight) == 0 {
-		return
-	}
-	if c.inflight[0].complete > c.cycle {
-		c.cycle = c.inflight[0].complete
-		c.issueRem = c.cfg.Width
-	}
-	c.inflight = c.inflight[1:]
 }
 
 // System drives one or more cores against a shared hierarchy.
@@ -191,6 +318,16 @@ type SystemConfig struct {
 	WarmupInstructions int64
 	// SimInstructions measured per core.
 	SimInstructions int64
+	// Chunk sizes the column batches used to adapt record-at-a-time
+	// readers to the fused kernel (0 = trace.DefaultBatch). Readers with a
+	// native batch path (internal/stream) deliver their own chunk size.
+	// Batch size never affects simulation results — only delivery
+	// granularity — which batch_test.go pins down to chunk±1 edge cases.
+	Chunk int
+	// RecordShim forces the record-at-a-time compatibility path (shim.go)
+	// instead of the fused chunk kernel. It exists so tests and tools can
+	// compare the two paths; results are bit-identical either way.
+	RecordShim bool
 }
 
 // DefaultSystemConfig returns the simulation lengths used by the harness:
@@ -204,6 +341,9 @@ func DefaultSystemConfig() SystemConfig {
 }
 
 // NewSystem builds cores over readers (one per core) and the hierarchy.
+// Readers that implement trace.ChunkReader (streaming readers) feed the
+// fused kernel directly; any other reader is adapted through a column
+// batcher, so every core runs the same hot loop.
 func NewSystem(cfg SystemConfig, hier *cache.Hierarchy, readers []trace.Reader) (*System, error) {
 	if len(readers) != hier.Config().Cores {
 		return nil, fmt.Errorf("cpu: %d readers for %d cores", len(readers), hier.Config().Cores)
@@ -213,38 +353,48 @@ func NewSystem(cfg SystemConfig, hier *cache.Hierarchy, readers []trace.Reader) 
 	}
 	s := &System{Hier: hier, cfg: cfg}
 	for i, r := range readers {
+		cr, ok := r.(trace.ChunkReader)
+		if !ok {
+			cr = trace.NewChunkingReader(r, cfg.Chunk)
+		} else if b, ok := cr.(interface{ SetBatch(int) }); ok && cfg.Chunk > 0 {
+			// Native chunk readers with an adjustable view size (SliceReader)
+			// honor the configured granularity; streaming readers size their
+			// own chunks.
+			b.SetBatch(cfg.Chunk)
+		}
 		s.Cores = append(s.Cores, &Core{
 			id:         i,
 			cfg:        cfg.Core,
 			reader:     r,
+			cr:         cr,
 			hier:       hier,
+			inflight:   newLoadRing(cfg.Core.LQ),
 			addrOffset: uint64(i) << 56,
 		})
 	}
 	return s, nil
 }
 
-// cancelCheckSteps is how many driver steps elapse between context
-// checks. Each step retires at least one instruction (typically several),
-// and the default streaming chunk is 1<<15 records, so cancellation is
-// observed well within one chunk boundary — milliseconds of simulation —
-// without putting a channel poll on the per-record hot path.
-const cancelCheckSteps = 1 << 12
-
 // Run executes warmup then measurement. Warmup trains caches and
 // prefetchers without counting statistics; measurement runs until every
 // core retires SimInstructions, replaying traces as needed.
 //
 // Errors are values here, not panics: a trace-delivery failure on any core
-// aborts the run with that core's error, and a canceled ctx aborts it with
-// ctx.Err() at the next check boundary. Either way the System is left in
+// aborts the run with that core's error, and a canceled ctx aborts it at
+// the next batch boundary with ctx.Err(). Either way the System is left in
 // an undefined simulation state and must only be Closed, never re-Run.
+//
+// Cancellation granularity: the driver polls the context once per fused
+// batch, so a single-core run observes cancellation at chunk boundaries
+// (milliseconds of simulation at the default chunk size) and multi-core
+// runs at scheduling-quantum boundaries, which are at most one chunk.
 func (s *System) Run(ctx context.Context) error {
+	if s.cfg.RecordShim {
+		return s.runShim(ctx)
+	}
 	done := ctx.Done()
-	steps := 0
-	canceled := func() error {
-		steps++
-		if steps&(cancelCheckSteps-1) == 0 && done != nil {
+	poll := func() error {
+		if done != nil {
 			select {
 			case <-done:
 				return ctx.Err()
@@ -254,16 +404,19 @@ func (s *System) Run(ctx context.Context) error {
 		return nil
 	}
 
-	// Warmup: run each core in lockstep until it retires the warmup count.
+	// Warmup: advance each core in lockstep until it retires the warmup
+	// count. stepChunk stops on its own at the instruction limit, so a
+	// core never overshoots farther than the shim would (one record).
+	warm := func(c *Core) bool { return c.instret < s.cfg.WarmupInstructions }
 	for {
-		c := s.nextCore(func(c *Core) bool { return c.instret < s.cfg.WarmupInstructions })
+		c := s.nextCore(warm)
 		if c == nil {
 			break
 		}
-		if err := c.step(); err != nil {
+		if err := c.stepChunk(s.cfg.WarmupInstructions, s.capFor(c, warm)); err != nil {
 			return err
 		}
-		if err := canceled(); err != nil {
+		if err := poll(); err != nil {
 			return err
 		}
 	}
@@ -279,14 +432,21 @@ func (s *System) Run(ctx context.Context) error {
 	// Measurement: every core keeps executing (replaying its trace) until
 	// all cores have retired SimInstructions, so shared-resource contention
 	// persists for stragglers, as in the paper. Each core's statistics are
-	// snapshotted at the instant it crosses the finish line.
+	// snapshotted at the instant it crosses the finish line: stepChunk
+	// returns exactly at the crossing record, so the snapshot sees the same
+	// cycle and hierarchy state the record-at-a-time path would.
+	all := func(*Core) bool { return true }
 	unfinished := len(s.Cores)
 	for unfinished > 0 {
-		c := s.nextCore(func(*Core) bool { return true })
-		if err := c.step(); err != nil {
+		c := s.nextCore(all)
+		limit := int64(math.MaxInt64)
+		if !c.finished {
+			limit = c.startInstret + s.cfg.SimInstructions
+		}
+		if err := c.stepChunk(limit, s.capFor(c, all)); err != nil {
 			return err
 		}
-		if err := canceled(); err != nil {
+		if err := poll(); err != nil {
 			return err
 		}
 		if !c.finished && c.instret-c.startInstret >= s.cfg.SimInstructions {
@@ -299,6 +459,34 @@ func (s *System) Run(ctx context.Context) error {
 	}
 	s.Hier.Flush()
 	return nil
+}
+
+// capFor bounds how far core c may advance before the scheduler must
+// re-evaluate. nextCore picks the lowest-indexed core among those with the
+// minimum clock; c keeps that property exactly while its clock stays
+// strictly below every lower-indexed eligible core and at or below every
+// higher-indexed one. Within the bound, c can burn through a whole batch
+// without consulting the others — which is what makes chunk fusion legal
+// in multi-programmed runs: the cross-core record interleaving is
+// identical to stepping one record at a time (TestBatchedMatchesShimMultiCore).
+// Only c's own clock moves while it runs, so the bound stays valid for the
+// whole batch. With a single core the bound is +inf and the kernel runs
+// full chunks.
+func (s *System) capFor(c *Core, eligible func(*Core) bool) int64 {
+	bound := int64(math.MaxInt64)
+	for _, o := range s.Cores {
+		if o == c || !eligible(o) {
+			continue
+		}
+		b := o.cycle
+		if o.id < c.id {
+			b--
+		}
+		if b < bound {
+			bound = b
+		}
+	}
+	return bound
 }
 
 // Stats returns a core's memory statistics captured when it finished its

@@ -133,6 +133,19 @@ type Controller struct {
 	tRCD, tRP int64
 	tCAS      int64
 
+	// mapAddr divisor state, precomputed. The shift fields are valid when
+	// the matching pow2 flag is set; shifts and masks produce the same
+	// quotients and remainders as the divisions they replace (unsigned
+	// power-of-two division), they just keep the address map off the
+	// hardware divider in the per-access hot path.
+	chanPow2   bool
+	chanShift  uint
+	banksPow2  bool
+	banksShift uint
+	lprPow2    bool
+	lprShift   uint
+	linesRow   uint64 // lines per row, floor 1
+
 	stats Stats
 
 	tREFI, tRFC int64
@@ -152,7 +165,7 @@ func NewController(cfg Config) *Controller {
 		panic(err)
 	}
 	n := cfg.Channels * cfg.RanksPerChannel * cfg.BanksPerRank
-	return &Controller{
+	c := &Controller{
 		cfg:      cfg,
 		banks:    make([]bank, n),
 		busReady: make([]int64, cfg.Channels),
@@ -163,6 +176,27 @@ func NewController(cfg Config) *Controller {
 		tREFI:    cfg.cycles(cfg.TREFIns),
 		tRFC:     cfg.cycles(cfg.TRFCns),
 	}
+	c.linesRow = uint64(cfg.RowBytes / 64)
+	if c.linesRow == 0 {
+		c.linesRow = 1
+	}
+	c.chanShift, c.chanPow2 = pow2Shift(uint64(cfg.Channels))
+	c.banksShift, c.banksPow2 = pow2Shift(uint64(cfg.RanksPerChannel * cfg.BanksPerRank))
+	c.lprShift, c.lprPow2 = pow2Shift(c.linesRow)
+	return c
+}
+
+// pow2Shift returns log2(n) when n is a positive power of two.
+func pow2Shift(n uint64) (uint, bool) {
+	if n == 0 || n&(n-1) != 0 {
+		return 0, false
+	}
+	var s uint
+	for n > 1 {
+		n >>= 1
+		s++
+	}
+	return s, true
 }
 
 // afterRefresh pushes a service start time out of any refresh window.
@@ -186,22 +220,35 @@ func (c *Controller) Config() Config { return c.cfg }
 // mapAddr picks the channel, flattened bank index and row for a line address.
 // Lines interleave across channels, then banks, so streams spread naturally.
 func (c *Controller) mapAddr(line uint64) (channel int, bankIdx int, row uint64) {
-	channel = int(line % uint64(c.cfg.Channels))
-	banksPerChannel := c.cfg.RanksPerChannel * c.cfg.BanksPerRank
-	l := line / uint64(c.cfg.Channels)
-	linesPerRow := uint64(c.cfg.RowBytes / 64)
-	if linesPerRow == 0 {
-		linesPerRow = 1
+	banksPerChannel := uint64(c.cfg.RanksPerChannel * c.cfg.BanksPerRank)
+	var l uint64
+	if c.chanPow2 {
+		channel = int(line & (uint64(c.cfg.Channels) - 1))
+		l = line >> c.chanShift
+	} else {
+		channel = int(line % uint64(c.cfg.Channels))
+		l = line / uint64(c.cfg.Channels)
 	}
-	rowGlobal := l / linesPerRow
+	var rowGlobal uint64
+	if c.lprPow2 {
+		rowGlobal = l >> c.lprShift
+	} else {
+		rowGlobal = l / c.linesRow
+	}
 	// Hash the row number into the bank index so distinct address spaces
 	// (per-core offsets at high bits) and strided streams both spread
 	// across banks instead of aliasing.
 	x := rowGlobal ^ rowGlobal>>33
 	f := x * 0x9E3779B97F4A7C15
-	b := int((f >> 24) % uint64(banksPerChannel))
-	bankIdx = channel*banksPerChannel + b
-	row = rowGlobal / uint64(banksPerChannel)
+	if c.banksPow2 {
+		b := int((f >> 24) & (banksPerChannel - 1))
+		bankIdx = channel*int(banksPerChannel) + b
+		row = rowGlobal >> c.banksShift
+	} else {
+		b := int((f >> 24) % banksPerChannel)
+		bankIdx = channel*int(banksPerChannel) + b
+		row = rowGlobal / banksPerChannel
+	}
 	return
 }
 

@@ -622,6 +622,12 @@ func Run(ctx context.Context, spec RunSpec) (RunResult, error) {
 		Core:               cpu.DefaultCoreConfig(),
 		WarmupInstructions: spec.Scale.Warmup,
 		SimInstructions:    spec.Scale.Sim,
+		// Streaming readers feed the fused kernel StreamChunk-sized column
+		// batches directly; materialized slice readers are adapted at the
+		// same granularity so both paths batch identically. Batch size
+		// never changes results (it is excluded from cacheKey for the same
+		// reason) — cancellation lands at chunk boundaries either way.
+		Chunk: spec.Scale.StreamChunk,
 	}
 	sys, err := cpu.NewSystem(sysCfg, hier, readers)
 	if err != nil {

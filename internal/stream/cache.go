@@ -174,9 +174,10 @@ func (c *Cache) populate(ctx context.Context, path string, w trace.Workload, n i
 }
 
 // encodeWorkload streams n records of w into wr through the incremental
-// encoder, returning the record and instruction counts. The context is
-// checked between record batches so a canceled generation pass aborts
-// promptly.
+// encoder, one column chunk at a time: the generator fills a reused
+// trace.Chunk directly and the encoder writes straight off the columns,
+// so no []Record is ever materialized between the two. The context is
+// checked between chunks so a canceled generation pass aborts promptly.
 func encodeWorkload(ctx context.Context, wr *os.File, w trace.Workload, n int) (records int, instructions int64, err error) {
 	count := w.NumRecords(n)
 	e, err := trace.NewEncoder(wr, w.Name, w.Suite, count)
@@ -184,21 +185,20 @@ func encodeWorkload(ctx context.Context, wr *os.File, w trace.Workload, n int) (
 		return 0, 0, err
 	}
 	it := w.Iter(n)
+	buf := trace.NewChunk(DefaultChunk)
 	for {
-		if records&0xFFFF == 0 {
-			if cerr := ctx.Err(); cerr != nil {
-				return records, instructions, cerr
-			}
+		if cerr := ctx.Err(); cerr != nil {
+			return records, instructions, cerr
 		}
-		rec, ok := it.Next()
-		if !ok {
+		buf.Reset()
+		if trace.FillChunk(it, buf, DefaultChunk) == 0 {
 			break
 		}
-		if err := e.WriteRecord(rec); err != nil {
+		if err := e.EncodeChunk(buf); err != nil {
 			return records, instructions, err
 		}
-		records++
-		instructions += rec.Instructions()
+		records += buf.Len()
+		instructions += buf.Instructions()
 	}
 	return records, instructions, e.Close()
 }

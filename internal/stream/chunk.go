@@ -26,12 +26,20 @@ var (
 
 // chunkedReader is the pipelined core of the package: a producer goroutine
 // pulls records from a one-pass iterator and hands them to the consumer in
-// chunks through a bounded ring, recycling chunk buffers through a free
-// list so steady-state streaming allocates nothing.
+// column chunks (trace.Chunk — parallel PC/Addr/NonMem/Store slices)
+// through a bounded ring, recycling chunk buffers through a free list so
+// steady-state streaming allocates nothing. Producers that implement
+// trace.ChunkFiller (the generator, the file decoder) append straight onto
+// the columns; others are drained record-at-a-time into the columns.
 //
 // Memory bound: at most depth+2 chunk buffers ever exist per reader — one
 // in the producer's hands, up to depth queued, one being drained by the
 // consumer — regardless of trace length.
+//
+// Consumers have two faces over the same stream: Next (trace.Reader, the
+// record-at-a-time compatibility path) and NextChunk (trace.ChunkReader,
+// the batched fast path the fused simulation kernel uses). They can be
+// mixed freely; NextChunk first hands out whatever Next left unconsumed.
 //
 // Producer failures (a decode error on a file that changed under a running
 // simulation, a reset that cannot reopen its pass) are carried through the
@@ -46,10 +54,10 @@ type chunkedReader struct {
 	chunk int
 	depth int
 
-	free chan []trace.Record // recycled chunk buffers; nil entry = allocate
-	p    *pipe               // current producer generation, nil after EOF+Close
+	free chan *trace.Chunk // recycled chunk buffers; nil entry = allocate
+	p    *pipe             // current producer generation, nil after EOF+Close
 
-	cur    []trace.Record // chunk being drained
+	cur    *trace.Chunk // chunk being drained
 	pos    int
 	err    error // sticky first delivery error
 	closed bool
@@ -58,7 +66,7 @@ type chunkedReader struct {
 // pipe is one producer generation; Reset tears the old one down and starts
 // a new one.
 type pipe struct {
-	ch   chan []trace.Record
+	ch   chan *trace.Chunk
 	stop chan struct{}
 	done chan struct{}
 	// err is the producer's terminal error, written before ch is closed
@@ -69,7 +77,7 @@ type pipe struct {
 
 func newChunkedReader(open func() (trace.Iter, io.Closer, error), chunk, depth int) (*chunkedReader, error) {
 	c := &chunkedReader{open: open, chunk: chunkOr(chunk), depth: depthOr(depth)}
-	c.free = make(chan []trace.Record, c.depth+2)
+	c.free = make(chan *trace.Chunk, c.depth+2)
 	for i := 0; i < cap(c.free); i++ {
 		c.free <- nil
 	}
@@ -86,7 +94,7 @@ func (c *chunkedReader) start() error {
 		return err
 	}
 	p := &pipe{
-		ch:   make(chan []trace.Record, c.depth),
+		ch:   make(chan *trace.Chunk, c.depth),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
@@ -107,25 +115,19 @@ func (c *chunkedReader) produce(p *pipe, it trace.Iter, cl io.Closer) {
 		defer cl.Close()
 	}
 	for {
-		var buf []trace.Record
+		var buf *trace.Chunk
 		select {
 		case buf = <-c.free:
 		case <-p.stop:
 			return
 		}
 		if buf == nil {
-			buf = make([]trace.Record, 0, c.chunk)
+			buf = trace.NewChunk(c.chunk)
 		}
-		buf = buf[:0]
-		for len(buf) < c.chunk {
-			rec, ok := it.Next()
-			if !ok {
-				break
-			}
-			buf = append(buf, rec)
-		}
-		ended := len(buf) < c.chunk
-		if len(buf) == 0 {
+		buf.Reset()
+		trace.FillChunk(it, buf, c.chunk)
+		ended := buf.Len() < c.chunk
+		if buf.Len() == 0 {
 			c.free <- buf
 			p.err = iterErr(it)
 			return
@@ -161,21 +163,17 @@ func iterErr(it trace.Iter) error {
 	return nil
 }
 
-// Next implements trace.Reader.
-func (c *chunkedReader) Next() (trace.Record, bool) {
-	if c.pos < len(c.cur) {
-		r := c.cur[c.pos]
-		c.pos++
-		return r, true
-	}
+// recv pulls the next chunk from the ring, recycling the drained one. It
+// returns nil at end of pass (setting the sticky error on failures).
+func (c *chunkedReader) recv() *trace.Chunk {
 	if c.err != nil || c.p == nil {
-		return trace.Record{}, false
+		return nil
 	}
 	if c.cur != nil {
 		c.free <- c.cur
 		c.cur, c.pos = nil, 0
 	}
-	var buf []trace.Record
+	var buf *trace.Chunk
 	var ok bool
 	select {
 	case buf, ok = <-c.p.ch:
@@ -190,12 +188,45 @@ func (c *chunkedReader) Next() (trace.Record, bool) {
 		if c.p.err != nil {
 			c.err = c.p.err
 		}
-		return trace.Record{}, false
+		return nil
 	}
 	obsRing.Add(-1)
 	obsChunks.Inc()
+	return buf
+}
+
+// Next implements trace.Reader.
+func (c *chunkedReader) Next() (trace.Record, bool) {
+	if c.cur != nil && c.pos < c.cur.Len() {
+		r := c.cur.At(c.pos)
+		c.pos++
+		return r, true
+	}
+	buf := c.recv()
+	if buf == nil {
+		return trace.Record{}, false
+	}
 	c.cur, c.pos = buf, 1
-	return buf[0], true
+	return buf.At(0), true
+}
+
+// NextChunk implements trace.ChunkReader: the batched fast path. The
+// returned column view is valid until the next NextChunk/Next/Reset/Close
+// call. If the record-at-a-time path consumed part of the current chunk,
+// the unconsumed tail is returned first, so mixing the two faces never
+// skips records.
+func (c *chunkedReader) NextChunk() (trace.Chunk, bool) {
+	if c.cur != nil && c.pos < c.cur.Len() {
+		t := c.cur.Tail(c.pos)
+		c.pos = c.cur.Len()
+		return t, true
+	}
+	buf := c.recv()
+	if buf == nil {
+		return trace.Chunk{}, false
+	}
+	c.cur, c.pos = buf, buf.Len()
+	return *buf, true
 }
 
 // Err implements Reader: the sticky first delivery error, nil on clean

@@ -1,0 +1,128 @@
+package stream
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"pythia/internal/trace"
+)
+
+// drainChunks collects every record delivered through the batched face.
+func drainChunks(r trace.ChunkReader) []trace.Record {
+	var out []trace.Record
+	for {
+		ch, ok := r.NextChunk()
+		if !ok {
+			return out
+		}
+		for i := 0; i < ch.Len(); i++ {
+			out = append(out, ch.At(i))
+		}
+	}
+}
+
+// TestNextChunkMatchesNext: both backends deliver the same record
+// sequence through NextChunk as through Next, with a chunk size that
+// forces multiple chunks and a partial tail.
+func TestNextChunkMatchesNext(t *testing.T) {
+	w := testWorkload(t)
+	const n = 10_000
+	want := w.Generate(n).Records
+
+	gen := &GenSource{W: w, N: n, Chunk: 1024}
+	r, err := gen.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	cr, ok := r.(trace.ChunkReader)
+	if !ok {
+		t.Fatal("stream reader does not implement trace.ChunkReader")
+	}
+	mustEqual(t, drainChunks(cr), want, "GenSource chunks")
+
+	path := filepath.Join(t.TempDir(), "t.pytr")
+	if _, _, err := Materialize(t.Context(), path, w, n); err != nil {
+		t.Fatal(err)
+	}
+	fs := &FileSource{Path: path, Chunk: 1024}
+	fr, err := fs.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+	mustEqual(t, drainChunks(fr.(trace.ChunkReader)), want, "FileSource chunks")
+}
+
+// TestMixedFacesNeverSkip: alternating Next and NextChunk arbitrarily
+// yields the full sequence exactly once — NextChunk returns the
+// unconsumed tail of a partially-drained chunk before pulling a new one.
+func TestMixedFacesNeverSkip(t *testing.T) {
+	w := testWorkload(t)
+	const n = 8_000
+	want := w.Generate(n).Records
+
+	r, err := (&GenSource{W: w, N: n, Chunk: 512}).Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	cr := r.(trace.ChunkReader)
+
+	rng := rand.New(rand.NewSource(3))
+	var got []trace.Record
+	for {
+		if rng.Intn(3) > 0 {
+			rec, ok := cr.Next()
+			if !ok {
+				break
+			}
+			got = append(got, rec)
+		} else {
+			ch, ok := cr.NextChunk()
+			if !ok {
+				break
+			}
+			for i := 0; i < ch.Len(); i++ {
+				got = append(got, ch.At(i))
+			}
+		}
+	}
+	mustEqual(t, got, want, "mixed faces")
+	if r.Err() != nil {
+		t.Fatalf("clean mixed drain left Err = %v", r.Err())
+	}
+}
+
+// TestResetMidChunkRestartsChunks: a Reset with a chunk partially
+// consumed (through either face) restarts the pass from record zero on
+// the batched face too.
+func TestResetMidChunkRestartsChunks(t *testing.T) {
+	w := testWorkload(t)
+	const n = 5_000
+	want := w.Generate(n).Records
+
+	r, err := (&GenSource{W: w, N: n, Chunk: 512}).Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	cr := r.(trace.ChunkReader)
+
+	// Consume 100 records via Next (mid-chunk), then Reset.
+	mustEqual(t, drain(r, 100), want[:100], "pre-reset prefix")
+	r.Reset()
+	mustEqual(t, drainChunks(cr), want, "post-reset chunk drain")
+
+	// Consume one full chunk plus a partial tail via NextChunk, then Reset.
+	r.Reset()
+	if ch, ok := cr.NextChunk(); !ok || ch.Len() == 0 {
+		t.Fatal("first chunk missing after reset")
+	}
+	if _, ok := cr.Next(); !ok {
+		t.Fatal("record after first chunk missing")
+	}
+	r.Reset()
+	mustEqual(t, drainChunks(cr), want, "second post-reset drain")
+}

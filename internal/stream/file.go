@@ -112,6 +112,34 @@ func (it *fileIter) Next() (trace.Record, bool) {
 	return rec, true
 }
 
+// FillChunk implements trace.ChunkFiller: records decode straight onto
+// the chunk's columns (Decoder.DecodeInto), never materializing a Record
+// between disk and ring. The FPDecode failpoint is still consulted per
+// record — fault specs count hits in records, and a "file corrupted
+// mid-stream" must be able to land mid-chunk.
+func (it *fileIter) FillChunk(c *trace.Chunk, max int) int {
+	if it.err != nil {
+		return 0
+	}
+	n := 0
+	for n < max {
+		if ferr := fault.Hit(FPDecode); ferr != nil {
+			it.err = fmt.Errorf("stream: decoding %s: %w", it.path, ferr)
+			break
+		}
+		err := it.d.DecodeInto(c)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			it.err = fmt.Errorf("stream: decoding %s: %w", it.path, err)
+			break
+		}
+		n++
+	}
+	return n
+}
+
 // Err reports the sticky decode error; the chunk pipeline's producer
 // forwards it to the consumer side.
 func (it *fileIter) Err() error { return it.err }

@@ -5,10 +5,13 @@
 // records per core. This package decouples trace production from
 // consumption (the vhive-invitro synthesizer split, applied to memory
 // traces): a Source produces restartable trace.Readers on demand, and each
-// reader pumps records through a bounded ring of reusable record chunks
-// filled by a producer goroutine, so generation or file decode overlaps
-// simulation and peak resident trace memory is capped at a handful of
-// chunks regardless of trace length.
+// reader pumps records through a bounded ring of reusable column chunks
+// (trace.Chunk — SoA parallel slices) filled by a producer goroutine, so
+// generation or file decode overlaps simulation and peak resident trace
+// memory is capped at a handful of chunks regardless of trace length.
+// Readers implement both the record-at-a-time trace.Reader face and the
+// batched trace.ChunkReader fast path the fused simulation kernel
+// consumes (DESIGN.md "The chunk-column contract").
 //
 // Two backends exist:
 //

@@ -103,6 +103,23 @@ func (g *Gen) Remaining() int {
 	return g.left
 }
 
+// FillChunk implements ChunkFiller: it appends up to max records to c's
+// columns, producing exactly the sequence repeated Next calls would —
+// both run the same generation step, so the stream equivalence tests and
+// the on-disk cache (keyed by GenVersion) see identical output.
+func (g *Gen) FillChunk(c *Chunk, max int) int {
+	n := 0
+	for n < max {
+		rec, ok := g.Next()
+		if !ok {
+			break
+		}
+		c.Append(rec)
+		n++
+	}
+	return n
+}
+
 // Next implements Iter.
 func (g *Gen) Next() (Record, bool) {
 	if g.left <= 0 {

@@ -109,6 +109,41 @@ func (e *Encoder) WriteRecord(r Record) error {
 	return nil
 }
 
+// EncodeChunk appends every record of a column chunk, streaming straight
+// off the columns: the chunked write path never assembles a Record or a
+// []Record between producer and encoder.
+func (e *Encoder) EncodeChunk(c *Chunk) error {
+	n := c.Len()
+	if uint64(n) > e.left {
+		return fmt.Errorf("trace: encoder: more records than the declared count")
+	}
+	e.left -= uint64(n)
+	var buf [binary.MaxVarintLen64]byte
+	for i := 0; i < n; i++ {
+		w := binary.PutVarint(buf[:], int64(c.PC[i]-e.prevPC))
+		if _, err := e.bw.Write(buf[:w]); err != nil {
+			return err
+		}
+		w = binary.PutVarint(buf[:], int64(c.Addr[i]-e.prevAddr))
+		if _, err := e.bw.Write(buf[:w]); err != nil {
+			return err
+		}
+		w = binary.PutUvarint(buf[:], uint64(c.NonMem[i]))
+		if _, err := e.bw.Write(buf[:w]); err != nil {
+			return err
+		}
+		var flags byte
+		if c.Store[i] {
+			flags |= 1
+		}
+		if err := e.bw.WriteByte(flags); err != nil {
+			return err
+		}
+		e.prevPC, e.prevAddr = c.PC[i], c.Addr[i]
+	}
+	return nil
+}
+
 // Close flushes buffered output and verifies the declared record count was
 // written. It does not close the underlying writer.
 func (e *Encoder) Close() error {
@@ -230,6 +265,57 @@ func (d *Decoder) Next() (Record, error) {
 		NonMem: uint16(nonmem),
 		Store:  flags&1 != 0,
 	}, nil
+}
+
+// DecodeInto decodes the next record directly onto c's columns, without
+// materializing a Record. It returns io.EOF after the declared count.
+func (d *Decoder) DecodeInto(c *Chunk) error {
+	if d.read >= d.count {
+		return io.EOF
+	}
+	i := d.read
+	pcD, err := binary.ReadVarint(d.br)
+	if err != nil {
+		return fmt.Errorf("%w: record %d: %v", ErrBadFormat, i, err)
+	}
+	addrD, err := binary.ReadVarint(d.br)
+	if err != nil {
+		return fmt.Errorf("%w: record %d: %v", ErrBadFormat, i, err)
+	}
+	nonmem, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return fmt.Errorf("%w: record %d: %v", ErrBadFormat, i, err)
+	}
+	if nonmem > math.MaxUint16 {
+		return fmt.Errorf("%w: record %d: nonmem %d overflows uint16", ErrBadFormat, i, nonmem)
+	}
+	flags, err := d.br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("%w: record %d: %v", ErrBadFormat, i, err)
+	}
+	d.read++
+	d.prevPC += uint64(pcD)
+	d.prevAddr += uint64(addrD)
+	c.PC = append(c.PC, d.prevPC)
+	c.Addr = append(c.Addr, d.prevAddr)
+	c.NonMem = append(c.NonMem, uint16(nonmem))
+	c.Store = append(c.Store, flags&1 != 0)
+	return nil
+}
+
+// DecodeChunk appends up to max records onto c's columns, returning how
+// many were decoded. A clean end of trace yields (n, nil) with n < max;
+// corrupt input yields the ErrBadFormat-wrapped error.
+func (d *Decoder) DecodeChunk(c *Chunk, max int) (int, error) {
+	for n := 0; n < max; n++ {
+		if err := d.DecodeInto(c); err != nil {
+			if err == io.EOF {
+				return n, nil
+			}
+			return n, err
+		}
+	}
+	return max, nil
 }
 
 // Read decodes a trace from r.

@@ -69,26 +69,69 @@ type Reader interface {
 }
 
 // SliceReader adapts a materialized record slice to the Reader interface.
+// Internally the records live in column (SoA) layout, converted once at
+// construction: NextChunk serves zero-copy column views, so slice-backed
+// traces (cached harness traces, microbenches, tests) feed the batched
+// kernel without a per-record copy, and Reset is a cursor rewind.
 type SliceReader struct {
-	recs []Record
-	pos  int
+	cols  Chunk // the whole trace, in column layout
+	pos   int
+	batch int // NextChunk view size; 0 = DefaultBatch
 }
 
-// NewSliceReader returns a Reader over recs.
-func NewSliceReader(recs []Record) *SliceReader { return &SliceReader{recs: recs} }
+// NewSliceReader returns a Reader over recs. The records are copied into
+// column layout; later mutation of recs does not affect the reader.
+func NewSliceReader(recs []Record) *SliceReader {
+	c := NewChunk(len(recs))
+	for i := range recs {
+		c.Append(recs[i])
+	}
+	return &SliceReader{cols: *c}
+}
 
 // Next implements Reader.
 func (s *SliceReader) Next() (Record, bool) {
-	if s.pos >= len(s.recs) {
+	if s.pos >= s.cols.Len() {
 		return Record{}, false
 	}
-	r := s.recs[s.pos]
+	r := s.cols.At(s.pos)
 	s.pos++
 	return r, true
 }
 
+// NextChunk implements ChunkReader: the returned chunk is a view into the
+// reader's columns, valid until Reset (nothing is overwritten by
+// subsequent calls, but the blanket ChunkReader contract applies).
+func (s *SliceReader) NextChunk() (Chunk, bool) {
+	n := s.cols.Len()
+	if s.pos >= n {
+		return Chunk{}, false
+	}
+	b := s.batch
+	if b <= 0 {
+		b = DefaultBatch
+	}
+	end := s.pos + b
+	if end > n {
+		end = n
+	}
+	ch := Chunk{
+		PC:     s.cols.PC[s.pos:end],
+		Addr:   s.cols.Addr[s.pos:end],
+		NonMem: s.cols.NonMem[s.pos:end],
+		Store:  s.cols.Store[s.pos:end],
+	}
+	s.pos = end
+	return ch, true
+}
+
+// SetBatch sets the view size NextChunk serves (n <= 0 restores
+// DefaultBatch). Batch size is delivery granularity only; it never changes
+// the record sequence.
+func (s *SliceReader) SetBatch(n int) { s.batch = n }
+
 // Reset implements Reader.
 func (s *SliceReader) Reset() { s.pos = 0 }
 
-// Len returns the number of records in the underlying slice.
-func (s *SliceReader) Len() int { return len(s.recs) }
+// Len returns the number of records in the trace.
+func (s *SliceReader) Len() int { return s.cols.Len() }
