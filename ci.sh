@@ -5,6 +5,12 @@
 #   ci.sh chaos   the fault-injection and crash-recovery suite under the
 #                 race detector: every failpoint armed, a worker process
 #                 SIGKILLed mid-job, journal recovery replayed
+#   ci.sh fleet   the multi-process worker tier: fleet package tests
+#                 (autoscaler tables, coordinator SIGKILL chaos) under
+#                 -race, then a live 3-worker cluster driven by
+#                 pythia-load while one worker is SIGKILLed mid-storm —
+#                 the storm must meet its SLOs and no admitted job may
+#                 be lost
 #   ci.sh full    quick + chaos, plus the race detector over every
 #                 concurrent subsystem, a QVStore benchmark smoke so
 #                 hot-path perf regressions fail loudly (the benchmark
@@ -19,9 +25,9 @@ cd "$(dirname "$0")"
 
 tier="${1:-full}"
 case "$tier" in
-quick | chaos | full) ;;
+quick | chaos | fleet | full) ;;
 *)
-    echo "usage: ci.sh [quick|chaos|full]" >&2
+    echo "usage: ci.sh [quick|chaos|fleet|full]" >&2
     exit 2
     ;;
 esac
@@ -40,7 +46,7 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-if [ "$tier" != chaos ]; then
+if [ "$tier" != chaos ] && [ "$tier" != fleet ]; then
     echo "== go test =="
     go test ./...
 fi
@@ -130,6 +136,99 @@ if [ "$tier" = chaos ] || [ "$tier" = full ]; then
     go test -race -run 'Chaos|Journal|Fault|Breaker|Failpoint|Sweep' \
         ./internal/serve/... ./internal/fsutil/... \
         ./internal/stream/... ./internal/results/... ./internal/policy/...
+fi
+
+if [ "$tier" = fleet ]; then
+    echo "== fleet tier: worker processes, autoscaler, claim protocol under -race =="
+    # The fleet invariants (ISSUE: sharded simulation fleet): the
+    # table-driven autoscaler policy, the coordinator SIGKILLing a real
+    # worker subprocess mid-job with requeue-to-survivor and
+    # no-duplicate-simulation proofs, and the multi-worker journal
+    # contention sweep — all under the race detector.
+    go test -race ./internal/fleet/...
+    go test -race -run 'MultiWorker|Claim|Renew|Reap|OwnerID|WorkerHeartbeat|FleetJournal' ./internal/serve/...
+
+    echo "== fleet smoke (3-worker cluster survives a SIGKILL mid-storm) =="
+    # Boot a real fleet — dispatch frontend plus three worker processes
+    # over a shared journal — drive a mixed storm through pythia-load,
+    # and SIGKILL one worker while the storm runs. The storm must meet
+    # its SLOs (exit 0), every admitted job must reach a terminal state
+    # with none erroring (zero lost jobs), and the coordinator must
+    # respawn back to three ready workers.
+    smoke=$(mktemp -d)
+    go build -o "$smoke/pythia-serve" ./cmd/pythia-serve
+    go build -o "$smoke/pythia-load" ./cmd/pythia-load
+    "$smoke/pythia-serve" -addr 127.0.0.1:18742 \
+        -results "$smoke/results" -policies "$smoke/policies" \
+        -journal "$smoke/journal" -fleet 3 -fleet-min 3 -queue 64 \
+        >"$smoke/serve.log" 2>&1 &
+    serve_pid=$!
+    load_status=0
+    "$smoke/pythia-load" -addr http://127.0.0.1:18742 -wait-ready 30s \
+        -schedule constant -rps 25 -duration 8s -scale quick \
+        -experiments fig14,table2 -mix "read=0.7,meta=0.2,simulate=0.1" \
+        -slo "read:p95ms=1000,err=0;simulate:err=0" \
+        -json "$smoke/fleetload.json" >"$smoke/load.log" 2>&1 &
+    load_pid=$!
+    # Let the storm ramp, then kill one worker process out from under it.
+    sleep 4
+    victim=$(curl -fsS http://127.0.0.1:18742/api/v1/fleet |
+        python3 -c 'import json,sys; ws=json.load(sys.stdin)["fleet"]["workers"]; busy=[w["pid"] for w in ws if w.get("state")=="busy"]; anyw=[w["pid"] for w in ws if w.get("pid")]; print((busy or anyw or [0])[0])')
+    if [ "$victim" -gt 0 ]; then
+        echo "SIGKILLing worker pid $victim mid-storm"
+        kill -9 "$victim" || true
+    else
+        echo "no worker pid visible to kill" >&2
+        kill "$serve_pid" "$load_pid" 2>/dev/null || true
+        rm -rf "$smoke"
+        exit 1
+    fi
+    wait "$load_pid" || load_status=$?
+    if [ "$load_status" -ne 0 ]; then
+        echo "fleet load storm failed (exit $load_status):" >&2
+        tail -30 "$smoke/load.log" >&2
+        tail -20 "$smoke/serve.log" >&2
+        kill "$serve_pid" 2>/dev/null || true
+        rm -rf "$smoke"
+        exit 1
+    fi
+    # Zero lost jobs: every admitted job must reach a terminal state and
+    # none may end in error; the fleet must be back at 3 ready workers.
+    fleet_ok=0
+    for i in $(seq 1 120); do
+        if curl -fsS http://127.0.0.1:18742/api/v1/runs |
+            python3 -c '
+import json, sys
+jobs = json.load(sys.stdin)["jobs"]
+open_jobs = [j["id"] for j in jobs if j["status"] not in ("done", "error", "canceled")]
+errored = [j["id"] for j in jobs if j["status"] == "error"]
+if errored:
+    print("jobs lost to error:", errored, file=sys.stderr)
+    sys.exit(2)
+sys.exit(1 if open_jobs else 0)'; then
+            fleet_ok=1
+            break
+        fi
+        sleep 1
+    done
+    ready=$(curl -fsS http://127.0.0.1:18742/api/v1/fleet |
+        python3 -c 'import json,sys; print(json.load(sys.stdin)["fleet"]["ready"])')
+    kill "$serve_pid" 2>/dev/null || true
+    wait "$serve_pid" 2>/dev/null || true
+    if [ "$fleet_ok" -ne 1 ]; then
+        echo "fleet smoke: jobs stuck open or errored after the kill; server log:" >&2
+        tail -30 "$smoke/serve.log" >&2
+        rm -rf "$smoke"
+        exit 1
+    fi
+    if [ "$ready" -lt 3 ]; then
+        echo "fleet smoke: coordinator never respawned to 3 ready workers (ready=$ready)" >&2
+        tail -30 "$smoke/serve.log" >&2
+        rm -rf "$smoke"
+        exit 1
+    fi
+    echo "fleet smoke OK: storm met SLOs, zero lost jobs, fleet respawned to $ready workers"
+    rm -rf "$smoke"
 fi
 
 if [ "$tier" = full ]; then

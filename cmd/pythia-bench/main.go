@@ -26,7 +26,12 @@
 // additionally boots an in-process pythia-serve and drives a short mixed
 // load storm through internal/load, recording per-class latency
 // quantiles in the report's `loadtest` section (see pythia-load for the
-// standalone harness).
+// standalone harness). -fleetbench boots real worker-process fleets at
+// 1, 2 and 4 workers over a shared journal (this binary re-exec'd as
+// the workers), pushes an identical job batch through each, and records
+// jobs/sec mean±sd plus scaling efficiency in the report's `fleet`
+// section — the multi-process scaling trajectory pythia-benchdiff
+// tracks.
 package main
 
 import (
@@ -35,10 +40,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
 	"os"
+	"os/exec"
 	"os/signal"
 	"path/filepath"
 	"runtime"
@@ -50,6 +58,7 @@ import (
 	"pythia/internal/cache"
 	"pythia/internal/core"
 	"pythia/internal/cpu"
+	"pythia/internal/fleet"
 	"pythia/internal/harness"
 	"pythia/internal/load"
 	"pythia/internal/policy"
@@ -70,6 +79,7 @@ type benchReport struct {
 	Kernel      *kernelBench      `json:"kernel,omitempty"`
 	Warmstart   *warmstartBench   `json:"warmstart,omitempty"`
 	Loadtest    *load.Report      `json:"loadtest,omitempty"`
+	Fleet       *fleetBench       `json:"fleet,omitempty"`
 	Experiments []benchExperiment `json:"experiments"`
 	TotalSecs   float64           `json:"total_seconds"`
 }
@@ -403,6 +413,204 @@ func runLoadBench(ctx context.Context, scaleName string) (*load.Report, error) {
 	return rep, nil
 }
 
+// fleetBench records multi-process scaling: identical job batches pushed
+// through real worker-process fleets of 1, 2 and 4, each repeated for a
+// mean±sd jobs/sec figure. Efficiency (speedup over the 1-worker arm,
+// divided by the worker count) is the headline column pythia-benchdiff
+// tracks — on a single-CPU host it degenerates toward 1/W by
+// construction, so the report records CPUs alongside.
+type fleetBench struct {
+	JobsPerArm     int        `json:"jobs_per_arm"`
+	Repeats        int        `json:"repeats"`
+	WorkerParallel int        `json:"worker_parallel"` // -parallel inside each worker process
+	Arms           []fleetArm `json:"arms"`
+}
+
+// fleetArm is one worker-count's measurements.
+type fleetArm struct {
+	Workers        int     `json:"workers"`
+	JobsPerSecMean float64 `json:"jobs_per_sec_mean"`
+	JobsPerSecSD   float64 `json:"jobs_per_sec_sd"`
+	Speedup        float64 `json:"speedup"`    // mean over the 1-worker mean
+	Efficiency     float64 `json:"efficiency"` // speedup / workers
+}
+
+// fleetArmWorkers are the fleet sizes each pass measures.
+var fleetArmWorkers = []int{1, 2, 4}
+
+const (
+	fleetBenchJobs    = 8
+	fleetBenchRepeats = 3
+)
+
+// fleetBenchScales builds the job batch: parametric scales (resolvable
+// in any process without a shared table) made unique per job so every
+// job is a real simulation with its own store fingerprint. Jobs are
+// sized to hundreds of milliseconds of single-threaded simulation so
+// throughput measures compute scaling, not the claim/poll machinery.
+func fleetBenchScales() []string {
+	scales := make([]string, fleetBenchJobs)
+	for i := range scales {
+		scales[i] = fmt.Sprintf("custom:warmup=100000,sim=%d,tracelen=100000,wps=1,mixes=1", 20_000_000+i)
+	}
+	return scales
+}
+
+// runFleetBenchWorker is the hidden -fleet-worker mode: one fleet worker
+// process over the bench pass directory, single-threaded so per-job cost
+// is constant and scaling comes only from process parallelism.
+func runFleetBenchWorker(dir, traceDir string) {
+	if traceDir != "" {
+		harness.SetTraceCacheDir(traceDir)
+	}
+	harness.SetWorkers(1)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	_, err := serve.RunWorker(ctx, serve.WorkerConfig{
+		Store:            results.Open(filepath.Join(dir, "results")),
+		JournalDir:       filepath.Join(dir, "journal"),
+		PollInterval:     10 * time.Millisecond,
+		ProgressInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// fleetBenchPass boots a fixed fleet of `workers` processes over a fresh
+// journal+store, pushes the batch through it, and returns jobs/sec. The
+// store is fresh per pass so every arm simulates the same work; only the
+// trace cache is shared (trace synthesis is identical everywhere and
+// would otherwise dominate the small arms).
+func fleetBenchPass(ctx context.Context, self, root, traceDir string, scales []string, workers, rep int) (float64, error) {
+	dir := filepath.Join(root, fmt.Sprintf("w%d-r%d", workers, rep))
+	for _, d := range []string{"journal", "results"} {
+		if err := os.MkdirAll(filepath.Join(dir, d), 0o755); err != nil {
+			return 0, err
+		}
+	}
+	cluster, err := fleet.StartLocal(fleet.LocalOptions{
+		Store:      results.Open(filepath.Join(dir, "results")),
+		JournalDir: filepath.Join(dir, "journal"),
+		QueueDepth: len(scales) + 4,
+		WorkerCommand: func() *exec.Cmd {
+			cmd := exec.Command(self, "-fleet-worker", dir, "-fleet-trace", traceDir)
+			cmd.Stdout, cmd.Stderr = io.Discard, io.Discard
+			return cmd
+		},
+		// A fixed pool: the bench measures worker scaling, not the
+		// autoscaler (which has its own tests).
+		Min: workers, Max: workers,
+		ScaleDownDelay: time.Hour,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		cluster.Shutdown(sctx)
+	}()
+
+	// Wait for the full pool before starting the clock — cold starts are
+	// measured separately (coordinator metrics), not smeared into
+	// throughput.
+	readyBy := time.Now().Add(60 * time.Second)
+	for cluster.Coord.Status().Ready < workers {
+		if time.Now().After(readyBy) {
+			return 0, fmt.Errorf("fleet bench: %d-worker pool never became ready", workers)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	hs := &http.Server{Handler: cluster.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	client := api.NewClient("http://" + ln.Addr().String())
+
+	start := time.Now()
+	ids := make([]string, 0, len(scales))
+	for _, sc := range scales {
+		job, err := client.Launch(ctx, api.LaunchRequest{Experiment: "fig14", Scale: sc})
+		if err != nil {
+			return 0, err
+		}
+		ids = append(ids, job.ID)
+	}
+	for _, id := range ids {
+		job, err := client.Wait(ctx, id, 25*time.Millisecond)
+		if err != nil {
+			return 0, err
+		}
+		if job.Status != api.StatusDone {
+			return 0, fmt.Errorf("fleet bench job %s ended %q: %s", id, job.Status, job.Error)
+		}
+	}
+	return float64(len(ids)) / time.Since(start).Seconds(), nil
+}
+
+// runFleetBench measures jobs/sec at 1, 2 and 4 worker processes.
+func runFleetBench(ctx context.Context) (*fleetBench, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	root, err := os.MkdirTemp("", "pythia-fleetbench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+	traceDir := filepath.Join(root, "trace")
+	scales := fleetBenchScales()
+
+	fb := &fleetBench{JobsPerArm: fleetBenchJobs, Repeats: fleetBenchRepeats, WorkerParallel: 1}
+	var base float64
+	for _, w := range fleetArmWorkers {
+		rates := make([]float64, 0, fleetBenchRepeats)
+		for rep := 0; rep < fleetBenchRepeats; rep++ {
+			rate, err := fleetBenchPass(ctx, self, root, traceDir, scales, w, rep)
+			if err != nil {
+				return nil, err
+			}
+			rates = append(rates, rate)
+		}
+		mean, sd := meanSD(rates)
+		arm := fleetArm{Workers: w, JobsPerSecMean: mean, JobsPerSecSD: sd}
+		if w == 1 {
+			base = mean
+		}
+		if base > 0 {
+			arm.Speedup = mean / base
+			arm.Efficiency = arm.Speedup / float64(w)
+		}
+		fb.Arms = append(fb.Arms, arm)
+		fmt.Printf("[fleet %d worker(s): %.2f ± %.2f jobs/s, speedup %.2fx, efficiency %.0f%%]\n",
+			w, mean, sd, arm.Speedup, arm.Efficiency*100)
+	}
+	fmt.Println()
+	return fb, nil
+}
+
+// meanSD is the sample mean and (population) standard deviation.
+func meanSD(xs []float64) (mean, sd float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		sd += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(sd / float64(len(xs)))
+}
+
 // humanCount renders an instruction count compactly (12.3M, 4.5G) for
 // the per-experiment progress line; the JSON report keeps exact values.
 func humanCount(n int64) string {
@@ -470,9 +678,17 @@ func main() {
 		polDir    = flag.String("policies", "", "policy store directory: warm-start experiments reuse trained policies across invocations")
 		warmBench = flag.Bool("warmbench", false, "also measure warm-vs-cold convergence (instructions and wall time) into the -json report")
 		loadBench = flag.Bool("loadbench", false, "also drive a short mixed load storm at an in-process pythia-serve into the -json report's loadtest section")
+		fltBench  = flag.Bool("fleetbench", false, "also measure multi-process fleet throughput (jobs/sec at 1/2/4 worker processes) into the -json report's fleet section")
+		fltWorker = flag.String("fleet-worker", "", "internal: run as a fleetbench worker over this pass directory (used by -fleetbench's re-exec)")
+		fltTrace  = flag.String("fleet-trace", "", "internal: shared trace-cache directory for fleetbench workers")
 		list      = flag.Bool("list", false, "list available experiments and exit")
 	)
 	flag.Parse()
+
+	if *fltWorker != "" {
+		runFleetBenchWorker(*fltWorker, *fltTrace)
+		return
+	}
 
 	if *list {
 		fmt.Println("paper experiments:")
@@ -616,6 +832,14 @@ func main() {
 		}
 		report.Loadtest = lr
 		fmt.Printf("[load test]\n%s\n", lr.Render())
+	}
+	if *fltBench {
+		fbr, err := runFleetBench(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		report.Fleet = fbr
 	}
 
 	if st := harness.ResultStore(); st != nil {

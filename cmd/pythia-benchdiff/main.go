@@ -10,7 +10,10 @@
 // (pythia-bench -kernelbench) gets a per-workload batched-throughput
 // comparison where drops past 5% are flagged — the kernel numbers are
 // best-of-N interleaved arms in one process, so they do not get the
-// wide noise allowance wall times do.
+// wide noise allowance wall times do. A `fleet` section (pythia-bench
+// -fleetbench) gets a per-arm scaling-efficiency comparison: efficiency
+// drops past the threshold are flagged (machine speed cancels out of
+// the ratio), while absolute jobs/sec stays informational.
 //
 // Usage:
 //
@@ -62,12 +65,27 @@ type report struct {
 		} `json:"classes"`
 		Violations []string `json:"violations,omitempty"`
 	} `json:"loadtest,omitempty"`
+	Fleet *struct {
+		JobsPerArm int        `json:"jobs_per_arm"`
+		Repeats    int        `json:"repeats"`
+		Arms       []fleetArm `json:"arms"`
+	} `json:"fleet,omitempty"`
 	Experiments []struct {
 		ID          string  `json:"id"`
 		Seconds     float64 `json:"seconds"`
 		InstrPerSec float64 `json:"instr_per_sec"`
 	} `json:"experiments"`
 	TotalSecs float64 `json:"total_seconds"`
+}
+
+// fleetArm mirrors one entry of the report's fleet section
+// (pythia-bench -fleetbench).
+type fleetArm struct {
+	Workers        int     `json:"workers"`
+	JobsPerSecMean float64 `json:"jobs_per_sec_mean"`
+	JobsPerSecSD   float64 `json:"jobs_per_sec_sd"`
+	Speedup        float64 `json:"speedup"`
+	Efficiency     float64 `json:"efficiency"`
 }
 
 // kernelWorkload mirrors one entry of the report's kernel section
@@ -216,6 +234,49 @@ func main() {
 			}
 			fmt.Printf("%-24s %12s %12s %+7.1f%% %8.2fx%s\n", kw.Workload,
 				humanRate(prev.BatchedInstrPerSec), humanRate(kw.BatchedInstrPerSec), delta, kw.Speedup, mark)
+		}
+	}
+
+	// Multi-process scaling trajectory: when the fresh report carries a
+	// fleet section (pythia-bench -fleetbench), compare per-arm scaling
+	// efficiency. Efficiency is a ratio of two rates measured in the same
+	// pass, so machine speed cancels out of it; a relative drop past the
+	// threshold means worker processes newly contend on something (a
+	// store lock, journal scans, claim races) and is flagged. Absolute
+	// jobs/sec is shown but never flagged — it moves with the hardware.
+	// Comparisons are skipped when the hosts' CPU counts differ: scaling
+	// headroom IS the CPU count, so the ratios are not comparable.
+	if nf := newRep.Fleet; nf != nil {
+		fmt.Printf("\n%-16s %16s %16s %10s %8s\n", "fleet scaling", "old (jobs/s)", "new (jobs/s)", "eff", "delta")
+		oldArms := map[int]fleetArm{}
+		sameHost := oldRep.CPUs == newRep.CPUs
+		if of := oldRep.Fleet; of != nil && sameHost {
+			for _, a := range of.Arms {
+				oldArms[a.Workers] = a
+			}
+		}
+		for _, a := range nf.Arms {
+			label := fmt.Sprintf("%d worker(s)", a.Workers)
+			newCol := fmt.Sprintf("%.2f ± %.2f", a.JobsPerSecMean, a.JobsPerSecSD)
+			prev, seen := oldArms[a.Workers]
+			if !seen || prev.Efficiency <= 0 {
+				fmt.Printf("%-16s %16s %16s %9.0f%% %8s\n", label, "-", newCol, a.Efficiency*100, "new")
+				continue
+			}
+			delta := (a.Efficiency - prev.Efficiency) / prev.Efficiency * 100
+			mark := ""
+			// The 1-worker arm is the ratio's own denominator (efficiency
+			// is 1 by construction); only multi-worker arms can regress.
+			if a.Workers > 1 && delta < -*threshold {
+				mark = "  <-- regression"
+				regressions = append(regressions, fmt.Sprintf("fleet scaling efficiency at %d workers fell %.0f%% (%.0f%% -> %.0f%%)",
+					a.Workers, -delta, prev.Efficiency*100, a.Efficiency*100))
+			}
+			oldCol := fmt.Sprintf("%.2f ± %.2f", prev.JobsPerSecMean, prev.JobsPerSecSD)
+			fmt.Printf("%-16s %16s %16s %9.0f%% %+7.1f%%%s\n", label, oldCol, newCol, a.Efficiency*100, delta, mark)
+		}
+		if of := oldRep.Fleet; of != nil && !sameHost {
+			fmt.Println("  (baseline recorded on a host with a different CPU count; efficiency not compared)")
 		}
 	}
 

@@ -1,0 +1,183 @@
+// Command pythia-fleet boots a local simulation cluster from one
+// binary: a stateless pythia-serve frontend plus an autoscaled tier of
+// worker processes (this same binary re-exec'd with -worker), all
+// coordinated through a shared job journal. It is the one-command way
+// to run the fleet described in DESIGN.md "Fleet architecture":
+//
+//	pythia-fleet -addr :8080 -journal /tmp/fleet -workers 4
+//
+// admits jobs over the usual /api/v1 API, scales worker processes with
+// demand (to zero when idle, unless -min keeps some warm), requeues the
+// jobs of crashed or killed workers, and reports it all at
+// GET /api/v1/fleet.
+//
+//	pythia-fleet -status http://localhost:8080
+//
+// prints a one-shot human-readable fleet snapshot from a running
+// frontend (scaling state, per-worker occupancy) and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"sort"
+	"strconv"
+	"syscall"
+	"time"
+
+	"pythia/internal/api"
+	"pythia/internal/fleet"
+	"pythia/internal/harness"
+	"pythia/internal/obs"
+	"pythia/internal/policy"
+	"pythia/internal/results"
+	"pythia/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "frontend listen address")
+		storeDir  = flag.String("results", results.DefaultDir(), "persistent result store directory (shared by all workers)")
+		polDir    = flag.String("policies", policy.DefaultDir(), "trained-policy store directory (shared; empty disables)")
+		journal   = flag.String("journal", "", "shared job-journal directory (required): the fleet's queue, lease table and worker registry")
+		queue     = flag.Int("queue", 16, "max open (non-terminal) jobs across the fleet before admission sheds")
+		workers   = flag.Int("workers", 2, "max worker processes")
+		minW      = flag.Int("min", 0, "min worker processes to keep warm (0 scales to zero when idle)")
+		parallel  = flag.Int("parallel", 0, "max concurrent simulations per worker (0 = all CPUs)")
+		scaleDown = flag.Duration("scale-down-delay", 15*time.Second, "how long demand must stay low before workers are stopped")
+		grace     = flag.Duration("grace", 30*time.Second, "graceful-shutdown budget")
+		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		status    = flag.String("status", "", "print a fleet snapshot from a running frontend at this base URL, then exit")
+		worker    = flag.Bool("worker", false, "internal: run as a fleet worker process")
+	)
+	flag.Parse()
+
+	if *status != "" {
+		if err := printStatus(*status); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *journal == "" {
+		fmt.Fprintln(os.Stderr, "pythia-fleet: -journal is required (the shared coordination substrate)")
+		os.Exit(2)
+	}
+
+	logger := obs.NewLogger(*logJSON, obs.ParseLevel(*logLevel))
+	harness.SetWorkers(*parallel)
+	store := harness.SetResultStore(*storeDir)
+	pols := harness.SetPolicyStore(*polDir)
+
+	if *worker {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		jobs, err := serve.RunWorker(ctx, serve.WorkerConfig{
+			Store: store, Policies: pols, JournalDir: *journal, Logger: logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("worker exiting after %d job(s)\n", jobs)
+		return
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		self = os.Args[0]
+	}
+	cluster, err := fleet.StartLocal(fleet.LocalOptions{
+		Store:      store,
+		Policies:   pols,
+		JournalDir: *journal,
+		QueueDepth: *queue,
+		WorkerCommand: func() *exec.Cmd {
+			args := []string{
+				"-worker",
+				"-journal", *journal,
+				"-results", *storeDir,
+				"-policies", *polDir,
+				"-parallel", strconv.Itoa(*parallel),
+				"-log-level", *logLevel,
+			}
+			if *logJSON {
+				args = append(args, "-log-json")
+			}
+			cmd := exec.Command(self, args...)
+			cmd.Stdout = os.Stderr
+			cmd.Stderr = os.Stderr
+			return cmd
+		},
+		Min:            *minW,
+		Max:            *workers,
+		ScaleDownDelay: *scaleDown,
+		Logger:         logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: cluster.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("pythia-fleet frontend on %s (journal %s, workers %d..%d, queue %d)\n",
+		*addr, *journal, *minW, *workers, *queue)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		cluster.Coord.Close()
+		cluster.Server.Close()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Printf("received %v, shutting down (drain budget %v; signal again to abort)\n", s, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		go func() {
+			<-sig
+			cancel()
+		}()
+		httpDone := make(chan struct{})
+		go func() {
+			defer close(httpDone)
+			httpSrv.Shutdown(ctx)
+		}()
+		cluster.Shutdown(ctx)
+		<-httpDone
+		cancel()
+	}
+}
+
+// printStatus renders GET /api/v1/fleet for humans.
+func printStatus(base string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	fs, err := api.NewClient(base).Fleet(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet: desired %d, ready %d, starting %d | queued %d, in-flight %d\n",
+		fs.Desired, fs.Ready, fs.Starting, fs.Queued, fs.InFlight)
+	fmt.Printf("cold starts %d (last %.2fs), requeues %d\n",
+		fs.ColdStarts, fs.LastColdStartSeconds, fs.Requeues)
+	ws := append([]api.FleetWorker(nil), fs.Workers...)
+	sort.Slice(ws, func(i, j int) bool { return ws[i].PID < ws[j].PID })
+	for _, w := range ws {
+		job := w.Job
+		if job == "" {
+			job = "-"
+		}
+		fmt.Printf("  pid %-7d %-9s job %-10s done %-4d sims %-10d up %.0fs  %s\n",
+			w.PID, w.State, job, w.Jobs, w.Sims, w.UptimeSeconds, w.Owner)
+	}
+	return nil
+}

@@ -8,6 +8,8 @@
 //	pythia-serve -addr :8080
 //	pythia-serve -addr :8080 -results /var/lib/pythia/results -queue 32 -parallel 8
 //	pythia-serve -addr :8080 -journal /var/lib/pythia/journal
+//	pythia-serve -addr :8080 -journal /var/lib/pythia/journal -fleet 4
+//	pythia-serve -worker -journal /var/lib/pythia/journal
 //
 // API (v1; see DESIGN.md "API v1" and the typed client in internal/api):
 //
@@ -28,17 +30,19 @@
 //	GET    /api/v1/policies               list trained policies (metadata)
 //	GET    /api/v1/policies/{id}          one policy's envelope metadata
 //	GET    /api/v1/policies/{id}/snapshot download the raw PYQV01 Q-table
+//	GET    /api/v1/fleet                  fleet status (workers, scaling) —
+//	                                      503 on a standalone server
 //	GET    /healthz                       service + store health (unversioned)
 //	GET    /metrics                       Prometheus text exposition (queue
 //	                                      depth, job latency histograms,
 //	                                      store hit/miss, retry/breaker
 //	                                      counters, instructions/sec)
 //
-// The same routes also answer under the legacy unversioned /api/...
-// prefix for one release; legacy responses carry "Deprecation: true"
-// and a Link header pointing at /api/v1. Every non-2xx response is the
-// api.Error JSON envelope ({"error":{"code","message","retryable",
-// "retry_after_seconds"}}); 503s additionally set Retry-After.
+// Routes answer only under /api/v1 (the unversioned legacy aliases
+// completed their deprecation window and now 404). Every non-2xx
+// response is the api.Error JSON envelope ({"error":{"code","message",
+// "retryable","retry_after_seconds"}}); 503s additionally set
+// Retry-After.
 //
 // With -pprof, the net/http/pprof profiling endpoints are mounted under
 // /debug/pprof/ (see the EXPERIMENTS.md profiling recipe). Structured
@@ -70,19 +74,31 @@
 // backoff; a persistently failing store opens a circuit breaker that
 // sheds new simulation jobs with 503 + Retry-After while store hits
 // keep being served (degraded read-only mode, visible in /healthz).
+//
+// Fleet mode (-fleet N, requires -journal) turns this process into a
+// stateless frontend plus a coordinator that autoscales up to N worker
+// processes (this same binary re-exec'd with -worker). The frontend
+// journals admissions and serves the API; workers claim and execute
+// jobs through the shared journal's lease protocol; the coordinator
+// reaps dead workers' claims so their jobs requeue. -fleet-min 0 (the
+// default) scales to zero when idle. See DESIGN.md "Fleet architecture".
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/exec"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
+	"pythia/internal/fleet"
 	"pythia/internal/harness"
 	"pythia/internal/obs"
 	"pythia/internal/policy"
@@ -102,6 +118,11 @@ func main() {
 		withProf = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiling is opt-in; see EXPERIMENTS.md)")
 		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
+
+		workerMode = flag.Bool("worker", false, "run as a fleet worker: no HTTP, drain leased jobs from -journal until SIGTERM")
+		fleetMax   = flag.Int("fleet", 0, "local cluster mode: dispatch-only frontend plus up to N autoscaled worker processes (requires -journal)")
+		fleetMin   = flag.Int("fleet-min", 0, "minimum fleet workers to keep warm (0 scales to zero when idle)")
+		scaleDown  = flag.Duration("scale-down-delay", 15*time.Second, "how long fleet demand must stay low before workers are stopped")
 	)
 	flag.Parse()
 
@@ -115,10 +136,42 @@ func main() {
 	store := harness.SetResultStore(*storeDir)
 	pols := harness.SetPolicyStore(*polDir)
 
-	srv, err := serve.New(serve.Config{Store: store, Policies: pols, QueueDepth: *queue, JournalDir: *journal, Logger: logger})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	if *workerMode {
+		runWorker(store, pols, *journal, logger)
+		return
+	}
+
+	var srv *serve.Server
+	var cluster *fleet.Local
+	if *fleetMax > 0 {
+		if *journal == "" {
+			fmt.Fprintln(os.Stderr, "pythia-serve: -fleet requires -journal (the shared coordination substrate)")
+			os.Exit(2)
+		}
+		var err error
+		cluster, err = fleet.StartLocal(fleet.LocalOptions{
+			Store:          store,
+			Policies:       pols,
+			JournalDir:     *journal,
+			QueueDepth:     *queue,
+			WorkerCommand:  workerCommand(*journal, *storeDir, *polDir, *parallel, *logJSON, *logLevel),
+			Min:            *fleetMin,
+			Max:            *fleetMax,
+			ScaleDownDelay: *scaleDown,
+			Logger:         logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		srv = cluster.Server
+	} else {
+		var err error
+		srv, err = serve.New(serve.Config{Store: store, Policies: pols, QueueDepth: *queue, JournalDir: *journal, Logger: logger})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 	if n := srv.Recovered(); n > 0 {
 		fmt.Printf("recovered %d journaled job(s) from %s\n", n, *journal)
@@ -144,13 +197,21 @@ func main() {
 	if pols != nil {
 		polDesc = pols.Dir()
 	}
-	fmt.Printf("pythia-serve listening on %s (store %s, policies %s, queue %d, %d workers)\n",
-		*addr, store.Dir(), polDesc, *queue, harness.Workers())
+	if cluster != nil {
+		fmt.Printf("pythia-serve fleet frontend on %s (journal %s, workers %d..%d, queue %d)\n",
+			*addr, *journal, *fleetMin, *fleetMax, *queue)
+	} else {
+		fmt.Printf("pythia-serve listening on %s (store %s, policies %s, queue %d, %d workers)\n",
+			*addr, store.Dir(), polDesc, *queue, harness.Workers())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
+		if cluster != nil {
+			cluster.Coord.Close()
+		}
 		srv.Close()
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -171,8 +232,63 @@ func main() {
 			defer close(httpDone)
 			httpSrv.Shutdown(ctx)
 		}()
-		srv.Shutdown(ctx)
+		if cluster != nil {
+			cluster.Shutdown(ctx)
+		} else {
+			srv.Shutdown(ctx)
+		}
 		<-httpDone
 		cancel()
+	}
+}
+
+// runWorker is the -worker mode body: drain the shared journal through
+// the serve execution engine until SIGTERM/SIGINT, then exit cleanly
+// (releasing any in-flight claim so the job requeues).
+func runWorker(store *results.Store, pols *policy.Store, journalDir string, logger *slog.Logger) {
+	if journalDir == "" {
+		fmt.Fprintln(os.Stderr, "pythia-serve: -worker requires -journal")
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	jobs, err := serve.RunWorker(ctx, serve.WorkerConfig{
+		Store:      store,
+		Policies:   pols,
+		JournalDir: journalDir,
+		Logger:     logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("worker exiting after %d job(s)\n", jobs)
+}
+
+// workerCommand builds the re-exec command for one fleet worker: this
+// same binary in -worker mode, inheriting the shared stores, journal and
+// logging setup. Worker output is interleaved onto the frontend's
+// stderr (one machine, one terminal — a local cluster, not a daemon).
+func workerCommand(journalDir, storeDir, polDir string, parallel int, logJSON bool, logLevel string) func() *exec.Cmd {
+	self, err := os.Executable()
+	if err != nil {
+		self = os.Args[0]
+	}
+	return func() *exec.Cmd {
+		args := []string{
+			"-worker",
+			"-journal", journalDir,
+			"-results", storeDir,
+			"-policies", polDir,
+			"-parallel", strconv.Itoa(parallel),
+			"-log-level", logLevel,
+		}
+		if logJSON {
+			args = append(args, "-log-json")
+		}
+		cmd := exec.Command(self, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		return cmd
 	}
 }

@@ -4,12 +4,12 @@
 // (pythia-load, pythia-train, examples, e2e tests) share instead of
 // hand-rolling http.Get + json.Unmarshal.
 //
-// The API is versioned: canonical routes live under Prefix ("/api/v1"),
-// and the unversioned "/api/..." paths from earlier releases are served
-// as thin deprecated aliases for one release window (DESIGN.md "API
-// v1"). The wire format of the v1 DTOs is pinned by golden fixture
-// tests in this package — renaming a JSON field fails loudly there
-// before it can break a client.
+// The API is versioned: every route lives under Prefix ("/api/v1").
+// The unversioned "/api/..." aliases from earlier releases completed
+// their deprecation window and now 404 (DESIGN.md "API v1"). The wire
+// format of the v1 DTOs is pinned by golden fixture tests in this
+// package — renaming a JSON field fails loudly there before it can
+// break a client.
 package api
 
 import (
@@ -92,7 +92,11 @@ type Job struct {
 	// transient-failure retries or crash recovery).
 	Attempts int `json:"attempts,omitempty"`
 	// Recovered marks a job requeued from the journal after a restart.
-	Recovered  bool                       `json:"recovered,omitempty"`
+	Recovered bool `json:"recovered,omitempty"`
+	// Worker identifies the process executing (or that executed) the job
+	// — a fleet worker's lease-owner ID. Empty for jobs run in-process by
+	// a standalone server.
+	Worker     string                     `json:"worker,omitempty"`
 	CreatedAt  time.Time                  `json:"created_at"`
 	StartedAt  *time.Time                 `json:"started_at,omitempty"`
 	FinishedAt *time.Time                 `json:"finished_at,omitempty"`
@@ -197,6 +201,52 @@ type Health struct {
 	Workers       int                     `json:"workers"`
 	Stores        map[string]StoreHealth  `json:"stores"`
 	Journal       *JournalHealth          `json:"journal,omitempty"`
+}
+
+// FleetWorker is one worker process in the GET /api/v1/fleet view.
+type FleetWorker struct {
+	// Owner is the worker's lease-owner identity (PID + start nonce).
+	Owner string `json:"owner"`
+	PID   int    `json:"pid"`
+	// State is "starting" (spawned, no heartbeat yet), "idle", "busy", or
+	// "stale" (heartbeat stopped; the coordinator is about to sweep it).
+	State string `json:"state"`
+	// Job is the claimed job while busy.
+	Job string `json:"job,omitempty"`
+	// Jobs and Sims are cumulative completed-job and executed-simulation
+	// counters for this worker.
+	Jobs int64 `json:"jobs"`
+	Sims int64 `json:"sims"`
+	// UptimeSeconds measures from the worker's first heartbeat.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// FleetStatus is the fleet coordinator's snapshot: the autoscaler's
+// inputs and outputs plus the per-worker roster.
+type FleetStatus struct {
+	// Desired and Ready are the autoscaler's target worker count and the
+	// count of live (heartbeating) workers.
+	Desired int `json:"desired"`
+	Ready   int `json:"ready"`
+	// Starting counts spawned workers that have not heartbeat yet (cold
+	// starts in progress).
+	Starting int `json:"starting"`
+	// Queued and InFlight are the scaling signals: claimable journal
+	// records and claimed-but-unfinished jobs.
+	Queued   int `json:"queued"`
+	InFlight int `json:"in_flight"`
+	// ColdStarts counts worker spawns over the coordinator's lifetime;
+	// LastColdStartSeconds is the most recent spawn-to-ready latency.
+	ColdStarts           int64   `json:"cold_starts"`
+	LastColdStartSeconds float64 `json:"last_cold_start_seconds,omitempty"`
+	// Requeues counts jobs whose expired claims the coordinator reaped.
+	Requeues int64         `json:"requeues"`
+	Workers  []FleetWorker `json:"workers"`
+}
+
+// FleetResponse wraps the GET /api/v1/fleet body.
+type FleetResponse struct {
+	Fleet FleetStatus `json:"fleet"`
 }
 
 // / Event is one server-sent event from a job's progress stream: a type

@@ -312,6 +312,16 @@ func (c *Client) Health(ctx context.Context) (Health, error) {
 	return out, nil
 }
 
+// Fleet fetches the coordinator's fleet view (GET /api/v1/fleet). A
+// standalone server without a fleet answers CodeUnavailable.
+func (c *Client) Fleet(ctx context.Context) (FleetStatus, error) {
+	var out FleetResponse
+	if err := c.do(ctx, http.MethodGet, Prefix+"/fleet", nil, &out); err != nil {
+		return FleetStatus{}, err
+	}
+	return out.Fleet, nil
+}
+
 // Events subscribes to a job's SSE progress stream and invokes fn (if
 // non-nil) for every event, returning the job's terminal view when the
 // stream ends. The server replays the full history first, so a late

@@ -1,0 +1,125 @@
+// Package fleet runs a local cluster of pythia-serve worker processes:
+// a supervisor that spawns and stops them, a KPA-style autoscaler that
+// sizes the tier from queue depth and in-flight concurrency, and a
+// coordinator that ties both to the shared job journal (reaping expired
+// claims, sweeping dead workers, serving the /api/v1/fleet view). All
+// coordination rides the journal's claim/lease substrate — there is no
+// worker wire protocol to version or secure.
+package fleet
+
+import "time"
+
+// AutoscalerConfig parameterizes the scaling policy.
+type AutoscalerConfig struct {
+	// Min and Max bound the worker count. Min 0 enables scale-to-zero:
+	// an idle fleet costs nothing but the cold start when work returns.
+	Min, Max int
+	// TargetConcurrency is the per-worker load the fleet sizes for, in
+	// jobs (queued + in-flight) per worker — the knob Knative's KPA calls
+	// by the same name. The default is 1: a worker saturates the machine
+	// with one simulation job, so piling more onto it buys queueing, not
+	// throughput.
+	TargetConcurrency int
+	// ScaleDownDelay is how long demand must stay below the current size
+	// before workers are stopped; the default is 15s. Scale-up has no
+	// delay — queued work is paying for every second of hesitation — but
+	// shrinking fast flaps: the fleet would kill workers in the gap
+	// between two bursts and eat a cold start on the next.
+	ScaleDownDelay time.Duration
+}
+
+// Signals is one observation of the fleet, the autoscaler's input.
+type Signals struct {
+	// Queued and InFlight measure demand: claimable journal records and
+	// claimed-but-unfinished jobs.
+	Queued   int
+	InFlight int
+	// Ready and Starting measure supply: live heartbeating workers and
+	// spawned-but-not-yet-heartbeating ones (cold starts in progress).
+	Ready    int
+	Starting int
+}
+
+// Decision is the autoscaler's output for one observation.
+type Decision struct {
+	// Desired is the worker count the supervisor should reconcile to.
+	Desired int
+	// Direction is "up", "down" or "hold" — the label on the scale
+	// decisions metric, and what tests assert on.
+	Direction string
+}
+
+// Autoscaler sizes the worker tier. Decide is deterministic given the
+// observation and the wall clock, which is what makes the policy
+// table-testable; the only state between calls is the low-demand window
+// used to debounce scale-down.
+type Autoscaler struct {
+	cfg AutoscalerConfig
+	// lowSince is when demand first dropped below the current size (zero
+	// while demand holds the fleet at or above it).
+	lowSince time.Time
+}
+
+// NewAutoscaler applies defaults: TargetConcurrency 1, ScaleDownDelay
+// 15s, Max at least Min (and at least 1).
+func NewAutoscaler(cfg AutoscalerConfig) *Autoscaler {
+	if cfg.TargetConcurrency <= 0 {
+		cfg.TargetConcurrency = 1
+	}
+	if cfg.ScaleDownDelay <= 0 {
+		cfg.ScaleDownDelay = 15 * time.Second
+	}
+	if cfg.Min < 0 {
+		cfg.Min = 0
+	}
+	if cfg.Max < cfg.Min {
+		cfg.Max = cfg.Min
+	}
+	if cfg.Max == 0 {
+		cfg.Max = 1
+	}
+	return &Autoscaler{cfg: cfg}
+}
+
+// Decide maps one observation to the desired worker count.
+//
+//   - Demand is ceil((queued+inflight)/target), clamped to [Min, Max].
+//   - Scale-up is immediate — except while a previous spawn is still
+//     cold-starting (Starting > 0): a burst would otherwise overshoot,
+//     spawning a worker per tick until the first one's heartbeat lands.
+//   - Scale-down (including to zero when Min is 0) fires only after
+//     demand has stayed low for ScaleDownDelay.
+func (a *Autoscaler) Decide(sig Signals, now time.Time) Decision {
+	demand := sig.Queued + sig.InFlight
+	desired := (demand + a.cfg.TargetConcurrency - 1) / a.cfg.TargetConcurrency
+	if desired < a.cfg.Min {
+		desired = a.cfg.Min
+	}
+	if desired > a.cfg.Max {
+		desired = a.cfg.Max
+	}
+	current := sig.Ready + sig.Starting
+
+	switch {
+	case desired > current:
+		a.lowSince = time.Time{}
+		if sig.Starting > 0 {
+			// Cold-start debounce: let the in-flight spawns land before
+			// judging whether more are needed.
+			return Decision{Desired: current, Direction: "hold"}
+		}
+		return Decision{Desired: desired, Direction: "up"}
+	case desired < current:
+		if a.lowSince.IsZero() {
+			a.lowSince = now
+		}
+		if now.Sub(a.lowSince) < a.cfg.ScaleDownDelay {
+			return Decision{Desired: current, Direction: "hold"}
+		}
+		a.lowSince = time.Time{}
+		return Decision{Desired: desired, Direction: "down"}
+	default:
+		a.lowSince = time.Time{}
+		return Decision{Desired: current, Direction: "hold"}
+	}
+}

@@ -1,0 +1,113 @@
+package fleet
+
+// Table-driven tests for the KPA-style scaling policy. Decide is
+// deterministic given (signals, clock), so each case is a scripted
+// sequence of observations at explicit clock offsets.
+
+import (
+	"testing"
+	"time"
+)
+
+type scaleStep struct {
+	at          time.Duration // clock offset from the sequence start
+	sig         Signals
+	wantDesired int
+	wantDir     string
+}
+
+func runSteps(t *testing.T, cfg AutoscalerConfig, steps []scaleStep) {
+	t.Helper()
+	a := NewAutoscaler(cfg)
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	for i, st := range steps {
+		got := a.Decide(st.sig, base.Add(st.at))
+		if got.Desired != st.wantDesired || got.Direction != st.wantDir {
+			t.Fatalf("step %d (t+%v, %+v): got {%d %q}, want {%d %q}",
+				i, st.at, st.sig, got.Desired, got.Direction, st.wantDesired, st.wantDir)
+		}
+	}
+}
+
+func TestAutoscalerRampOnQueueDepth(t *testing.T) {
+	cfg := AutoscalerConfig{Min: 0, Max: 4, TargetConcurrency: 1, ScaleDownDelay: 15 * time.Second}
+	runSteps(t, cfg, []scaleStep{
+		// Work arrives on an empty fleet: scale up immediately.
+		{0, Signals{Queued: 1}, 1, "up"},
+		// The spawn is still cold-starting: hold, don't pile on.
+		{time.Second, Signals{Queued: 1, Starting: 1}, 1, "hold"},
+		// Worker ready, job claimed; supply matches demand.
+		{2 * time.Second, Signals{InFlight: 1, Ready: 1}, 1, "hold"},
+		// Burst: five more queued. Demand 6, clamped to Max 4.
+		{3 * time.Second, Signals{Queued: 5, InFlight: 1, Ready: 1}, 4, "up"},
+		// Again: new spawns cold-starting gates further ups.
+		{4 * time.Second, Signals{Queued: 5, InFlight: 1, Ready: 1, Starting: 3}, 4, "hold"},
+		{6 * time.Second, Signals{Queued: 2, InFlight: 4, Ready: 4}, 4, "hold"},
+	})
+}
+
+func TestAutoscalerScaleToZero(t *testing.T) {
+	cfg := AutoscalerConfig{Min: 0, Max: 4, TargetConcurrency: 1, ScaleDownDelay: 15 * time.Second}
+	runSteps(t, cfg, []scaleStep{
+		{0, Signals{InFlight: 2, Ready: 2}, 2, "hold"},
+		// Demand gone: the low-demand window opens but nothing shrinks yet.
+		{time.Second, Signals{Ready: 2}, 2, "hold"},
+		{10 * time.Second, Signals{Ready: 2}, 2, "hold"},
+		// One second short of the delay: still holding.
+		{15*time.Second + 999*time.Millisecond, Signals{Ready: 2}, 2, "hold"},
+		// Window satisfied (opened at t+1s): all the way to zero.
+		{16*time.Second + 100*time.Millisecond, Signals{Ready: 2}, 0, "down"},
+		// Idle fleet stays at zero...
+		{20 * time.Second, Signals{}, 0, "hold"},
+		// ...and the next job pays one cold start, immediately.
+		{30 * time.Second, Signals{Queued: 1}, 1, "up"},
+	})
+}
+
+func TestAutoscalerLowWindowResetsOnDemand(t *testing.T) {
+	cfg := AutoscalerConfig{Min: 0, Max: 4, TargetConcurrency: 1, ScaleDownDelay: 10 * time.Second}
+	runSteps(t, cfg, []scaleStep{
+		{0, Signals{Ready: 2}, 2, "hold"}, // low window opens
+		// Demand returns before the delay elapses: window must reset.
+		{5 * time.Second, Signals{Queued: 1, InFlight: 1, Ready: 2}, 2, "hold"},
+		{8 * time.Second, Signals{Ready: 2}, 2, "hold"}, // window reopens here
+		// 10s after the ORIGINAL low start but only 9s after the reset —
+		// a scaler that never reset would shrink now.
+		{10 * time.Second, Signals{Ready: 2}, 2, "hold"},
+		{18*time.Second + 100*time.Millisecond, Signals{Ready: 2}, 0, "down"},
+	})
+}
+
+func TestAutoscalerMinKeepsWarmPool(t *testing.T) {
+	cfg := AutoscalerConfig{Min: 1, Max: 4, TargetConcurrency: 1, ScaleDownDelay: time.Second}
+	runSteps(t, cfg, []scaleStep{
+		// Empty fleet, no demand: Min still wants one warm worker.
+		{0, Signals{}, 1, "up"},
+		{time.Second, Signals{Ready: 1}, 1, "hold"},
+		// Shrink from 3 stops at the floor, not zero.
+		{2 * time.Second, Signals{Ready: 3}, 3, "hold"},
+		{4 * time.Second, Signals{Ready: 3}, 1, "down"},
+	})
+}
+
+func TestAutoscalerTargetConcurrency(t *testing.T) {
+	cfg := AutoscalerConfig{Min: 0, Max: 8, TargetConcurrency: 2, ScaleDownDelay: 15 * time.Second}
+	runSteps(t, cfg, []scaleStep{
+		// Demand 5 at 2 jobs per worker: ceil(5/2) = 3.
+		{0, Signals{Queued: 4, InFlight: 1}, 3, "up"},
+		{time.Second, Signals{Queued: 2, InFlight: 4, Ready: 3}, 3, "hold"},
+	})
+}
+
+func TestAutoscalerDefaults(t *testing.T) {
+	a := NewAutoscaler(AutoscalerConfig{})
+	if a.cfg.TargetConcurrency != 1 || a.cfg.ScaleDownDelay != 15*time.Second || a.cfg.Max != 1 {
+		t.Fatalf("defaults not applied: %+v", a.cfg)
+	}
+	// Max is lifted to Min so the config can't deadlock the fleet at a
+	// size it is forbidden to reach.
+	a = NewAutoscaler(AutoscalerConfig{Min: 3, Max: 1})
+	if a.cfg.Max != 3 {
+		t.Fatalf("Max %d not lifted to Min 3", a.cfg.Max)
+	}
+}

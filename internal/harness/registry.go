@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"pythia/internal/core"
 )
@@ -60,8 +62,15 @@ func PythiaConfigByName(name string) (core.Config, error) {
 	return core.Config{}, fmt.Errorf("unknown Pythia configuration %q (available: %v)", name, names)
 }
 
-// ScaleByName resolves a scale preset.
+// ScaleByName resolves a scale preset, or a parametric "custom:" scale.
+// Parametric scales make the name self-describing: any process that can
+// parse the name reconstructs the identical Scale, so a multi-process
+// fleet never has to ship ExtraScales configuration to its workers for
+// journaled jobs to be claimable (see internal/serve's worker loop).
 func ScaleByName(name string) (Scale, error) {
+	if strings.HasPrefix(name, customScalePrefix) {
+		return ParseCustomScale(name)
+	}
 	switch name {
 	case "quick":
 		return ScaleQuick, nil
@@ -72,6 +81,58 @@ func ScaleByName(name string) (Scale, error) {
 	case "long":
 		return ScaleLong, nil
 	default:
-		return Scale{}, fmt.Errorf("unknown scale %q (quick|default|full|long)", name)
+		return Scale{}, fmt.Errorf("unknown scale %q (quick|default|full|long|custom:...)", name)
 	}
+}
+
+// customScalePrefix marks a parametric scale name.
+const customScalePrefix = "custom:"
+
+// ParseCustomScale parses a parametric scale name of the form
+//
+//	custom:warmup=300000,sim=1000000,tracelen=120000,wps=2,mixes=2,chunk=0
+//
+// Every field is optional; omitted fields default to a small smoke-test
+// footprint (warmup 50k, sim 200k, tracelen 40k, one workload, one mix,
+// materialized delivery). The name is the scale: two processes given the
+// same string always resolve the same Scale, and two distinct strings
+// address distinct store entries (Scale.Key feeds the fingerprint), which
+// is what lets load generators mint deliberately uncacheable jobs.
+func ParseCustomScale(name string) (Scale, error) {
+	sc := Scale{Warmup: 50_000, Sim: 200_000, TraceLen: 40_000, WorkloadsPerSuite: 1, HeteroMixes: 1}
+	spec := strings.TrimPrefix(name, customScalePrefix)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return Scale{}, fmt.Errorf("bad custom scale field %q (want key=value)", part)
+		}
+		n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+		if err != nil || n < 0 {
+			return Scale{}, fmt.Errorf("bad custom scale value in %q", part)
+		}
+		switch strings.TrimSpace(k) {
+		case "warmup":
+			sc.Warmup = n
+		case "sim":
+			sc.Sim = n
+		case "tracelen":
+			sc.TraceLen = int(n)
+		case "wps":
+			sc.WorkloadsPerSuite = int(n)
+		case "mixes":
+			sc.HeteroMixes = int(n)
+		case "chunk":
+			sc.StreamChunk = int(n)
+		default:
+			return Scale{}, fmt.Errorf("unknown custom scale field %q (warmup|sim|tracelen|wps|mixes|chunk)", k)
+		}
+	}
+	if sc.Sim <= 0 || sc.TraceLen <= 0 {
+		return Scale{}, fmt.Errorf("custom scale %q needs sim > 0 and tracelen > 0", name)
+	}
+	return sc, nil
 }

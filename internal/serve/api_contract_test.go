@@ -130,11 +130,11 @@ func TestEveryShedPathSetsRetryAfter(t *testing.T) {
 	})
 }
 
-// TestLegacyAliasesServeV1Payloads: every /api/... route from before
-// versioning still answers — same handler, same body as its /api/v1
-// twin — and advertises its deprecation so clients can migrate before
-// the aliases are dropped.
-func TestLegacyAliasesServeV1Payloads(t *testing.T) {
+// TestLegacyAliasesAreGone: the unversioned /api/... aliases finished
+// their one-release deprecation window and must now 404 — no handler,
+// no Deprecation header, nothing. A client still on them gets an
+// unambiguous break, not a silently unversioned contract.
+func TestLegacyAliasesAreGone(t *testing.T) {
 	harness.ResetCaches()
 	defer harness.ResetCaches()
 	_, ts := newTestServer(t, results.Open(t.TempDir()), 4)
@@ -145,41 +145,26 @@ func TestLegacyAliasesServeV1Payloads(t *testing.T) {
 	}
 	waitDone(t, ts.URL, job.ID)
 
-	for _, path := range []string{"/experiments", "/runs", "/runs/" + job.ID, "/results/fig14?scale=tiny"} {
-		v1, v1Body := fetch(t, http.MethodGet, ts.URL+api.Prefix+path, nil)
-		legacy, legacyBody := fetch(t, http.MethodGet, ts.URL+"/api"+path, nil)
-		if v1.StatusCode != http.StatusOK || legacy.StatusCode != http.StatusOK {
-			t.Fatalf("%s: v1=%d legacy=%d", path, v1.StatusCode, legacy.StatusCode)
+	for _, path := range []string{"/experiments", "/runs", "/runs/" + job.ID, "/results/fig14?scale=tiny", "/policies"} {
+		v1, _ := fetch(t, http.MethodGet, ts.URL+api.Prefix+path, nil)
+		if v1.StatusCode == http.StatusNotFound {
+			t.Fatalf("%s: canonical v1 route 404s", path)
 		}
-		if string(v1Body) != string(legacyBody) {
-			// Timelines include live durations, so tolerate byte drift only
-			// for the job-status route; everything else must match exactly.
-			if path != "/runs/"+job.ID && path != "/runs" {
-				t.Errorf("%s: legacy alias body differs from v1", path)
-			}
+		legacy, _ := fetch(t, http.MethodGet, ts.URL+"/api"+path, nil)
+		if legacy.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: legacy alias answered %d, want 404", path, legacy.StatusCode)
 		}
-		if v1.Header.Get("Deprecation") != "" {
-			t.Errorf("%s: canonical v1 route marked deprecated", path)
-		}
-		if legacy.Header.Get("Deprecation") != "true" {
-			t.Errorf("%s: legacy alias missing Deprecation header", path)
-		}
-		if legacy.Header.Get("Link") == "" {
-			t.Errorf("%s: legacy alias missing successor-version Link", path)
+		if legacy.Header.Get("Deprecation") != "" {
+			t.Errorf("%s: removed alias still advertises Deprecation", path)
 		}
 	}
 
-	// Legacy launch still works end to end (POST body unchanged).
+	// Legacy launch is gone too.
 	launch, _ := json.Marshal(api.LaunchRequest{Experiment: "fig14", Scale: "tiny"})
-	resp, body := fetch(t, http.MethodPost, ts.URL+"/api/runs", bytes.NewReader(launch))
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("legacy launch = %d (%s)", resp.StatusCode, body)
+	resp, _ := fetch(t, http.MethodPost, ts.URL+"/api/runs", bytes.NewReader(launch))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("legacy launch answered %d, want 404", resp.StatusCode)
 	}
-	var out api.JobResponse
-	if err := json.Unmarshal(body, &out); err != nil || out.Job.ID == "" {
-		t.Fatalf("legacy launch body not a JobResponse: %v (%s)", err, body)
-	}
-	waitDone(t, ts.URL, out.Job.ID)
 }
 
 // TestCancelConflictUsesEnvelope: canceling a terminal job answers 409

@@ -152,7 +152,7 @@ func TestChaosWorkerSIGKILLRecovery(t *testing.T) {
 	var got struct {
 		Job serve.JobView `json:"job"`
 	}
-	if code := getJSON(t, base2+"/api/runs/"+job.ID, &got); code != http.StatusOK {
+	if code := getJSON(t, base2+"/api/v1/runs/"+job.ID, &got); code != http.StatusOK {
 		t.Fatalf("successor does not list the orphaned job %s (= %d); output:\n%s",
 			job.ID, code, out2.String())
 	}
@@ -192,7 +192,7 @@ func waitSuccessorDone(t *testing.T, base, id string) serve.JobView {
 		var out struct {
 			Job serve.JobView `json:"job"`
 		}
-		if code := getJSON(t, base+"/api/runs/"+id, &out); code != http.StatusOK {
+		if code := getJSON(t, base+"/api/v1/runs/"+id, &out); code != http.StatusOK {
 			t.Fatalf("GET run %s = %d", id, code)
 		}
 		switch out.Job.Status {

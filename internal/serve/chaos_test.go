@@ -198,7 +198,7 @@ func TestChaosBreakerOpensAndRecovers(t *testing.T) {
 
 	// A launch that needs a fresh simulation is shed with Retry-After...
 	body := strings.NewReader(`{"experiment": "table7", "scale": "tiny"}`)
-	resp, err := http.Post(ts+"/api/runs", "application/json", body)
+	resp, err := http.Post(ts+"/api/v1/runs", "application/json", body)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +220,7 @@ func TestChaosBreakerOpensAndRecovers(t *testing.T) {
 	if done := waitDone(t, ts, hit.ID); done.Status != serve.StatusDone || !done.Cached {
 		t.Fatalf("store-hit job while degraded: status %q cached %v", done.Status, done.Cached)
 	}
-	if code := getJSON(t, ts+"/api/results/table2?scale=tiny", nil); code != http.StatusOK {
+	if code := getJSON(t, ts+"/api/v1/results/table2?scale=tiny", nil); code != http.StatusOK {
 		t.Errorf("GET stored result while degraded = %d", code)
 	}
 
@@ -268,7 +268,7 @@ func TestChaosPolicyBreakerShedsTraining(t *testing.T) {
 	fault.Enable(policy.FPWrite, fault.Spec{Err: fault.Transient(errors.New("injected policy outage"))})
 	launch := func() (serve.JobView, *http.Response) {
 		body := strings.NewReader(`{"train": {"workload": "459.GemsFDTD-100B", "config": "pythia"}, "scale": "tiny"}`)
-		resp, err := http.Post(ts+"/api/runs", "application/json", body)
+		resp, err := http.Post(ts+"/api/v1/runs", "application/json", body)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -391,7 +391,7 @@ func TestChaosAdmitCrashRecovered(t *testing.T) {
 
 	fault.Enable(serve.FPAdmitCrash, fault.Spec{Mode: fault.ModePanic})
 	body := strings.NewReader(`{"experiment": "table4", "scale": "tiny"}`)
-	if resp, err := http.Post(tsA.URL+"/api/runs", "application/json", body); err == nil {
+	if resp, err := http.Post(tsA.URL+"/api/v1/runs", "application/json", body); err == nil {
 		// The handler died mid-admission; any response is server-side noise.
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
@@ -419,7 +419,7 @@ func TestChaosAdmitCrashRecovered(t *testing.T) {
 	var list struct {
 		Jobs []serve.JobView `json:"jobs"`
 	}
-	getJSON(t, tsB+"/api/runs", &list)
+	getJSON(t, tsB+"/api/v1/runs", &list)
 	if len(list.Jobs) != 1 {
 		t.Fatalf("recovered server lists %d jobs, want 1", len(list.Jobs))
 	}

@@ -1,0 +1,307 @@
+package serve
+
+// executor is the job-execution engine, extracted from Server so two
+// roles can drive it: the in-process executor goroutine of a standalone
+// Server (the single-process mode that predates the fleet), and the
+// worker-process loop in worker.go, which drains claims from a shared
+// journal. The execution semantics — store-first GetOrCompute, jittered
+// transient retries under the attempt budget, breaker feedback,
+// delivery-beats-persistence — are identical in both roles; only how a
+// job arrives (queue channel vs. journal claim) differs.
+
+import (
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pythia/internal/fault"
+	"pythia/internal/harness"
+	"pythia/internal/policy"
+	"pythia/internal/results"
+)
+
+type executor struct {
+	store    *results.Store
+	policies *policy.Store
+	// storeBrk and polBrk are the per-store circuit breakers guarding
+	// result and policy persistence respectively.
+	storeBrk *breaker
+	polBrk   *breaker
+	// journal is nil when journaling is disabled.
+	journal *journal
+
+	leaseTTL         time.Duration
+	maxAttempts      int
+	retryBase        time.Duration
+	progressInterval time.Duration
+
+	// owner is the claim-owner identity when this executor runs inside a
+	// fleet worker ("" in the single-process role). With an owner set,
+	// the heartbeat also renews the job's claim file — and cancels the
+	// run if the claim was lost (lease reaped, job requeued elsewhere)
+	// or a frontend left a cancel marker.
+	owner string
+
+	log *slog.Logger
+}
+
+// execute routes a job to its kind's runner and logs its terminal
+// outcome — the one log line per job worth grepping for.
+func (e *executor) execute(j *job) {
+	e.log.Info("job dispatched", "job", j.id, "kind", j.kind, "scale", j.scaleName)
+	if j.kind == KindTrain {
+		e.runTrainJob(j)
+	} else {
+		e.runJob(j)
+	}
+	v := j.view()
+	e.log.Info("job finished", "job", j.id, "kind", j.kind, "status", v.Status,
+		"cached", v.Cached, "sims", v.Sims, "attempts", v.Attempts, "error", v.Error)
+}
+
+// runJob executes one experiment, consulting the store first. Transient
+// failures (store writes, I/O pressure — see fault.IsTransient) retry
+// with jittered exponential backoff under the job's attempt budget;
+// each attempt's persist outcome feeds the result store's circuit
+// breaker. Retrying the whole GetOrCompute is nearly free on the
+// compute side: the harness memoizes finished runs in memory even when
+// persists fail, so a retry re-renders the table without re-simulating.
+func (e *executor) runJob(j *job) {
+	// A job canceled while queued (DELETE, or an aborted shutdown) is
+	// already terminal — or about to be; don't touch the store for it.
+	if j.ctx.Err() != nil {
+		j.finish(nil, false, 0, j.ctx.Err())
+		return
+	}
+	startSims := harness.SimCount()
+	stopSampler := e.startSampler(j, startSims)
+
+	key := harness.ExperimentKey(j.expID, j.scale)
+	var payload harness.ExperimentPayload
+	var hit bool
+	var err error
+	for {
+		payload = harness.ExperimentPayload{}
+		j.beginAttempt(e.leaseTTL)
+		hit, err = e.store.GetOrCompute(key, &payload, func() (any, error) {
+			return e.computeExperiment(j, startSims)
+		})
+		delivered := payload.Table != nil
+		e.recordPersist(e.storeBrk, hit, delivered, err)
+		if !e.retry(j, err) {
+			break
+		}
+	}
+	stopSampler()
+
+	executed := harness.SimCount() - startSims
+	// GetOrCompute reports a non-nil error alongside a delivered payload
+	// when only the persist failed ("delivery beats persistence"); the
+	// computed table must still reach the client — an unwritable store
+	// degrades to "no reuse", never to a failed run.
+	if err != nil && payload.Table == nil {
+		j.finish(nil, false, executed, err)
+		return
+	}
+	j.finish(&payload, hit, executed, nil)
+}
+
+// runTrainJob executes one policy-training job: the policy store is
+// consulted first (through the same GetOrTrain path every caller shares),
+// so a repeat request for an already-trained policy is a store hit with
+// zero simulations — the job's sims counter proves it to clients, exactly
+// as experiment jobs prove result-store reuse.
+func (e *executor) runTrainJob(j *job) {
+	if j.ctx.Err() != nil {
+		j.finish(nil, false, 0, j.ctx.Err())
+		return
+	}
+	startSims := harness.SimCount()
+	stopSampler := e.startSampler(j, startSims)
+
+	var env policy.Envelope
+	var hit bool
+	var err error
+	for {
+		j.beginAttempt(e.leaseTTL)
+		env, hit, err = e.trainPolicy(j)
+		e.recordPersist(e.polBrk, hit, env.ID != "", err)
+		if !e.retry(j, err) {
+			break
+		}
+	}
+	stopSampler()
+
+	executed := harness.SimCount() - startSims
+	// Like experiment jobs, delivery beats persistence: a policy that
+	// trained but failed to land on disk still reaches the client.
+	if err != nil && env.ID == "" {
+		j.finishPolicy(nil, false, executed, err)
+		return
+	}
+	meta := env.Meta
+	j.finishPolicy(&meta, hit, executed, nil)
+}
+
+// recordPersist feeds one attempt's persist outcome into a store's
+// breaker. Only outcomes that say something about the store count: a
+// delivered-but-unpersisted artifact is a persist failure, an actual
+// write is a success, and a store hit (or a compute failure, or a
+// read-only store) says nothing.
+func (e *executor) recordPersist(b *breaker, hit, delivered bool, err error) {
+	switch {
+	case err != nil && delivered:
+		b.recordFailure(err)
+	case err == nil && !hit:
+		b.recordSuccess()
+	}
+}
+
+// retry decides whether err warrants another attempt: transient
+// classification only (fault.IsTransient), within the attempt budget,
+// and never once the job's context is done. It sleeps the jittered
+// backoff before reporting true.
+func (e *executor) retry(j *job, err error) bool {
+	if err == nil || j.ctx.Err() != nil || !fault.IsTransient(err) {
+		return false
+	}
+	j.mu.Lock()
+	attempt := j.attempts
+	j.mu.Unlock()
+	if attempt >= e.maxAttempts {
+		return false
+	}
+	wait := backoff(e.retryBase, attempt)
+	e.log.Warn("transient failure, retrying", "job", j.id, "attempt", attempt,
+		"backoff_ms", wait.Milliseconds(), "error", err.Error())
+	j.retrying(err, wait)
+	select {
+	case <-time.After(wait):
+	case <-j.ctx.Done():
+		return false
+	}
+	return true
+}
+
+// backoff is full-jittered exponential backoff: a uniform draw from
+// (0, base·2^(attempt-1)], capped at 5s — the de-correlated shape that
+// keeps retry herds from re-colliding.
+func backoff(base time.Duration, attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	span := base << (attempt - 1)
+	if lim := 5 * time.Second; span > lim {
+		span = lim
+	}
+	return time.Duration(rand.Int63n(int64(span))) + 1
+}
+
+// startSampler launches the progress sampler for a running job and
+// returns a function that stops it and waits for it to exit. The sampler
+// reads the process-wide simulation counter: with one job executing at a
+// time per process, every simulation between job start and finish
+// belongs to this job, so the delta is exact.
+//
+// The sampler is also the lease heartbeat: each tick renews the running
+// job's journaled lease, so the lease lapses exactly when the process
+// stops making progress observations (crash, hang, SIGKILL). In the
+// worker role (owner set) the heartbeat additionally renews the claim
+// file — aborting the run if the claim was lost — and honors cancel
+// markers left by a frontend, since contexts don't cross processes.
+func (e *executor) startSampler(j *job, startSims int64) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(e.progressInterval)
+		defer tick.Stop()
+		j.progress(0)
+		lastRenew := time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				j.progress(harness.SimCount() - startSims)
+				if e.journal == nil {
+					continue
+				}
+				if e.owner != "" && e.journal.cancelRequested(j.id) {
+					e.log.Info("cancel marker honored", "job", j.id)
+					j.markUserCanceled()
+					j.cancel()
+				}
+				// Renewing on every tick would write the journal far more
+				// often than durability needs; a third of the TTL keeps two
+				// renewals of slack before a lease could falsely lapse.
+				if time.Since(lastRenew) >= e.leaseTTL/3 {
+					if e.owner != "" {
+						if err := e.journal.renewClaim(j.id, e.owner, e.leaseTTL); err != nil {
+							// The claim is gone or owned elsewhere: this worker
+							// lost the lease (reaped after a stall). Abort the
+							// run rather than split-brain with the new owner;
+							// the finish path must not journal over theirs.
+							e.log.Warn("lease lost, aborting run", "job", j.id, "error", err.Error())
+							j.orphan()
+							j.cancel()
+							return
+						}
+					}
+					j.renewLease(e.leaseTTL)
+					lastRenew = time.Now()
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
+// trainPolicy runs the training itself under the job's context; the
+// recover mirrors computeExperiment's last line of defense.
+func (e *executor) trainPolicy(j *job) (env policy.Envelope, hit bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("training %s on %s panicked: %v", j.train.Config.Name, j.train.Workload.Name, r)
+		}
+	}()
+	return harness.TrainPolicyIn(j.ctx, e.policies, j.train)
+}
+
+// computeExperiment runs the experiment itself under the job's context.
+// The harness reports failures (bad specs, corrupted trace-cache files,
+// cancellation) as error values; the recover is a last line of defense
+// against latent panics in model code, so no single request can take down
+// the service either way.
+func (e *executor) computeExperiment(j *job, startSims int64) (payload any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiment %s panicked: %v", j.expID, r)
+		}
+	}()
+	exp, ok := harness.ExperimentByID(j.expID)
+	if !ok {
+		return nil, fmt.Errorf("unknown experiment %q", j.expID)
+	}
+	start := time.Now()
+	table, err := exp.Run(j.ctx, j.scale)
+	if err != nil {
+		return nil, err
+	}
+	// The computed payload goes to the store the moment this returns.
+	j.tl.Mark("persisting", time.Now().UTC())
+	return harness.ExperimentPayload{
+		ID:      exp.ID,
+		Title:   exp.Title,
+		Scale:   j.scaleName,
+		Table:   table,
+		Sims:    harness.SimCount() - startSims,
+		Seconds: time.Since(start).Seconds(),
+	}, nil
+}

@@ -74,16 +74,23 @@ type job struct {
 	cached   bool
 	sims     int64
 	attempts int
+	// owner is the lease-owner identity of the process executing the job
+	// (set by the worker loop before execution; empty for the in-process
+	// executor and for queued jobs). Journaled so fleet frontends can
+	// report which worker holds each job.
+	owner string
 	// leaseUntil is the running job's heartbeat-renewed lease expiry.
 	leaseUntil time.Time
 	// userCanceled distinguishes DELETE (a terminal decision, journaled)
 	// from shutdown-driven cancellation (the journal keeps the job's
 	// pre-cancel state so a restart requeues it).
 	userCanceled bool
-	created      time.Time
-	started      time.Time
-	finished     time.Time
-	result       *harness.ExperimentPayload
+	// orphaned marks a worker-side job whose claim was lost; see orphan.
+	orphaned bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	result   *harness.ExperimentPayload
 	// policyMeta is a finished training job's artifact descriptor.
 	policyMeta *policy.Meta
 
@@ -159,6 +166,7 @@ func (j *job) viewLocked() JobView {
 		Sims:       j.sims,
 		Attempts:   j.attempts,
 		Recovered:  j.recovered,
+		Worker:     j.owner,
 		CreatedAt:  j.created,
 		Result:     j.result,
 		Policy:     j.policyMeta,
@@ -297,6 +305,25 @@ func (j *job) markUserCanceled() {
 	j.mu.Unlock()
 }
 
+// orphan marks a job whose lease was lost to another owner (the claim
+// was reaped and possibly re-claimed elsewhere). Detaching the journal
+// makes the eventual local terminal state memory-only, so this process
+// can never overwrite the new owner's record; the worker loop also skips
+// releasing a claim it no longer holds.
+func (j *job) orphan() {
+	j.mu.Lock()
+	j.jl = nil
+	j.orphaned = true
+	j.mu.Unlock()
+}
+
+// lostLease reports whether orphan was called.
+func (j *job) lostLease() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.orphaned
+}
+
 // progress announces how many simulations the job has executed so far
 // (dropped once the job is terminal, so no event trails the terminal one
 // in the history).
@@ -370,6 +397,76 @@ func (j *job) finishWith(setResult func(), cached bool, sims int64, err error) {
 	}
 	// The job context is done with: release its resources (also unparks
 	// any AfterFunc the harness registered for it).
+	j.cancel()
+}
+
+// syncRunning applies a worker-written running record to a job the
+// frontend is tracking in dispatch mode: the status flip is announced
+// once, progress rides the record's sims counter, and the executing
+// worker's identity becomes visible. The journal is NOT written back —
+// the worker owns the record while it holds the claim; the frontend is
+// a reader here.
+func (j *job) syncRunning(rec jobRecord) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if terminalStatus(j.status) {
+		return
+	}
+	j.attempts = rec.Attempts
+	j.owner = rec.Owner
+	j.leaseUntil = rec.LeaseUntil
+	if j.status != StatusRunning {
+		j.status = StatusRunning
+		j.started = rec.UpdatedAt
+		if j.started.IsZero() {
+			j.started = time.Now().UTC()
+		}
+		mQueueWait.Observe(j.started.Sub(j.created).Seconds())
+		j.tl.Barrier("leased", j.started)
+		j.publish("status", j.viewLocked())
+	}
+	if rec.Sims != j.sims {
+		j.sims = rec.Sims
+		j.publish("progress", map[string]any{"id": j.id, "sims": rec.Sims})
+	}
+}
+
+// adoptTerminal applies a worker-written terminal record: the frontend's
+// tracked job reaches the same terminal state the worker journaled, with
+// the artifact (res or pm) fetched from the shared stores by the caller.
+// Like finishWith it is idempotent and closes every subscriber stream;
+// unlike finishWith it does not journal — the record on disk already is
+// the terminal state.
+func (j *job) adoptTerminal(rec jobRecord, res *harness.ExperimentPayload, pm *policy.Meta) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if terminalStatus(j.status) {
+		return
+	}
+	j.finished = time.Now().UTC()
+	if !rec.UpdatedAt.IsZero() {
+		j.finished = rec.UpdatedAt
+	}
+	j.status = rec.Status
+	j.errMsg = rec.Error
+	j.cached = rec.Cached
+	j.sims = rec.Sims
+	j.attempts = rec.Attempts
+	j.owner = rec.Owner
+	j.result = res
+	j.policyMeta = pm
+	mSSESubs.Add(-float64(len(j.subs)))
+	j.tl.Barrier(j.status, j.finished)
+	jobsFinished(j.status).Inc()
+	if !j.started.IsZero() {
+		jobDuration(j.kind).Observe(j.finished.Sub(j.started).Seconds())
+	}
+	j.publish(j.status, j.viewLocked())
+	j.closed = true
+	for ch := range j.subs {
+		close(ch)
+		delete(j.subs, ch)
+	}
 	j.cancel()
 }
 

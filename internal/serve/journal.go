@@ -58,6 +58,17 @@ type jobRecord struct {
 	// its lease has expired: a still-live lease may belong to another
 	// process sharing the journal directory.
 	LeaseUntil time.Time `json:"lease_until,omitempty"`
+	// Owner identifies the process executing the job (PID + start-time
+	// nonce; see NewOwnerID). Fleet frontends surface it as the job's
+	// worker; it is informational — mutual exclusion lives in the claim
+	// file, whose owner must match for lease renewal.
+	Owner string `json:"owner,omitempty"`
+	// Sims and Cached mirror the job's progress/outcome so a stateless
+	// frontend can proxy status from the record alone; PolicyID names a
+	// finished training job's artifact in the policy store.
+	Sims     int64  `json:"sims,omitempty"`
+	Cached   bool   `json:"cached,omitempty"`
+	PolicyID string `json:"policy_id,omitempty"`
 
 	CreatedAt time.Time `json:"created_at"`
 	UpdatedAt time.Time `json:"updated_at"`
@@ -105,9 +116,24 @@ func (l *journal) put(rec jobRecord) {
 }
 
 // remove deletes a job's record (evicted from history, or terminal at
-// recovery time).
+// recovery time), along with any claim or cancel litter it left.
 func (l *journal) remove(id string) {
 	os.Remove(l.path(id))
+	os.Remove(l.claimPath(id))
+	l.clearCancel(id)
+}
+
+// get reads one job's record (the fleet frontend's status-proxy read).
+func (l *journal) get(id string) (jobRecord, bool) {
+	buf, err := os.ReadFile(l.path(id))
+	if err != nil {
+		return jobRecord{}, false
+	}
+	var rec jobRecord
+	if err := json.Unmarshal(buf, &rec); err != nil || rec.ID == "" {
+		return jobRecord{}, false
+	}
+	return rec, true
 }
 
 // load reads every parseable record, in job-ID order. Unreadable files
@@ -159,11 +185,17 @@ func (j *job) recordLocked() jobRecord {
 		Attempts:   j.attempts,
 		Error:      j.errMsg,
 		LeaseUntil: j.leaseUntil,
+		Owner:      j.owner,
+		Sims:       j.sims,
+		Cached:     j.cached,
 		CreatedAt:  j.created,
 	}
 	if j.kind == KindTrain {
 		rec.Workload = j.train.Workload.Name
 		rec.Config = j.train.Config.Name
+	}
+	if j.policyMeta != nil {
+		rec.PolicyID = j.policyMeta.ID
 	}
 	return rec
 }

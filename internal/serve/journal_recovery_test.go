@@ -35,7 +35,7 @@ func ghostQueue(t *testing.T, base, exp string) {
 	fault.Enable(serve.FPAdmitCrash, fault.Spec{Mode: fault.ModePanic, Count: 1})
 	defer fault.Disable(serve.FPAdmitCrash)
 	body := strings.NewReader(fmt.Sprintf(`{"experiment": %q, "scale": "tiny"}`, exp))
-	if resp, err := http.Post(base+"/api/runs", "application/json", body); err == nil {
+	if resp, err := http.Post(base+"/api/v1/runs", "application/json", body); err == nil {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}
@@ -96,7 +96,7 @@ func recoverAndDrain(t *testing.T, journalDir string, store *results.Store) ([]s
 	var list struct {
 		Jobs []serve.JobView `json:"jobs"`
 	}
-	getJSON(t, ts.URL+"/api/runs", &list)
+	getJSON(t, ts.URL+"/api/v1/runs", &list)
 	var ids []string
 	for _, j := range list.Jobs {
 		if !j.Recovered {
@@ -243,7 +243,7 @@ func TestJournalLeaseTakeover(t *testing.T) {
 	var out struct {
 		Job serve.JobView `json:"job"`
 	}
-	if code := getJSON(t, ts+"/api/runs/job-7", &out); code != http.StatusOK {
+	if code := getJSON(t, ts+"/api/v1/runs/job-7", &out); code != http.StatusOK {
 		t.Fatalf("recovered job not listed: %d", code)
 	}
 	if out.Job.Status != serve.StatusQueued {

@@ -92,7 +92,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		`pythia_serve_breaker_open{store="results"}`,
 		"pythia_sims_total",
 		"pythia_sim_instructions_total",
-		`pythia_http_requests_total{route="POST /api/runs"}`,
+		`pythia_http_requests_total{route="POST /api/v1/runs"}`,
 		"# TYPE pythia_serve_job_duration_seconds histogram",
 		"# HELP pythia_serve_queue_depth",
 	} {

@@ -39,7 +39,7 @@ var tinyStreamScale = harness.Scale{
 
 func cancelRun(t *testing.T, base, id string) (serve.JobView, int) {
 	t.Helper()
-	req, err := http.NewRequest(http.MethodDelete, base+"/api/runs/"+id, nil)
+	req, err := http.NewRequest(http.MethodDelete, base+"/api/v1/runs/"+id, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func waitRunning(t *testing.T, base, id string) {
 		var out struct {
 			Job serve.JobView `json:"job"`
 		}
-		getJSON(t, base+"/api/runs/"+id, &out)
+		getJSON(t, base+"/api/v1/runs/"+id, &out)
 		if out.Job.Status != serve.StatusQueued {
 			return
 		}
@@ -290,7 +290,7 @@ func TestServeShutdownDrainsQueue(t *testing.T) {
 		var out struct {
 			Job serve.JobView `json:"job"`
 		}
-		getJSON(t, ts+"/api/runs/"+id, &out)
+		getJSON(t, ts+"/api/v1/runs/"+id, &out)
 		if out.Job.Status != serve.StatusDone {
 			t.Errorf("job %s ended %q after graceful shutdown, want done", id, out.Job.Status)
 		}

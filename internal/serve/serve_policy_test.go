@@ -42,7 +42,7 @@ func postTrain(t *testing.T, base, workload, config, scale string) (serve.JobVie
 		"scale": scale,
 		"train": map[string]string{"workload": workload, "config": config},
 	})
-	resp, err := http.Post(base+"/api/runs", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(base+"/api/v1/runs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestServeTrainEndToEnd(t *testing.T) {
 	var listing struct {
 		Policies []policy.Meta `json:"policies"`
 	}
-	if code := getJSON(t, ts.URL+"/api/policies", &listing); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/api/v1/policies", &listing); code != http.StatusOK {
 		t.Fatalf("GET policies = %d", code)
 	}
 	if len(listing.Policies) != 1 || listing.Policies[0].ID != polID {
@@ -110,7 +110,7 @@ func TestServeTrainEndToEnd(t *testing.T) {
 	var one struct {
 		Policy policy.Meta `json:"policy"`
 	}
-	if code := getJSON(t, ts.URL+"/api/policies/"+polID, &one); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/api/v1/policies/"+polID, &one); code != http.StatusOK {
 		t.Fatalf("GET policy = %d", code)
 	}
 	if one.Policy.TrainedOn.Workload != "459.GemsFDTD-100B" {
@@ -118,7 +118,7 @@ func TestServeTrainEndToEnd(t *testing.T) {
 	}
 
 	// The snapshot downloads as the raw PYQV01 stream.
-	resp, err := http.Get(ts.URL + "/api/policies/" + polID + "/snapshot")
+	resp, err := http.Get(ts.URL + "/api/v1/policies/" + polID + "/snapshot")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,14 +167,14 @@ func TestServeTrainRejectsBadRequests(t *testing.T) {
 	if _, code := postTrain(t, ts.URL, "459.GemsFDTD-100B", "no-such-config", "tiny"); code != http.StatusBadRequest {
 		t.Errorf("unknown config accepted: %d", code)
 	}
-	if code := getJSON(t, ts.URL+"/api/policies/pol-absent", nil); code != http.StatusNotFound {
+	if code := getJSON(t, ts.URL+"/api/v1/policies/pol-absent", nil); code != http.StatusNotFound {
 		t.Errorf("absent policy fetch = %d", code)
 	}
 	// An empty store lists as an empty array, not an error.
 	var listing struct {
 		Policies []policy.Meta `json:"policies"`
 	}
-	if code := getJSON(t, ts.URL+"/api/policies", &listing); code != http.StatusOK || listing.Policies == nil {
+	if code := getJSON(t, ts.URL+"/api/v1/policies", &listing); code != http.StatusOK || listing.Policies == nil {
 		t.Errorf("empty listing = %d %v", code, listing.Policies)
 	}
 }
@@ -183,7 +183,7 @@ func TestServeTrainRejectsBadRequests(t *testing.T) {
 // keeps its experiment surface and answers the policy surface with 503.
 func TestServeWithoutPolicyStore(t *testing.T) {
 	_, ts := newTestServer(t, results.Open(t.TempDir()), 4)
-	if code := getJSON(t, ts.URL+"/api/policies", nil); code != http.StatusServiceUnavailable {
+	if code := getJSON(t, ts.URL+"/api/v1/policies", nil); code != http.StatusServiceUnavailable {
 		t.Errorf("policies without store = %d, want 503", code)
 	}
 	if _, code := postTrain(t, ts.URL, "459.GemsFDTD-100B", "pythia", "tiny"); code != http.StatusServiceUnavailable {

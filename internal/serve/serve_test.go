@@ -120,7 +120,7 @@ func TestServeEndToEnd(t *testing.T) {
 			Extended bool   `json:"extended"`
 		} `json:"experiments"`
 	}
-	if code := getJSON(t, ts.URL+"/api/experiments", &list); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/api/v1/experiments", &list); code != http.StatusOK {
 		t.Fatalf("GET experiments = %d", code)
 	}
 	ids := map[string]bool{}
@@ -173,7 +173,7 @@ func TestServeEndToEnd(t *testing.T) {
 	var fetched struct {
 		Rendered string `json:"rendered"`
 	}
-	if code := getJSON(t, ts.URL+"/api/results/fig14?scale=tiny", &fetched); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/api/v1/results/fig14?scale=tiny", &fetched); code != http.StatusOK {
 		t.Fatalf("GET stored result = %d", code)
 	}
 	if fetched.Rendered != firstRendered {
@@ -229,10 +229,10 @@ func TestServeRejectsBadRequests(t *testing.T) {
 	if _, code := postRun(t, ts.URL, "fig14", "galactic"); code != http.StatusBadRequest {
 		t.Errorf("unknown scale accepted: %d", code)
 	}
-	if code := getJSON(t, ts.URL+"/api/runs/job-42", nil); code != http.StatusNotFound {
+	if code := getJSON(t, ts.URL+"/api/v1/runs/job-42", nil); code != http.StatusNotFound {
 		t.Errorf("unknown job fetch = %d", code)
 	}
-	if code := getJSON(t, ts.URL+"/api/results/fig14?scale=tiny", nil); code != http.StatusNotFound {
+	if code := getJSON(t, ts.URL+"/api/v1/results/fig14?scale=tiny", nil); code != http.StatusNotFound {
 		t.Errorf("unpopulated result fetch = %d", code)
 	}
 	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
@@ -258,7 +258,7 @@ func TestServeBoundedQueue(t *testing.T) {
 		var out struct {
 			Job serve.JobView `json:"job"`
 		}
-		getJSON(t, ts.URL+"/api/runs/"+running.ID, &out)
+		getJSON(t, ts.URL+"/api/v1/runs/"+running.ID, &out)
 		if out.Job.Status != serve.StatusQueued {
 			break
 		}
@@ -272,7 +272,7 @@ func TestServeBoundedQueue(t *testing.T) {
 		t.Fatalf("second run not queued: %d", code)
 	}
 	body, _ := json.Marshal(api.LaunchRequest{Experiment: "fig1", Scale: "tiny"})
-	resp, err := http.Post(ts.URL+"/api/runs", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(ts.URL+"/api/v1/runs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +292,7 @@ func TestServeBoundedQueue(t *testing.T) {
 	var listing struct {
 		Jobs []serve.JobView `json:"jobs"`
 	}
-	getJSON(t, ts.URL+"/api/runs", &listing)
+	getJSON(t, ts.URL+"/api/v1/runs", &listing)
 	if len(listing.Jobs) != 2 {
 		t.Errorf("job listing has %d entries, want 2 (rejected job must not register)", len(listing.Jobs))
 	}
@@ -336,17 +336,17 @@ func TestServeJobHistoryBounded(t *testing.T) {
 	var listing struct {
 		Jobs []serve.JobView `json:"jobs"`
 	}
-	getJSON(t, ts.URL+"/api/runs", &listing)
+	getJSON(t, ts.URL+"/api/v1/runs", &listing)
 	// Each admission prunes before the new job finishes, so at most
 	// JobHistory finished jobs plus the latest one are retained.
 	if len(listing.Jobs) > 3 {
 		t.Errorf("history retains %d jobs with cap 2", len(listing.Jobs))
 	}
 	// The earliest job was evicted, but its result survives in the store.
-	if code := getJSON(t, ts.URL+"/api/runs/job-1", nil); code != http.StatusNotFound {
+	if code := getJSON(t, ts.URL+"/api/v1/runs/job-1", nil); code != http.StatusNotFound {
 		t.Errorf("evicted job still listed: %d", code)
 	}
-	if code := getJSON(t, ts.URL+"/api/results/table2?scale=tiny", nil); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/api/v1/results/table2?scale=tiny", nil); code != http.StatusOK {
 		t.Errorf("evicted job's stored result not fetchable: %d", code)
 	}
 }

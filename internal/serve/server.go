@@ -33,7 +33,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"log/slog"
-	"math/rand"
 	"net/http"
 	"sort"
 	"strconv"
@@ -105,6 +104,20 @@ type Config struct {
 	// work before letting a probe through; default 15s.
 	BreakerCooldown time.Duration
 
+	// Dispatch turns the server into a stateless fleet frontend: admitted
+	// jobs are journaled but never executed in-process — worker processes
+	// (serve.RunWorker over the same JournalDir) claim and execute them,
+	// and a watcher goroutine proxies status, progress and terminal
+	// events back from the journal and the shared stores. Requires
+	// JournalDir. Cancellation crosses the process boundary through
+	// claim acquisition (queued jobs) or cancel markers (claimed jobs).
+	Dispatch bool
+
+	// FleetStatus, when set, backs GET /api/v1/fleet: the serving layer
+	// stays ignorant of the fleet coordinator (fleet imports serve, never
+	// the reverse); cmd wiring hands the coordinator's Status here.
+	FleetStatus func() api.FleetStatus
+
 	// Logger receives structured job-lifecycle logs (admission, dispatch,
 	// retries, terminal states, recovery) with job IDs on every record.
 	// Nil discards them — tests and embedders that don't care stay quiet.
@@ -139,9 +152,17 @@ type Server struct {
 	recovered int
 
 	// storeBrk and polBrk are the per-store circuit breakers guarding
-	// result and policy persistence respectively.
+	// result and policy persistence respectively (shared with exec).
 	storeBrk *breaker
 	polBrk   *breaker
+
+	// exec is the job-execution engine the executor goroutine drains the
+	// queue into; in dispatch mode it is never used (workers execute).
+	exec *executor
+
+	// frontOwner is this frontend's lease-owner identity, used in
+	// dispatch mode to claim queued jobs for prompt cancellation.
+	frontOwner string
 
 	log *slog.Logger
 
@@ -192,15 +213,19 @@ func New(cfg Config) (*Server, error) {
 	if log == nil {
 		log = obs.NopLogger()
 	}
+	if cfg.Dispatch && cfg.JournalDir == "" {
+		return nil, fmt.Errorf("serve: Dispatch mode requires Config.JournalDir (the journal is the frontend-worker coordination substrate)")
+	}
 	s := &Server{
-		cfg:      cfg,
-		store:    cfg.Store,
-		drain:    make(chan struct{}),
-		jobs:     make(map[string]*job),
-		storeBrk: newBreaker("results", cfg.BreakerThreshold, cfg.BreakerCooldown),
-		polBrk:   newBreaker("policies", cfg.BreakerThreshold, cfg.BreakerCooldown),
-		log:      log,
-		started:  time.Now().UTC(),
+		cfg:        cfg,
+		store:      cfg.Store,
+		drain:      make(chan struct{}),
+		jobs:       make(map[string]*job),
+		storeBrk:   newBreaker("results", cfg.BreakerThreshold, cfg.BreakerCooldown),
+		polBrk:     newBreaker("policies", cfg.BreakerThreshold, cfg.BreakerCooldown),
+		frontOwner: NewOwnerID("front"),
+		log:        log,
+		started:    time.Now().UTC(),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 
@@ -212,13 +237,46 @@ func New(cfg Config) (*Server, error) {
 	}
 	harness.SweepTraceCache()
 
-	var requeue, pending []*job
+	var jl *journal
 	if cfg.JournalDir != "" {
-		jl, err := openJournal(cfg.JournalDir)
-		if err != nil {
+		var err error
+		if jl, err = openJournal(cfg.JournalDir); err != nil {
 			return nil, err
 		}
 		s.journal = jl
+	}
+	s.exec = &executor{
+		store:            cfg.Store,
+		policies:         cfg.Policies,
+		storeBrk:         s.storeBrk,
+		polBrk:           s.polBrk,
+		journal:          s.journal,
+		leaseTTL:         cfg.LeaseTTL,
+		maxAttempts:      cfg.MaxAttempts,
+		retryBase:        cfg.RetryBase,
+		progressInterval: cfg.ProgressInterval,
+		log:              log,
+	}
+
+	if cfg.Dispatch {
+		// Fleet frontend: re-track every journaled job (the watcher syncs
+		// each to its record's real state on the first tick — workers may
+		// have kept executing while no frontend was up) and proxy instead
+		// of executing.
+		s.recoverDispatch(jl.load())
+		s.queue = make(chan *job, cfg.QueueDepth)
+		if s.recovered > 0 {
+			mRecovered.Add(int64(s.recovered))
+			s.log.Info("journal re-tracked", "jobs", s.recovered)
+		}
+		s.registerMetrics()
+		s.wg.Add(1)
+		go s.watcher()
+		return s, nil
+	}
+
+	var requeue, pending []*job
+	if s.journal != nil {
 		requeue, pending = s.recover(jl.load())
 	}
 	// The recovered backlog rides ahead of the configured depth so a
@@ -243,6 +301,99 @@ func New(cfg Config) (*Server, error) {
 	s.wg.Add(1)
 	go s.executor()
 	return s, nil
+}
+
+// recoverDispatch re-tracks journaled jobs on a fleet frontend restart:
+// nothing is requeued or executed here — workers own execution — the
+// frontend only rebuilds its in-memory views (terminal history included;
+// the watcher adopts each record's real state, fetching artifacts from
+// the shared stores, on its first tick).
+func (s *Server) recoverDispatch(recs []jobRecord) {
+	for _, rec := range recs {
+		if n := jobIDNum(rec.ID); n > s.nextID {
+			s.nextID = n
+		}
+		j, err := s.rebuildJob(rec)
+		s.jobs[rec.ID] = j
+		s.order = append(s.order, rec.ID)
+		s.recovered++
+		if err != nil {
+			j.finish(nil, false, 0, fmt.Errorf("unrecoverable job spec: %w", err))
+		}
+	}
+}
+
+// watcher is the dispatch-mode proxy loop: every ProgressInterval it
+// reads the journal record of each tracked non-terminal job and mirrors
+// worker-side transitions into the in-memory job (status flip, progress
+// samples, terminal adoption with the artifact fetched from the shared
+// store) — so the HTTP surface, SSE streams included, behaves
+// identically whether the job ran in-process or on a fleet worker.
+func (s *Server) watcher() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.ProgressInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.drain:
+			return
+		case <-s.baseCtx.Done():
+			return
+		case <-tick.C:
+			s.syncTrackedJobs()
+		}
+	}
+}
+
+// syncTrackedJobs applies one round of journal reads to every tracked
+// non-terminal job.
+func (s *Server) syncTrackedJobs() {
+	s.mu.Lock()
+	open := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		if j := s.jobs[id]; !j.terminal() {
+			open = append(open, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range open {
+		rec, ok := s.journal.get(j.id)
+		if !ok {
+			continue
+		}
+		switch {
+		case terminalStatus(rec.Status):
+			s.adoptTerminalRecord(j, rec)
+		case rec.Status == StatusRunning:
+			j.syncRunning(rec)
+		}
+	}
+}
+
+// adoptTerminalRecord finishes a tracked job from its worker-written
+// terminal record, fetching the artifact from the shared stores.
+func (s *Server) adoptTerminalRecord(j *job, rec jobRecord) {
+	var res *harness.ExperimentPayload
+	var pm *policy.Meta
+	if rec.Status == StatusDone {
+		if rec.Kind == KindTrain {
+			if s.cfg.Policies != nil && rec.PolicyID != "" {
+				if env, ok := s.cfg.Policies.Get(rec.PolicyID); ok {
+					meta := env.Meta
+					pm = &meta
+				}
+			}
+		} else {
+			var payload harness.ExperimentPayload
+			if s.store.Get(harness.ExperimentKey(j.expID, j.scale), &payload) {
+				res = &payload
+			}
+		}
+	}
+	j.adoptTerminal(rec, res, pm)
+	s.journal.clearCancel(j.id)
+	s.log.Info("job finished on worker", "job", j.id, "status", rec.Status,
+		"worker", rec.Owner, "sims", rec.Sims, "attempts", rec.Attempts)
 }
 
 // recover rebuilds journaled jobs after a restart: terminal records are
@@ -282,52 +433,13 @@ func (s *Server) recover(recs []jobRecord) (requeue, pending []*job) {
 }
 
 // rebuildJob reconstructs a job from its journal record, resolving the
-// spec through the same tables admission used.
+// spec through the same tables admission used (jobBuilder, shared with
+// the worker role), then carries the record's durable state onto it.
 func (s *Server) rebuildJob(rec jobRecord) (*job, error) {
-	sc, err := s.resolveScale(scaleArg(rec.Scale))
-	if err != nil {
-		return s.placeholderJob(rec), err
-	}
-	if rec.Kind == KindTrain {
-		wl, ok := trace.ByName(rec.Workload)
-		if !ok {
-			return s.placeholderJob(rec), fmt.Errorf("unknown workload %q", rec.Workload)
-		}
-		pcfg, err := harness.PythiaConfigByName(rec.Config)
-		if err != nil {
-			return s.placeholderJob(rec), err
-		}
-		ts := harness.TrainSpec{Workload: wl, CacheCfg: cache.DefaultConfig(1), Scale: sc, Config: pcfg}
-		j := newTrainJob(s.baseCtx, rec.ID, ts, rec.Scale, sc)
-		s.adoptRecovered(j, rec)
-		return j, nil
-	}
-	exp, ok := harness.ExperimentByID(rec.Experiment)
-	if !ok {
-		return s.placeholderJob(rec), fmt.Errorf("unknown experiment %q", rec.Experiment)
-	}
-	j := newJob(s.baseCtx, rec.ID, exp, rec.Scale, sc)
+	b := &jobBuilder{base: s.baseCtx, extraScales: s.cfg.ExtraScales}
+	j, err := b.build(rec)
 	s.adoptRecovered(j, rec)
-	return j, nil
-}
-
-// scaleArg maps the journaled scale name back to a resolveScale
-// argument ("default" was minted by admission from the empty name).
-func scaleArg(name string) string {
-	if name == "default" {
-		return ""
-	}
-	return name
-}
-
-// placeholderJob is a journaled job whose spec no longer resolves: it
-// exists to be registered and failed visibly, not silently dropped.
-func (s *Server) placeholderJob(rec jobRecord) *job {
-	j := blankJob(s.baseCtx, rec.ID, rec.Kind, rec.Scale, harness.Scale{})
-	j.expID = rec.Experiment
-	j.title = "(recovered)"
-	s.adoptRecovered(j, rec)
-	return j
+	return j, err
 }
 
 // adoptRecovered carries durable state from the record onto a rebuilt
@@ -440,12 +552,15 @@ func (s *Server) resolveScale(name string) (harness.Scale, error) {
 
 // --- Executor ---
 
+// executor drains the queue into the execution engine (executor.go) —
+// the single-process role's job loop. Fleet workers drain the shared
+// journal through the same engine instead; see worker.go.
 func (s *Server) executor() {
 	defer s.wg.Done()
 	for {
 		select {
 		case j := <-s.queue:
-			s.dispatch(j)
+			s.exec.execute(j)
 		case <-s.drain:
 			// Shutdown: finish whatever is queued (each job still honors
 			// its own context, so an aborted shutdown cancels them), then
@@ -453,7 +568,7 @@ func (s *Server) executor() {
 			for {
 				select {
 				case j := <-s.queue:
-					s.dispatch(j)
+					s.exec.execute(j)
 				default:
 					return
 				}
@@ -462,251 +577,16 @@ func (s *Server) executor() {
 	}
 }
 
-// dispatch routes a popped job to its kind's runner and logs its
-// terminal outcome — the one log line per job worth grepping for.
-func (s *Server) dispatch(j *job) {
-	s.log.Info("job dispatched", "job", j.id, "kind", j.kind, "scale", j.scaleName)
-	if j.kind == KindTrain {
-		s.runTrainJob(j)
-	} else {
-		s.runJob(j)
-	}
-	v := j.view()
-	s.log.Info("job finished", "job", j.id, "kind", j.kind, "status", v.Status,
-		"cached", v.Cached, "sims", v.Sims, "attempts", v.Attempts, "error", v.Error)
-}
-
-// runJob executes one experiment, consulting the store first. Transient
-// failures (store writes, I/O pressure — see fault.IsTransient) retry
-// with jittered exponential backoff under the job's attempt budget;
-// each attempt's persist outcome feeds the result store's circuit
-// breaker. Retrying the whole GetOrCompute is nearly free on the
-// compute side: the harness memoizes finished runs in memory even when
-// persists fail, so a retry re-renders the table without re-simulating.
-func (s *Server) runJob(j *job) {
-	// A job canceled while queued (DELETE, or an aborted shutdown) is
-	// already terminal — or about to be; don't touch the store for it.
-	if j.ctx.Err() != nil {
-		j.finish(nil, false, 0, j.ctx.Err())
-		return
-	}
-	startSims := harness.SimCount()
-	stopSampler := s.startSampler(j, startSims)
-
-	key := harness.ExperimentKey(j.expID, j.scale)
-	var payload harness.ExperimentPayload
-	var hit bool
-	var err error
-	for {
-		payload = harness.ExperimentPayload{}
-		j.beginAttempt(s.cfg.LeaseTTL)
-		hit, err = s.store.GetOrCompute(key, &payload, func() (any, error) {
-			return s.computeExperiment(j, startSims)
-		})
-		delivered := payload.Table != nil
-		s.recordPersist(s.storeBrk, hit, delivered, err)
-		if !s.retry(j, err) {
-			break
-		}
-	}
-	stopSampler()
-
-	executed := harness.SimCount() - startSims
-	// GetOrCompute reports a non-nil error alongside a delivered payload
-	// when only the persist failed ("delivery beats persistence"); the
-	// computed table must still reach the client — an unwritable store
-	// degrades to "no reuse", never to a failed run.
-	if err != nil && payload.Table == nil {
-		j.finish(nil, false, executed, err)
-		return
-	}
-	j.finish(&payload, hit, executed, nil)
-}
-
-// recordPersist feeds one attempt's persist outcome into a store's
-// breaker. Only outcomes that say something about the store count: a
-// delivered-but-unpersisted artifact is a persist failure, an actual
-// write is a success, and a store hit (or a compute failure, or a
-// read-only store) says nothing.
-func (s *Server) recordPersist(b *breaker, hit, delivered bool, err error) {
-	switch {
-	case err != nil && delivered:
-		b.recordFailure(err)
-	case err == nil && !hit:
-		b.recordSuccess()
-	}
-}
-
-// retry decides whether err warrants another attempt: transient
-// classification only (fault.IsTransient), within the attempt budget,
-// and never once the job's context is done. It sleeps the jittered
-// backoff before reporting true.
-func (s *Server) retry(j *job, err error) bool {
-	if err == nil || j.ctx.Err() != nil || !fault.IsTransient(err) {
-		return false
-	}
-	j.mu.Lock()
-	attempt := j.attempts
-	j.mu.Unlock()
-	if attempt >= s.cfg.MaxAttempts {
-		return false
-	}
-	wait := backoff(s.cfg.RetryBase, attempt)
-	s.log.Warn("transient failure, retrying", "job", j.id, "attempt", attempt,
-		"backoff_ms", wait.Milliseconds(), "error", err.Error())
-	j.retrying(err, wait)
-	select {
-	case <-time.After(wait):
-	case <-j.ctx.Done():
-		return false
-	}
-	return true
-}
-
-// backoff is full-jittered exponential backoff: a uniform draw from
-// (0, base·2^(attempt-1)], capped at 5s — the de-correlated shape that
-// keeps retry herds from re-colliding.
-func backoff(base time.Duration, attempt int) time.Duration {
-	if attempt < 1 {
-		attempt = 1
-	}
-	span := base << (attempt - 1)
-	if lim := 5 * time.Second; span > lim {
-		span = lim
-	}
-	return time.Duration(rand.Int63n(int64(span))) + 1
-}
-
-// startSampler launches the progress sampler for a running job and
-// returns a function that stops it and waits for it to exit. The sampler
-// reads the process-wide simulation counter: with a single executor,
-// every simulation between job start and finish belongs to this job, so
-// the delta is exact.
-// The sampler is also the lease heartbeat: each tick renews the running
-// job's journaled lease, so the lease lapses exactly when the process
-// stops making progress observations (crash, hang, SIGKILL).
-func (s *Server) startSampler(j *job, startSims int64) (stop func()) {
-	done := make(chan struct{})
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		tick := time.NewTicker(s.cfg.ProgressInterval)
-		defer tick.Stop()
-		j.progress(0)
-		lastRenew := time.Now()
-		for {
-			select {
-			case <-done:
-				return
-			case <-tick.C:
-				j.progress(harness.SimCount() - startSims)
-				// Renewing on every tick would write the journal far more
-				// often than durability needs; a third of the TTL keeps two
-				// renewals of slack before a lease could falsely lapse.
-				if s.journal != nil && time.Since(lastRenew) >= s.cfg.LeaseTTL/3 {
-					j.renewLease(s.cfg.LeaseTTL)
-					lastRenew = time.Now()
-				}
-			}
-		}
-	}()
-	return func() {
-		close(done)
-		wg.Wait()
-	}
-}
-
-// runTrainJob executes one policy-training job: the policy store is
-// consulted first (through the same GetOrTrain path every caller shares),
-// so a repeat request for an already-trained policy is a store hit with
-// zero simulations — the job's sims counter proves it to clients, exactly
-// as experiment jobs prove result-store reuse.
-func (s *Server) runTrainJob(j *job) {
-	if j.ctx.Err() != nil {
-		j.finish(nil, false, 0, j.ctx.Err())
-		return
-	}
-	startSims := harness.SimCount()
-	stopSampler := s.startSampler(j, startSims)
-
-	var env policy.Envelope
-	var hit bool
-	var err error
-	for {
-		j.beginAttempt(s.cfg.LeaseTTL)
-		env, hit, err = s.trainPolicy(j)
-		s.recordPersist(s.polBrk, hit, env.ID != "", err)
-		if !s.retry(j, err) {
-			break
-		}
-	}
-	stopSampler()
-
-	executed := harness.SimCount() - startSims
-	// Like experiment jobs, delivery beats persistence: a policy that
-	// trained but failed to land on disk still reaches the client.
-	if err != nil && env.ID == "" {
-		j.finishPolicy(nil, false, executed, err)
-		return
-	}
-	meta := env.Meta
-	j.finishPolicy(&meta, hit, executed, nil)
-}
-
-// trainPolicy runs the training itself under the job's context; the
-// recover mirrors computeExperiment's last line of defense.
-func (s *Server) trainPolicy(j *job) (env policy.Envelope, hit bool, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("training %s on %s panicked: %v", j.train.Config.Name, j.train.Workload.Name, r)
-		}
-	}()
-	return harness.TrainPolicyIn(j.ctx, s.cfg.Policies, j.train)
-}
-
-// computeExperiment runs the experiment itself under the job's context.
-// The harness reports failures (bad specs, corrupted trace-cache files,
-// cancellation) as error values; the recover is a last line of defense
-// against latent panics in model code, so no single request can take down
-// the service either way.
-func (s *Server) computeExperiment(j *job, startSims int64) (payload any, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("experiment %s panicked: %v", j.expID, r)
-		}
-	}()
-	exp, ok := harness.ExperimentByID(j.expID)
-	if !ok {
-		return nil, fmt.Errorf("unknown experiment %q", j.expID)
-	}
-	start := time.Now()
-	table, err := exp.Run(j.ctx, j.scale)
-	if err != nil {
-		return nil, err
-	}
-	// The computed payload goes to the store the moment this returns.
-	j.tl.Mark("persisting", time.Now().UTC())
-	return harness.ExperimentPayload{
-		ID:      exp.ID,
-		Title:   exp.Title,
-		Scale:   j.scaleName,
-		Table:   table,
-		Sims:    harness.SimCount() - startSims,
-		Seconds: time.Since(start).Seconds(),
-	}, nil
-}
-
 // --- HTTP API ---
 
-// Handler returns the service's HTTP routes. API resources are
-// registered twice from one table: canonically under api.Prefix
-// ("/api/v1"), and under the unversioned legacy "/api" prefix as thin
-// deprecated aliases kept for one release window (DESIGN.md "API v1").
-// /healthz and /metrics are operational endpoints, not API resources,
-// and stay unversioned. Every route goes through route(), which pairs
-// the registration with a per-route request counter — ci.sh gates
-// direct mux.HandleFunc calls so a new endpoint cannot ship unmetered.
+// Handler returns the service's HTTP routes. API resources live under
+// api.Prefix ("/api/v1") only — the unversioned legacy "/api" aliases
+// served their one deprecation window and are gone (requests there get
+// 404; DESIGN.md "API v1"). /healthz and /metrics are operational
+// endpoints, not API resources, and stay unversioned. Every route goes
+// through route(), which pairs the registration with a per-route
+// request counter — ci.sh gates direct mux.HandleFunc calls so a new
+// endpoint cannot ship unmetered.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	routes := []struct {
@@ -723,26 +603,27 @@ func (s *Server) Handler() http.Handler {
 		{http.MethodGet, "/policies", s.handlePolicies},
 		{http.MethodGet, "/policies/{id}", s.handlePolicy},
 		{http.MethodGet, "/policies/{id}/snapshot", s.handlePolicySnapshot},
+		{http.MethodGet, "/fleet", s.handleFleet},
 	}
 	for _, rt := range routes {
 		s.route(mux, rt.method+" "+api.Prefix+rt.path, rt.h)
-		s.route(mux, rt.method+" /api"+rt.path, deprecated(rt.h))
 	}
 	s.route(mux, "GET /healthz", s.handleHealth)
 	s.route(mux, "GET /metrics", obs.Default().Handler().ServeHTTP)
 	return mux
 }
 
-// deprecated wraps a legacy unversioned alias: same handler, plus the
-// RFC 8594-style headers steering clients to the versioned route. The
-// aliases get their own route counters, so /metrics shows exactly how
-// much pre-v1 traffic still arrives before the aliases are dropped.
-func deprecated(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Link", "<"+api.Prefix+">; rel=\"successor-version\"")
-		h(w, r)
+// handleFleet is GET /api/v1/fleet: the fleet coordinator's view of the
+// worker tier (desired/ready counts, per-worker state and throughput,
+// autoscaler signals). Without a coordinator wired in (standalone
+// serve), the endpoint answers 503 — the fleet resource doesn't exist
+// here, and clients can tell that apart from an empty fleet.
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.FleetStatus == nil {
+		writeError(w, api.Errorf(api.CodeUnavailable, "no fleet coordinator configured (standalone server)"))
+		return
 	}
+	writeJSON(w, http.StatusOK, api.FleetResponse{Fleet: s.cfg.FleetStatus()})
 }
 
 // route registers pattern with a request counter wrapped around the
@@ -910,35 +791,74 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, api.Errorf(api.CodeShuttingDown, "server is shutting down"))
 		return
 	}
-	// The enqueue attempt is non-blocking, so holding mu across it keeps
-	// admission atomic: a job is registered iff it made it into the queue.
-	select {
-	case s.queue <- j:
+	if s.cfg.Dispatch {
+		// Fleet frontend: the journal record written above IS the enqueue —
+		// workers scan for claimable records; nothing enters the in-process
+		// queue. The admission bound is the count of tracked non-terminal
+		// jobs (the fleet-wide backlog), playing the role queue capacity
+		// plays in the single-process path.
+		if s.backlogLocked() >= s.cfg.QueueDepth {
+			s.mu.Unlock()
+			if s.journal != nil {
+				s.journal.remove(id)
+			}
+			j.cancel()
+			shedCounter("queue_full").Inc()
+			s.log.Warn("launch shed: fleet backlog full", "depth", s.cfg.QueueDepth)
+			writeError(w, api.Error{
+				Code:          api.CodeQueueFull,
+				Message:       fmt.Sprintf("fleet backlog full (%d jobs open)", s.cfg.QueueDepth),
+				RetryAfterSec: 1,
+			})
+			return
+		}
 		s.jobs[id] = j
 		s.order = append(s.order, id)
 		s.pruneLocked()
 		s.mu.Unlock()
-	default:
-		s.mu.Unlock()
-		// The rejected job was never admitted: drop its journal record and
-		// release its context registration on baseCtx so retry storms
-		// against a full queue don't accumulate canceled children.
-		if s.journal != nil {
-			s.journal.remove(id)
+	} else {
+		// The enqueue attempt is non-blocking, so holding mu across it keeps
+		// admission atomic: a job is registered iff it made it into the queue.
+		select {
+		case s.queue <- j:
+			s.jobs[id] = j
+			s.order = append(s.order, id)
+			s.pruneLocked()
+			s.mu.Unlock()
+		default:
+			s.mu.Unlock()
+			// The rejected job was never admitted: drop its journal record and
+			// release its context registration on baseCtx so retry storms
+			// against a full queue don't accumulate canceled children.
+			if s.journal != nil {
+				s.journal.remove(id)
+			}
+			j.cancel()
+			shedCounter("queue_full").Inc()
+			s.log.Warn("launch shed: queue full", "depth", s.cfg.QueueDepth)
+			writeError(w, api.Error{
+				Code:          api.CodeQueueFull,
+				Message:       fmt.Sprintf("job queue full (%d queued)", s.cfg.QueueDepth),
+				RetryAfterSec: 1,
+			})
+			return
 		}
-		j.cancel()
-		shedCounter("queue_full").Inc()
-		s.log.Warn("launch shed: queue full", "depth", s.cfg.QueueDepth)
-		writeError(w, api.Error{
-			Code:          api.CodeQueueFull,
-			Message:       fmt.Sprintf("job queue full (%d queued)", s.cfg.QueueDepth),
-			RetryAfterSec: 1,
-		})
-		return
 	}
 	s.log.Info("job admitted", "job", id, "kind", j.kind,
 		"experiment", j.expID, "scale", scaleName)
 	writeJSON(w, http.StatusAccepted, api.JobResponse{Job: j.view()})
+}
+
+// backlogLocked counts tracked non-terminal jobs — the fleet frontend's
+// admission bound. Callers hold s.mu.
+func (s *Server) backlogLocked() int {
+	n := 0
+	for _, j := range s.jobs {
+		if !j.terminal() {
+			n++
+		}
+	}
+	return n
 }
 
 // shedDegraded answers a launch that needs a degraded store: 503 with a
@@ -1025,6 +945,11 @@ func (s *Server) handleCancelRun(w http.ResponseWriter, r *http.Request) {
 			"job %q is already %s; nothing to cancel", j.id, j.view().Status))
 		return
 	}
+	if s.cfg.Dispatch {
+		s.cancelDispatched(j)
+		writeJSON(w, http.StatusOK, api.JobResponse{Job: j.view()})
+		return
+	}
 	// A DELETE is an explicit client decision: the terminal state it
 	// causes is journaled, unlike shutdown-driven cancellation (which
 	// leaves the journal requeue-able).
@@ -1038,6 +963,30 @@ func (s *Server) handleCancelRun(w http.ResponseWriter, r *http.Request) {
 		j.finish(nil, false, 0, context.Canceled)
 	}
 	writeJSON(w, http.StatusOK, api.JobResponse{Job: j.view()})
+}
+
+// cancelDispatched cancels a job whose execution lives (or will live) in
+// a worker process. Contexts don't cross process boundaries, so the
+// cancellation races through the claim protocol instead: the frontend
+// tries to claim the job itself — winning means no worker has it (still
+// queued fleet-wide), and the job turns terminal right here, the claim
+// making that decision visible to every scanning worker before the
+// journal write lands. Losing means some worker owns it: a cancel
+// marker asks that worker to abort at its next heartbeat, and the
+// watcher adopts the resulting terminal record.
+func (s *Server) cancelDispatched(j *job) {
+	j.markUserCanceled()
+	if s.journal.claim(j.id, s.frontOwner, s.cfg.LeaseTTL) {
+		j.cancel()
+		j.finish(nil, false, 0, context.Canceled)
+		s.journal.releaseClaim(j.id, s.frontOwner)
+		s.log.Info("queued job canceled", "job", j.id)
+		return
+	}
+	if err := s.journal.markCancel(j.id); err != nil {
+		s.log.Warn("cancel marker write failed", "job", j.id, "error", err.Error())
+	}
+	s.log.Info("cancel requested from worker", "job", j.id)
 }
 
 // handleEvents streams a job's progress as server-sent events: the full

@@ -1,0 +1,350 @@
+package serve
+
+// The fleet worker role: a thin process loop that drains jobs from a
+// shared journal directory through the same execution engine the
+// standalone server uses (executor.go). Workers hold no HTTP surface
+// and no queue — the journal IS the queue: a non-terminal record with
+// no claim file is claimable, the O_CREATE|O_EXCL claim is the
+// arbitration, and every state transition lands in the record where the
+// fleet frontend's watcher picks it up. pythia-serve -worker runs this
+// loop; the fleet coordinator spawns and scales such processes.
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"os"
+	"sync"
+	"time"
+
+	"pythia/internal/harness"
+	"pythia/internal/obs"
+	"pythia/internal/policy"
+	"pythia/internal/results"
+)
+
+// WorkerConfig parameterizes a fleet worker process.
+type WorkerConfig struct {
+	// Store is the shared result store (required); Policies the shared
+	// policy store (optional, like Config.Policies).
+	Store    *results.Store
+	Policies *policy.Store
+	// JournalDir is the shared journal directory (required) — the same
+	// one the fleet frontend admits into.
+	JournalDir string
+
+	// LeaseTTL, MaxAttempts, RetryBase and ProgressInterval mirror the
+	// Config fields of the same names (same defaults).
+	LeaseTTL         time.Duration
+	MaxAttempts      int
+	RetryBase        time.Duration
+	ProgressInterval time.Duration
+	// PollInterval is how long an idle worker sleeps between journal
+	// scans; the default is 100ms.
+	PollInterval time.Duration
+	// HeartbeatInterval is how often the worker's liveness document is
+	// rewritten (a background goroutine, so long jobs don't starve it);
+	// the default is 1s. The coordinator treats a heartbeat older than a
+	// few of these as a dead worker.
+	HeartbeatInterval time.Duration
+	// ExtraScales must match the frontend's table for its journaled jobs
+	// to resolve here. Parametric "custom:..." scales resolve in any
+	// process and need no entry.
+	ExtraScales map[string]harness.Scale
+	// BreakerThreshold and BreakerCooldown parameterize this worker's
+	// store breakers (per-process: a worker with a sick local disk
+	// degrades alone).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// Label distinguishes multiple workers minted in one process (tests);
+	// usually empty.
+	Label string
+
+	Logger *slog.Logger
+}
+
+// worker is the running state of one RunWorker invocation.
+type worker struct {
+	cfg     WorkerConfig
+	jl      *journal
+	exec    *executor
+	owner   string
+	ctx     context.Context
+	log     *slog.Logger
+	started time.Time
+
+	// mu guards the heartbeat document's mutable fields: the loop writes
+	// them at state transitions while the background heartbeat goroutine
+	// reads them every tick (so a worker deep in a long job still proves
+	// liveness).
+	mu    sync.Mutex
+	state string
+	job   string
+	// jobs and sims accumulate into the heartbeat file.
+	jobs int64
+	sims int64
+}
+
+// RunWorker drains jobs from the shared journal until ctx is canceled:
+// scan for a claimable record, win its claim, execute it through the
+// shared engine, journal the terminal state, release the claim. Returns
+// the number of jobs it completed. Cancellation is graceful by
+// construction: the in-flight job's context is a child of ctx, so a
+// SIGTERM-driven cancel finishes it "canceled" without journaling over
+// its requeue-able state, releases the claim, and lets a surviving
+// worker pick the job up.
+func RunWorker(ctx context.Context, cfg WorkerConfig) (int64, error) {
+	if cfg.Store == nil {
+		return 0, fmt.Errorf("serve: WorkerConfig.Store is required")
+	}
+	if cfg.JournalDir == "" {
+		return 0, fmt.Errorf("serve: WorkerConfig.JournalDir is required")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 100 * time.Millisecond
+	}
+	if cfg.ProgressInterval <= 0 {
+		cfg.ProgressInterval = 250 * time.Millisecond
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 100 * time.Millisecond
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 15 * time.Second
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
+
+	jl, err := openJournal(cfg.JournalDir)
+	if err != nil {
+		return 0, err
+	}
+	owner := NewOwnerID(cfg.Label)
+	w := &worker{
+		cfg:   cfg,
+		jl:    jl,
+		owner: owner,
+		ctx:   ctx,
+		log:   log.With("worker", owner),
+		exec: &executor{
+			store:            cfg.Store,
+			policies:         cfg.Policies,
+			storeBrk:         newBreaker("results", cfg.BreakerThreshold, cfg.BreakerCooldown),
+			polBrk:           newBreaker("policies", cfg.BreakerThreshold, cfg.BreakerCooldown),
+			journal:          jl,
+			leaseTTL:         cfg.LeaseTTL,
+			maxAttempts:      cfg.MaxAttempts,
+			retryBase:        cfg.RetryBase,
+			progressInterval: cfg.ProgressInterval,
+			owner:            owner,
+			log:              log.With("worker", owner),
+		},
+		started: time.Now().UTC(),
+	}
+	w.log.Info("worker up", "journal", cfg.JournalDir, "pid", os.Getpid())
+	w.setState("idle", "")
+	defer jl.removeWorker(owner) // graceful exit retires the heartbeat; a SIGKILL leaves it for the coordinator to sweep
+
+	// The heartbeat goroutine keeps liveness fresh even while the loop is
+	// buried in a multi-minute job — a stale heartbeat means this process
+	// is truly gone (or wedged solid), not merely busy.
+	hbDone := make(chan struct{})
+	defer close(hbDone)
+	go func() {
+		tick := time.NewTicker(cfg.HeartbeatInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbDone:
+				return
+			case <-tick.C:
+				w.heartbeat()
+			}
+		}
+	}()
+	return w.run()
+}
+
+// run is the scan-claim-execute loop.
+func (w *worker) run() (int64, error) {
+	for {
+		if w.ctx.Err() != nil {
+			w.mu.Lock()
+			jobs := w.jobs
+			w.mu.Unlock()
+			w.log.Info("worker draining out", "jobs", jobs)
+			return jobs, nil
+		}
+		if !w.drainOne() {
+			select {
+			case <-w.ctx.Done():
+			case <-time.After(w.cfg.PollInterval):
+			}
+		}
+	}
+}
+
+// drainOne scans the journal for one claimable job, executes it, and
+// reports whether it found any. Records are visited in job-ID order so
+// the fleet approximates the frontend's FIFO admission order.
+func (w *worker) drainOne() bool {
+	for _, rec := range w.jl.load() {
+		if terminalStatus(rec.Status) {
+			continue
+		}
+		if _, claimed := w.jl.claimState(rec.ID); claimed {
+			continue
+		}
+		if !w.jl.claim(rec.ID, w.owner, w.cfg.LeaseTTL) {
+			continue // lost the race for this one; try the next
+		}
+		w.runClaimed(rec)
+		return true
+	}
+	return false
+}
+
+// runClaimed executes one job this worker just claimed.
+func (w *worker) runClaimed(rec jobRecord) {
+	// A cancel marker may have landed while the job sat queued (the
+	// frontend lost the claim race to nobody — the marker is its fallback
+	// signal); honor it before spending any work.
+	if w.jl.cancelRequested(rec.ID) {
+		w.finishCanceled(rec)
+		w.jl.releaseClaim(rec.ID, w.owner)
+		return
+	}
+	// The attempt budget is fleet-wide, carried by the record: a job that
+	// kills every worker that touches it (crash loop) gets abandoned here
+	// on its way into yet another execution, exactly like single-process
+	// recovery abandons it at startup.
+	if rec.Attempts >= w.cfg.MaxAttempts {
+		w.abandon(rec)
+		w.jl.releaseClaim(rec.ID, w.owner)
+		return
+	}
+
+	j, err := w.rebuild(rec)
+	if err != nil {
+		w.log.Warn("unrecoverable job spec", "job", rec.ID, "error", err.Error())
+		j.finish(nil, false, 0, fmt.Errorf("unrecoverable job spec: %w", err))
+		w.jl.releaseClaim(rec.ID, w.owner)
+		return
+	}
+	w.setState("busy", rec.ID)
+	startSims := harness.SimCount()
+	w.exec.execute(j)
+	executed := harness.SimCount() - startSims
+
+	if j.lostLease() {
+		// The claim was reaped mid-run and may belong to a new owner now;
+		// this worker must not touch it (or the record) further.
+		w.log.Warn("job orphaned mid-run", "job", rec.ID)
+		w.bumpCounters(0, executed)
+		w.setState("idle", "")
+		return
+	}
+	if v := j.view(); v.Status == StatusCanceled && !w.canceledByUser(j) {
+		// Shutdown-driven cancel: the record keeps its pre-cancel state
+		// (finishWith skipped the journal write), so releasing the claim
+		// requeues the job for a surviving worker.
+		w.log.Info("job released for requeue (worker draining)", "job", rec.ID)
+		w.bumpCounters(0, executed)
+	} else {
+		w.bumpCounters(1, executed)
+	}
+	w.jl.releaseClaim(rec.ID, w.owner)
+	w.setState("idle", "")
+}
+
+// bumpCounters folds one execution's outcome into the heartbeat totals.
+func (w *worker) bumpCounters(jobs, sims int64) {
+	w.mu.Lock()
+	w.jobs += jobs
+	w.sims += sims
+	w.mu.Unlock()
+}
+
+// canceledByUser reports whether the job's cancellation was a client
+// decision (cancel marker honored) rather than worker shutdown.
+func (w *worker) canceledByUser(j *job) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.userCanceled
+}
+
+// finishCanceled writes the terminal canceled record for a job whose
+// cancel marker arrived before execution.
+func (w *worker) finishCanceled(rec jobRecord) {
+	j, _ := w.rebuild(rec)
+	j.markUserCanceled()
+	j.cancel()
+	j.finish(nil, false, 0, context.Canceled)
+	w.jl.clearCancel(rec.ID)
+	w.log.Info("queued job canceled by marker", "job", rec.ID)
+}
+
+// abandon writes the terminal error record for a job that burned its
+// fleet-wide attempt budget.
+func (w *worker) abandon(rec jobRecord) {
+	j, _ := w.rebuild(rec)
+	j.finish(nil, false, 0,
+		fmt.Errorf("abandoned after %d attempts (crash loop): %s", rec.Attempts, rec.Error))
+	w.log.Warn("job abandoned (attempt budget)", "job", rec.ID, "attempts", rec.Attempts)
+}
+
+// rebuild reconstructs an executable job from its journal record — the
+// worker-side mirror of Server.rebuildJob, resolving through the same
+// tables. Even on error a placeholder job is returned so the caller can
+// journal a terminal state.
+func (w *worker) rebuild(rec jobRecord) (*job, error) {
+	b := &jobBuilder{base: w.ctx, extraScales: w.cfg.ExtraScales}
+	j, err := b.build(rec)
+	j.jl = w.jl
+	j.attempts = rec.Attempts
+	j.created = rec.CreatedAt
+	j.owner = w.owner
+	return j, err
+}
+
+// setState records a state transition and lands it immediately (the
+// background ticker would get there within a heartbeat anyway; writing
+// now keeps the coordinator's occupancy view prompt).
+func (w *worker) setState(state, jobID string) {
+	w.mu.Lock()
+	w.state = state
+	w.job = jobID
+	w.mu.Unlock()
+	w.heartbeat()
+}
+
+// heartbeat lands this worker's liveness/occupancy document.
+func (w *worker) heartbeat() {
+	w.mu.Lock()
+	doc := workerState{
+		Owner:     w.owner,
+		PID:       os.Getpid(),
+		State:     w.state,
+		Job:       w.job,
+		Jobs:      w.jobs,
+		Sims:      w.sims,
+		StartedAt: w.started,
+	}
+	w.mu.Unlock()
+	w.jl.putWorker(doc)
+}
